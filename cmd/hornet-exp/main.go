@@ -1,0 +1,138 @@
+// Command hornet-exp regenerates the paper's tables and figures: it runs
+// the experiment harnesses in internal/experiments and prints the series
+// each figure plots.
+//
+// Usage:
+//
+//	hornet-exp -fig 8            # one figure (6a, 6b, 7, 8, 9, 10, 11, 12, 13, 14, 4a, t1)
+//	hornet-exp -all              # everything
+//	hornet-exp -fig 6a -full     # paper-scale parameters (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hornet/internal/experiments"
+	"hornet/internal/thermal"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to reproduce: 6a 6b 7 8 9 10 11 12 13 14 4a t1")
+	all := flag.Bool("all", false, "run every experiment")
+	full := flag.Bool("full", false, "paper-scale parameters (much slower)")
+	seed := flag.Uint64("seed", 0, "random seed (0 = default)")
+	flag.Parse()
+
+	o := experiments.Options{Full: *full, Seed: *seed}
+	figs := []string{}
+	if *all {
+		figs = []string{"t1", "4a", "6a", "6b", "7", "8", "9", "10", "11", "12", "13", "14"}
+	} else if *fig != "" {
+		figs = []string{strings.ToLower(*fig)}
+	} else {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, f := range figs {
+		if err := run(f, o); err != nil {
+			fmt.Fprintf(os.Stderr, "hornet-exp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func run(fig string, o experiments.Options) error {
+	switch fig {
+	case "t1":
+		fmt.Println("== Table I: configuration matrix smoke ==")
+		for _, row := range experiments.TableI(o) {
+			fmt.Println("  ", row)
+		}
+	case "4a":
+		fmt.Println("== §IV-A: worst-link flow count and starvation ==")
+		r := experiments.Sec4a(o)
+		fmt.Printf("  8x8  max flows/link = %5d (n^3/4 = %5d)\n", r.MaxFlows8, r.Law8)
+		fmt.Printf("  32x32 max flows/link = %5d (n^3/4 = %5d)\n", r.MaxFlows32, r.Law32)
+		fmt.Printf("  starved flows under heavy load: %d of %d\n", r.StarvedFlows, r.TotalFlows)
+	case "6a":
+		fmt.Println("== Fig 6a: parallel speedup vs workers ==")
+		fmt.Println("  workload      sync            workers  wall          speedup")
+		for _, r := range experiments.Fig6a(o) {
+			fmt.Printf("  %-12s %-15s %6d  %-12v %6.2fx\n", r.Workload, r.SyncMode, r.Workers, r.Wall, r.Speedup)
+		}
+	case "6b":
+		fmt.Println("== Fig 6b: speedup & accuracy vs sync period (transpose, 4 workers) ==")
+		fmt.Println("  period  speedup  accuracy  avg-latency")
+		for _, r := range experiments.Fig6b(o) {
+			fmt.Printf("  %6d  %6.2fx  %7.2f%%  %10.2f\n", r.Period, r.Speedup, r.AccuracyPct, r.AvgLatency)
+		}
+	case "7":
+		fmt.Println("== Fig 7: fast-forwarding benefit ==")
+		fmt.Println("  workload  ff     workers  wall          skipped     speedup")
+		for _, r := range experiments.Fig7(o) {
+			fmt.Printf("  %-8s  %-5v  %6d  %-12v %10d  %6.2fx\n", r.Workload, r.FF, r.Workers, r.Wall, r.Skipped, r.Speedup)
+		}
+	case "8":
+		fmt.Println("== Fig 8: congestion effect on flit latency ==")
+		fmt.Println("  benchmark   with-congestion  without  ratio")
+		for _, r := range experiments.Fig8(o) {
+			fmt.Printf("  %-10s  %15.2f  %7.2f  %5.2fx\n", r.Benchmark, r.WithCongestion, r.WithoutCongestion, r.Ratio)
+		}
+	case "9":
+		fmt.Println("== Fig 9: VC configuration vs in-network latency ==")
+		fmt.Println("  benchmark   config   vca      latency")
+		for _, r := range experiments.Fig9(o) {
+			fmt.Printf("  %-10s  %dVCx%d   %-7s  %7.2f\n", r.Benchmark, r.VCs, r.BufFlits, r.VCA, r.Latency)
+		}
+	case "10":
+		fmt.Println("== Fig 10: routing x VCA on WATER ==")
+		fmt.Println("  vcs  routing  vca      latency")
+		for _, r := range experiments.Fig10(o) {
+			fmt.Printf("  %3d  %-7s  %-7s  %7.2f\n", r.VCs, r.Routing, r.VCA, r.Latency)
+		}
+	case "11":
+		fmt.Println("== Fig 11: memory controllers vs latency (RADIX) ==")
+		fmt.Println("  MCs  routing  vca      latency")
+		for _, r := range experiments.Fig11(o) {
+			fmt.Printf("  %3d  %-7s  %-7s  %7.2f\n", r.Controllers, r.Routing, r.VCA, r.Latency)
+		}
+	case "12":
+		fmt.Println("== Fig 12: trace-based vs integrated simulation (Cannon) ==")
+		r := experiments.Fig12(o)
+		fmt.Printf("  ideal-net app runtime:    %10d cycles\n", r.IdealCycles)
+		fmt.Printf("  trace replay runtime:     %10d cycles\n", r.TraceReplayCycles)
+		fmt.Printf("  integrated runtime:       %10d cycles\n", r.IntegratedCycles)
+		fmt.Printf("  packets:                  %10d\n", r.PacketsSent)
+		fmt.Printf("  normalized (trace/integrated): injection rate %.2fx, execution time %.2fx\n",
+			r.NormInjectionRateTrace, r.NormExecTimeTrace)
+	case "13":
+		fmt.Println("== Fig 13: temperature over time ==")
+		for _, s := range experiments.Fig13(o) {
+			fmt.Printf("  %s (swing %.2fC):\n    cycle      maxC   meanC\n", s.Benchmark, s.SwingC)
+			for i := range s.Cycle {
+				if i%4 != 0 {
+					continue
+				}
+				fmt.Printf("    %9d  %6.2f  %6.2f\n", s.Cycle[i], s.MaxTempC[i], s.MeanTempC[i])
+			}
+		}
+	case "14":
+		fmt.Println("== Fig 14: steady-state temperature maps (8x8, XY, corner MC) ==")
+		for _, m := range experiments.Fig14(o) {
+			fmt.Printf("  %s: hotspot (%d,%d) %.2fC, corner MC %.2fC\n",
+				m.Benchmark, m.HotX, m.HotY, m.MaxTempC, m.CornerMCTempC)
+			fmt.Println(indent(thermal.HeatmapString(m.TempsC, m.Width), "    "))
+		}
+	default:
+		return fmt.Errorf("unknown figure %q", fig)
+	}
+	return nil
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return pad + strings.Join(lines, "\n"+pad)
+}

@@ -1,0 +1,77 @@
+// Command hornet-trace synthesizes SPLASH-2-like network traces (the
+// paper's Graphite-captured trace substitute) in HORNET's text format.
+//
+// Usage:
+//
+//	hornet-trace -bench radix -nodes 64 -cycles 2000000 > radix.trace
+//	hornet-trace -bench water -intensity 8 -mem 0,7,56,63 > water-mc.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hornet/internal/noc"
+	"hornet/internal/splash"
+	"hornet/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "radix", "benchmark profile: fft radix water swaptions ocean")
+	nodes := flag.Int("nodes", 64, "node count (width*height)")
+	width := flag.Int("width", 0, "mesh width (default sqrt(nodes))")
+	cycles := flag.Uint64("cycles", 400_000, "trace length in network cycles")
+	seed := flag.Uint64("seed", 0x5EED0A11, "random seed")
+	intensity := flag.Float64("intensity", 1.0, "load multiplier")
+	flits := flag.Int("flits", 8, "packet size in flits")
+	mem := flag.String("mem", "", "comma-separated controller nodes: emit MC-request trace")
+	flag.Parse()
+
+	w := *width
+	if w == 0 {
+		for w = 1; w*w < *nodes; w++ {
+		}
+	}
+	if *nodes%w != 0 {
+		fatal(fmt.Errorf("nodes %d not divisible by width %d", *nodes, w))
+	}
+	p := splash.Params{
+		Nodes:       *nodes,
+		Width:       w,
+		Height:      *nodes / w,
+		Cycles:      *cycles,
+		Seed:        *seed,
+		Intensity:   *intensity,
+		PacketFlits: *flits,
+	}
+	b := splash.Benchmark(strings.ToLower(*bench))
+	var tr *trace.Trace
+	var err error
+	if *mem != "" {
+		var mcs []noc.NodeID
+		for _, s := range strings.Split(*mem, ",") {
+			n, convErr := strconv.Atoi(strings.TrimSpace(s))
+			if convErr != nil {
+				fatal(convErr)
+			}
+			mcs = append(mcs, noc.NodeID(n))
+		}
+		tr, err = splash.GenerateMemory(b, p, mcs)
+	} else {
+		tr, err = splash.Generate(b, p)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hornet-trace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command hornet runs a config-driven network-only simulation: synthetic
+// traffic patterns or a trace file over any supported geometry, printing
+// the statistics summary (and optionally per-tile power and steady-state
+// temperatures).
+//
+// Usage:
+//
+//	hornet -config sim.json [-cycles N] [-trace file] [-thermal]
+//	hornet -defaults > sim.json      # write the Table I baseline config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hornet/internal/config"
+	"hornet/internal/core"
+	"hornet/internal/thermal"
+	"hornet/internal/trace"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "JSON configuration file")
+	defaults := flag.Bool("defaults", false, "print the baseline configuration and exit")
+	cycles := flag.Uint64("cycles", 0, "override analyzed cycles")
+	tracePath := flag.String("trace", "", "replay a trace file instead of synthetic traffic")
+	thermalOut := flag.Bool("thermal", false, "print the steady-state temperature map")
+	flag.Parse()
+
+	if *defaults {
+		cfg := config.Default()
+		cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternUniform, InjectionRate: 0.02}}
+		if err := cfg.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *cfgPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg, err := config.Load(*cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *cycles > 0 {
+		cfg.AnalyzedCycles = int(*cycles)
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sys.AttachTrace(tr)
+		res := sys.RunUntil(uint64(cfg.AnalyzedCycles)*100, func(uint64) bool { return sys.TraceDone() })
+		fmt.Printf("trace replay: %v\n", res)
+	} else {
+		if len(cfg.Traffic) == 0 {
+			fatal(fmt.Errorf("config has no traffic sections and no -trace given"))
+		}
+		if err := sys.AttachSyntheticTraffic(); err != nil {
+			fatal(err)
+		}
+		warm := sys.RunWarmup()
+		fmt.Printf("warmup:   %v\n", warm)
+		res := sys.Run(uint64(cfg.AnalyzedCycles))
+		fmt.Printf("measured: %v\n", res)
+	}
+
+	fmt.Println(sys.Summary().Report())
+
+	if *thermalOut {
+		grid, err := thermal.NewGrid(cfg.Topology.Width, cfg.Topology.Height, cfg.Thermal)
+		if err != nil {
+			fatal(err)
+		}
+		temps := grid.SteadyState(sys.Power.MeanPower())
+		fmt.Println("steady-state temperatures (C):")
+		fmt.Print(thermal.HeatmapString(temps, cfg.Topology.Width))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hornet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// Quickstart: simulate an 8x8 mesh under uniform random traffic at the
+// paper's Table I baseline configuration and print the statistics report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hornet"
+)
+
+func main() {
+	cfg := hornet.DefaultConfig()
+	cfg.WarmupCycles = 20_000
+	cfg.Traffic = []hornet.TrafficConfig{{
+		Pattern:       hornet.PatternUniform,
+		InjectionRate: 0.02, // packets per node per cycle
+	}}
+
+	sys, err := hornet.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.AttachSyntheticTraffic(); err != nil {
+		log.Fatal(err)
+	}
+
+	sys.RunWarmup()
+	res := sys.Run(100_000)
+
+	fmt.Printf("simulated %d cycles in %v on %d workers\n", res.Cycles, res.Wall, res.Workers)
+	fmt.Print(sys.Summary().Report())
+}

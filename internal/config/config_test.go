@@ -1,0 +1,135 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	cfg := Default()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	big := Default1024()
+	if err := big.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if big.Topology.Nodes() != 1024 {
+		t.Fatalf("1024 config has %d nodes", big.Topology.Nodes())
+	}
+}
+
+func TestValidateCatches(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Topology.Kind = "blob" },
+		func(c *Config) { c.Topology.Width = 1 },
+		func(c *Config) { c.Router.VCsPerPort = 0 },
+		func(c *Config) { c.Router.VCBufFlits = 0 },
+		func(c *Config) { c.Router.LinkBandwidth = 0 },
+		func(c *Config) { c.Router.VCAlloc = "psychic" },
+		func(c *Config) { c.Routing.Algorithm = "teleport" },
+		func(c *Config) { c.Routing.Algorithm = RouteO1Turn; c.Router.VCsPerPort = 1 },
+		func(c *Config) { c.Routing.Algorithm = RouteStatic },
+		func(c *Config) {
+			c.Traffic = []TrafficConfig{{Pattern: PatternUniform, InjectionRate: 2}}
+		},
+		func(c *Config) { c.Traffic = []TrafficConfig{{Pattern: "meh"}} },
+		func(c *Config) { c.Traffic = []TrafficConfig{{Pattern: PatternHotspot}} },
+		func(c *Config) { c.Engine.SyncPeriod = 0 },
+		func(c *Config) { c.AvgPacketFlits = 0 },
+		func(c *Config) { c.Memory = DefaultMemory(); c.Memory.LineBytes = 24 },
+		func(c *Config) { c.Memory = DefaultMemory(); c.Memory.Protocol = "mesi2000" },
+		func(c *Config) { c.Memory = DefaultMemory(); c.Memory.Controllers = []int{9999} },
+	}
+	for i, mutate := range mutations {
+		cfg := Default()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestStaticRoutingValidation(t *testing.T) {
+	cfg := Default()
+	cfg.Routing.Algorithm = RouteStatic
+	cfg.Routing.StaticPaths = [][]int{{0, 1, 2}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Routing.StaticPaths = [][]int{{0, 999}}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("out-of-topology static path accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	cfg := Default()
+	cfg.Traffic = []TrafficConfig{{Pattern: PatternShuffle, InjectionRate: 0.05}}
+	cfg.Memory = DefaultMemory()
+	var buf bytes.Buffer
+	if err := cfg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Config
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Topology != cfg.Topology || back.Router != cfg.Router {
+		t.Fatal("round trip changed config")
+	}
+	if back.Memory == nil || back.Memory.LineBytes != cfg.Memory.LineBytes ||
+		back.Memory.Protocol != cfg.Memory.Protocol ||
+		len(back.Memory.Controllers) != len(cfg.Memory.Controllers) {
+		t.Fatal("memory config lost")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	cfg := Default()
+	cfg.Traffic = []TrafficConfig{{Pattern: PatternUniform, InjectionRate: 0.01}}
+	var buf bytes.Buffer
+	if err := cfg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Topology.Width != 8 {
+		t.Fatal("loaded config wrong")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	if err := os.WriteFile(path, []byte(`{"unknown_field": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("unknown fields accepted")
+	}
+}
+
+func TestTopologyNodes(t *testing.T) {
+	cases := []struct {
+		tc   TopologyConfig
+		want int
+	}{
+		{TopologyConfig{Kind: TopoMesh, Width: 8, Height: 8}, 64},
+		{TopologyConfig{Kind: TopoRing, Width: 5}, 5},
+		{TopologyConfig{Kind: TopoMeshXCube, Width: 4, Height: 4, Layers: 3}, 48},
+	}
+	for _, c := range cases {
+		if got := c.tc.Nodes(); got != c.want {
+			t.Errorf("%+v: Nodes() = %d, want %d", c.tc, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+
+	"hornet/internal/config"
+	"hornet/internal/mem"
+	"hornet/internal/mips"
+	"hornet/internal/noc"
+	"hornet/internal/pinsim"
+	"hornet/internal/trace"
+	"hornet/internal/traffic"
+)
+
+// AttachSyntheticTraffic builds generators from the config's traffic
+// sections (or an explicit list) on every node.
+func (s *System) AttachSyntheticTraffic(tcs ...config.TrafficConfig) error {
+	if len(tcs) == 0 {
+		tcs = s.Config.Traffic
+	}
+	for _, tc := range tcs {
+		for _, t := range s.tiles {
+			g, err := traffic.NewGenerator(t.ID, tc, s.Topo, s.Config.AvgPacketFlits, t.RNG)
+			if err != nil {
+				return err
+			}
+			tile := t
+			gen := g
+			s.generators = append(s.generators, gen)
+			t.AddComponent(componentFunc{
+				tick: func(cycle uint64) { gen.Tick(cycle, tile.Router.OfferPacket) },
+				next: gen.NextEvent,
+			})
+		}
+	}
+	return nil
+}
+
+// StopTraffic halts all synthetic generators so the network can drain.
+func (s *System) StopTraffic() {
+	for _, g := range s.generators {
+		g.Stop()
+	}
+}
+
+// AttachTrace installs per-node trace injectors replaying tr.
+func (s *System) AttachTrace(tr *trace.Trace) {
+	for _, t := range s.tiles {
+		inj := trace.NewInjector(t.ID, tr, 0)
+		s.injectors = append(s.injectors, inj)
+		tile := t
+		t.AddComponent(componentFunc{
+			tick: func(cycle uint64) { inj.Tick(cycle, tile.Router.OfferPacket) },
+			next: inj.NextEvent,
+		})
+	}
+}
+
+// TraceDone reports whether all trace injectors have replayed everything
+// and the network has drained.
+func (s *System) TraceDone() bool {
+	for _, inj := range s.injectors {
+		if inj.Pending() > 0 {
+			return false
+		}
+	}
+	if s.InFlight() != 0 {
+		return false
+	}
+	for _, t := range s.tiles {
+		if t.Router.PendingPackets() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// AttachTraceControllers places trace-mode memory controllers (Fig 11) at
+// the given nodes: each answers class-1 request packets with
+// responseFlits-sized responses after the DRAM latency.
+func (s *System) AttachTraceControllers(nodes []noc.NodeID, latency, responseFlits int) {
+	for _, n := range nodes {
+		t := s.tiles[n]
+		tc := mem.NewTraceController(n, latency, responseFlits)
+		tc.Bind(t.Router.OfferPacket)
+		t.extra = tc
+		t.AddComponent(componentFunc{
+			tick: func(cycle uint64) { tc.Tick(cycle, nil) },
+			next: tc.NextEvent,
+		})
+	}
+}
+
+// MemoryOptions selects the shared-memory subsystem layout.
+type MemoryOptions struct {
+	// WithL1 gives tiles an MSI-coherent private L1 (Protocol "msi");
+	// Protocol "nuca" uses remote-access ports instead.
+	Cfg config.MemoryConfig
+}
+
+// memoryFabric holds the per-tile memory components after AttachMemory.
+type memoryFabric struct {
+	am      *mem.AddressMap
+	bridges []*mem.Bridge
+	dirs    []*mem.Directory
+	mcs     map[noc.NodeID]*mem.Controller
+}
+
+// AttachMemory wires the shared-memory subsystem on every tile: a bridge,
+// a directory slice, memory controllers at the configured nodes, and — in
+// MSI mode — per-tile L1 caches (NUCA mode creates remote-access ports on
+// demand via Ports). Returns an opaque handle used by processor attachers.
+func (s *System) AttachMemory(mc config.MemoryConfig) (*memoryFabric, error) {
+	if len(mc.Controllers) == 0 {
+		return nil, fmt.Errorf("core: memory needs at least one controller node")
+	}
+	am := &mem.AddressMap{LineBytes: mc.LineBytes, Nodes: s.Topo.Nodes()}
+	for _, c := range mc.Controllers {
+		am.Controllers = append(am.Controllers, noc.NodeID(c))
+	}
+	f := &memoryFabric{am: am, mcs: make(map[noc.NodeID]*mem.Controller)}
+	for _, t := range s.tiles {
+		tile := t
+		b := mem.NewBridge(t.ID, tile.Router.OfferPacket)
+		d := mem.NewDirectory(t.ID, am, b)
+		b.Dir = d
+		t.bridge = b
+		f.bridges = append(f.bridges, b)
+		f.dirs = append(f.dirs, d)
+		t.AddComponent(componentFunc{tick: d.Tick})
+	}
+	for _, cn := range am.Controllers {
+		t := s.tiles[cn]
+		ctl := mem.NewController(cn, mc.MCLatencyCyc, mc.MCQueueDepth, t.bridge)
+		t.bridge.MC = ctl
+		f.mcs[cn] = ctl
+		t.AddComponent(componentFunc{tick: ctl.Tick})
+	}
+	return f, nil
+}
+
+// Fabric accessors used by tests and experiment harnesses.
+func (f *memoryFabric) AddressMap() *mem.AddressMap { return f.am }
+
+// Preload writes bytes into the authoritative home slices (program and
+// data images before the run starts).
+func (f *memoryFabric) Preload(addr uint32, data []byte) {
+	for len(data) > 0 {
+		lineBase := f.am.LineAddr(addr)
+		home := f.am.Home(addr)
+		line := f.dirs[home].Store().Line(lineBase)
+		off := f.am.LineOffset(addr)
+		n := copy(line[off:], data)
+		data = data[n:]
+		addr += uint32(n)
+	}
+}
+
+// ReadBack reads bytes from the home slices (result verification). Only
+// meaningful when caches have been flushed or were never enabled.
+func (f *memoryFabric) ReadBack(addr uint32, n int) []byte {
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		a := addr + uint32(len(out))
+		home := f.am.Home(a)
+		line := f.dirs[home].Store().Line(f.am.LineAddr(a))
+		off := f.am.LineOffset(a)
+		take := len(line) - off
+		if take > n-len(out) {
+			take = n - len(out)
+		}
+		out = append(out, line[off:off+take]...)
+	}
+	return out
+}
+
+// PortFor creates a processor-side memory port on a tile: an MSI L1 or a
+// NUCA remote-access port, per the config protocol.
+func (s *System) PortFor(f *memoryFabric, n noc.NodeID, mc config.MemoryConfig) pinsim.Port {
+	t := s.tiles[n]
+	if mc.Protocol == "nuca" {
+		p := mem.NewNucaPort(n, f.am, t.bridge)
+		t.bridge.Nuca = p
+		return p
+	}
+	l1 := mem.NewL1(n, f.am, mc.L1Sets, mc.L1Ways, mc.L1LatencyCyc, t.bridge)
+	t.bridge.L1 = l1
+	t.AddComponent(componentFunc{tick: l1.Tick})
+	return l1
+}
+
+// AttachMIPS places a MIPS core on every listed node, all running the
+// same program image, with the MPI-style network port (private memory).
+// Returns the cores in node order.
+func (s *System) AttachMIPS(nodes []noc.NodeID, img *mips.Image) []*mips.Core {
+	cores := make([]*mips.Core, 0, len(nodes))
+	for _, n := range nodes {
+		t := s.tiles[n]
+		np := mips.NewNetPort(n, t.Router.OfferPacket, t.Router.PendingPackets)
+		c := mips.NewCore(n, len(nodes), img, nil, np)
+		t.net = np
+		t.AddComponent(componentFunc{tick: c.Tick, next: c.NextEvent})
+		cores = append(cores, c)
+	}
+	return cores
+}
+
+// AttachMIPSShared places MIPS cores whose data accesses go through the
+// shared-memory fabric (MSI L1 or NUCA port per the memory config).
+func (s *System) AttachMIPSShared(nodes []noc.NodeID, img *mips.Image, f *memoryFabric, mc config.MemoryConfig) []*mips.Core {
+	cores := make([]*mips.Core, 0, len(nodes))
+	for _, n := range nodes {
+		t := s.tiles[n]
+		port := s.PortFor(f, n, mc)
+		np := mips.NewNetPort(n, t.Router.OfferPacket, t.Router.PendingPackets)
+		c := mips.NewCore(n, len(nodes), img, port, np)
+		t.net = np
+		t.AddComponent(componentFunc{tick: c.Tick, next: c.NextEvent})
+		cores = append(cores, c)
+	}
+	return cores
+}
+
+// AttachPinApp launches app threads 1:1 on the first `threads` tiles,
+// instrumenting their memory accesses through the shared-memory fabric
+// (the Pin frontend substitute). Returns the per-tile frontends.
+func (s *System) AttachPinApp(threads int, f *memoryFabric, mc config.MemoryConfig, app func(t *pinsim.Thread)) []*pinsim.Frontend {
+	fes := make([]*pinsim.Frontend, 0, threads)
+	for i := 0; i < threads; i++ {
+		n := noc.NodeID(i)
+		port := s.PortFor(f, n, mc)
+		th := pinsim.Launch(i, app)
+		fe := pinsim.NewFrontend(th, port)
+		s.tiles[n].AddComponent(componentFunc{tick: fe.Tick, next: fe.NextEvent})
+		fes = append(fes, fe)
+	}
+	return fes
+}
+
+// CoresHalted reports whether every given core has exited and its DMA
+// drained, and the network is empty — the application-run stop condition.
+func (s *System) CoresHalted(cores []*mips.Core) func(cycle uint64) bool {
+	return func(cycle uint64) bool {
+		for _, c := range cores {
+			if !c.Halted() || !c.Net().Idle() {
+				return false
+			}
+		}
+		if s.InFlight() != 0 {
+			return false
+		}
+		for _, t := range s.tiles {
+			if t.Router.PendingPackets() > 0 {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// FrontendsHalted is the pinsim analogue of CoresHalted.
+func (s *System) FrontendsHalted(fes []*pinsim.Frontend) func(cycle uint64) bool {
+	return func(cycle uint64) bool {
+		for _, fe := range fes {
+			if !fe.Halted() {
+				return false
+			}
+		}
+		return s.InFlight() == 0
+	}
+}

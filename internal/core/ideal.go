@@ -1,0 +1,66 @@
+package core
+
+import (
+	"sort"
+
+	"hornet/internal/topology"
+	"hornet/internal/trace"
+)
+
+// IdealResult carries the congestion-oblivious model's outputs.
+type IdealResult struct {
+	AvgFlitLatency   float64
+	AvgPacketLatency float64
+	FlitsDelivered   uint64
+	PacketsDelivered uint64
+}
+
+// PerHopLatency is the zero-load per-hop pipeline cost of the cycle-level
+// router (RC + VA + SA stages plus the link cycle), used by the ideal
+// model so the two configurations differ only in congestion modeling.
+const PerHopLatency = 3
+
+// IdealTrace replays a trace under the paper's congestion-oblivious
+// configuration (Fig 8): injection bandwidth is limited exactly as in the
+// accurate model (one flit per node per cycle at the CPU port), but
+// transit latencies are simple hop counts — no queueing, no arbitration,
+// no backpressure.
+func IdealTrace(topo *topology.Topology, tr *trace.Trace) IdealResult {
+	events := append([]trace.Event(nil), tr.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Cycle < events[j].Cycle })
+	nextFree := make(map[int]uint64)
+	var res IdealResult
+	var flitLatSum, pktLatSum float64
+	for _, e := range events {
+		count := e.Count
+		if count == 0 {
+			count = 1
+		}
+		for k := uint64(0); k < count; k++ {
+			at := e.Cycle + k*e.Period
+			if e.Src == e.Dst {
+				continue
+			}
+			start := at
+			if nf := nextFree[int(e.Src)]; nf > start {
+				start = nf
+			}
+			nextFree[int(e.Src)] = start + uint64(e.Flits)
+			hops := topo.ManhattanDistance(e.Src, e.Dst)
+			transit := uint64(hops*PerHopLatency) + 1
+			// Every flit sees the hop-count transit; the packet as a whole
+			// additionally serializes over its length.
+			flitLatSum += float64(transit) * float64(e.Flits)
+			pktLatSum += float64(transit + uint64(e.Flits) - 1)
+			res.FlitsDelivered += uint64(e.Flits)
+			res.PacketsDelivered++
+		}
+	}
+	if res.FlitsDelivered > 0 {
+		res.AvgFlitLatency = flitLatSum / float64(res.FlitsDelivered)
+	}
+	if res.PacketsDelivered > 0 {
+		res.AvgPacketLatency = pktLatSum / float64(res.PacketsDelivered)
+	}
+	return res
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hornet/internal/config"
+	"hornet/internal/noc"
+	"hornet/internal/power"
+	"hornet/internal/routing"
+	"hornet/internal/sim"
+	"hornet/internal/stats"
+	"hornet/internal/topology"
+	"hornet/internal/trace"
+	"hornet/internal/traffic"
+	"hornet/internal/vca"
+)
+
+// System is a fully wired HORNET simulation.
+type System struct {
+	Config config.Config
+	Topo   *topology.Topology
+	Power  *power.Model
+
+	tiles      []*Tile
+	engine     *sim.Engine
+	alg        routing.Algorithm
+	clock      uint64 // next cycle to simulate
+	generators []*traffic.Generator
+	injectors  []*trace.Injector
+}
+
+// New builds a system from a validated configuration: topology, routing
+// and VCA tables, routers wired per edge, the power model, and the
+// parallel engine. Frontends are attached afterwards (Attach*).
+func New(cfg config.Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo, err := topology.New(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := buildAlgorithm(cfg, topo)
+	if err != nil {
+		return nil, err
+	}
+	tables := routing.NewTables(alg)
+	vcaTables, vcaMode, err := vca.New(alg, cfg.Router.VCAlloc)
+	if err != nil {
+		return nil, err
+	}
+
+	n := topo.Nodes()
+	s := &System{
+		Config: cfg,
+		Topo:   topo,
+		Power:  power.New(cfg.Power, n),
+		alg:    alg,
+	}
+
+	injVCs := cfg.Router.InjVCs
+	if injVCs <= 0 {
+		injVCs = cfg.Router.VCsPerPort
+	}
+	injBuf := cfg.Router.InjBufFlits
+	if injBuf <= 0 {
+		injBuf = cfg.Router.VCBufFlits
+	}
+
+	// Routers and the engine share one in-network flit counter.
+	inflight := new(atomic.Int64)
+	simTiles := make([]sim.Tile, n)
+	s.tiles = make([]*Tile, n)
+
+	for i := 0; i < n; i++ {
+		id := noc.NodeID(i)
+		st := stats.NewTile()
+		rng := sim.NewRNG(cfg.Engine.Seed ^ (uint64(i)+1)*0x9E3779B97F4A7C15)
+		router := noc.NewRouter(noc.RouterParams{
+			ID:            id,
+			Table:         tables.ForNode(id),
+			VCATable:      vcaTables.ForNode(id),
+			VCAMode:       vcaMode,
+			RNG:           rng,
+			Stats:         st,
+			InFlight:      inflight,
+			LocalVCs:      injVCs,
+			LocalBufFlits: injBuf,
+		})
+		tile := &Tile{
+			ID:         id,
+			Router:     router,
+			Stats:      st,
+			RNG:        rng,
+			powerModel: s.Power,
+			epoch:      uint64(cfg.Power.EpochCycles),
+		}
+		router.SetReceiver(tile)
+		s.tiles[i] = tile
+		simTiles[i] = tile
+	}
+
+	// Wire every topology edge: each side gets an ingress port facing the
+	// other, then egress pointers to the peer's ingress buffers plus the
+	// shared (possibly bandwidth-adaptive) link.
+	for _, e := range topo.Edges() {
+		ra, rb := s.tiles[e.A].Router, s.tiles[e.B].Router
+		pa := ra.AddPort(e.B, cfg.Router.VCsPerPort, cfg.Router.VCBufFlits)
+		pb := rb.AddPort(e.A, cfg.Router.VCsPerPort, cfg.Router.VCBufFlits)
+		link := noc.NewLink(cfg.Router.LinkBandwidth, cfg.Router.Bidirectional)
+		ra.ConnectEgress(e.B, rb.Ports()[pb].In, link, 0)
+		rb.ConnectEgress(e.A, ra.Ports()[pa].In, link, 1)
+	}
+
+	s.engine = sim.NewEngine(simTiles, cfg.Engine.Workers, cfg.Engine.SyncPeriod, cfg.Engine.FastForward, inflight)
+	return s, nil
+}
+
+// buildAlgorithm instantiates and validates the routing algorithm against
+// the geometry and router resources.
+func buildAlgorithm(cfg config.Config, topo *topology.Topology) (routing.Algorithm, error) {
+	meshOnly := func(name string) error {
+		if topo.IsTorus() || topo.IsMultilayer() {
+			return fmt.Errorf("core: %s routing requires a (single-layer) mesh or line", name)
+		}
+		return nil
+	}
+	needVCs := func(name string, n int) error {
+		if cfg.Router.VCsPerPort < n {
+			return fmt.Errorf("core: %s routing needs >= %d VCs per port, got %d", name, n, cfg.Router.VCsPerPort)
+		}
+		return nil
+	}
+	switch cfg.Routing.Algorithm {
+	case config.RouteXY, config.RouteYX:
+		if topo.IsTorus() || topo.IsMultilayer() {
+			if err := needVCs(cfg.Routing.Algorithm, 2); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.Routing.Algorithm == config.RouteYX {
+			return routing.NewYX(topo), nil
+		}
+		return routing.NewXY(topo), nil
+	case config.RouteO1Turn:
+		if err := meshOnly("o1turn"); err != nil {
+			return nil, err
+		}
+		if err := needVCs("o1turn", 2); err != nil {
+			return nil, err
+		}
+		return routing.NewO1Turn(topo), nil
+	case config.RouteROMM:
+		if err := meshOnly("romm"); err != nil {
+			return nil, err
+		}
+		if err := needVCs("romm", 2); err != nil {
+			return nil, err
+		}
+		return routing.NewROMM(topo), nil
+	case config.RouteValiant:
+		if err := meshOnly("valiant"); err != nil {
+			return nil, err
+		}
+		if err := needVCs("valiant", 2); err != nil {
+			return nil, err
+		}
+		return routing.NewValiant(topo), nil
+	case config.RoutePROM:
+		if err := meshOnly("prom"); err != nil {
+			return nil, err
+		}
+		if err := needVCs("prom", 2); err != nil {
+			return nil, err
+		}
+		return routing.NewPROM(topo), nil
+	case config.RouteAdaptive:
+		if err := meshOnly("adaptive"); err != nil {
+			return nil, err
+		}
+		return routing.NewWestFirst(topo), nil
+	case config.RouteStatic:
+		return routing.NewStatic(cfg.Routing.StaticPaths)
+	}
+	return nil, fmt.Errorf("core: unknown routing algorithm %q", cfg.Routing.Algorithm)
+}
+
+// Tiles returns the system's tiles.
+func (s *System) Tiles() []*Tile { return s.tiles }
+
+// Tile returns one tile.
+func (s *System) Tile(n noc.NodeID) *Tile { return s.tiles[n] }
+
+// Router returns one node's router.
+func (s *System) Router(n noc.NodeID) *noc.Router { return s.tiles[n].Router }
+
+// Algorithm returns the routing algorithm in use.
+func (s *System) Algorithm() routing.Algorithm { return s.alg }
+
+// Clock returns the next cycle to be simulated.
+func (s *System) Clock() uint64 { return s.clock }
+
+// InFlight returns the number of flits currently in the network.
+func (s *System) InFlight() int64 { return s.engine.InFlight().Load() }
+
+// Workers returns the engine's effective worker count.
+func (s *System) Workers() int { return s.engine.Workers() }
+
+// Run simulates the given number of cycles and returns the engine result.
+func (s *System) Run(cycles uint64) sim.RunResult {
+	r := s.engine.Run(s.clock, cycles, nil)
+	s.clock += r.Cycles + r.SkippedCycles
+	return r
+}
+
+// RunUntil simulates until stop returns true (checked at synchronization
+// points) or maxCycles elapse.
+func (s *System) RunUntil(maxCycles uint64, stop func(cycle uint64) bool) sim.RunResult {
+	r := s.engine.Run(s.clock, maxCycles, stop)
+	s.clock += r.Cycles + r.SkippedCycles
+	return r
+}
+
+// RunWarmup runs the configured warmup and clears statistics after it
+// (paper Table I: 200k warmup cycles for synthetic traffic).
+func (s *System) RunWarmup() sim.RunResult {
+	r := s.Run(uint64(s.Config.WarmupCycles))
+	s.ResetStats()
+	return r
+}
+
+// ResetStats zeroes all per-tile statistics (warmup boundary). Power
+// epoch baselines survive via the model's cumulative-counter deltas.
+func (s *System) ResetStats() {
+	for _, t := range s.tiles {
+		t.Stats.Reset()
+	}
+}
+
+// Summary aggregates statistics across tiles.
+func (s *System) Summary() stats.Summary {
+	ts := make([]*stats.Tile, len(s.tiles))
+	for i, t := range s.tiles {
+		ts[i] = t.Stats
+	}
+	return stats.Aggregate(ts)
+}

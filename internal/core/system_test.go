@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hornet/internal/config"
+	"hornet/internal/noc"
+	"hornet/internal/trace"
+)
+
+// smallCfg returns a quick 4x4 mesh configuration for unit tests.
+func smallCfg() config.Config {
+	cfg := config.Default()
+	cfg.Topology.Width, cfg.Topology.Height = 4, 4
+	cfg.WarmupCycles = 1000
+	cfg.AnalyzedCycles = 5000
+	cfg.Power.EpochCycles = 1000
+	return cfg
+}
+
+func TestUniformTrafficDelivers(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternUniform, InjectionRate: 0.02}}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachSyntheticTraffic(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(20_000)
+	sum := sys.Summary()
+	if sum.PacketsDelivered == 0 {
+		t.Fatalf("no packets delivered: %+v", sum)
+	}
+	if sum.PacketsInjected < sum.PacketsDelivered {
+		t.Fatalf("delivered %d > injected %d", sum.PacketsDelivered, sum.PacketsInjected)
+	}
+	if sum.AvgPacketLatency < 4 {
+		t.Fatalf("implausibly low latency %.2f", sum.AvgPacketLatency)
+	}
+	t.Logf("summary:\n%s", sum.Report())
+	// Flit conservation: injected = delivered + in flight.
+	inflight := sys.InFlight()
+	if int64(sum.FlitsInjected) != int64(sum.FlitsDelivered)+inflight {
+		t.Fatalf("flit conservation violated: inj=%d del=%d inflight=%d",
+			sum.FlitsInjected, sum.FlitsDelivered, inflight)
+	}
+}
+
+func TestDeterminismAcrossWorkers(t *testing.T) {
+	run := func(workers int) string {
+		cfg := smallCfg()
+		cfg.Engine.Workers = workers
+		cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternTranspose, InjectionRate: 0.05}}
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.AttachSyntheticTraffic(); err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(10_000)
+		sum := sys.Summary()
+		return fmt.Sprintf("%d %d %d %d %.6f %.6f",
+			sum.PacketsInjected, sum.PacketsDelivered,
+			sum.FlitsInjected, sum.FlitsDelivered,
+			sum.AvgFlitLatency, sum.AvgPacketLatency)
+	}
+	ref := run(1)
+	for _, w := range []int{2, 3, 4, 7} {
+		if got := run(w); got != ref {
+			t.Fatalf("workers=%d diverged:\n got %s\nwant %s", w, got, ref)
+		}
+	}
+}
+
+func TestTraceReplayAndDrain(t *testing.T) {
+	cfg := smallCfg()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{}
+	tr.Add(10, 0, 15, 8)
+	tr.Add(10, 15, 0, 8)
+	tr.AddPeriodic(100, 5, 10, 4, 50, 10)
+	sys.AttachTrace(tr)
+	sys.RunUntil(100_000, func(uint64) bool { return sys.TraceDone() })
+	sum := sys.Summary()
+	want := uint64(2 + 10)
+	if sum.PacketsDelivered != want {
+		t.Fatalf("delivered %d packets, want %d", sum.PacketsDelivered, want)
+	}
+	if sys.InFlight() != 0 {
+		t.Fatalf("network not drained: %d flits in flight", sys.InFlight())
+	}
+}
+
+func TestFastForwardTransparency(t *testing.T) {
+	run := func(ff bool) (string, uint64) {
+		cfg := smallCfg()
+		cfg.Engine.FastForward = ff
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := &trace.Trace{}
+		tr.Add(100, 0, 15, 8)
+		tr.Add(5_000, 3, 12, 8)
+		tr.Add(50_000, 15, 0, 8)
+		sys.AttachTrace(tr)
+		res := sys.RunUntil(100_000, func(uint64) bool { return sys.TraceDone() })
+		sum := sys.Summary()
+		key := fmt.Sprintf("%d %d %.6f", sum.PacketsDelivered, sum.FlitsDelivered, sum.AvgPacketLatency)
+		return key, res.SkippedCycles
+	}
+	slow, skipped0 := run(false)
+	fast, skippedFF := run(true)
+	if slow != fast {
+		t.Fatalf("fast-forward changed results:\n ff: %s\n    %s", fast, slow)
+	}
+	if skipped0 != 0 {
+		t.Fatalf("non-FF run skipped %d cycles", skipped0)
+	}
+	if skippedFF == 0 {
+		t.Fatalf("fast-forward skipped nothing on an idle-heavy trace")
+	}
+	t.Logf("fast-forward skipped %d cycles", skippedFF)
+}
+
+func TestRoutingAlgorithmsDeliver(t *testing.T) {
+	for _, alg := range []string{
+		config.RouteXY, config.RouteYX, config.RouteO1Turn,
+		config.RouteROMM, config.RouteValiant, config.RoutePROM, config.RouteAdaptive,
+	} {
+		t.Run(alg, func(t *testing.T) {
+			cfg := smallCfg()
+			cfg.Routing.Algorithm = alg
+			cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternUniform, InjectionRate: 0.02}}
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.AttachSyntheticTraffic(); err != nil {
+				t.Fatal(err)
+			}
+			sys.Run(15_000)
+			sum := sys.Summary()
+			if sum.PacketsDelivered == 0 {
+				t.Fatalf("%s delivered nothing", alg)
+			}
+			for id, fr := range sum.Flows {
+				if fr.OrderViolations > 0 && cfg.Router.VCAlloc == config.VCAEDVCA {
+					t.Fatalf("flow %d reordered %d times", id, fr.OrderViolations)
+				}
+			}
+		})
+	}
+}
+
+func TestTorusAndRingDeliver(t *testing.T) {
+	for _, kind := range []string{config.TopoTorus, config.TopoRing} {
+		t.Run(kind, func(t *testing.T) {
+			cfg := smallCfg()
+			cfg.Topology.Kind = kind
+			if kind == config.TopoRing {
+				cfg.Topology.Width, cfg.Topology.Height = 8, 0
+			}
+			cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternUniform, InjectionRate: 0.02}}
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.AttachSyntheticTraffic(); err != nil {
+				t.Fatal(err)
+			}
+			sys.Run(15_000)
+			if sys.Summary().PacketsDelivered == 0 {
+				t.Fatalf("%s delivered nothing", kind)
+			}
+		})
+	}
+}
+
+func TestMultilayerMeshesDeliver(t *testing.T) {
+	for _, kind := range []string{config.TopoMeshX1, config.TopoMeshX1Y1, config.TopoMeshXCube} {
+		t.Run(kind, func(t *testing.T) {
+			cfg := smallCfg()
+			cfg.Topology = config.TopologyConfig{Kind: kind, Width: 3, Height: 3, Layers: 2}
+			cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternUniform, InjectionRate: 0.02}}
+			sys, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.AttachSyntheticTraffic(); err != nil {
+				t.Fatal(err)
+			}
+			sys.Run(15_000)
+			if sys.Summary().PacketsDelivered == 0 {
+				t.Fatalf("%s delivered nothing", kind)
+			}
+		})
+	}
+}
+
+func TestLooseSyncFunctionalCorrectness(t *testing.T) {
+	// Loose synchronization must preserve functional behaviour: all
+	// packets still delivered, in order per flow (paper §II-C).
+	cfg := smallCfg()
+	cfg.Engine.SyncPeriod = 5
+	cfg.Engine.Workers = 4
+	cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternShuffle, InjectionRate: 0.05}}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachSyntheticTraffic(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(20_000)
+	sum := sys.Summary()
+	if sum.PacketsDelivered == 0 {
+		t.Fatal("no packets delivered under loose sync")
+	}
+	if int64(sum.FlitsInjected) != int64(sum.FlitsDelivered)+sys.InFlight() {
+		t.Fatalf("flit conservation violated under loose sync")
+	}
+}
+
+func TestEjectionOnlyToDestination(t *testing.T) {
+	// The router panics if a flit ejects at the wrong node, so a clean
+	// congested run across algorithms is itself the assertion.
+	cfg := smallCfg()
+	cfg.Routing.Algorithm = config.RouteROMM
+	cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternTranspose, InjectionRate: 0.2}}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AttachSyntheticTraffic(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(10_000)
+	if sys.Summary().FlitsDelivered == 0 {
+		t.Fatal("no flits delivered")
+	}
+}
+
+var _ = noc.InvalidNode

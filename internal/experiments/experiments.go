@@ -1,0 +1,385 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation (§IV): each FigNN function runs the workloads with the
+// paper's parameters (scaled to tractable sizes by default, full scale on
+// request) and returns the same series the paper plots. cmd/hornet-exp
+// prints them, bench_test.go times them, and the package's tests assert
+// the qualitative shapes the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"hornet/internal/config"
+	"hornet/internal/core"
+	"hornet/internal/mips"
+	"hornet/internal/noc"
+	"hornet/internal/splash"
+	"hornet/internal/trace"
+	"hornet/internal/workloads"
+)
+
+// Options scales the experiments. The zero value gives CI-friendly
+// defaults; Full restores paper-scale parameters (1024-core meshes,
+// 200k/2M warmup/measurement windows).
+type Options struct {
+	Full    bool
+	Seed    uint64
+	Workers []int // worker counts for the parallelization figures
+}
+
+func (o *Options) fill() {
+	if o.Seed == 0 {
+		o.Seed = 0x5EED0A11
+	}
+	if len(o.Workers) == 0 {
+		max := runtime.GOMAXPROCS(0) * 2
+		if max < 2 {
+			max = 2
+		}
+		for w := 1; w <= max; w++ {
+			o.Workers = append(o.Workers, w)
+		}
+	}
+}
+
+// meshSide returns the synthetic-workload mesh dimension.
+func (o *Options) meshSide() int {
+	if o.Full {
+		return 32 // 1024 cores, paper scale
+	}
+	return 16
+}
+
+func (o *Options) synthCycles() uint64 {
+	if o.Full {
+		return 2_000_000
+	}
+	return 20_000
+}
+
+func (o *Options) warmup() uint64 {
+	if o.Full {
+		return 200_000
+	}
+	return 2_000
+}
+
+// ---------------------------------------------------------------------------
+// Fig 6a: parallelization speedup vs worker count, cycle-accurate vs
+// 5-cycle loose synchronization, for synthetic SHUFFLE traffic and the
+// BLACKSCHOLES kernel on the MIPS frontend.
+
+// Fig6aRow is one point of the speedup plot.
+type Fig6aRow struct {
+	Workload string
+	SyncMode string // "cycle-accurate" or "5-cycle"
+	Workers  int
+	Wall     time.Duration
+	Speedup  float64 // vs the same workload/mode at 1 worker
+}
+
+// Fig6a runs the speedup sweep. On hosts with few cores the wall-clock
+// speedup saturates at the host parallelism — the paper's own point about
+// die crossings applies at a smaller scale.
+func Fig6a(o Options) []Fig6aRow {
+	o.fill()
+	var rows []Fig6aRow
+	for _, mode := range []struct {
+		name   string
+		period int
+	}{{"cycle-accurate", 1}, {"5-cycle", 5}} {
+		base := time.Duration(0)
+		for _, w := range o.Workers {
+			wall := runShuffleOnce(o, w, mode.period)
+			if base == 0 {
+				base = wall
+			}
+			rows = append(rows, Fig6aRow{
+				Workload: "shuffle",
+				SyncMode: mode.name,
+				Workers:  w,
+				Wall:     wall,
+				Speedup:  float64(base) / float64(wall),
+			})
+		}
+	}
+	for _, mode := range []struct {
+		name   string
+		period int
+	}{{"cycle-accurate", 1}, {"5-cycle", 5}} {
+		base := time.Duration(0)
+		for _, w := range o.Workers {
+			wall := runBlackScholesOnce(o, w, mode.period)
+			if base == 0 {
+				base = wall
+			}
+			rows = append(rows, Fig6aRow{
+				Workload: "blackscholes",
+				SyncMode: mode.name,
+				Workers:  w,
+				Wall:     wall,
+				Speedup:  float64(base) / float64(wall),
+			})
+		}
+	}
+	return rows
+}
+
+func runShuffleOnce(o Options, workers, period int) time.Duration {
+	cfg := config.Default()
+	side := o.meshSide()
+	cfg.Topology.Width, cfg.Topology.Height = side, side
+	cfg.Engine.Workers = workers
+	cfg.Engine.SyncPeriod = period
+	cfg.Engine.Seed = o.Seed
+	cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternShuffle, InjectionRate: 0.02}}
+	sys := mustSystem(cfg)
+	must(sys.AttachSyntheticTraffic())
+	res := sys.Run(o.synthCycles())
+	return res.Wall
+}
+
+func runBlackScholesOnce(o Options, workers, period int) time.Duration {
+	side := 4
+	opts := 64
+	if o.Full {
+		side, opts = 32, 256
+	}
+	cfg := config.Default()
+	cfg.Topology.Width, cfg.Topology.Height = side, side
+	cfg.Engine.Workers = workers
+	cfg.Engine.SyncPeriod = period
+	cfg.Engine.Seed = o.Seed
+	img := mustImage(workloads.BlackScholesSource(opts, 16))
+	sys := mustSystem(cfg)
+	nodes := allNodes(side * side)
+	cores := sys.AttachMIPS(nodes, img)
+	res := sys.RunUntil(50_000_000, sys.CoresHalted(cores))
+	return res.Wall
+}
+
+// ---------------------------------------------------------------------------
+// Fig 6b: accuracy and speedup vs synchronization period (transpose).
+
+// Fig6bRow is one synchronization-period point.
+type Fig6bRow struct {
+	Period      int
+	Wall        time.Duration
+	Speedup     float64 // vs cycle-accurate
+	AvgLatency  float64
+	AccuracyPct float64 // 100 - |lat - lat_ca| / lat_ca * 100
+}
+
+// Fig6b sweeps the synchronization period on transpose traffic with four
+// workers (the paper's "Transpose on 4 HT cores").
+func Fig6b(o Options) []Fig6bRow {
+	o.fill()
+	periods := []int{1, 5, 10, 50, 100, 500, 1000}
+	var rows []Fig6bRow
+	var refWall time.Duration
+	var refLat float64
+	for _, p := range periods {
+		cfg := config.Default()
+		cfg.Topology.Width, cfg.Topology.Height = 8, 8
+		cfg.Engine.Workers = 4
+		cfg.Engine.SyncPeriod = p
+		cfg.Engine.Seed = o.Seed
+		cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternTranspose, InjectionRate: 0.05}}
+		sys := mustSystem(cfg)
+		must(sys.AttachSyntheticTraffic())
+		sys.Run(o.warmup())
+		sys.ResetStats()
+		res := sys.Run(o.synthCycles())
+		lat := sys.Summary().AvgPacketLatency
+		if p == 1 {
+			refWall, refLat = res.Wall, lat
+		}
+		acc := 100.0
+		if refLat > 0 {
+			acc = 100 - abs(lat-refLat)/refLat*100
+		}
+		rows = append(rows, Fig6bRow{
+			Period:      p,
+			Wall:        res.Wall,
+			Speedup:     float64(refWall) / float64(res.Wall),
+			AvgLatency:  lat,
+			AccuracyPct: acc,
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig 7: fast-forwarding benefit on low-traffic workloads.
+
+// Fig7Row is one fast-forward measurement.
+type Fig7Row struct {
+	Workload string
+	FF       bool
+	Workers  int
+	Wall     time.Duration
+	Skipped  uint64
+	Speedup  float64 // vs no-FF at the same worker count
+}
+
+// Fig7 compares fast-forward on/off for bursty low-rate bit-complement
+// (big wins: the network fully drains between coordinated bursts) and the
+// H.264-decoder profile (little win: evenly spread packets keep the
+// network from draining).
+func Fig7(o Options) []Fig7Row {
+	o.fill()
+	workloads := []config.TrafficConfig{
+		{Pattern: config.PatternBitComplement, InjectionRate: 0.02, BurstLen: 200, BurstGap: 4000},
+		{Pattern: config.PatternH264, InjectionRate: 0.002},
+	}
+	workerSet := []int{1, 2, 4}
+	var rows []Fig7Row
+	for _, tc := range workloads {
+		for _, w := range workerSet {
+			var noFF time.Duration
+			for _, ff := range []bool{false, true} {
+				cfg := config.Default()
+				cfg.Topology.Width, cfg.Topology.Height = 8, 8
+				cfg.Engine.Workers = w
+				cfg.Engine.FastForward = ff
+				cfg.Engine.Seed = o.Seed
+				cfg.Traffic = []config.TrafficConfig{tc}
+				sys := mustSystem(cfg)
+				must(sys.AttachSyntheticTraffic())
+				res := sys.Run(o.synthCycles() * 4)
+				if !ff {
+					noFF = res.Wall
+				}
+				rows = append(rows, Fig7Row{
+					Workload: tc.Pattern,
+					FF:       ff,
+					Workers:  w,
+					Wall:     res.Wall,
+					Skipped:  res.SkippedCycles,
+					Speedup:  float64(noFF) / float64(res.Wall),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Fig 12: trace-driven vs integrated core+network simulation of Cannon's
+// matrix multiply.
+
+// Fig12Result compares the two methodologies.
+type Fig12Result struct {
+	IdealCycles       uint64 // app runtime under the ideal 1-cycle network
+	TraceReplayCycles uint64 // network time to replay the captured trace
+	IntegratedCycles  uint64 // true core+network co-simulated runtime
+	// Normalized to the integrated run (the paper's presentation).
+	NormInjectionRateTrace float64
+	NormExecTimeTrace      float64
+	PacketsSent            uint64
+}
+
+// Fig12 runs Cannon's algorithm three ways: under an ideal single-cycle
+// network (logging a trace), replaying that trace through the cycle-level
+// network, and fully integrated (cores coupled to the network). The
+// trace-based methodology injects unrealistically fast and finishes far
+// too early because it lacks the core<->network feedback loop (§IV-D).
+func Fig12(o Options) Fig12Result {
+	o.fill()
+	q, b := 4, 4
+	if o.Full {
+		q, b = 8, 16 // 64 cores, 128x128 matrix as in the paper
+	}
+	img := mustImage(workloads.CannonSource(q, b))
+
+	ideal := core.RunMIPSIdeal(q*q, img, 500_000_000)
+
+	// Trace replay through the cycle-accurate network.
+	replayCfg := config.Default()
+	replayCfg.Topology.Width, replayCfg.Topology.Height = q, q
+	replayCfg.Engine.Seed = o.Seed
+	replaySys := mustSystem(replayCfg)
+	replaySys.AttachTrace(ideal.Trace)
+	replayRes := replaySys.RunUntil(500_000_000, func(uint64) bool { return replaySys.TraceDone() })
+
+	// Integrated run.
+	intCfg := config.Default()
+	intCfg.Topology.Width, intCfg.Topology.Height = q, q
+	intCfg.Engine.Seed = o.Seed
+	intSys := mustSystem(intCfg)
+	cores := intSys.AttachMIPS(allNodes(q*q), img)
+	intRes := intSys.RunUntil(500_000_000, intSys.CoresHalted(cores))
+
+	replayCycles := replayRes.Cycles + replayRes.SkippedCycles
+	intCycles := intRes.Cycles + intRes.SkippedCycles
+	traceRate := float64(ideal.PacketsSent) / float64(replayCycles)
+	intRate := float64(ideal.PacketsSent) / float64(intCycles)
+	return Fig12Result{
+		IdealCycles:            ideal.Cycles,
+		TraceReplayCycles:      replayCycles,
+		IntegratedCycles:       intCycles,
+		NormInjectionRateTrace: traceRate / intRate,
+		NormExecTimeTrace:      float64(replayCycles) / float64(intCycles),
+		PacketsSent:            ideal.PacketsSent,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// shared helpers
+
+func mustSystem(cfg config.Config) *core.System {
+	s, err := core.New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return s
+}
+
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+}
+
+func mustImage(src string) *mips.Image {
+	img, err := mips.Assemble(src)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: assemble: %v", err))
+	}
+	return img
+}
+
+func allNodes(n int) []noc.NodeID {
+	out := make([]noc.NodeID, n)
+	for i := range out {
+		out[i] = noc.NodeID(i)
+	}
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// splashTrace builds a benchmark trace sized for an 8x8 (64-core) run,
+// matching the paper's SPLASH methodology (64 application threads,
+// x86 clock 10x the network clock folded into the profiles).
+func splashTrace(b splash.Benchmark, o Options, cycles uint64, intensity float64) *trace.Trace {
+	tr, err := splash.Generate(b, splash.Params{
+		Nodes:     64,
+		Width:     8,
+		Height:    8,
+		Cycles:    cycles,
+		Seed:      o.Seed,
+		Intensity: intensity,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}

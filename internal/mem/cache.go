@@ -1,0 +1,389 @@
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hornet/internal/noc"
+)
+
+// Port is the processor-side memory interface. The in-order core calls
+// Access every cycle with the same arguments until done is reported; the
+// implementation starts the transaction on the first call and polls it on
+// subsequent ones. Accesses must be size-aligned (so they never straddle
+// a cache line).
+type Port interface {
+	Access(cycle uint64, write bool, addr uint32, size int, wdata uint64) (rdata uint64, done bool)
+}
+
+// L1Stats counts cache events.
+type L1Stats struct {
+	Loads, Stores uint64
+	Hits, Misses  uint64
+	Evictions     uint64
+	WriteBacks    uint64
+	Invalidations uint64
+	StallCycles   uint64
+}
+
+// MSI line states.
+const (
+	stInvalid byte = iota
+	stShared
+	stModified
+)
+
+type l1Line struct {
+	valid bool
+	state byte
+	tag   uint32
+	lru   uint64
+	data  []byte
+}
+
+type l1Pending struct {
+	txn       uint64
+	write     bool
+	addr      uint32
+	size      int
+	wdata     uint64
+	readyAt   uint64 // hit-latency completion, when no network involved
+	network   bool   // waiting for protocol messages
+	needAck   int    // remaining InvAcks before a GetM completes
+	haveData  bool
+	fill      []byte
+	fillState byte
+}
+
+// L1 is a private set-associative write-back write-allocate L1 cache with
+// MSI coherence (paper §II-D2). It is also the tile's protocol client:
+// the bridge feeds it Inv/Fwd/Data/Ack messages.
+type L1 struct {
+	node    noc.NodeID
+	am      *AddressMap
+	sets    int
+	ways    int
+	latency uint64
+	sender  Sender
+
+	lines   []l1Line
+	lruTick uint64
+	txn     uint64
+	pend    *l1Pending
+
+	inbox []inboundMsg
+
+	Stats L1Stats
+}
+
+type inboundMsg struct {
+	m       *Message
+	src     noc.NodeID
+	availAt uint64
+}
+
+// NewL1 builds a cache. sets and ways must be >= 1.
+func NewL1(node noc.NodeID, am *AddressMap, sets, ways int, latency int, sender Sender) *L1 {
+	if sets < 1 || ways < 1 {
+		panic("mem: L1 needs >= 1 set and way")
+	}
+	if latency < 1 {
+		latency = 1
+	}
+	c := &L1{
+		node:    node,
+		am:      am,
+		sets:    sets,
+		ways:    ways,
+		latency: uint64(latency),
+		sender:  sender,
+		lines:   make([]l1Line, sets*ways),
+	}
+	return c
+}
+
+// Deliver queues a protocol message for processing next cycle (bridge
+// callback, same tile thread).
+func (c *L1) Deliver(m *Message, src noc.NodeID, cycle uint64) {
+	c.inbox = append(c.inbox, inboundMsg{m: m, src: src, availAt: cycle + 1})
+}
+
+// Tick processes inbound protocol traffic; call once per cycle before the
+// router's transfer phase. Handling may requeue messages (deferred
+// forwards) and local loopback sends may deliver new ones, so the batch
+// is snapshotted first.
+func (c *L1) Tick(cycle uint64) {
+	batch := c.inbox
+	c.inbox = nil
+	for _, im := range batch {
+		if im.availAt > cycle {
+			c.inbox = append(c.inbox, im)
+			continue
+		}
+		c.handle(im.m, im.src, cycle)
+	}
+}
+
+func (c *L1) setOf(addr uint32) int {
+	return int((addr / uint32(c.am.LineBytes)) % uint32(c.sets))
+}
+
+func (c *L1) tagOf(addr uint32) uint32 {
+	return addr / uint32(c.am.LineBytes) / uint32(c.sets)
+}
+
+// lookup returns the way holding addr's line, or -1.
+func (c *L1) lookup(addr uint32) int {
+	set := c.setOf(addr)
+	tag := c.tagOf(addr)
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[set*c.ways+w]
+		if l.valid && l.tag == tag && l.state != stInvalid {
+			return set*c.ways + w
+		}
+	}
+	return -1
+}
+
+// victim picks the way to fill for addr's line: an existing copy of the
+// same line is reused (so a stale Shared copy can never shadow a fresh
+// fill), then an invalid way, then the LRU way — writing back a Modified
+// victim.
+func (c *L1) victim(addr uint32) *l1Line {
+	set := c.setOf(addr)
+	tag := c.tagOf(addr)
+	best := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := set*c.ways + w
+		if c.lines[i].valid && c.lines[i].tag == tag {
+			best = i
+			goto chosen
+		}
+	}
+	for w := 1; w < c.ways; w++ {
+		i := set*c.ways + w
+		if !c.lines[i].valid {
+			best = i
+			break
+		}
+		if c.lines[i].lru < c.lines[best].lru {
+			best = i
+		}
+	}
+chosen:
+	v := &c.lines[best]
+	if v.valid && v.state == stModified {
+		c.Stats.WriteBacks++
+		victimAddr := (v.tag*uint32(c.sets) + uint32(c.setOf(addr))) * uint32(c.am.LineBytes)
+		// Recompute the victim's own set index from its stored position:
+		// the set is shared with addr by construction.
+		c.sender.Send(c.am.Home(victimAddr), ClassRequest, &Message{
+			Type: MsgPutM, Addr: victimAddr, Data: append([]byte(nil), v.data...), Requester: c.node,
+		})
+	}
+	if v.valid {
+		c.Stats.Evictions++
+	}
+	v.valid = false
+	v.state = stInvalid
+	return v
+}
+
+// Access implements Port.
+func (c *L1) Access(cycle uint64, write bool, addr uint32, size int, wdata uint64) (uint64, bool) {
+	if c.pend == nil {
+		c.start(cycle, write, addr, size, wdata)
+	}
+	return c.poll(cycle)
+}
+
+func (c *L1) start(cycle uint64, write bool, addr uint32, size int, wdata uint64) {
+	if write {
+		c.Stats.Stores++
+	} else {
+		c.Stats.Loads++
+	}
+	c.txn++
+	p := &l1Pending{txn: c.txn, write: write, addr: addr, size: size, wdata: wdata}
+	c.pend = p
+	if i := c.lookup(addr); i >= 0 {
+		l := &c.lines[i]
+		if !write || l.state == stModified {
+			c.Stats.Hits++
+			p.readyAt = cycle + c.latency - 1
+			return
+		}
+	}
+	// Miss (or store upgrade): go to the directory.
+	c.Stats.Misses++
+	p.network = true
+	t := MsgGetS
+	if write {
+		t = MsgGetM
+	}
+	c.sender.Send(c.am.Home(addr), ClassRequest, &Message{
+		Type: t, Addr: c.am.LineAddr(addr), Requester: c.node, Txn: p.txn,
+	})
+}
+
+func (c *L1) poll(cycle uint64) (uint64, bool) {
+	p := c.pend
+	if p == nil {
+		panic("mem: L1 poll without pending access")
+	}
+	if p.network {
+		if !p.haveData || p.needAck > 0 {
+			c.Stats.StallCycles++
+			return 0, false
+		}
+		// Fill completed: install line and fall through to completion.
+		v := c.victim(p.addr)
+		v.valid = true
+		v.tag = c.tagOf(p.addr)
+		v.state = p.fillState
+		v.data = p.fill
+		p.network = false
+		p.readyAt = cycle // data just arrived; complete this cycle
+	}
+	if cycle < p.readyAt {
+		c.Stats.StallCycles++
+		return 0, false
+	}
+	i := c.lookup(p.addr)
+	if i < 0 {
+		// The line was invalidated between fill and completion (possible
+		// under racing Inv); restart the transaction.
+		c.pend = nil
+		c.start(cycle, p.write, p.addr, p.size, p.wdata)
+		return 0, false
+	}
+	l := &c.lines[i]
+	c.lruTick++
+	l.lru = c.lruTick
+	off := c.am.LineOffset(p.addr)
+	var r uint64
+	if p.write {
+		if l.state != stModified {
+			// Should not happen: stores complete only with M.
+			panic(fmt.Sprintf("mem: store completing in state %d", l.state))
+		}
+		putUint(l.data[off:off+p.size], p.wdata)
+	} else {
+		r = getUint(l.data[off : off+p.size])
+	}
+	c.pend = nil
+	return r, true
+}
+
+// deferFwd requeues a forwarded request that raced ahead of this cache's
+// own in-flight fill of the same line: the directory has already made us
+// owner, but the data (or final ack) has not landed yet. Holding the
+// forward until the fill completes resolves the race without NACKs.
+func (c *L1) deferFwd(m *Message, cycle uint64) bool {
+	if i := c.lookup(m.Addr); i >= 0 && c.lines[i].state == stModified {
+		return false // we can serve it right now
+	}
+	if p := c.pend; p != nil && c.am.LineAddr(p.addr) == m.Addr {
+		c.inbox = append(c.inbox, inboundMsg{m: m, availAt: cycle + 1})
+		return true
+	}
+	return false
+}
+
+// handle processes one protocol message.
+func (c *L1) handle(m *Message, src noc.NodeID, cycle uint64) {
+	switch m.Type {
+	case MsgData:
+		p := c.pend
+		if p == nil || c.am.LineAddr(p.addr) != m.Addr || m.Txn != p.txn {
+			return // stale or duplicate response from an older transaction
+		}
+		p.haveData = true
+		p.needAck += m.AckCount
+		p.fill = append([]byte(nil), m.Data...)
+		if p.write {
+			p.fillState = stModified
+		} else {
+			p.fillState = stShared
+		}
+	case MsgInvAck:
+		if p := c.pend; p != nil && c.am.LineAddr(p.addr) == m.Addr && m.Txn == p.txn {
+			p.needAck--
+		}
+	case MsgInv:
+		if i := c.lookup(m.Addr); i >= 0 {
+			c.lines[i].state = stInvalid
+			c.lines[i].valid = false
+			c.Stats.Invalidations++
+		}
+		// Always ack (silent S evictions make spurious Invs normal).
+		c.sender.Send(m.Requester, ClassResponse, &Message{
+			Type: MsgInvAck, Addr: m.Addr, Requester: c.node, Txn: m.Txn,
+		})
+	case MsgFwdGetS:
+		if c.deferFwd(m, cycle) {
+			return
+		}
+		if i := c.lookup(m.Addr); i >= 0 && c.lines[i].state == stModified {
+			l := &c.lines[i]
+			c.sender.Send(m.Requester, ClassResponse, &Message{
+				Type: MsgData, Addr: m.Addr, Data: append([]byte(nil), l.data...), Txn: m.Txn,
+			})
+			c.sender.Send(c.am.Home(m.Addr), ClassRequest, &Message{
+				Type: MsgPutM, Addr: m.Addr, Data: append([]byte(nil), l.data...), Requester: c.node,
+			})
+			l.state = stShared
+		}
+		// Otherwise our PutM is already in flight; the directory resolves it.
+	case MsgFwdGetM:
+		if c.deferFwd(m, cycle) {
+			return
+		}
+		if i := c.lookup(m.Addr); i >= 0 && c.lines[i].state == stModified {
+			l := &c.lines[i]
+			c.sender.Send(m.Requester, ClassResponse, &Message{
+				Type: MsgData, Addr: m.Addr, Data: append([]byte(nil), l.data...), Txn: m.Txn,
+			})
+			c.sender.Send(c.am.Home(m.Addr), ClassRequest, &Message{
+				Type: MsgPutAck, Addr: m.Addr, Requester: c.node,
+			})
+			l.state = stInvalid
+			l.valid = false
+			c.Stats.Invalidations++
+		}
+	case MsgPutAck:
+		// Write-back acknowledged; nothing to do (fire-and-forget PutM).
+	default:
+		panic(fmt.Sprintf("mem: L1 got unexpected message %v", m.Type))
+	}
+}
+
+func putUint(dst []byte, v uint64) {
+	switch len(dst) {
+	case 1:
+		dst[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(dst, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(dst, uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(dst, v)
+	default:
+		panic(fmt.Sprintf("mem: unsupported access size %d", len(dst)))
+	}
+}
+
+func getUint(src []byte) uint64 {
+	switch len(src) {
+	case 1:
+		return uint64(src[0])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(src))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(src))
+	case 8:
+		return binary.LittleEndian.Uint64(src)
+	default:
+		panic(fmt.Sprintf("mem: unsupported access size %d", len(src)))
+	}
+}

@@ -1,0 +1,276 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hornet/internal/noc"
+)
+
+// loopback is a Sender that delivers messages synchronously with a
+// one-step queue, letting cache/directory logic be unit-tested without a
+// network. It records traffic for assertions.
+type loopback struct {
+	l1s  map[noc.NodeID]*L1
+	dirs map[noc.NodeID]*Directory
+	mcs  map[noc.NodeID]*Controller
+	sent []sentMsg
+}
+
+type sentMsg struct {
+	from, to noc.NodeID
+	class    uint8
+	m        *Message
+}
+
+func newLoopback() *loopback {
+	return &loopback{
+		l1s:  make(map[noc.NodeID]*L1),
+		dirs: make(map[noc.NodeID]*Directory),
+		mcs:  make(map[noc.NodeID]*Controller),
+	}
+}
+
+// senderFor returns a Sender stamping the given source.
+func (lb *loopback) senderFor(src noc.NodeID) Sender {
+	return senderFunc(func(dst noc.NodeID, class uint8, m *Message) {
+		lb.sent = append(lb.sent, sentMsg{from: src, to: dst, class: class, m: m})
+	})
+}
+
+type senderFunc func(dst noc.NodeID, class uint8, m *Message)
+
+func (f senderFunc) Send(dst noc.NodeID, class uint8, m *Message) { f(dst, class, m) }
+
+// step delivers all queued messages and ticks every component once.
+func (lb *loopback) step(cycle uint64) {
+	batch := lb.sent
+	lb.sent = nil
+	for _, s := range batch {
+		switch s.m.Type {
+		case MsgGetS, MsgGetM, MsgPutM, MsgNucaRead, MsgNucaWrite, MsgMemData:
+			lb.dirs[s.to].Deliver(s.m, s.from, cycle)
+		case MsgMemRead, MsgMemWrite:
+			lb.mcs[s.to].Deliver(s.m, s.from, cycle)
+		case MsgPutAck:
+			if s.class == ClassRequest {
+				lb.dirs[s.to].Deliver(s.m, s.from, cycle)
+			} else if l1 := lb.l1s[s.to]; l1 != nil {
+				l1.Deliver(s.m, s.from, cycle)
+			}
+		default:
+			lb.l1s[s.to].Deliver(s.m, s.from, cycle)
+		}
+	}
+	for _, d := range lb.dirs {
+		d.Tick(cycle)
+	}
+	for _, c := range lb.mcs {
+		c.Tick(cycle)
+	}
+	for _, l := range lb.l1s {
+		l.Tick(cycle)
+	}
+}
+
+// build wires n tiles with L1s, directories everywhere and one MC at 0.
+func build(t *testing.T, n int) (*loopback, *AddressMap) {
+	t.Helper()
+	am := &AddressMap{LineBytes: 32, Nodes: n, Controllers: []noc.NodeID{0}}
+	lb := newLoopback()
+	for i := 0; i < n; i++ {
+		id := noc.NodeID(i)
+		s := lb.senderFor(id)
+		lb.dirs[id] = NewDirectory(id, am, s)
+		lb.l1s[id] = NewL1(id, am, 4, 2, 1, s)
+	}
+	lb.mcs[0] = NewController(0, 10, 4, lb.senderFor(0))
+	return lb, am
+}
+
+// access drives one L1 access to completion.
+func access(t *testing.T, lb *loopback, l1 *L1, write bool, addr uint32, size int, wdata uint64) uint64 {
+	t.Helper()
+	for cycle := uint64(0); cycle < 10_000; cycle++ {
+		v, done := l1.Access(cycle, write, addr, size, wdata)
+		if done {
+			return v
+		}
+		lb.step(cycle)
+	}
+	t.Fatalf("access to %#x did not complete", addr)
+	return 0
+}
+
+func TestMSIWriteReadThroughTwoCaches(t *testing.T) {
+	lb, _ := build(t, 4)
+	w := lb.l1s[1]
+	r := lb.l1s[2]
+	access(t, lb, w, true, 0x1000, 4, 0xCAFEBABE)
+	if v := access(t, lb, r, false, 0x1000, 4, 0); v != 0xCAFEBABE {
+		t.Fatalf("reader saw %#x", v)
+	}
+	// Write again from the other cache: requires invalidate + ownership.
+	access(t, lb, r, true, 0x1000, 4, 0x12345678)
+	if v := access(t, lb, w, false, 0x1000, 4, 0); v != 0x12345678 {
+		t.Fatalf("original writer saw %#x after transfer", v)
+	}
+	if w.Stats.Invalidations == 0 {
+		t.Fatal("no invalidations recorded despite ownership transfers")
+	}
+}
+
+func TestMSISubWordAccesses(t *testing.T) {
+	lb, _ := build(t, 2)
+	c := lb.l1s[1]
+	access(t, lb, c, true, 0x2000, 1, 0xAB)
+	access(t, lb, c, true, 0x2001, 1, 0xCD)
+	if v := access(t, lb, c, false, 0x2000, 2, 0); v != 0xCDAB {
+		t.Fatalf("little-endian halfword %#x", v)
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	lb, am := build(t, 2)
+	c := lb.l1s[1]
+	// 4 sets x 2 ways with 32B lines: addresses mapping to set 0 are
+	// 32*4*k apart. Fill 3 such lines to force an eviction.
+	base := uint32(0x4000)
+	stride := uint32(32 * 4)
+	for k := uint32(0); k < 3; k++ {
+		access(t, lb, c, true, base+k*stride, 4, uint64(k+100))
+	}
+	if c.Stats.WriteBacks == 0 {
+		t.Fatal("no write-back on dirty eviction")
+	}
+	// The evicted value survives in its home slice.
+	if v := access(t, lb, c, false, base, 4, 0); v != 100 {
+		t.Fatalf("evicted line read back %d", v)
+	}
+	_ = am
+}
+
+func TestFirstTouchGoesToMemoryController(t *testing.T) {
+	lb, _ := build(t, 2)
+	access(t, lb, lb.l1s[1], false, 0x5000, 4, 0)
+	if lb.mcs[0].Reads == 0 {
+		t.Fatal("first touch did not reach the memory controller")
+	}
+	reads := lb.mcs[0].Reads
+	// Second access to the same line: directory-cached, no MC traffic.
+	access(t, lb, lb.l1s[1], false, 0x5004, 4, 0)
+	if lb.mcs[0].Reads != reads {
+		t.Fatal("cached line fetched from MC again")
+	}
+}
+
+func TestNucaReadWrite(t *testing.T) {
+	am := &AddressMap{LineBytes: 32, Nodes: 4, Controllers: []noc.NodeID{0}}
+	lb := newLoopback()
+	for i := 0; i < 4; i++ {
+		id := noc.NodeID(i)
+		lb.dirs[id] = NewDirectory(id, am, lb.senderFor(id))
+	}
+	lb.mcs[0] = NewController(0, 5, 4, lb.senderFor(0))
+	port := NewNucaPort(2, am, lb.senderFor(2))
+	// Route NucaResp back to the port.
+	origStep := lb.step
+	_ = origStep
+	drive := func(write bool, addr uint32, size int, wdata uint64) uint64 {
+		for cycle := uint64(0); cycle < 10_000; cycle++ {
+			v, done := port.Access(cycle, write, addr, size, wdata)
+			if done {
+				return v
+			}
+			batch := lb.sent
+			lb.sent = nil
+			for _, s := range batch {
+				if s.m.Type == MsgNucaResp {
+					port.deliver(s.m, cycle)
+					continue
+				}
+				switch s.m.Type {
+				case MsgNucaRead, MsgNucaWrite, MsgMemData:
+					lb.dirs[s.to].Deliver(s.m, s.from, cycle)
+				case MsgMemRead, MsgMemWrite:
+					lb.mcs[s.to].Deliver(s.m, s.from, cycle)
+				}
+			}
+			for _, d := range lb.dirs {
+				d.Tick(cycle)
+			}
+			for _, c := range lb.mcs {
+				c.Tick(cycle)
+			}
+		}
+		t.Fatal("NUCA access hung")
+		return 0
+	}
+	drive(true, 0x3000, 4, 777)
+	if v := drive(false, 0x3000, 4, 0); v != 777 {
+		t.Fatalf("NUCA read back %d", v)
+	}
+}
+
+func TestAddressMapProperties(t *testing.T) {
+	am := &AddressMap{LineBytes: 32, Nodes: 16, Controllers: []noc.NodeID{0, 5}}
+	if err := quick.Check(func(addr uint32) bool {
+		la := am.LineAddr(addr)
+		if la%32 != 0 || la > addr || addr-la >= 32 {
+			return false
+		}
+		h := am.Home(addr)
+		if h != am.Home(la) || h < 0 || int(h) >= 16 {
+			return false
+		}
+		c := am.Controller(addr)
+		return c == 0 || c == 5
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStorePreloadReadBack(t *testing.T) {
+	s := NewStore(32)
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	s.Preload(0x100C, data) // deliberately unaligned, spans lines
+	got := s.ReadBytes(0x100C, 100)
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d: %d != %d", i, got[i], data[i])
+		}
+	}
+}
+
+func TestControllerQueueDepthLimitsService(t *testing.T) {
+	var responses int
+	ctl := NewController(0, 10, 2, senderFunc(func(dst noc.NodeID, class uint8, m *Message) {
+		if m.Type == MsgMemData {
+			responses++
+		}
+	}))
+	for i := 0; i < 6; i++ {
+		ctl.Deliver(&Message{Type: MsgMemRead, Addr: uint32(i * 32), Requester: 1}, 1, 0)
+	}
+	for c := uint64(1); c < 100; c++ {
+		ctl.Tick(c)
+	}
+	if responses != 6 {
+		t.Fatalf("served %d of 6 requests", responses)
+	}
+	if ctl.MaxQueued < 6 {
+		t.Fatalf("max queue %d", ctl.MaxQueued)
+	}
+}
+
+func TestFlitsForMessage(t *testing.T) {
+	if n := flitsFor(&Message{}); n != 1 {
+		t.Fatalf("header-only message %d flits", n)
+	}
+	if n := flitsFor(&Message{Data: make([]byte, 32)}); n != 5 {
+		t.Fatalf("32B message %d flits, want 5", n)
+	}
+}

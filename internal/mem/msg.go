@@ -1,0 +1,90 @@
+// Package mem implements HORNET's multicore memory subsystem (paper
+// §II-D2): private set-associative write-back L1 caches kept coherent
+// either by an MSI directory protocol or by NUCA-style remote access to a
+// distributed shared memory, with directory slices interleaved across
+// tiles by line address, memory controllers at configurable nodes, and a
+// bridge that converts protocol messages to network packets (and models
+// the DMA that frees cores while transfers proceed).
+package mem
+
+import (
+	"fmt"
+
+	"hornet/internal/noc"
+)
+
+// Traffic classes used by memory packets (FlowID class bits).
+const (
+	ClassRequest  uint8 = 1 // cache -> directory / MC requests
+	ClassResponse uint8 = 2 // data and acks back to caches
+	ClassMemory   uint8 = 3 // directory <-> memory controller
+)
+
+// MsgType enumerates protocol messages.
+type MsgType uint8
+
+// Protocol message types: MSI requests and responses, memory-controller
+// transactions, and NUCA remote accesses.
+const (
+	// MSI cache -> directory.
+	MsgGetS MsgType = iota // read miss: want Shared
+	MsgGetM                // write miss/upgrade: want Modified
+	MsgPutM                // write-back of a Modified line (with data)
+	// MSI directory -> cache.
+	MsgInv     // invalidate a Shared copy
+	MsgFwdGetS // owner must send data to requester and downgrade
+	MsgFwdGetM // owner must send data to requester and invalidate
+	// Responses.
+	MsgInvAck // sharer -> requester: invalidation done
+	MsgData   // data response (carries AckCount for GetM)
+	MsgPutAck // directory -> evicting cache
+	// Directory <-> memory controller.
+	MsgMemRead  // fetch a line from off-chip memory
+	MsgMemWrite // write a line back off-chip
+	MsgMemData  // controller -> directory: line data
+	// NUCA remote access (no caching of remote lines).
+	MsgNucaRead  // remote load
+	MsgNucaWrite // remote store (carries data)
+	MsgNucaResp  // home -> requester: load data / store ack
+)
+
+func (t MsgType) String() string {
+	names := [...]string{"GetS", "GetM", "PutM", "Inv", "FwdGetS", "FwdGetM",
+		"InvAck", "Data", "PutAck", "MemRead", "MemWrite", "MemData",
+		"NucaRead", "NucaWrite", "NucaResp"}
+	if int(t) < len(names) {
+		return names[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Message is the protocol payload carried on a packet's head flit.
+type Message struct {
+	Type      MsgType
+	Addr      uint32 // line-aligned address
+	Data      []byte // line data when the message carries it
+	Requester noc.NodeID
+	// Txn is the requester's transaction number; responses echo it so
+	// stale duplicates (e.g. both the owner and the directory answering a
+	// forwarded request) can never satisfy a later transaction on the
+	// same line.
+	Txn uint64
+	// AckCount, on a MsgData response to GetM, tells the requester how
+	// many MsgInvAcks to collect before the write may proceed.
+	AckCount int
+	// Size/offset for NUCA sub-line accesses.
+	Off uint8
+	Len uint8
+}
+
+// flitsFor returns the packet length for a message: one header flit plus
+// one flit per 8 data bytes.
+func flitsFor(m *Message) int {
+	return 1 + (len(m.Data)+7)/8
+}
+
+// Sender transmits protocol messages over the NoC; the tile bridge
+// implements it. Implementations stamp flows as (src=this tile, dst, class).
+type Sender interface {
+	Send(dst noc.NodeID, class uint8, m *Message)
+}

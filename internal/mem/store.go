@@ -1,0 +1,91 @@
+package mem
+
+import "hornet/internal/noc"
+
+// AddressMap fixes the line size and the interleavings: which tile is a
+// line's directory/NUCA home, and which memory controller backs it.
+type AddressMap struct {
+	LineBytes   int
+	Nodes       int
+	Controllers []noc.NodeID
+}
+
+// LineAddr returns addr rounded down to its line base.
+func (am *AddressMap) LineAddr(addr uint32) uint32 {
+	return addr &^ uint32(am.LineBytes-1)
+}
+
+// LineOffset returns addr's offset within its line.
+func (am *AddressMap) LineOffset(addr uint32) int {
+	return int(addr & uint32(am.LineBytes-1))
+}
+
+// Home returns the directory (or NUCA home) tile for a line, interleaved
+// by line index so load spreads across the die.
+func (am *AddressMap) Home(addr uint32) noc.NodeID {
+	return noc.NodeID((addr / uint32(am.LineBytes)) % uint32(am.Nodes))
+}
+
+// Controller returns the memory controller backing a line, interleaved by
+// line index across the configured controllers.
+func (am *AddressMap) Controller(addr uint32) noc.NodeID {
+	i := (addr / uint32(am.LineBytes)) % uint32(len(am.Controllers))
+	return am.Controllers[i]
+}
+
+// Store is a sparse line-granularity backing store. Each directory slice
+// (or NUCA home slice, or memory controller) owns one, so no cross-thread
+// access occurs; absent lines read as zero.
+type Store struct {
+	lineBytes int
+	lines     map[uint32][]byte
+}
+
+// NewStore creates an empty store with the given line size.
+func NewStore(lineBytes int) *Store {
+	return &Store{lineBytes: lineBytes, lines: make(map[uint32][]byte)}
+}
+
+// Line returns the data for the line containing addr, materializing a
+// zero line on first touch. The returned slice aliases the store.
+func (s *Store) Line(addr uint32) []byte {
+	base := addr &^ uint32(s.lineBytes-1)
+	l := s.lines[base]
+	if l == nil {
+		l = make([]byte, s.lineBytes)
+		s.lines[base] = l
+	}
+	return l
+}
+
+// WriteLine replaces the line containing addr.
+func (s *Store) WriteLine(addr uint32, data []byte) {
+	copy(s.Line(addr), data)
+}
+
+// Preload writes arbitrary bytes starting at addr (program loading before
+// simulation starts).
+func (s *Store) Preload(addr uint32, data []byte) {
+	for len(data) > 0 {
+		line := s.Line(addr)
+		off := int(addr & uint32(s.lineBytes-1))
+		n := copy(line[off:], data)
+		data = data[n:]
+		addr += uint32(n)
+	}
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (s *Store) ReadBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; {
+		line := s.Line(addr + uint32(i))
+		off := int((addr + uint32(i)) & uint32(s.lineBytes-1))
+		c := copy(out[i:], line[off:])
+		i += c
+	}
+	return out
+}
+
+// Lines returns the number of materialized lines (diagnostics).
+func (s *Store) Lines() int { return len(s.lines) }

@@ -1,0 +1,113 @@
+package mips
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RAM is a sparse page-backed flat 32-bit memory used as a core's private
+// store (MPI mode) and as the instruction memory in every mode.
+// Little-endian, matching the assembler's data directives.
+type RAM struct {
+	pages map[uint32][]byte
+}
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// NewRAM returns an empty memory; all bytes read as zero.
+func NewRAM() *RAM {
+	return &RAM{pages: make(map[uint32][]byte)}
+}
+
+func (r *RAM) page(addr uint32) []byte {
+	key := addr >> pageBits
+	p := r.pages[key]
+	if p == nil {
+		p = make([]byte, pageSize)
+		r.pages[key] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr.
+func (r *RAM) ByteAt(addr uint32) byte {
+	return r.page(addr)[addr&(pageSize-1)]
+}
+
+// SetByte stores a byte at addr.
+func (r *RAM) SetByte(addr uint32, v byte) {
+	r.page(addr)[addr&(pageSize-1)] = v
+}
+
+// Read returns size bytes starting at addr as a little-endian integer.
+// size must be 1, 2 or 4 and the access must be naturally aligned.
+func (r *RAM) Read(addr uint32, size int) (uint32, error) {
+	if err := checkAlign(addr, size); err != nil {
+		return 0, err
+	}
+	off := addr & (pageSize - 1)
+	p := r.page(addr)
+	switch size {
+	case 1:
+		return uint32(p[off]), nil
+	case 2:
+		return uint32(binary.LittleEndian.Uint16(p[off:])), nil
+	case 4:
+		return binary.LittleEndian.Uint32(p[off:]), nil
+	}
+	return 0, fmt.Errorf("mips: bad access size %d", size)
+}
+
+// Write stores size bytes at addr.
+func (r *RAM) Write(addr uint32, size int, v uint32) error {
+	if err := checkAlign(addr, size); err != nil {
+		return err
+	}
+	off := addr & (pageSize - 1)
+	p := r.page(addr)
+	switch size {
+	case 1:
+		p[off] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(p[off:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(p[off:], v)
+	default:
+		return fmt.Errorf("mips: bad access size %d", size)
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (r *RAM) ReadBytes(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = r.ByteAt(addr + uint32(i))
+	}
+	return out
+}
+
+// WriteBytes stores data starting at addr.
+func (r *RAM) WriteBytes(addr uint32, data []byte) {
+	for i, b := range data {
+		r.SetByte(addr+uint32(i), b)
+	}
+}
+
+func checkAlign(addr uint32, size int) error {
+	if size != 1 && size != 2 && size != 4 {
+		return fmt.Errorf("mips: bad access size %d", size)
+	}
+	if addr&uint32(size-1) != 0 {
+		return fmt.Errorf("mips: misaligned %d-byte access at %#x", size, addr)
+	}
+	return nil
+}
+
+// LoadImage writes a program image (segments from the assembler).
+func (r *RAM) LoadImage(img *Image) {
+	for _, s := range img.Segments {
+		r.WriteBytes(s.Addr, s.Data)
+	}
+}

@@ -1,0 +1,158 @@
+// Package noc implements HORNET's cycle-level network-on-chip model: an
+// ingress-queued wormhole virtual-channel router with table-driven route
+// computation (RC), virtual-channel allocation (VA), randomized switch
+// arbitration (SA) and switch traversal (ST); two-lock VC buffers that are
+// the only inter-thread communication points; and bandwidth-adaptive
+// bidirectional links (paper §II-A).
+package noc
+
+import "fmt"
+
+// NodeID identifies a node (tile) in the interconnect.
+type NodeID int32
+
+// InvalidNode marks "no node" (e.g. the neighbor of a local port).
+const InvalidNode NodeID = -1
+
+// FlowID identifies a traffic flow. The encoding packs source,
+// destination, a traffic class, and a phase bit used by two-phase routing
+// schemes (Valiant/ROMM) and dateline VC switching, so that
+// function-backed routing tables can recover the endpoints without a side
+// lookup:
+//
+//	bit 31    : phase (set after the intermediate hop / dateline crossing)
+//	bits 28-30: class (0 = synthetic, others used by memory traffic)
+//	bits 14-27: source node
+//	bits 0-13 : destination node
+type FlowID uint32
+
+// MaxNodes is the largest node count representable in a FlowID.
+const MaxNodes = 1 << 14
+
+const (
+	flowPhaseBit  FlowID = 1 << 31
+	flowClassMask FlowID = 0x7 << 28
+)
+
+// MakeFlow builds a FlowID from src, dst and class. It panics if either
+// node is out of range, since silently truncating IDs would corrupt routes.
+func MakeFlow(src, dst NodeID, class uint8) FlowID {
+	if src < 0 || src >= MaxNodes || dst < 0 || dst >= MaxNodes {
+		panic(fmt.Sprintf("noc: flow endpoints out of range: src=%d dst=%d", src, dst))
+	}
+	return FlowID(class&0x7)<<28 | FlowID(src)<<14 | FlowID(dst)
+}
+
+// Src returns the flow's source node.
+func (f FlowID) Src() NodeID { return NodeID(f >> 14 & 0x3FFF) }
+
+// Dst returns the flow's destination node.
+func (f FlowID) Dst() NodeID { return NodeID(f & 0x3FFF) }
+
+// Class returns the flow's traffic class.
+func (f FlowID) Class() uint8 { return uint8(f >> 28 & 0x7) }
+
+// Phase2 reports whether the phase bit is set (packet past its
+// intermediate hop, or past the dateline).
+func (f FlowID) Phase2() bool { return f&flowPhaseBit != 0 }
+
+// WithPhase2 returns the flow renamed into its second phase.
+func (f FlowID) WithPhase2() FlowID { return f | flowPhaseBit }
+
+// Base returns the flow with the phase bit cleared (the original flow ID,
+// as restored at the destination per the paper's renaming scheme).
+func (f FlowID) Base() FlowID { return f &^ flowPhaseBit }
+
+func (f FlowID) String() string {
+	p := ""
+	if f.Phase2() {
+		p = "'"
+	}
+	return fmt.Sprintf("f%d:%d->%d%s", f.Class(), f.Src(), f.Dst(), p)
+}
+
+// Kind distinguishes flit positions within a packet.
+type Kind uint8
+
+const (
+	// Head is the first flit of a multi-flit packet.
+	Head Kind = iota
+	// Body is a middle flit.
+	Body
+	// Tail is the last flit of a multi-flit packet.
+	Tail
+	// HeadTail is the only flit of a single-flit packet.
+	HeadTail
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Head:
+		return "head"
+	case Body:
+		return "body"
+	case Tail:
+		return "tail"
+	case HeadTail:
+		return "headtail"
+	}
+	return "?"
+}
+
+// IsHead reports whether the flit opens a packet (Head or HeadTail).
+func (k Kind) IsHead() bool { return k == Head || k == HeadTail }
+
+// IsTail reports whether the flit closes a packet (Tail or HeadTail).
+func (k Kind) IsTail() bool { return k == Tail || k == HeadTail }
+
+// Flit is the unit of network transfer. Flits are passed by value through
+// VC buffers; statistics (Latency, Hops) travel inside the flit and are
+// updated incrementally within single clock domains, which is what keeps
+// measurements accurate under loose synchronization (paper §II-C).
+type Flit struct {
+	Kind Kind
+	Flow FlowID
+	// Packet is a globally unique packet ID (used for wormhole VC
+	// allocation bookkeeping); Seq is the flit index within the packet.
+	Packet uint64
+	Seq    uint16
+	Len    uint16 // packet length in flits
+	// FlowSeq is the per-flow packet sequence number assigned at the
+	// source, used to detect reordering (EDVCA's in-order guarantee).
+	FlowSeq uint64
+	Src     NodeID
+	Dst     NodeID
+	// InjectedAt is the source-clock cycle the flit entered the network;
+	// HeadInjectedAt is the same for the packet's head flit (carried on
+	// every flit so packet latency needs only same-domain arithmetic).
+	InjectedAt     uint64
+	HeadInjectedAt uint64
+	// VisibleAt is the cycle at which the flit becomes observable in the
+	// buffer it currently occupies (sender cycle + 1: one link cycle).
+	VisibleAt uint64
+	// Latency accumulates in-network cycles hop by hop.
+	Latency uint64
+	Hops    uint16
+	// Payload rides on head flits of packets carrying protocol messages
+	// (memory traffic, MPI-style sends); nil for synthetic traffic.
+	Payload any
+}
+
+func (f Flit) String() string {
+	return fmt.Sprintf("%s %s pkt=%d seq=%d/%d", f.Kind, f.Flow, f.Packet, f.Seq, f.Len)
+}
+
+// Packet is the bridge-level unit: what traffic generators offer and what
+// receivers get after flit reassembly (paper §II-D's "common bridge
+// abstraction ... hiding the details of dividing the packets into flits").
+type Packet struct {
+	ID      uint64
+	Flow    FlowID
+	Src     NodeID
+	Dst     NodeID
+	Flits   int
+	FlowSeq uint64
+	Payload any
+	// Latency is filled in on delivery: head-injection to tail-delivery.
+	Latency uint64
+}

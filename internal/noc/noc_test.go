@@ -1,0 +1,212 @@
+package noc
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlowIDRoundTrip(t *testing.T) {
+	if err := quick.Check(func(sRaw, dRaw uint16, class uint8) bool {
+		src := NodeID(sRaw % MaxNodes)
+		dst := NodeID(dRaw % MaxNodes)
+		f := MakeFlow(src, dst, class%8)
+		return f.Src() == src && f.Dst() == dst && f.Class() == class%8 && !f.Phase2()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowIDPhaseBit(t *testing.T) {
+	f := MakeFlow(3, 9, 2)
+	f2 := f.WithPhase2()
+	if !f2.Phase2() || f.Phase2() {
+		t.Fatal("phase bit handling broken")
+	}
+	if f2.Base() != f {
+		t.Fatal("Base did not strip the phase bit")
+	}
+	if f2.Src() != 3 || f2.Dst() != 9 || f2.Class() != 2 {
+		t.Fatal("phase bit clobbered other fields")
+	}
+}
+
+func TestMakeFlowPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range node")
+		}
+	}()
+	MakeFlow(MaxNodes, 0, 0)
+}
+
+func TestKindPredicates(t *testing.T) {
+	cases := []struct {
+		k          Kind
+		head, tail bool
+	}{
+		{Head, true, false},
+		{Body, false, false},
+		{Tail, false, true},
+		{HeadTail, true, true},
+	}
+	for _, c := range cases {
+		if c.k.IsHead() != c.head || c.k.IsTail() != c.tail {
+			t.Fatalf("%v predicates wrong", c.k)
+		}
+	}
+}
+
+func TestVCBufferFIFO(t *testing.T) {
+	b := NewVCBuffer(4)
+	for i := 0; i < 4; i++ {
+		if !b.Push(Flit{Seq: uint16(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if b.Push(Flit{}) {
+		t.Fatal("push into full buffer succeeded")
+	}
+	for i := 0; i < 4; i++ {
+		f, ok := b.Peek(0)
+		if !ok || f.Seq != uint16(i) {
+			t.Fatalf("peek %d: got %v ok=%v", i, f, ok)
+		}
+		got := b.Pop()
+		if got.Seq != uint16(i) {
+			t.Fatalf("pop %d: got seq %d", i, got.Seq)
+		}
+	}
+	if _, ok := b.Peek(0); ok {
+		t.Fatal("peek on empty buffer succeeded")
+	}
+}
+
+func TestVCBufferVisibility(t *testing.T) {
+	b := NewVCBuffer(2)
+	b.Push(Flit{VisibleAt: 10})
+	if _, ok := b.Peek(9); ok {
+		t.Fatal("flit visible before its VisibleAt")
+	}
+	if _, ok := b.Peek(10); !ok {
+		t.Fatal("flit not visible at its VisibleAt")
+	}
+}
+
+func TestVCBufferCommittedPops(t *testing.T) {
+	b := NewVCBuffer(4)
+	b.Push(Flit{})
+	b.Push(Flit{})
+	b.Pop()
+	if b.CommittedPops() != 0 {
+		t.Fatal("pops visible before commit")
+	}
+	b.Commit()
+	if b.CommittedPops() != 1 {
+		t.Fatalf("committed pops = %d, want 1", b.CommittedPops())
+	}
+}
+
+// TestVCBufferConcurrentSPSC hammers the two-lock buffer with a single
+// producer and single consumer and checks nothing is lost or reordered —
+// the paper's §II-C functional-correctness requirement.
+func TestVCBufferConcurrentSPSC(t *testing.T) {
+	b := NewVCBuffer(8)
+	const n = 50_000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer
+		defer wg.Done()
+		pushes := uint64(0)
+		for i := 0; i < n; {
+			if int(pushes-b.CommittedPops()) < b.Capacity() {
+				if !b.Push(Flit{Packet: uint64(i)}) {
+					t.Error("push failed despite credit")
+					return
+				}
+				pushes++
+				i++
+				continue
+			}
+			runtime.Gosched() // single-core hosts: let the consumer run
+		}
+	}()
+	go func() { // consumer
+		defer wg.Done()
+		for i := 0; i < n; {
+			if _, ok := b.Peek(0); ok {
+				f := b.Pop()
+				if f.Packet != uint64(i) {
+					t.Errorf("reordered: got %d want %d", f.Packet, i)
+					return
+				}
+				i++
+				b.Commit()
+				continue
+			}
+			runtime.Gosched()
+		}
+	}()
+	wg.Wait()
+}
+
+func TestVCBufferDrain(t *testing.T) {
+	b := NewVCBuffer(4)
+	b.Push(Flit{Seq: 1})
+	b.Push(Flit{Seq: 2, VisibleAt: 1 << 40}) // far-future flit still drains
+	out := b.Drain()
+	if len(out) != 2 || out[0].Seq != 1 || out[1].Seq != 2 {
+		t.Fatalf("drain returned %v", out)
+	}
+	if b.Len() != 0 {
+		t.Fatal("buffer not empty after drain")
+	}
+}
+
+func TestLinkFixedBandwidth(t *testing.T) {
+	l := NewLink(2, false)
+	if l.Grant(0) != 2 || l.Grant(1) != 2 {
+		t.Fatal("fixed link bandwidth wrong")
+	}
+	l.ReportDemand(0, 100) // no-ops when not bidirectional
+	l.Arbitrate(0)
+	if l.Grant(0) != 2 {
+		t.Fatal("fixed link changed bandwidth")
+	}
+}
+
+func TestBidirectionalLinkShiftsBandwidth(t *testing.T) {
+	l := NewLink(1, true)
+	// Side 0 has all the demand and side 1's ingress has space.
+	l.ReportDemand(0, 5)
+	l.ReportDemand(1, 0)
+	l.ReportSpace(0, 8)
+	l.ReportSpace(1, 8)
+	l.Arbitrate(0)
+	if g := l.Grant(0); g != 2 {
+		t.Fatalf("one-sided demand: grant(0) = %d, want 2", g)
+	}
+	if g := l.Grant(1); g != 0 {
+		t.Fatalf("one-sided demand: grant(1) = %d, want 0", g)
+	}
+	// Balanced demand: symmetric split.
+	l.ReportDemand(1, 5)
+	l.Arbitrate(0)
+	if l.Grant(0)+l.Grant(1) != 2 {
+		t.Fatal("grants do not sum to total bandwidth")
+	}
+	// Demand capped by destination space.
+	l.ReportSpace(1, 0) // no room on side 1's ingress: side 0's demand is moot
+	l.Arbitrate(0)
+	if g := l.Grant(1); g != 2 {
+		t.Fatalf("space-capped: grant(1) = %d, want 2", g)
+	}
+	// Idle link parks symmetric.
+	l.ReportDemand(0, 0)
+	l.ReportDemand(1, 0)
+	l.Arbitrate(0)
+	if l.Grant(0) != 1 || l.Grant(1) != 1 {
+		t.Fatal("idle link did not park at symmetric split")
+	}
+}

@@ -1,0 +1,138 @@
+package noc
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// VCBuffer is an ingress virtual-channel buffer: a fixed-capacity FIFO of
+// flits with one lock at each end, exactly as in the paper (§II-C): the
+// tail (ingress) lock is taken by the producing neighbour tile, the head
+// (egress) lock by the owning tile, so the two communicating threads can
+// access the buffer concurrently without losing or reordering flits.
+//
+// Credit semantics: the producer's view of free space is
+//
+//	capacity - (its own cumulative pushes - CommittedPops())
+//
+// where CommittedPops advances only when the consumer commits a negative
+// clock edge. This makes space checks deterministic under cycle-accurate
+// synchronization (pops performed during the current positive edge are
+// not observable until the next cycle) and safe — never overflowing — under
+// loose synchronization, where the committed count may simply lag.
+type VCBuffer struct {
+	frontMu sync.Mutex // head (egress) end: owner tile pops
+	backMu  sync.Mutex // tail (ingress) end: upstream tile pushes
+
+	buf  []Flit
+	head int // next pop position (guarded by frontMu)
+	tail int // next push position (guarded by backMu)
+
+	// live is the instantaneous flit count; producers increment after
+	// writing a slot, the consumer decrements after reading one.
+	live atomic.Int32
+
+	// pops is the consumer's cumulative pop count (consumer-local);
+	// committedPops is its last committed snapshot, read by the producer.
+	pops          uint64
+	committedPops atomic.Uint64
+}
+
+// NewVCBuffer returns an empty buffer holding up to capacity flits.
+func NewVCBuffer(capacity int) *VCBuffer {
+	if capacity < 1 {
+		panic("noc: VC buffer capacity must be >= 1")
+	}
+	return &VCBuffer{buf: make([]Flit, capacity)}
+}
+
+// Capacity returns the buffer's flit capacity.
+func (b *VCBuffer) Capacity() int { return len(b.buf) }
+
+// Len returns the instantaneous number of flits resident (diagnostic; the
+// router's credit logic uses CommittedPops instead).
+func (b *VCBuffer) Len() int { return int(b.live.Load()) }
+
+// CommittedPops returns the consumer's committed cumulative pop count.
+func (b *VCBuffer) CommittedPops() uint64 { return b.committedPops.Load() }
+
+// Push appends a flit (producer side). It returns false if the buffer is
+// physically full, which indicates a flow-control bug in the caller: the
+// router must never push without a credit.
+func (b *VCBuffer) Push(f Flit) bool {
+	b.backMu.Lock()
+	if int(b.live.Load()) == len(b.buf) {
+		b.backMu.Unlock()
+		return false
+	}
+	b.buf[b.tail] = f
+	b.tail++
+	if b.tail == len(b.buf) {
+		b.tail = 0
+	}
+	b.live.Add(1)
+	b.backMu.Unlock()
+	return true
+}
+
+// Peek returns a pointer to the head flit if one is present and visible at
+// the given cycle. The pointer is valid until the next Pop and may be used
+// by the owning tile to inspect (never to remove) the flit.
+func (b *VCBuffer) Peek(cycle uint64) (*Flit, bool) {
+	if b.live.Load() == 0 {
+		return nil, false
+	}
+	b.frontMu.Lock()
+	f := &b.buf[b.head]
+	b.frontMu.Unlock()
+	// VisibleAt values are monotone along the queue (producer clock never
+	// decreases), so checking only the head suffices.
+	if f.VisibleAt > cycle {
+		return nil, false
+	}
+	return f, true
+}
+
+// Pop removes and returns the head flit (consumer side). The caller must
+// have established non-emptiness via Peek in the same phase.
+func (b *VCBuffer) Pop() Flit {
+	b.frontMu.Lock()
+	f := b.buf[b.head]
+	b.head++
+	if b.head == len(b.buf) {
+		b.head = 0
+	}
+	b.live.Add(-1)
+	b.pops++
+	b.frontMu.Unlock()
+	return f
+}
+
+// Commit publishes the consumer's pops (negative clock edge). Only the
+// owning tile calls this, once per simulated cycle.
+func (b *VCBuffer) Commit() {
+	if b.committedPops.Load() != b.pops {
+		b.committedPops.Store(b.pops)
+	}
+}
+
+// Drain removes all resident flits regardless of visibility (used by
+// tests and by reset paths, never during a timed run).
+func (b *VCBuffer) Drain() []Flit {
+	b.backMu.Lock()
+	defer b.backMu.Unlock()
+	b.frontMu.Lock()
+	defer b.frontMu.Unlock()
+	var out []Flit
+	for b.live.Load() > 0 {
+		out = append(out, b.buf[b.head])
+		b.head++
+		if b.head == len(b.buf) {
+			b.head = 0
+		}
+		b.live.Add(-1)
+		b.pops++
+	}
+	b.committedPops.Store(b.pops)
+	return out
+}

@@ -1,0 +1,176 @@
+// Package pinsim is HORNET's substitute for the Pin-based native-binary
+// frontend (paper §II-D3). The paper runs an x86 application under Pin,
+// maps its threads 1:1 onto simulated tiles, intercepts every instruction
+// and feeds memory accesses to the simulated hierarchy, charging a
+// table-driven latency for the non-memory part of each instruction.
+//
+// Pure Go has no binary-instrumentation ecosystem, so here the "native
+// application" is a Go function per thread that calls the Thread
+// instrumentation API (Load/Store/Compute) — producing exactly the stream
+// Pin's analysis callbacks would — while the per-tile Frontend drains that
+// stream into the same memory hierarchy (mem.L1 under MSI, or
+// mem.NucaPort) with the same timing rules. Everything downstream of the
+// instruction stream (caches, coherence, NoC traffic, statistics) is the
+// identical code path.
+package pinsim
+
+import (
+	"sync/atomic"
+
+	"hornet/internal/sim"
+)
+
+// OpKind classifies an instrumented operation.
+type OpKind uint8
+
+// Operation kinds produced by the instrumentation API.
+const (
+	OpCompute OpKind = iota
+	OpLoad
+	OpStore
+)
+
+// Op is one instrumented event.
+type Op struct {
+	Kind  OpKind
+	Addr  uint32
+	Size  int
+	Value uint64 // store data
+	N     int    // compute: instruction count
+}
+
+// Port is the memory interface the frontend drives (satisfied by mem.L1
+// and mem.NucaPort).
+type Port interface {
+	Access(cycle uint64, write bool, addr uint32, size int, wdata uint64) (uint64, bool)
+}
+
+// Thread is the instrumentation handle passed to application functions.
+// Its methods block until the simulator consumes the event, keeping the
+// application thread and its simulated tile in lockstep.
+type Thread struct {
+	id   int
+	ops  chan Op
+	resp chan uint64
+	done atomic.Bool
+}
+
+// ID returns the thread index (== its tile in the default mapping).
+func (t *Thread) ID() int { return t.id }
+
+// Load performs an instrumented read of size bytes (1, 2, 4 or 8).
+func (t *Thread) Load(addr uint32, size int) uint64 {
+	t.ops <- Op{Kind: OpLoad, Addr: addr, Size: size}
+	return <-t.resp
+}
+
+// Load32 is a convenience 4-byte load.
+func (t *Thread) Load32(addr uint32) uint32 { return uint32(t.Load(addr, 4)) }
+
+// Store performs an instrumented write.
+func (t *Thread) Store(addr uint32, size int, v uint64) {
+	t.ops <- Op{Kind: OpStore, Addr: addr, Size: size, Value: v}
+	<-t.resp
+}
+
+// Store32 is a convenience 4-byte store.
+func (t *Thread) Store32(addr uint32, v uint32) { t.Store(addr, 4, uint64(v)) }
+
+// Compute charges n non-memory instructions (table-driven CPI of 1).
+func (t *Thread) Compute(n int) {
+	if n <= 0 {
+		return
+	}
+	t.ops <- Op{Kind: OpCompute, N: n}
+	<-t.resp
+}
+
+// Launch starts an application thread; the returned Thread feeds a
+// Frontend. The function runs in its own goroutine and finishes when app
+// returns.
+func Launch(id int, app func(t *Thread)) *Thread {
+	t := &Thread{id: id, ops: make(chan Op), resp: make(chan uint64)}
+	go func() {
+		app(t)
+		t.done.Store(true)
+		close(t.ops)
+	}()
+	return t
+}
+
+// Frontend is the per-tile component draining one thread's instruction
+// stream against the tile's memory port.
+type Frontend struct {
+	thread *Thread
+	port   Port
+
+	cur       *Op
+	computing int
+	halted    bool
+
+	Instret uint64
+	MemOps  uint64
+	Stalls  uint64
+}
+
+// NewFrontend couples a launched thread with a tile memory port.
+func NewFrontend(t *Thread, port Port) *Frontend {
+	return &Frontend{thread: t, port: port}
+}
+
+// Halted reports whether the application thread has finished and all its
+// operations have been charged.
+func (f *Frontend) Halted() bool { return f.halted }
+
+// NextEvent implements the fast-forward query.
+func (f *Frontend) NextEvent(now uint64) uint64 {
+	if f.halted {
+		return sim.NoEvent
+	}
+	return now + 1
+}
+
+// Tick advances one cycle: burn a compute cycle, poll an outstanding
+// memory access, or fetch the next instrumented operation.
+func (f *Frontend) Tick(cycle uint64) {
+	if f.halted {
+		return
+	}
+	if f.computing > 0 {
+		f.computing--
+		f.Instret++
+		return
+	}
+	if f.cur != nil {
+		f.step(cycle)
+		return
+	}
+	op, ok := <-f.thread.ops
+	if !ok {
+		f.halted = true
+		return
+	}
+	switch op.Kind {
+	case OpCompute:
+		f.computing = op.N
+		f.thread.resp <- 0 // release the app thread immediately
+		f.computing--
+		f.Instret++
+	default:
+		f.cur = &op
+		f.MemOps++
+		f.step(cycle)
+	}
+}
+
+func (f *Frontend) step(cycle uint64) {
+	op := f.cur
+	v, done := f.port.Access(cycle, op.Kind == OpStore, op.Addr, op.Size, op.Value)
+	if !done {
+		f.Stalls++
+		return
+	}
+	f.cur = nil
+	f.Instret++
+	f.thread.resp <- v
+}

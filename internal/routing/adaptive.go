@@ -1,0 +1,75 @@
+package routing
+
+import (
+	"hornet/internal/noc"
+	"hornet/internal/topology"
+)
+
+// WestFirst is minimal turn-model adaptive routing (Glass & Ni): a packet
+// whose destination lies to the west travels the full westward distance
+// first (deterministically); all remaining productive directions (east,
+// north, south) are then chosen adaptively. Prohibiting the two
+// turns-into-west breaks every cycle, so the scheme is deadlock-free on a
+// mesh with any number of VCs. The router selects among the candidate
+// entries by downstream congestion (Adaptive() == true).
+type WestFirst struct {
+	topo *topology.Topology
+}
+
+// NewWestFirst returns west-first adaptive routing over a mesh.
+func NewWestFirst(t *topology.Topology) *WestFirst { return &WestFirst{topo: t} }
+
+// Name implements Algorithm.
+func (w *WestFirst) Name() string { return "adaptive" }
+
+// Adaptive implements Algorithm.
+func (w *WestFirst) Adaptive() bool { return true }
+
+// Class implements Algorithm: the turn model needs no VC partitioning.
+func (w *WestFirst) Class(node, prev noc.NodeID, flow noc.FlowID, next noc.NodeID, nextFlow noc.FlowID) Class {
+	return ClassAny
+}
+
+// FlowEntries implements Algorithm: entries for every node in the minimal
+// rectangle with the turn-model-legal productive hops.
+func (w *WestFirst) FlowEntries(f noc.FlowID) FlowRoutes {
+	b := newBuilder()
+	t := w.topo
+	src, dst := f.Src(), f.Dst()
+	if src == dst {
+		b.addEject(src, src, f, 1)
+		return b.finish()
+	}
+	sx, sy := t.XY(src)
+	dx, dy := t.XY(dst)
+	x0, x1 := minmax(sx, dx)
+	y0, y1 := minmax(sy, dy)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			v := t.NodeAt(x, y)
+			prevs := append([]noc.NodeID{v}, t.Neighbors(v)...)
+			for _, prev := range prevs {
+				if v == dst {
+					b.addEject(v, prev, f, 1)
+					continue
+				}
+				if dx < x {
+					// Destination is west: west moves must come first and
+					// are the only legal productive move here.
+					b.add(v, prev, f, t.NodeAt(x-1, y), f, 1)
+					continue
+				}
+				if dx > x {
+					b.add(v, prev, f, t.NodeAt(x+1, y), f, 1)
+				}
+				if dy > y {
+					b.add(v, prev, f, t.NodeAt(x, y+1), f, 1)
+				}
+				if dy < y {
+					b.add(v, prev, f, t.NodeAt(x, y-1), f, 1)
+				}
+			}
+		}
+	}
+	return b.finish()
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Barrier is a reusable sense-reversing barrier for a fixed party count.
+// The last thread to arrive optionally executes an action while all other
+// parties are blocked, which the engine uses for global decisions that
+// must happen at a quiescent point (fast-forward target election,
+// epoch rollover, stop checks).
+//
+// The implementation spins briefly before falling back to a mutex+cond
+// sleep, which keeps barrier cost low when workers arrive nearly together
+// (the common case for balanced tile partitions) without burning CPU when
+// they do not.
+type Barrier struct {
+	parties int32
+	arrived atomic.Int32
+	sense   atomic.Uint32
+
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+// NewBarrier returns a barrier for n parties. n must be >= 1.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("sim: barrier party count must be >= 1")
+	}
+	b := &Barrier{parties: int32(n)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Parties returns the number of participating threads.
+func (b *Barrier) Parties() int { return int(b.parties) }
+
+// Await blocks until all parties have called Await. If action is non-nil
+// it is executed exactly once per barrier generation, by the last arriver,
+// before the others are released.
+func (b *Barrier) Await(action func()) {
+	if b.parties == 1 {
+		if action != nil {
+			action()
+		}
+		return
+	}
+	sense := b.sense.Load()
+	if b.arrived.Add(1) == b.parties {
+		if action != nil {
+			action()
+		}
+		b.arrived.Store(0)
+		b.mu.Lock()
+		b.sense.Store(sense + 1)
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	// Spin briefly: with balanced partitions the other workers arrive
+	// within a few hundred nanoseconds.
+	for i := 0; i < 4096; i++ {
+		if b.sense.Load() != sense {
+			return
+		}
+	}
+	b.mu.Lock()
+	for b.sense.Load() == sense {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

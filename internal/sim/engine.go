@@ -1,0 +1,230 @@
+// Package sim implements HORNET's parallel cycle-level simulation engine:
+// deterministic per-tile PRNGs, a sense-reversing barrier, and a worker
+// pool that steps tiles through two-phase clock cycles with either
+// cycle-accurate (two barriers per cycle) or periodic synchronization,
+// plus fast-forwarding over provably idle stretches (paper §II-C, §IV-B).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NoEvent is returned by Tile.NextEvent when the tile will never act again
+// on its own (e.g. a halted core or an exhausted trace).
+const NoEvent = ^uint64(0)
+
+// Tile is one unit of parallel simulation work: a router plus any traffic
+// generators, cores and controllers attached to it. The engine calls
+// PhaseTransfer (positive edge: compute and hand off flits; effects are
+// stamped to become visible next cycle) and PhaseCommit (negative edge:
+// make written state visible, fold statistics) exactly once per simulated
+// cycle, in that order. A tile is only ever stepped by one worker thread,
+// but its ingress buffers may be written concurrently by neighbouring
+// tiles' PhaseTransfer.
+type Tile interface {
+	PhaseTransfer(cycle uint64)
+	PhaseCommit(cycle uint64)
+	// NextEvent returns the earliest cycle strictly after now at which the
+	// tile could initiate new activity assuming nothing arrives over the
+	// network, or NoEvent. Used only when fast-forwarding is enabled; a
+	// conservative answer of now+1 is always safe.
+	NextEvent(now uint64) uint64
+}
+
+// RunResult summarizes one Engine.Run invocation.
+type RunResult struct {
+	Cycles        uint64        // simulated cycles actually executed
+	SkippedCycles uint64        // cycles jumped over by fast-forwarding
+	Wall          time.Duration // host wall-clock time
+	Workers       int
+}
+
+func (r RunResult) String() string {
+	return fmt.Sprintf("cycles=%d skipped=%d wall=%v workers=%d",
+		r.Cycles, r.SkippedCycles, r.Wall, r.Workers)
+}
+
+// Engine steps a fixed set of tiles in parallel.
+type Engine struct {
+	tiles       []Tile
+	workers     int
+	syncPeriod  int
+	fastForward bool
+
+	// inflight counts flits resident anywhere in the simulated network
+	// (VC buffers and ejection queues). Tiles update it via InFlight().
+	inflight *atomic.Int64
+
+	// cross-barrier control written by the barrier leader.
+	nextCycle atomic.Uint64
+	halted    atomic.Bool
+	skipped   atomic.Uint64
+}
+
+// NewEngine creates an engine stepping tiles with the given worker count
+// (0 means GOMAXPROCS, capped at the tile count), synchronization period
+// (1 = cycle-accurate) and fast-forward setting. inflight is the shared
+// in-network flit counter the tiles maintain; pass nil to allocate one.
+func NewEngine(tiles []Tile, workers, syncPeriod int, fastForward bool, inflight *atomic.Int64) *Engine {
+	if len(tiles) == 0 {
+		panic("sim: engine needs at least one tile")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tiles) {
+		workers = len(tiles)
+	}
+	if syncPeriod < 1 {
+		syncPeriod = 1
+	}
+	if inflight == nil {
+		inflight = new(atomic.Int64)
+	}
+	return &Engine{
+		tiles:       tiles,
+		workers:     workers,
+		syncPeriod:  syncPeriod,
+		fastForward: fastForward,
+		inflight:    inflight,
+	}
+}
+
+// InFlight exposes the global in-network flit counter that tiles maintain.
+func (e *Engine) InFlight() *atomic.Int64 { return e.inflight }
+
+// Workers returns the effective worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// partition returns the contiguous tile span [lo,hi) owned by worker w.
+// Contiguous blocks keep neighbouring mesh tiles on the same worker, which
+// is what HORNET's equal-division mapping does.
+func (e *Engine) partition(w int) (lo, hi int) {
+	n := len(e.tiles)
+	base, rem := n/e.workers, n%e.workers
+	lo = w*base + min(w, rem)
+	hi = lo + base
+	if w < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Run simulates up to maxCycles cycles starting at cycle start. If stop is
+// non-nil it is evaluated at every synchronization point (by the barrier
+// leader, so it needs no internal locking) and ends the run early when it
+// returns true. Run returns once all workers have finished.
+func (e *Engine) Run(start, maxCycles uint64, stop func(cycle uint64) bool) RunResult {
+	end := start + maxCycles
+	e.nextCycle.Store(start)
+	e.halted.Store(false)
+	e.skipped.Store(0)
+
+	barrier := NewBarrier(e.workers)
+	began := time.Now()
+	var executed atomic.Uint64
+
+	leader := func(cycleJustFinished uint64) {
+		next := cycleJustFinished + 1
+		if e.fastForward && e.inflight.Load() == 0 {
+			if t := e.earliestEvent(cycleJustFinished); t > next && t != NoEvent {
+				if t > end {
+					t = end
+				}
+				e.skipped.Add(t - next)
+				next = t
+			} else if t == NoEvent {
+				e.skipped.Add(end - next)
+				next = end
+			}
+		}
+		if next >= end || (stop != nil && stop(cycleJustFinished)) {
+			e.halted.Store(true)
+		}
+		e.nextCycle.Store(next)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo, hi := e.partition(w)
+			mine := e.tiles[lo:hi]
+			for {
+				cycle := e.nextCycle.Load()
+				if cycle >= end || e.halted.Load() {
+					return
+				}
+				// Run a synchronization chunk: syncPeriod cycles (or up to
+				// end), keeping same-worker tiles in lockstep per cycle.
+				chunkEnd := cycle + uint64(e.syncPeriod)
+				if chunkEnd > end {
+					chunkEnd = end
+				}
+				if e.syncPeriod == 1 {
+					// Cycle-accurate: barrier after each phase (twice per
+					// cycle), so every tile sees identical committed state.
+					for _, t := range mine {
+						t.PhaseTransfer(cycle)
+					}
+					barrier.Await(nil)
+					for _, t := range mine {
+						t.PhaseCommit(cycle)
+					}
+					if w == 0 {
+						executed.Add(1)
+					}
+					barrier.Await(func() { leader(cycle) })
+				} else {
+					c := cycle
+					for ; c < chunkEnd && !e.halted.Load(); c++ {
+						for _, t := range mine {
+							t.PhaseTransfer(c)
+						}
+						for _, t := range mine {
+							t.PhaseCommit(c)
+						}
+						// Keep workers interleaved between barriers so
+						// cross-worker credits and flits stay as fresh as
+						// concurrent hardware threads would see them; on
+						// hosts with fewer cores than workers this
+						// prevents whole-chunk serialization from
+						// starving boundary links.
+						runtime.Gosched()
+					}
+					if w == 0 {
+						executed.Add(c - cycle)
+					}
+					last := c - 1
+					barrier.Await(func() { leader(last) })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	return RunResult{
+		Cycles:        executed.Load(),
+		SkippedCycles: e.skipped.Load(),
+		Wall:          time.Since(began),
+		Workers:       e.workers,
+	}
+}
+
+// earliestEvent scans all tiles for the soonest self-initiated activity.
+// Called only by the barrier leader while all workers are blocked, so the
+// tiles are quiescent and safe to query.
+func (e *Engine) earliestEvent(now uint64) uint64 {
+	earliest := uint64(NoEvent)
+	for _, t := range e.tiles {
+		if ev := t.NextEvent(now); ev < earliest {
+			earliest = ev
+		}
+	}
+	return earliest
+}

@@ -1,0 +1,121 @@
+package sim
+
+// RNG is a small, fast, deterministic pseudorandom generator
+// (xorshift64* with a splitmix64-seeded state). Each simulated tile owns a
+// private RNG so that parallel cycle-accurate runs are bit-identical to
+// sequential runs regardless of thread interleaving (paper §II-C).
+//
+// The zero value is invalid; use NewRNG. RNG is not safe for concurrent
+// use, by design: sharing one across tiles would reintroduce scheduling
+// nondeterminism.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed. Two RNGs
+// with the same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator to the stream defined by seed.
+func (r *RNG) Reseed(seed uint64) {
+	// splitmix64 step so that small/sequential seeds give unrelated streams.
+	z := seed + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	r.state = z
+}
+
+// Uint64 returns the next 64 pseudorandom bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: RNG.Intn called with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Pick returns an index in [0,len(weights)) chosen with probability
+// proportional to weights[i]. Weights must be non-negative and not all
+// zero; otherwise Pick falls back to a uniform choice.
+func (r *RNG) Pick(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm fills dst with a pseudorandom permutation of [0, len(dst)).
+// It is used to randomize arbitration order (paper §II-A5) without
+// allocating: callers keep a scratch slice per tile.
+func (r *RNG) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}
+
+// Geometric returns a sample from a geometric distribution with mean m,
+// clamped to [1, max]. Used for packet-length distributions.
+func (r *RNG) Geometric(m float64, max int) int {
+	if m <= 1 {
+		return 1
+	}
+	p := 1.0 / m
+	n := 1
+	for n < max && !r.Bernoulli(p) {
+		n++
+	}
+	return n
+}

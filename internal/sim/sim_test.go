@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a.Reseed(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(99)
+	for i := 0; i < 10_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGBernoulliRate(t *testing.T) {
+	r := NewRNG(1)
+	hits := 0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.28 || rate > 0.32 {
+		t.Fatalf("Bernoulli(0.3) hit rate %.4f", rate)
+	}
+	if r.Bernoulli(0) {
+		t.Fatal("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Fatal("Bernoulli(1) returned false")
+	}
+}
+
+func TestRNGPickRespectsWeights(t *testing.T) {
+	r := NewRNG(5)
+	counts := [3]int{}
+	w := []float64{1, 0, 3}
+	for i := 0; i < 40_000; i++ {
+		counts[r.Pick(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight option picked %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio %.2f, want ~3", ratio)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	if err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		p := make([]int, n)
+		r.Perm(p)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGGeometricMean(t *testing.T) {
+	r := NewRNG(3)
+	sum := 0
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		v := r.Geometric(8, 64)
+		if v < 1 || v > 64 {
+			t.Fatalf("geometric sample %d out of [1,64]", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / n
+	if mean < 7 || mean > 9 {
+		t.Fatalf("geometric mean %.2f, want ~8", mean)
+	}
+}
+
+func TestBarrierAllArrive(t *testing.T) {
+	const parties = 8
+	const rounds = 200
+	b := NewBarrier(parties)
+	var counter atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				counter.Add(1)
+				b.Await(nil)
+				// Everyone must observe the full round's increments.
+				if c := counter.Load(); c < int64((r+1)*parties) {
+					t.Errorf("round %d: counter %d < %d", r, c, (r+1)*parties)
+					return
+				}
+				b.Await(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter.Load() != parties*rounds {
+		t.Fatalf("counter = %d, want %d", counter.Load(), parties*rounds)
+	}
+}
+
+func TestBarrierLeaderActionOncePerGeneration(t *testing.T) {
+	const parties = 4
+	const rounds = 100
+	b := NewBarrier(parties)
+	var actions atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				b.Await(func() { actions.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if actions.Load() != rounds {
+		t.Fatalf("leader action ran %d times, want %d", actions.Load(), rounds)
+	}
+}
+
+// countTile counts phase calls and exposes a scripted next event.
+type countTile struct {
+	transfers []uint64
+	commits   []uint64
+	next      uint64
+}
+
+func (c *countTile) PhaseTransfer(cycle uint64) { c.transfers = append(c.transfers, cycle) }
+func (c *countTile) PhaseCommit(cycle uint64)   { c.commits = append(c.commits, cycle) }
+func (c *countTile) NextEvent(now uint64) uint64 {
+	if c.next == 0 {
+		return NoEvent
+	}
+	if c.next <= now {
+		return now + 1
+	}
+	return c.next
+}
+
+func TestEnginePhasesOrderedPerCycle(t *testing.T) {
+	tiles := []Tile{&countTile{}, &countTile{}, &countTile{}}
+	e := NewEngine(tiles, 2, 1, false, nil)
+	res := e.Run(0, 10, nil)
+	if res.Cycles != 10 {
+		t.Fatalf("ran %d cycles, want 10", res.Cycles)
+	}
+	for i, tl := range tiles {
+		ct := tl.(*countTile)
+		if len(ct.transfers) != 10 || len(ct.commits) != 10 {
+			t.Fatalf("tile %d: %d transfers, %d commits", i, len(ct.transfers), len(ct.commits))
+		}
+		for c := uint64(0); c < 10; c++ {
+			if ct.transfers[c] != c || ct.commits[c] != c {
+				t.Fatalf("tile %d cycle %d: got transfer %d commit %d", i, c, ct.transfers[c], ct.commits[c])
+			}
+		}
+	}
+}
+
+func TestEngineLooseSyncRunsAllCycles(t *testing.T) {
+	tiles := []Tile{&countTile{}, &countTile{}}
+	e := NewEngine(tiles, 2, 7, false, nil)
+	res := e.Run(0, 100, nil)
+	if res.Cycles != 100 {
+		t.Fatalf("ran %d cycles, want 100", res.Cycles)
+	}
+	for _, tl := range tiles {
+		if n := len(tl.(*countTile).transfers); n != 100 {
+			t.Fatalf("tile ran %d transfers, want 100", n)
+		}
+	}
+}
+
+func TestEngineFastForwardSkipsIdle(t *testing.T) {
+	tiles := []Tile{&countTile{next: 500}, &countTile{}}
+	e := NewEngine(tiles, 1, 1, true, nil)
+	res := e.Run(0, 1000, nil)
+	if res.SkippedCycles == 0 {
+		t.Fatal("fast-forward skipped nothing")
+	}
+	if res.Cycles+res.SkippedCycles != 1000 {
+		t.Fatalf("cycles %d + skipped %d != 1000", res.Cycles, res.SkippedCycles)
+	}
+	// The event cycle itself must have been executed, not skipped.
+	found := false
+	for _, c := range tiles[0].(*countTile).transfers {
+		if c == 500 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fast-forward skipped over the scheduled event cycle")
+	}
+}
+
+func TestEngineStopFunction(t *testing.T) {
+	tiles := []Tile{&countTile{}}
+	e := NewEngine(tiles, 1, 1, false, nil)
+	res := e.Run(0, 1000, func(cycle uint64) bool { return cycle >= 99 })
+	if res.Cycles != 100 {
+		t.Fatalf("stop at cycle 99 ran %d cycles, want 100", res.Cycles)
+	}
+}
+
+func TestEnginePartitionCoversAllTiles(t *testing.T) {
+	for tiles := 1; tiles <= 20; tiles++ {
+		for workers := 1; workers <= tiles; workers++ {
+			e := &Engine{tiles: make([]Tile, tiles), workers: workers}
+			covered := make([]int, tiles)
+			for w := 0; w < workers; w++ {
+				lo, hi := e.partition(w)
+				for i := lo; i < hi; i++ {
+					covered[i]++
+				}
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("tiles=%d workers=%d: tile %d covered %d times", tiles, workers, i, c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package splash
+
+import (
+	"testing"
+
+	"hornet/internal/noc"
+)
+
+func params(cycles uint64) Params {
+	return Params{Nodes: 64, Width: 8, Height: 8, Cycles: cycles, Seed: 1}
+}
+
+func TestAllBenchmarksGenerate(t *testing.T) {
+	for _, b := range Benchmarks() {
+		tr, err := Generate(b, params(100_000))
+		if err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if len(tr.Events) == 0 {
+			t.Fatalf("%s produced no events", b)
+		}
+		for _, e := range tr.Events {
+			if e.Src == e.Dst {
+				t.Fatalf("%s: self-addressed event %+v", b, e)
+			}
+			if e.Src < 0 || e.Src > 63 || e.Dst < 0 || e.Dst > 63 {
+				t.Fatalf("%s: out-of-range endpoints %+v", b, e)
+			}
+			if e.Flits < 1 {
+				t.Fatalf("%s: empty packet %+v", b, e)
+			}
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, _ := Generate(Radix, params(80_000))
+	b, _ := Generate(Radix, params(80_000))
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("same seed produced different event counts")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	p2 := params(80_000)
+	p2.Seed = 2
+	c, _ := Generate(Radix, p2)
+	if len(a.Events) > 0 && len(c.Events) == len(a.Events) {
+		same := true
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+// volume returns flits per node per cycle.
+func volume(t *testing.T, b Benchmark, intensity float64) float64 {
+	t.Helper()
+	p := params(120_000)
+	p.Intensity = intensity
+	tr, err := Generate(b, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flits := 0
+	for _, e := range tr.Events {
+		flits += e.Flits
+	}
+	return float64(flits) / 64 / 120_000
+}
+
+func TestRelativeTrafficVolumes(t *testing.T) {
+	radix := volume(t, Radix, 1)
+	swap := volume(t, Swaptions, 1)
+	ocean := volume(t, Ocean, 1)
+	t.Logf("volumes (flits/node/cycle): radix=%.4f ocean=%.4f swaptions=%.4f", radix, ocean, swap)
+	// The paper's axis: RADIX is high-traffic, SWAPTIONS low; OCEAN is a
+	// steady (but light) stencil load.
+	if radix < 4*swap {
+		t.Fatalf("radix (%.4f) should dwarf swaptions (%.4f)", radix, swap)
+	}
+	if ocean <= 0 {
+		t.Fatalf("ocean volume %.4f", ocean)
+	}
+}
+
+func TestIntensityScaling(t *testing.T) {
+	low := volume(t, Radix, 1)
+	high := volume(t, Radix, 2)
+	if high < low*1.5 {
+		t.Fatalf("intensity 2 volume %.4f not ~2x of %.4f", high, low)
+	}
+}
+
+func TestRadixIsPhased(t *testing.T) {
+	tr, _ := Generate(Radix, params(80_000))
+	// Count flits per 5k-cycle window: bursts should dwarf quiet phases.
+	bins := make([]int, 16)
+	for _, e := range tr.Events {
+		if e.Cycle < 80_000 {
+			bins[e.Cycle/5_000] += e.Flits
+		}
+	}
+	max, min := 0, 1<<60
+	for _, v := range bins {
+		if v > max {
+			max = v
+		}
+		if v < min {
+			min = v
+		}
+	}
+	if max < 10*(min+1) {
+		t.Fatalf("radix not phased: bins %v", bins)
+	}
+}
+
+func TestFFTButterflyPartners(t *testing.T) {
+	tr, _ := Generate(FFT, params(100_000))
+	for _, e := range tr.Events {
+		x := int(e.Src) ^ int(e.Dst)
+		if x&(x-1) != 0 {
+			t.Fatalf("FFT event %d->%d is not a butterfly partner", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestOceanIsNeighborOnly(t *testing.T) {
+	tr, _ := Generate(Ocean, params(50_000))
+	for _, e := range tr.Events {
+		sx, sy := int(e.Src)%8, int(e.Src)/8
+		dx, dy := int(e.Dst)%8, int(e.Dst)/8
+		if iabs(sx-dx)+iabs(sy-dy) != 1 {
+			t.Fatalf("ocean event %d->%d not a mesh neighbour", e.Src, e.Dst)
+		}
+	}
+}
+
+func TestGenerateMemoryTargetsControllers(t *testing.T) {
+	mcs := []noc.NodeID{0, 63}
+	tr, err := GenerateMemory(Radix, params(80_000), mcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("no memory requests")
+	}
+	for _, e := range tr.Events {
+		if e.Dst != 0 && e.Dst != 63 {
+			t.Fatalf("request to non-controller %d", e.Dst)
+		}
+		if e.Flits != 1 {
+			t.Fatalf("request size %d, want 1", e.Flits)
+		}
+		// Nearest-controller assignment.
+		want := nearestController(e.Src, mcs, 8)
+		if e.Dst != want {
+			t.Fatalf("src %d assigned to %d, nearest is %d", e.Src, e.Dst, want)
+		}
+	}
+}
+
+func TestGenerateMemoryThinning(t *testing.T) {
+	full, _ := GenerateMemory(Radix, params(80_000), []noc.NodeID{0})
+	p := params(80_000)
+	p.Intensity = 0.1
+	thin, _ := GenerateMemory(Radix, p, []noc.NodeID{0})
+	ratio := float64(len(thin.Events)) / float64(len(full.Events))
+	if ratio < 0.05 || ratio > 0.2 {
+		t.Fatalf("thinning ratio %.3f, want ~0.1", ratio)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	if _, err := Generate(Radix, Params{Nodes: 1, Width: 1, Height: 1, Cycles: 100}); err == nil {
+		t.Fatal("1-node params accepted")
+	}
+	if _, err := Generate(Radix, Params{Nodes: 64, Width: 7, Height: 8, Cycles: 100}); err == nil {
+		t.Fatal("mismatched geometry accepted")
+	}
+	if _, err := Generate("nope", params(100)); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := GenerateMemory(Radix, params(100), nil); err == nil {
+		t.Fatal("memory trace without controllers accepted")
+	}
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggregateSums(t *testing.T) {
+	a, b := NewTile(), NewTile()
+	a.FlitsInjected, b.FlitsInjected = 10, 20
+	a.FlitsDelivered, b.FlitsDelivered = 8, 16
+	a.FlitLatencySum, b.FlitLatencySum = 80, 160
+	a.HopSum, b.HopSum = 24, 48
+	a.RecordPacketDelivered(7, 1, 100)
+	b.RecordPacketDelivered(7, 2, 200)
+	s := Aggregate([]*Tile{a, b})
+	if s.FlitsInjected != 30 || s.FlitsDelivered != 24 {
+		t.Fatalf("flit sums wrong: %+v", s)
+	}
+	if s.AvgFlitLatency != 10 {
+		t.Fatalf("avg flit latency %v", s.AvgFlitLatency)
+	}
+	if s.AvgHops != 3 {
+		t.Fatalf("avg hops %v", s.AvgHops)
+	}
+	if s.AvgPacketLatency != 150 || s.MaxPacketLatency != 200 {
+		t.Fatalf("packet latency stats wrong: %+v", s)
+	}
+	if fr := s.Flows[7]; fr.PacketsDelivered != 2 || fr.LatencySum != 300 {
+		t.Fatalf("flow merge wrong: %+v", fr)
+	}
+}
+
+func TestOrderViolationDetection(t *testing.T) {
+	a := NewTile()
+	a.RecordPacketDelivered(3, 1, 10)
+	a.RecordPacketDelivered(3, 3, 10)
+	a.RecordPacketDelivered(3, 2, 10) // out of order
+	if a.Flow(3).OrderViolations != 1 {
+		t.Fatalf("order violations = %d, want 1", a.Flow(3).OrderViolations)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	a := NewTile()
+	a.RecordPacketDelivered(1, 0, 1)
+	a.RecordPacketDelivered(1, 0, 2)
+	a.RecordPacketDelivered(1, 0, 3)
+	a.RecordPacketDelivered(1, 0, 1000)
+	total := uint64(0)
+	for _, v := range a.LatencyHist {
+		total += v
+	}
+	if total != 4 {
+		t.Fatalf("histogram holds %d samples, want 4", total)
+	}
+	if a.LatencyHist[bucketOf(1000)] == 0 {
+		t.Fatal("large latency not bucketed")
+	}
+}
+
+func TestBucketOfMonotone(t *testing.T) {
+	if err := quick.Check(func(a, b uint32) bool {
+		x, y := uint64(a), uint64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return bucketOf(x) <= bucketOf(y)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStarvedFlows(t *testing.T) {
+	a := NewTile()
+	for i := 0; i < 100; i++ {
+		a.RecordPacketDelivered(1, 0, 10)
+	}
+	a.RecordPacketDelivered(2, 0, 10) // one packet vs mean ~50
+	s := Aggregate([]*Tile{a})
+	starved := s.StarvedFlows(0.1)
+	if len(starved) != 1 || starved[0] != 2 {
+		t.Fatalf("starved flows: %v", starved)
+	}
+}
+
+func TestAccuracyMetric(t *testing.T) {
+	if Accuracy(100, 100) != 100 {
+		t.Fatal("perfect accuracy not 100")
+	}
+	if a := Accuracy(110, 100); math.Abs(a-90) > 1e-9 {
+		t.Fatalf("Accuracy(110,100) = %v", a)
+	}
+	if Accuracy(500, 100) != 0 {
+		t.Fatal("accuracy should floor at 0")
+	}
+}
+
+func TestPercentError(t *testing.T) {
+	if PercentError(0, 0) != 0 {
+		t.Fatal("0/0 error should be 0")
+	}
+	if !math.IsInf(PercentError(1, 0), 1) {
+		t.Fatal("x/0 error should be +Inf")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	s := Summary{FlitsDelivered: 6400}
+	if th := s.Throughput(64, 100); th != 1 {
+		t.Fatalf("throughput %v, want 1", th)
+	}
+	if s.Throughput(0, 100) != 0 || s.Throughput(64, 0) != 0 {
+		t.Fatal("degenerate throughput not 0")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	a := NewTile()
+	a.FlitsInjected = 5
+	a.RecordPacketDelivered(1, 0, 10)
+	a.Reset()
+	if a.FlitsInjected != 0 || len(a.Flows) != 0 || a.PacketsDelivered != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

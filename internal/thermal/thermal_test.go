@@ -1,0 +1,147 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"hornet/internal/config"
+)
+
+func cfg() config.ThermalConfig {
+	return config.ThermalConfig{
+		AmbientC:       45,
+		RVerticalKPerW: 8,
+		RLateralKPerW:  2.5,
+		CJPerK:         0.001,
+	}
+}
+
+func TestZeroPowerStaysAmbient(t *testing.T) {
+	g, err := NewGrid(4, 4, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Step(make([]float64, 16), 0.1)
+	for i, v := range g.Temps() {
+		if math.Abs(v-45) > 1e-9 {
+			t.Fatalf("tile %d drifted to %v with zero power", i, v)
+		}
+	}
+}
+
+func TestUniformPowerSteadyState(t *testing.T) {
+	g, _ := NewGrid(4, 4, cfg())
+	p := make([]float64, 16)
+	for i := range p {
+		p[i] = 2.0
+	}
+	temps := g.SteadyState(p)
+	// Uniform power: no lateral flow, every tile at ambient + P*Rv.
+	want := 45 + 2.0*8
+	for i, v := range temps {
+		if math.Abs(v-want) > 1e-6 {
+			t.Fatalf("tile %d steady %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	g, _ := NewGrid(4, 4, cfg())
+	p := make([]float64, 16)
+	p[5] = 3.0 // single hot tile
+	steady := g.SteadyState(p)
+	for i := 0; i < 10_000; i++ {
+		g.Step(p, 0.001)
+	}
+	for i := range steady {
+		if math.Abs(g.Temps()[i]-steady[i]) > 0.05 {
+			t.Fatalf("tile %d transient %v vs steady %v", i, g.Temps()[i], steady[i])
+		}
+	}
+}
+
+func TestHeatSpreadsLaterally(t *testing.T) {
+	g, _ := NewGrid(3, 3, cfg())
+	p := make([]float64, 9)
+	p[4] = 5.0 // center
+	temps := g.SteadyState(p)
+	center := temps[4]
+	edge := temps[1]
+	corner := temps[0]
+	if !(center > edge && edge > corner && corner > 45) {
+		t.Fatalf("no monotone spread: center=%v edge=%v corner=%v", center, edge, corner)
+	}
+}
+
+func TestEnergyConservationAtSteadyState(t *testing.T) {
+	g, _ := NewGrid(4, 4, cfg())
+	p := make([]float64, 16)
+	for i := range p {
+		p[i] = float64(i) * 0.1
+	}
+	temps := g.SteadyState(p)
+	// Total heat out through vertical resistances equals total power in.
+	out := 0.0
+	in := 0.0
+	for i, v := range temps {
+		out += (v - 45) / 8
+		in += p[i]
+	}
+	if math.Abs(out-in) > 1e-6 {
+		t.Fatalf("energy imbalance: in=%v out=%v", in, out)
+	}
+}
+
+func TestMaxAndMean(t *testing.T) {
+	g, _ := NewGrid(2, 2, cfg())
+	p := []float64{0, 0, 0, 4}
+	for i := 0; i < 20_000; i++ {
+		g.Step(p, 0.001)
+	}
+	m, idx := g.Max()
+	if idx != 3 {
+		t.Fatalf("hottest tile %d, want 3", idx)
+	}
+	if mean := g.Mean(); mean >= m || mean < 45 {
+		t.Fatalf("mean %v outside (45, max %v)", mean, m)
+	}
+}
+
+func TestStepPanicsOnBadVector(t *testing.T) {
+	g, _ := NewGrid(2, 2, cfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for wrong power vector length")
+		}
+	}()
+	g.Step(make([]float64, 3), 0.1)
+}
+
+func TestRejectsBadParams(t *testing.T) {
+	if _, err := NewGrid(0, 2, cfg()); err == nil {
+		t.Fatal("zero-width grid accepted")
+	}
+	bad := cfg()
+	bad.CJPerK = 0
+	if _, err := NewGrid(2, 2, bad); err == nil {
+		t.Fatal("zero capacitance accepted")
+	}
+}
+
+func TestResetReturnsToAmbient(t *testing.T) {
+	g, _ := NewGrid(2, 2, cfg())
+	g.Step([]float64{5, 5, 5, 5}, 0.01)
+	g.Reset()
+	for _, v := range g.Temps() {
+		if v != 45 {
+			t.Fatal("reset did not restore ambient")
+		}
+	}
+}
+
+func TestHeatmapString(t *testing.T) {
+	s := HeatmapString([]float64{1, 2, 3, 4}, 2)
+	if s != "  1.00   2.00 \n  3.00   4.00 \n" {
+		t.Fatalf("heatmap format: %q", s)
+	}
+}

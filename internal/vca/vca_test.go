@@ -1,0 +1,121 @@
+package vca
+
+import (
+	"testing"
+
+	"hornet/internal/config"
+	"hornet/internal/noc"
+	"hornet/internal/routing"
+)
+
+// fixedClass is a classifier returning a constant class.
+type fixedClass routing.Class
+
+func (f fixedClass) Class(node, prev noc.NodeID, flow noc.FlowID, next noc.NodeID, nextFlow noc.FlowID) routing.Class {
+	return routing.Class(f)
+}
+
+func candidates(t *testing.T, class routing.Class, policy string, numVCs int) []noc.VCChoice {
+	t.Helper()
+	tables, _, err := New(fixedClass(class), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt := tables.ForNode(0)
+	return nt.Candidates(0, noc.MakeFlow(1, 2, 0), 3, noc.MakeFlow(1, 2, 0), numVCs)
+}
+
+func vcSet(cs []noc.VCChoice) map[int]bool {
+	m := map[int]bool{}
+	for _, c := range cs {
+		m[c.VC] = true
+	}
+	return m
+}
+
+func TestDynamicUsesAllClassVCs(t *testing.T) {
+	cs := candidates(t, routing.ClassAny, config.VCADynamic, 4)
+	if len(cs) != 4 {
+		t.Fatalf("ClassAny dynamic: %d candidates, want 4", len(cs))
+	}
+	cs = candidates(t, routing.ClassLo, config.VCADynamic, 4)
+	set := vcSet(cs)
+	if len(cs) != 2 || !set[0] || !set[1] {
+		t.Fatalf("ClassLo: %v, want VCs 0-1", cs)
+	}
+	cs = candidates(t, routing.ClassHi, config.VCADynamic, 4)
+	set = vcSet(cs)
+	if len(cs) != 2 || !set[2] || !set[3] {
+		t.Fatalf("ClassHi: %v, want VCs 2-3", cs)
+	}
+}
+
+func TestEscapeClasses(t *testing.T) {
+	cs := candidates(t, routing.ClassEscape, config.VCADynamic, 4)
+	if len(cs) != 1 || cs[0].VC != 0 {
+		t.Fatalf("ClassEscape: %v, want only VC 0", cs)
+	}
+	cs = candidates(t, routing.ClassNonEscape, config.VCADynamic, 4)
+	set := vcSet(cs)
+	if len(cs) != 3 || set[0] {
+		t.Fatalf("ClassNonEscape: %v, want VCs 1-3", cs)
+	}
+}
+
+func TestStaticSetIsDeterministicSingleton(t *testing.T) {
+	tables, _, err := New(fixedClass(routing.ClassAny), config.VCAStaticSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt := tables.ForNode(0)
+	f := noc.MakeFlow(3, 9, 0)
+	a := nt.Candidates(0, f, 1, f, 8)
+	if len(a) != 1 {
+		t.Fatalf("static set returned %d VCs", len(a))
+	}
+	for i := 0; i < 10; i++ {
+		b := nt.Candidates(0, f, 1, f, 8)
+		if b[0].VC != a[0].VC {
+			t.Fatal("static set VC changed between lookups")
+		}
+	}
+	// Different flows spread across VCs (at least not all identical).
+	seen := map[int]bool{}
+	for s := noc.NodeID(0); s < 32; s++ {
+		g := noc.MakeFlow(s, 33, 0)
+		seen[nt.Candidates(0, g, 1, g, 8)[0].VC] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("static set mapped every flow to one VC")
+	}
+}
+
+func TestSingleVCCollapses(t *testing.T) {
+	for _, class := range []routing.Class{routing.ClassAny, routing.ClassLo, routing.ClassHi, routing.ClassNonEscape} {
+		cs := candidates(t, class, config.VCADynamic, 1)
+		if len(cs) != 1 || cs[0].VC != 0 {
+			t.Fatalf("class %d with 1 VC: %v", class, cs)
+		}
+	}
+}
+
+func TestModeMapping(t *testing.T) {
+	cases := map[string]noc.VCAMode{
+		config.VCADynamic:   noc.VCADynamic,
+		config.VCAStaticSet: noc.VCAStaticSet,
+		config.VCAEDVCA:     noc.VCAEDVCA,
+		config.VCAFAA:       noc.VCAFAA,
+	}
+	for policy, want := range cases {
+		_, mode, err := New(fixedClass(routing.ClassAny), policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mode != want {
+			t.Fatalf("%s mapped to %v", policy, mode)
+		}
+	}
+	if _, _, err := New(fixedClass(routing.ClassAny), "voodoo"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

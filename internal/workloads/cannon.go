@@ -1,0 +1,283 @@
+// Package workloads contains the MIPS application kernels the paper's
+// evaluation runs on the built-in core model: Cannon's matrix-multiply
+// (message passing, Fig 12) and a fixed-point Black-Scholes kernel
+// standing in for PARSEC BLACKSCHOLES (Fig 6a). Sources are generated
+// with parameters baked in as .word constants and assembled by the
+// built-in assembler.
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AElem and BElem define the deterministic matrix entries so Go-side
+// verification can recompute the expected product.
+func AElem(r, c int) int32 { return int32((r*3 + c*5 + 1) & 0xF) }
+
+// BElem is the second operand's entry generator.
+func BElem(r, c int) int32 { return int32((r*7 + c*11 + 3) & 0xF) }
+
+// CannonChecksum computes the expected per-core checksum of C's block at
+// grid position (row, col) for a q x q grid of bxb blocks: the sum over
+// the block of (A x B)(r, c).
+func CannonChecksum(row, col, q, b int) int64 {
+	n := q * b
+	var sum int64
+	for bi := 0; bi < b; bi++ {
+		for bj := 0; bj < b; bj++ {
+			r := row*b + bi
+			c := col*b + bj
+			var e int64
+			for k := 0; k < n; k++ {
+				e += int64(AElem(r, k)) * int64(BElem(k, c))
+			}
+			sum += e
+		}
+	}
+	return sum
+}
+
+// CannonSource generates the MIPS source for Cannon's algorithm on a
+// q x q core grid with b x b blocks per core (paper §IV-D: C with
+// message passing targeting the MIPS core simulator). Each core:
+//
+//  1. derives its grid position from its node ID;
+//  2. generates its pre-aligned A and B blocks from the global element
+//     formulas (Cannon's initial skew folded into block coordinates);
+//  3. runs q rounds of C += A*B, passing A west and B north between
+//     rounds with the DMA send syscall and blocking receives;
+//  4. prints the checksum of its C block and exits with status 0.
+func CannonSource(q, b int) string {
+	var s strings.Builder
+	fmt.Fprintf(&s, `# Cannon's algorithm, %dx%d grid, %dx%d blocks per core.
+	.data
+params:
+Q:	.word %d
+B:	.word %d
+blkA:	.space %d
+blkB:	.space %d
+blkC:	.space %d
+bufA:	.space %d
+bufB:	.space %d
+	.text
+`, q, q, b, b, q, b, 4*b*b, 4*b*b, 4*b*b, 4*b*b, 4*b*b)
+	s.WriteString(`
+main:
+	li   $v0, 64          # my node id
+	syscall
+	move $s0, $v0         # s0 = id
+	la   $t0, Q
+	lw   $s1, 0($t0)      # s1 = q
+	la   $t0, B
+	lw   $s2, 0($t0)      # s2 = b
+	divu $s0, $s1
+	mflo $s3              # s3 = row
+	mfhi $s4              # s4 = col
+
+	# Block coordinates after Cannon's initial skew:
+	#   A block = (row, (row+col) mod q), B block = ((row+col) mod q, col)
+	addu $t0, $s3, $s4
+	divu $t0, $s1
+	mfhi $s5              # s5 = (row+col) mod q
+
+	# ---- generate A block: element(r,c) = (3r + 5c + 1) & 15
+	la   $a0, blkA
+	move $a1, $s3         # block row = row
+	move $a2, $s5         # block col = skew
+	li   $a3, 0           # selector 0 => A formula
+	jal  genblock
+	# ---- generate B block: element(r,c) = (7r + 11c + 3) & 15
+	la   $a0, blkB
+	move $a1, $s5
+	move $a2, $s4
+	li   $a3, 1
+	jal  genblock
+
+	# ---- zero C
+	la   $t0, blkC
+	mul  $t1, $s2, $s2
+zeroC:
+	sw   $0, 0($t0)
+	addiu $t0, $t0, 4
+	addiu $t1, $t1, -1
+	bgtz $t1, zeroC
+
+	# s6 = current round
+	li   $s6, 0
+rounds:
+	jal  matmul           # blkC += blkA * blkB
+
+	addiu $t0, $s1, -1
+	beq  $s6, $t0, done_rounds
+
+	# send A west: dst = row*q + (col-1+q)%q
+	addiu $t1, $s4, -1
+	addu  $t1, $t1, $s1
+	divu  $t1, $s1
+	mfhi  $t1
+	mul   $t2, $s3, $s1
+	addu  $a0, $t2, $t1
+	la    $a1, blkA
+	mul   $a2, $s2, $s2
+	sll   $a2, $a2, 2
+	li    $v0, 60
+	syscall
+
+	# send B north: dst = ((row-1+q)%q)*q + col
+	addiu $t1, $s3, -1
+	addu  $t1, $t1, $s1
+	divu  $t1, $s1
+	mfhi  $t1
+	mul   $t2, $t1, $s1
+	addu  $a0, $t2, $s4
+	la    $a1, blkB
+	mul   $a2, $s2, $s2
+	sll   $a2, $a2, 2
+	li    $v0, 60
+	syscall
+
+	# recv A from east: src = row*q + (col+1)%q
+	addiu $t1, $s4, 1
+	divu  $t1, $s1
+	mfhi  $t1
+	mul   $t2, $s3, $s1
+	addu  $a0, $t2, $t1
+	la    $a1, bufA
+	mul   $a2, $s2, $s2
+	sll   $a2, $a2, 2
+	li    $v0, 63
+	syscall
+
+	# recv B from south: src = ((row+1)%q)*q + col
+	addiu $t1, $s3, 1
+	divu  $t1, $s1
+	mfhi  $t1
+	mul   $t2, $t1, $s1
+	addu  $a0, $t2, $s4
+	la    $a1, bufB
+	mul   $a2, $s2, $s2
+	sll   $a2, $a2, 2
+	li    $v0, 63
+	syscall
+
+	# copy buffers into working blocks
+	la   $a0, blkA
+	la   $a1, bufA
+	jal  copyblk
+	la   $a0, blkB
+	la   $a1, bufB
+	jal  copyblk
+
+	addiu $s6, $s6, 1
+	b    rounds
+
+done_rounds:
+	# checksum C and print it
+	la   $t0, blkC
+	mul  $t1, $s2, $s2
+	li   $t2, 0
+cksum:
+	lw   $t3, 0($t0)
+	addu $t2, $t2, $t3
+	addiu $t0, $t0, 4
+	addiu $t1, $t1, -1
+	bgtz $t1, cksum
+	move $a0, $t2
+	li   $v0, 1
+	syscall
+	li   $a0, 0
+	li   $v0, 10
+	syscall
+
+# genblock(a0=dst, a1=blockRow, a2=blockCol, a3=formula) clobbers t*
+genblock:
+	li   $t0, 0           # bi
+gb_row:
+	li   $t1, 0           # bj
+gb_col:
+	mul  $t2, $a1, $s2
+	addu $t2, $t2, $t0    # r = blockRow*b + bi
+	mul  $t3, $a2, $s2
+	addu $t3, $t3, $t1    # c = blockCol*b + bj
+	bnez $a3, gb_formB
+	# A: (3r + 5c + 1) & 15
+	mul  $t4, $t2, 3
+	mul  $t5, $t3, 5
+	addu $t4, $t4, $t5
+	addiu $t4, $t4, 1
+	b    gb_store
+gb_formB:
+	# B: (7r + 11c + 3) & 15
+	mul  $t4, $t2, 7
+	mul  $t5, $t3, 11
+	addu $t4, $t4, $t5
+	addiu $t4, $t4, 3
+gb_store:
+	andi $t4, $t4, 15
+	mul  $t5, $t0, $s2
+	addu $t5, $t5, $t1
+	sll  $t5, $t5, 2
+	addu $t5, $t5, $a0
+	sw   $t4, 0($t5)
+	addiu $t1, $t1, 1
+	blt  $t1, $s2, gb_col
+	addiu $t0, $t0, 1
+	blt  $t0, $s2, gb_row
+	jr   $ra
+
+# matmul: blkC += blkA x blkB (b x b), clobbers t*
+matmul:
+	li   $t0, 0           # i
+mm_i:
+	li   $t1, 0           # j
+mm_j:
+	li   $t2, 0           # k
+	li   $t3, 0           # acc
+mm_k:
+	# acc += A[i*b+k] * B[k*b+j]
+	mul  $t4, $t0, $s2
+	addu $t4, $t4, $t2
+	sll  $t4, $t4, 2
+	la   $t5, blkA
+	addu $t4, $t4, $t5
+	lw   $t4, 0($t4)
+	mul  $t5, $t2, $s2
+	addu $t5, $t5, $t1
+	sll  $t5, $t5, 2
+	la   $t6, blkB
+	addu $t5, $t5, $t6
+	lw   $t5, 0($t5)
+	mul  $t4, $t4, $t5
+	addu $t3, $t3, $t4
+	addiu $t2, $t2, 1
+	blt  $t2, $s2, mm_k
+	# C[i*b+j] += acc
+	mul  $t4, $t0, $s2
+	addu $t4, $t4, $t1
+	sll  $t4, $t4, 2
+	la   $t5, blkC
+	addu $t4, $t4, $t5
+	lw   $t5, 0($t4)
+	addu $t5, $t5, $t3
+	sw   $t5, 0($t4)
+	addiu $t1, $t1, 1
+	blt  $t1, $s2, mm_j
+	addiu $t0, $t0, 1
+	blt  $t0, $s2, mm_i
+	jr   $ra
+
+# copyblk(a0=dst, a1=src): copy b*b words
+copyblk:
+	mul  $t0, $s2, $s2
+cb_loop:
+	lw   $t1, 0($a1)
+	sw   $t1, 0($a0)
+	addiu $a0, $a0, 4
+	addiu $a1, $a1, 4
+	addiu $t0, $t0, -1
+	bgtz $t0, cb_loop
+	jr   $ra
+`)
+	return s.String()
+}

@@ -1,0 +1,71 @@
+package workloads
+
+import (
+	"testing"
+
+	"hornet/internal/mips"
+)
+
+func TestCannonSourceAssembles(t *testing.T) {
+	for _, q := range []int{2, 4, 8} {
+		src := CannonSource(q, 4)
+		if _, err := mips.Assemble(src); err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+	}
+}
+
+func TestBlackScholesSourceAssembles(t *testing.T) {
+	src := BlackScholesSource(64, 16)
+	if _, err := mips.Assemble(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCannonChecksumMatchesDirectProduct(t *testing.T) {
+	// Recompute one block's checksum with a plain triple loop over the
+	// full matrices and compare with CannonChecksum's formula.
+	q, b := 2, 3
+	n := q * b
+	A := make([][]int64, n)
+	B := make([][]int64, n)
+	for r := 0; r < n; r++ {
+		A[r] = make([]int64, n)
+		B[r] = make([]int64, n)
+		for c := 0; c < n; c++ {
+			A[r][c] = int64(AElem(r, c))
+			B[r][c] = int64(BElem(r, c))
+		}
+	}
+	for row := 0; row < q; row++ {
+		for col := 0; col < q; col++ {
+			var want int64
+			for bi := 0; bi < b; bi++ {
+				for bj := 0; bj < b; bj++ {
+					r, c := row*b+bi, col*b+bj
+					var e int64
+					for k := 0; k < n; k++ {
+						e += A[r][k] * B[k][c]
+					}
+					want += e
+				}
+			}
+			if got := CannonChecksum(row, col, q, b); got != want {
+				t.Fatalf("block (%d,%d): checksum %d, want %d", row, col, got, want)
+			}
+		}
+	}
+}
+
+func TestElementGeneratorsBounded(t *testing.T) {
+	for r := 0; r < 64; r++ {
+		for c := 0; c < 64; c++ {
+			if v := AElem(r, c); v < 0 || v > 15 {
+				t.Fatalf("AElem(%d,%d) = %d", r, c, v)
+			}
+			if v := BElem(r, c); v < 0 || v > 15 {
+				t.Fatalf("BElem(%d,%d) = %d", r, c, v)
+			}
+		}
+	}
+}
