@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test test-race test-full bench vet
+
+build:
+	$(GO) build ./...
+
+# Fast CI gate: shrunk experiment shapes, < 2 minutes on a small host.
+test:
+	$(GO) test -short ./...
+
+# Race-clean gate over the same short suite. The generous timeout is for
+# single-core hosts, where race instrumentation is ~10x.
+test-race:
+	$(GO) test -short -race -timeout 30m ./...
+
+# The paper-shape suite (tier-1 verify): full CI-scale windows.
+test-full:
+	$(GO) test ./...
+
+# One iteration of every figure benchmark plus the engine
+# micro-benchmarks. HORNET_FULL=1 switches to paper-scale parameters.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+vet:
+	$(GO) vet ./...

@@ -10,16 +10,18 @@
 package hornet_test
 
 import (
-	"os"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"hornet/internal/config"
 	"hornet/internal/core"
 	"hornet/internal/experiments"
+	"hornet/internal/sweep"
 )
 
 func opts() experiments.Options {
-	return experiments.Options{Full: os.Getenv("HORNET_FULL") != ""}
+	return experiments.Options{Full: experiments.FullFromEnv()}
 }
 
 func BenchmarkTableI(b *testing.B) {
@@ -65,6 +67,41 @@ func benchRows(b *testing.B, run func() int) {
 		if run() == 0 {
 			b.Fatal("experiment produced no rows")
 		}
+	}
+}
+
+// BenchmarkSweepParallelism measures wall-clock scaling of the experiment
+// sweep engine on the Fig 9 configuration sweep (12 independent SPLASH
+// replays at Tiny scale): the headline number behind `hornet-exp
+// -parallel N`. On a single-core host the two sub-benchmarks should tie.
+func BenchmarkSweepParallelism(b *testing.B) {
+	for _, par := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			o := opts()
+			o.Tiny = !o.Full
+			o.Parallel = par
+			for i := 0; i < b.N; i++ {
+				if len(experiments.Fig9(o)) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepOverhead isolates the engine's own cost: scheduling,
+// seed derivation, budget accounting and result ordering for no-op runs.
+func BenchmarkSweepOverhead(b *testing.B) {
+	items := make([]sweep.Item, 256)
+	for i := range items {
+		items[i] = sweep.Item{
+			Key: fmt.Sprintf("noop/%03d", i),
+			Run: func(ctx sweep.Ctx) (any, error) { return ctx.Seed, nil },
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sweep.Run(items, sweep.Config{Workers: 8, Seed: 1})
 	}
 }
 

@@ -1,107 +1,172 @@
 // Command hornet-exp regenerates the paper's tables and figures: it runs
-// the experiment harnesses in internal/experiments and prints the series
-// each figure plots.
+// the experiment sweeps in internal/experiments and prints the series
+// each figure plots (or emits them as JSON documents).
+//
+// Independent simulation configurations within a figure run concurrently
+// on a bounded worker pool (-parallel); the timing figures (6a, 6b, 7)
+// always execute their runs one at a time because wall-clock time is the
+// measurement. For a fixed seed the JSON output of the non-timing figures
+// is byte-identical at every -parallel setting.
 //
 // Usage:
 //
-//	hornet-exp -fig 8            # one figure (6a, 6b, 7, 8, 9, 10, 11, 12, 13, 14, 4a, t1)
-//	hornet-exp -all              # everything
-//	hornet-exp -fig 6a -full     # paper-scale parameters (slow)
+//	hornet-exp -only 8                  # one figure (6a 6b 7 8 9 10 11 12 13 14 4a t1)
+//	hornet-exp -only 8,9,t1             # several
+//	hornet-exp -all                     # everything
+//	hornet-exp -all -parallel 8         # sweep 8 configurations at once
+//	hornet-exp -only 9 -json            # emit the sweep document as JSON
+//	hornet-exp -all -json -out results  # cache documents under results/ (resume: cached figures are skipped)
+//	hornet-exp -only 6a -full           # paper-scale parameters (slow)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"hornet/internal/experiments"
+	"hornet/internal/sweep"
 	"hornet/internal/thermal"
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 6a 6b 7 8 9 10 11 12 13 14 4a t1")
+	only := flag.String("only", "", "comma-separated figures to reproduce: 6a 6b 7 8 9 10 11 12 13 14 4a t1")
+	figFlag := flag.String("fig", "", "alias for -only (kept for compatibility)")
 	all := flag.Bool("all", false, "run every experiment")
-	full := flag.Bool("full", false, "paper-scale parameters (much slower)")
-	seed := flag.Uint64("seed", 0, "random seed (0 = default)")
+	full := flag.Bool("full", false, "paper-scale parameters (much slower); HORNET_FULL=1 is equivalent")
+	tiny := flag.Bool("tiny", false, "CI smoke scale (the shapes go test -short asserts)")
+	seed := flag.Uint64("seed", 0, "sweep master seed (0 = default); per-run seeds derive from it")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep runs for non-timing figures")
+	budget := flag.Int("budget", 0, "CPU-slot budget shared by all concurrent runs (0 = max(parallel, GOMAXPROCS))")
+	jsonOut := flag.Bool("json", false, "emit sweep documents as JSON on stdout instead of text")
+	outDir := flag.String("out", "", "with -json: cache documents under this directory, skipping figures already cached for the same configuration")
+	quiet := flag.Bool("q", false, "suppress per-run progress on stderr")
 	flag.Parse()
 
-	o := experiments.Options{Full: *full, Seed: *seed}
-	figs := []string{}
-	if *all {
-		figs = []string{"t1", "4a", "6a", "6b", "7", "8", "9", "10", "11", "12", "13", "14"}
-	} else if *fig != "" {
-		figs = []string{strings.ToLower(*fig)}
-	} else {
+	sel := *only
+	if sel == "" {
+		sel = *figFlag
+	}
+	var figs []experiments.Figure
+	switch {
+	case *all:
+		figs = experiments.Figures()
+	case sel != "":
+		var err error
+		figs, err = experiments.ParseFigureList(sel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hornet-exp: %v\n", err)
+			os.Exit(2)
+		}
+	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	o := experiments.Options{
+		Full:     *full || experiments.FullFromEnv(),
+		Tiny:     *tiny,
+		Seed:     *seed,
+		Parallel: *parallel,
+		Budget:   *budget,
+	}
+	if !*quiet {
+		o.Progress = func(done, total int, key string) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s\n", done, total, key)
+		}
+	}
+
 	for _, f := range figs {
-		if err := run(f, o); err != nil {
+		if err := run(f, o, *jsonOut, *outDir); err != nil {
 			fmt.Fprintf(os.Stderr, "hornet-exp: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func run(fig string, o experiments.Options) error {
-	switch fig {
+// run executes one figure and renders it. In JSON mode the sweep document
+// goes to stdout (and, with -out, into the cache directory keyed by the
+// configuration hash — a figure whose document is already cached is not
+// re-run).
+func run(f experiments.Figure, o experiments.Options, jsonOut bool, outDir string) error {
+	if jsonOut && outDir != "" {
+		cache := sweep.Cache{Dir: outDir}
+		hash := f.ConfigHash(o)
+		if doc, ok, err := cache.Load(f.Name, hash); err != nil {
+			return err
+		} else if ok {
+			fmt.Fprintf(os.Stderr, "%s: cached (%s)\n", f.Name, cache.Path(f.Name, hash))
+			return doc.WriteJSON(os.Stdout)
+		}
+		_, doc := f.Document(o)
+		if err := cache.Store(doc); err != nil {
+			return err
+		}
+		return doc.WriteJSON(os.Stdout)
+	}
+	if jsonOut {
+		_, doc := f.Document(o)
+		return doc.WriteJSON(os.Stdout)
+	}
+	began := time.Now()
+	rows, _ := f.Run(o)
+	fmt.Printf("== %s ==\n", f.Title)
+	printRows(f.Name, rows)
+	fmt.Fprintf(os.Stderr, "%s: %v\n", f.Name, time.Since(began).Round(time.Millisecond))
+	return nil
+}
+
+func printRows(name string, rows any) {
+	switch name {
 	case "t1":
-		fmt.Println("== Table I: configuration matrix smoke ==")
-		for _, row := range experiments.TableI(o) {
+		for _, row := range rows.([]string) {
 			fmt.Println("  ", row)
 		}
 	case "4a":
-		fmt.Println("== §IV-A: worst-link flow count and starvation ==")
-		r := experiments.Sec4a(o)
+		r := rows.(experiments.Sec4aResult)
 		fmt.Printf("  8x8  max flows/link = %5d (n^3/4 = %5d)\n", r.MaxFlows8, r.Law8)
 		fmt.Printf("  32x32 max flows/link = %5d (n^3/4 = %5d)\n", r.MaxFlows32, r.Law32)
 		fmt.Printf("  starved flows under heavy load: %d of %d\n", r.StarvedFlows, r.TotalFlows)
 	case "6a":
-		fmt.Println("== Fig 6a: parallel speedup vs workers ==")
 		fmt.Println("  workload      sync            workers  wall          speedup")
-		for _, r := range experiments.Fig6a(o) {
+		for _, r := range rows.([]experiments.Fig6aRow) {
 			fmt.Printf("  %-12s %-15s %6d  %-12v %6.2fx\n", r.Workload, r.SyncMode, r.Workers, r.Wall, r.Speedup)
 		}
 	case "6b":
-		fmt.Println("== Fig 6b: speedup & accuracy vs sync period (transpose, 4 workers) ==")
 		fmt.Println("  period  speedup  accuracy  avg-latency")
-		for _, r := range experiments.Fig6b(o) {
+		for _, r := range rows.([]experiments.Fig6bRow) {
 			fmt.Printf("  %6d  %6.2fx  %7.2f%%  %10.2f\n", r.Period, r.Speedup, r.AccuracyPct, r.AvgLatency)
 		}
 	case "7":
-		fmt.Println("== Fig 7: fast-forwarding benefit ==")
 		fmt.Println("  workload  ff     workers  wall          skipped     speedup")
-		for _, r := range experiments.Fig7(o) {
+		for _, r := range rows.([]experiments.Fig7Row) {
 			fmt.Printf("  %-8s  %-5v  %6d  %-12v %10d  %6.2fx\n", r.Workload, r.FF, r.Workers, r.Wall, r.Skipped, r.Speedup)
 		}
 	case "8":
-		fmt.Println("== Fig 8: congestion effect on flit latency ==")
 		fmt.Println("  benchmark   with-congestion  without  ratio")
-		for _, r := range experiments.Fig8(o) {
+		for _, r := range rows.([]experiments.Fig8Row) {
 			fmt.Printf("  %-10s  %15.2f  %7.2f  %5.2fx\n", r.Benchmark, r.WithCongestion, r.WithoutCongestion, r.Ratio)
 		}
 	case "9":
-		fmt.Println("== Fig 9: VC configuration vs in-network latency ==")
 		fmt.Println("  benchmark   config   vca      latency")
-		for _, r := range experiments.Fig9(o) {
+		for _, r := range rows.([]experiments.Fig9Row) {
 			fmt.Printf("  %-10s  %dVCx%d   %-7s  %7.2f\n", r.Benchmark, r.VCs, r.BufFlits, r.VCA, r.Latency)
 		}
 	case "10":
-		fmt.Println("== Fig 10: routing x VCA on WATER ==")
 		fmt.Println("  vcs  routing  vca      latency")
-		for _, r := range experiments.Fig10(o) {
+		for _, r := range rows.([]experiments.Fig10Row) {
 			fmt.Printf("  %3d  %-7s  %-7s  %7.2f\n", r.VCs, r.Routing, r.VCA, r.Latency)
 		}
 	case "11":
-		fmt.Println("== Fig 11: memory controllers vs latency (RADIX) ==")
 		fmt.Println("  MCs  routing  vca      latency")
-		for _, r := range experiments.Fig11(o) {
+		for _, r := range rows.([]experiments.Fig11Row) {
 			fmt.Printf("  %3d  %-7s  %-7s  %7.2f\n", r.Controllers, r.Routing, r.VCA, r.Latency)
 		}
 	case "12":
-		fmt.Println("== Fig 12: trace-based vs integrated simulation (Cannon) ==")
-		r := experiments.Fig12(o)
+		r := rows.(experiments.Fig12Result)
 		fmt.Printf("  ideal-net app runtime:    %10d cycles\n", r.IdealCycles)
 		fmt.Printf("  trace replay runtime:     %10d cycles\n", r.TraceReplayCycles)
 		fmt.Printf("  integrated runtime:       %10d cycles\n", r.IntegratedCycles)
@@ -109,8 +174,7 @@ func run(fig string, o experiments.Options) error {
 		fmt.Printf("  normalized (trace/integrated): injection rate %.2fx, execution time %.2fx\n",
 			r.NormInjectionRateTrace, r.NormExecTimeTrace)
 	case "13":
-		fmt.Println("== Fig 13: temperature over time ==")
-		for _, s := range experiments.Fig13(o) {
+		for _, s := range rows.([]experiments.Fig13Series) {
 			fmt.Printf("  %s (swing %.2fC):\n    cycle      maxC   meanC\n", s.Benchmark, s.SwingC)
 			for i := range s.Cycle {
 				if i%4 != 0 {
@@ -120,16 +184,12 @@ func run(fig string, o experiments.Options) error {
 			}
 		}
 	case "14":
-		fmt.Println("== Fig 14: steady-state temperature maps (8x8, XY, corner MC) ==")
-		for _, m := range experiments.Fig14(o) {
+		for _, m := range rows.([]experiments.Fig14Map) {
 			fmt.Printf("  %s: hotspot (%d,%d) %.2fC, corner MC %.2fC\n",
 				m.Benchmark, m.HotX, m.HotY, m.MaxTempC, m.CornerMCTempC)
 			fmt.Println(indent(thermal.HeatmapString(m.TempsC, m.Width), "    "))
 		}
-	default:
-		return fmt.Errorf("unknown figure %q", fig)
 	}
-	return nil
 }
 
 func indent(s, pad string) string {

@@ -1,0 +1,3 @@
+module hornet
+
+go 1.24

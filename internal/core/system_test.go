@@ -50,6 +50,12 @@ func TestUniformTrafficDelivers(t *testing.T) {
 }
 
 func TestDeterminismAcrossWorkers(t *testing.T) {
+	cycles := uint64(10_000)
+	workerSet := []int{2, 3, 4, 7}
+	if testing.Short() {
+		cycles = 4_000
+		workerSet = []int{2, 4}
+	}
 	run := func(workers int) string {
 		cfg := smallCfg()
 		cfg.Engine.Workers = workers
@@ -61,7 +67,7 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 		if err := sys.AttachSyntheticTraffic(); err != nil {
 			t.Fatal(err)
 		}
-		sys.Run(10_000)
+		sys.Run(cycles)
 		sum := sys.Summary()
 		return fmt.Sprintf("%d %d %d %d %.6f %.6f",
 			sum.PacketsInjected, sum.PacketsDelivered,
@@ -69,7 +75,7 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 			sum.AvgFlitLatency, sum.AvgPacketLatency)
 	}
 	ref := run(1)
-	for _, w := range []int{2, 3, 4, 7} {
+	for _, w := range workerSet {
 		if got := run(w); got != ref {
 			t.Fatalf("workers=%d diverged:\n got %s\nwant %s", w, got, ref)
 		}
@@ -146,7 +152,11 @@ func TestRoutingAlgorithmsDeliver(t *testing.T) {
 			if err := sys.AttachSyntheticTraffic(); err != nil {
 				t.Fatal(err)
 			}
-			sys.Run(15_000)
+			cycles := uint64(15_000)
+			if testing.Short() {
+				cycles = 6_000
+			}
+			sys.Run(cycles)
 			sum := sys.Summary()
 			if sum.PacketsDelivered == 0 {
 				t.Fatalf("%s delivered nothing", alg)

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"fmt"
+
 	"hornet/internal/config"
 	"hornet/internal/core"
 	"hornet/internal/noc"
 	"hornet/internal/splash"
+	"hornet/internal/sweep"
 	"hornet/internal/thermal"
-	"hornet/internal/trace"
 )
 
 // ---------------------------------------------------------------------------
@@ -25,27 +27,35 @@ type Fig8Row struct {
 // 64-core 8x8 mesh with 4 VCs and measures average flit latency under the
 // cycle-accurate model versus the congestion-oblivious hop-count model.
 func Fig8(o Options) []Fig8Row {
+	rows, _ := fig8(o)
+	return rows
+}
+
+func fig8(o Options) ([]Fig8Row, []sweep.Result) {
 	o.fill()
-	cycles := uint64(120_000)
-	if o.Full {
-		cycles = 2_000_000
-	}
-	var rows []Fig8Row
+	cycles := o.splashCycles()
+	var items []sweep.Item
 	for _, b := range []splash.Benchmark{splash.Radix, splash.Swaptions} {
-		tr := splashTrace(b, o, cycles, 1.0)
-		sys := splashSystem(o, config.RouteXY, config.VCADynamic, 4, 8)
-		sys.AttachTrace(tr)
-		sys.RunUntil(cycles*20, func(uint64) bool { return sys.TraceDone() })
-		measured := sys.Summary().AvgFlitLatency
-		ideal := core.IdealTrace(sys.Topo, tr).AvgFlitLatency
-		rows = append(rows, Fig8Row{
-			Benchmark:         string(b),
-			WithCongestion:    measured,
-			WithoutCongestion: ideal,
-			Ratio:             measured / ideal,
+		items = append(items, sweep.Item{
+			Key: fmt.Sprintf("fig8/%s", b),
+			Run: func(ctx sweep.Ctx) (any, error) {
+				tr := splashTrace(b, o, cycles, 1.0)
+				sys := splashSystem(o, config.RouteXY, config.VCADynamic, 4, 8, ctx)
+				sys.AttachTrace(tr)
+				sys.RunUntil(cycles*20, func(uint64) bool { return sys.TraceDone() })
+				measured := sys.Summary().AvgFlitLatency
+				ideal := core.IdealTrace(sys.Topo, tr).AvgFlitLatency
+				return Fig8Row{
+					Benchmark:         string(b),
+					WithCongestion:    measured,
+					WithoutCongestion: ideal,
+					Ratio:             measured / ideal,
+				}, nil
+			},
 		})
 	}
-	return rows
+	results := runSweep(o, false, items)
+	return collect[Fig8Row](results), results
 }
 
 // ---------------------------------------------------------------------------
@@ -66,13 +76,15 @@ type Fig9Row struct {
 // more competitors); halving VC size to keep total buffer space constant
 // (4VCx4) beats 2VCx8.
 func Fig9(o Options) []Fig9Row {
+	rows, _ := fig9(o)
+	return rows
+}
+
+func fig9(o Options) ([]Fig9Row, []sweep.Result) {
 	o.fill()
-	cycles := uint64(120_000)
-	if o.Full {
-		cycles = 2_000_000
-	}
+	cycles := o.splashCycles()
 	configs := []struct{ vcs, buf int }{{2, 8}, {4, 8}, {4, 4}}
-	var rows []Fig9Row
+	var items []sweep.Item
 	for _, b := range []splash.Benchmark{splash.Swaptions, splash.Radix} {
 		// Calibrated so both benchmarks run congested, as in the paper's
 		// Fig 9 (the 10x clock compression makes even SWAPTIONS heavy).
@@ -80,23 +92,31 @@ func Fig9(o Options) []Fig9Row {
 		if b == splash.Swaptions {
 			intensity = 12.0
 		}
+		// One trace per benchmark, shared by all six configurations:
+		// injectors copy events, so concurrent runs replay it safely.
 		tr := splashTrace(b, o, cycles, intensity)
 		for _, cc := range configs {
 			for _, vcaPolicy := range []string{config.VCADynamic, config.VCAEDVCA} {
-				sys := splashSystem(o, config.RouteXY, vcaPolicy, cc.vcs, cc.buf)
-				sys.AttachTrace(tr)
-				sys.RunUntil(cycles*20, func(uint64) bool { return sys.TraceDone() })
-				rows = append(rows, Fig9Row{
-					Benchmark: string(b),
-					VCs:       cc.vcs,
-					BufFlits:  cc.buf,
-					VCA:       vcaPolicy,
-					Latency:   sys.Summary().AvgPacketLatency,
+				items = append(items, sweep.Item{
+					Key: fmt.Sprintf("fig9/%s/%dVCx%d/%s", b, cc.vcs, cc.buf, vcaPolicy),
+					Run: func(ctx sweep.Ctx) (any, error) {
+						sys := splashSystem(o, config.RouteXY, vcaPolicy, cc.vcs, cc.buf, ctx)
+						sys.AttachTrace(tr)
+						sys.RunUntil(cycles*20, func(uint64) bool { return sys.TraceDone() })
+						return Fig9Row{
+							Benchmark: string(b),
+							VCs:       cc.vcs,
+							BufFlits:  cc.buf,
+							VCA:       vcaPolicy,
+							Latency:   sys.Summary().AvgPacketLatency,
+						}, nil
+					},
 				})
 			}
 		}
 	}
-	return rows
+	results := runSweep(o, false, items)
+	return collect[Fig9Row](results), results
 }
 
 // ---------------------------------------------------------------------------
@@ -114,29 +134,38 @@ type Fig10Row struct {
 // XY/O1TURN/ROMM x dynamic/EDVCA at 2 and 4 VCs: path-diverse algorithms
 // win, but by an unimpressive margin (§IV-C).
 func Fig10(o Options) []Fig10Row {
+	rows, _ := fig10(o)
+	return rows
+}
+
+func fig10(o Options) ([]Fig10Row, []sweep.Result) {
 	o.fill()
-	cycles := uint64(120_000)
-	if o.Full {
-		cycles = 2_000_000
-	}
+	cycles := o.splashCycles()
+	// All twelve configurations replay one shared WATER trace.
 	tr := splashTrace(splash.Water, o, cycles, 8.0)
-	var rows []Fig10Row
+	var items []sweep.Item
 	for _, vcs := range []int{2, 4} {
 		for _, alg := range []string{config.RouteXY, config.RouteO1Turn, config.RouteROMM} {
 			for _, vcaPolicy := range []string{config.VCADynamic, config.VCAEDVCA} {
-				sys := splashSystem(o, alg, vcaPolicy, vcs, 8)
-				sys.AttachTrace(tr)
-				sys.RunUntil(cycles*20, func(uint64) bool { return sys.TraceDone() })
-				rows = append(rows, Fig10Row{
-					Routing: alg,
-					VCA:     vcaPolicy,
-					VCs:     vcs,
-					Latency: sys.Summary().AvgPacketLatency,
+				items = append(items, sweep.Item{
+					Key: fmt.Sprintf("fig10/%s/%s/%dVC", alg, vcaPolicy, vcs),
+					Run: func(ctx sweep.Ctx) (any, error) {
+						sys := splashSystem(o, alg, vcaPolicy, vcs, 8, ctx)
+						sys.AttachTrace(tr)
+						sys.RunUntil(cycles*20, func(uint64) bool { return sys.TraceDone() })
+						return Fig10Row{
+							Routing: alg,
+							VCA:     vcaPolicy,
+							VCs:     vcs,
+							Latency: sys.Summary().AvgPacketLatency,
+						}, nil
+					},
 				})
 			}
 		}
 	}
-	return rows
+	results := runSweep(o, false, items)
+	return collect[Fig10Row](results), results
 }
 
 // ---------------------------------------------------------------------------
@@ -156,11 +185,13 @@ type Fig11Row struct {
 // help a lot — but nowhere near five-fold — and routing/VCA choice stops
 // mattering once congestion is spread (§IV-C).
 func Fig11(o Options) []Fig11Row {
+	rows, _ := fig11(o)
+	return rows
+}
+
+func fig11(o Options) ([]Fig11Row, []sweep.Result) {
 	o.fill()
-	cycles := uint64(120_000)
-	if o.Full {
-		cycles = 2_000_000
-	}
+	cycles := o.splashCycles()
 	mcSets := []struct {
 		n     int
 		nodes []noc.NodeID
@@ -168,38 +199,41 @@ func Fig11(o Options) []Fig11Row {
 		{1, []noc.NodeID{0}},                // lower-left corner
 		{5, []noc.NodeID{0, 7, 56, 63, 27}}, // corners + center
 	}
-	var rows []Fig11Row
+	var items []sweep.Item
 	for _, mcs := range mcSets {
+		// One memory trace per controller placement, shared by the six
+		// routing/VCA configurations.
 		tr, err := splash.GenerateMemory(splash.Radix, splash.Params{
 			Nodes: 64, Width: 8, Height: 8, Cycles: cycles,
 			Seed: o.Seed, Intensity: 0.5,
 		}, mcs.nodes)
 		if err != nil {
-			panic(err)
+			panic(fmt.Sprintf("experiments: %v", err))
 		}
 		for _, alg := range []string{config.RouteXY, config.RouteO1Turn, config.RouteROMM} {
 			for _, vcaPolicy := range []string{config.VCADynamic, config.VCAEDVCA} {
-				sys := splashSystem(o, alg, vcaPolicy, 4, 8)
-				sys.AttachTrace(tr)
-				sys.AttachTraceControllers(mcs.nodes, 50, 8)
-				sys.RunUntil(cycles*40, func(uint64) bool {
-					return sys.TraceDone() && quiesced(sys, mcs.nodes)
-				})
-				rows = append(rows, Fig11Row{
-					Controllers: mcs.n,
-					Routing:     alg,
-					VCA:         vcaPolicy,
-					Latency:     sys.Summary().AvgPacketLatency,
+				items = append(items, sweep.Item{
+					Key: fmt.Sprintf("fig11/%dMC/%s/%s", mcs.n, alg, vcaPolicy),
+					Run: func(ctx sweep.Ctx) (any, error) {
+						sys := splashSystem(o, alg, vcaPolicy, 4, 8, ctx)
+						sys.AttachTrace(tr)
+						sys.AttachTraceControllers(mcs.nodes, 50, 8)
+						sys.RunUntil(cycles*40, func(uint64) bool {
+							return sys.TraceDone() && sys.InFlight() == 0
+						})
+						return Fig11Row{
+							Controllers: mcs.n,
+							Routing:     alg,
+							VCA:         vcaPolicy,
+							Latency:     sys.Summary().AvgPacketLatency,
+						}, nil
+					},
 				})
 			}
 		}
 	}
-	return rows
-}
-
-func quiesced(sys *core.System, mcs []noc.NodeID) bool {
-	// Controllers respond asynchronously; wait until their queues drain.
-	return sys.InFlight() == 0
+	results := runSweep(o, false, items)
+	return collect[Fig11Row](results), results
 }
 
 // ---------------------------------------------------------------------------
@@ -223,61 +257,69 @@ type Fig13Series struct {
 // the shortened simulation window (the full-scale run uses the realistic
 // constant over 16M cycles, as the paper does).
 func Fig13(o Options) []Fig13Series {
-	o.fill()
-	cycles := uint64(400_000)
-	if o.Full {
-		cycles = 16_000_000
-	}
-	var out []Fig13Series
-	for _, b := range []splash.Benchmark{splash.Ocean, splash.Radix} {
-		tr := splashTrace(b, o, cycles, 1.0)
-		sys := splashSystemFF(o, config.RouteXY, config.VCADynamic, 4, 8, false)
-		sys.AttachTrace(tr)
-		sys.RunUntil(cycles*4, func(c uint64) bool { return c >= cycles && sys.TraceDone() })
+	rows, _ := fig13(o)
+	return rows
+}
 
-		tcfg := sys.Config.Thermal
-		if !o.Full {
-			tcfg.CJPerK = 2e-6 // slowest RC mode ~ 16us so 40us RADIX phases register
-		}
-		grid, err := thermal.NewGrid(8, 8, tcfg)
-		if err != nil {
-			panic(err)
-		}
-		epochSec := sys.Power.EpochSeconds()
-		series := Fig13Series{Benchmark: string(b)}
-		epochs := sys.Power.Epochs()
-		// Normalize activity across the run so the power amplitude lands
-		// in the paper's band while the temporal/spatial shape is the
-		// measured one.
-		peak := 0.0
-		for e := 0; e < epochs; e++ {
-			for _, w := range sys.Power.EpochPower(e) {
-				if w > peak {
-					peak = w
+func fig13(o Options) ([]Fig13Series, []sweep.Result) {
+	o.fill()
+	cycles := o.pick(120_000, 400_000, 16_000_000)
+	var items []sweep.Item
+	for _, b := range []splash.Benchmark{splash.Ocean, splash.Radix} {
+		items = append(items, sweep.Item{
+			Key: fmt.Sprintf("fig13/%s", b),
+			Run: func(ctx sweep.Ctx) (any, error) {
+				tr := splashTrace(b, o, cycles, 1.0)
+				sys := splashSystemFF(o, config.RouteXY, config.VCADynamic, 4, 8, false, ctx)
+				sys.AttachTrace(tr)
+				sys.RunUntil(cycles*4, func(c uint64) bool { return c >= cycles && sys.TraceDone() })
+
+				tcfg := sys.Config.Thermal
+				if !o.Full {
+					tcfg.CJPerK = 2e-6 // slowest RC mode ~ 16us so 40us RADIX phases register
 				}
-			}
-		}
-		for e := 0; e < epochs; e++ {
-			grid.Step(normalizePower(sys.Power.EpochPower(e), peak), epochSec)
-			maxT, _ := grid.Max()
-			series.Cycle = append(series.Cycle, uint64(e+1)*sys.Power.EpochCycles())
-			series.MaxTempC = append(series.MaxTempC, maxT)
-			series.MeanTempC = append(series.MeanTempC, grid.Mean())
-		}
-		// Swing after the first quarter (thermal warm-in).
-		lo, hi := 1e9, -1e9
-		for _, t := range series.MaxTempC[len(series.MaxTempC)/4:] {
-			if t < lo {
-				lo = t
-			}
-			if t > hi {
-				hi = t
-			}
-		}
-		series.SwingC = hi - lo
-		out = append(out, series)
+				grid, err := thermal.NewGrid(8, 8, tcfg)
+				if err != nil {
+					return nil, err
+				}
+				epochSec := sys.Power.EpochSeconds()
+				series := Fig13Series{Benchmark: string(b)}
+				epochs := sys.Power.Epochs()
+				// Normalize activity across the run so the power amplitude
+				// lands in the paper's band while the temporal/spatial shape
+				// is the measured one.
+				peak := 0.0
+				for e := 0; e < epochs; e++ {
+					for _, w := range sys.Power.EpochPower(e) {
+						if w > peak {
+							peak = w
+						}
+					}
+				}
+				for e := 0; e < epochs; e++ {
+					grid.Step(normalizePower(sys.Power.EpochPower(e), peak), epochSec)
+					maxT, _ := grid.Max()
+					series.Cycle = append(series.Cycle, uint64(e+1)*sys.Power.EpochCycles())
+					series.MaxTempC = append(series.MaxTempC, maxT)
+					series.MeanTempC = append(series.MeanTempC, grid.Mean())
+				}
+				// Swing after the first quarter (thermal warm-in).
+				lo, hi := 1e9, -1e9
+				for _, t := range series.MaxTempC[len(series.MaxTempC)/4:] {
+					if t < lo {
+						lo = t
+					}
+					if t > hi {
+						hi = t
+					}
+				}
+				series.SwingC = hi - lo
+				return series, nil
+			},
+		})
 	}
-	return out
+	results := runSweep(o, false, items)
+	return collect[Fig13Series](results), results
 }
 
 // normalizePower maps measured per-tile NoC activity onto a tile power
@@ -319,61 +361,70 @@ type Fig14Map struct {
 // centre, so the hotspot sits there, not at the controller (§IV-E) —
 // the paper's argument for central thermal-sensor placement.
 func Fig14(o Options) []Fig14Map {
+	rows, _ := fig14(o)
+	return rows
+}
+
+func fig14(o Options) ([]Fig14Map, []sweep.Result) {
 	o.fill()
-	cycles := uint64(200_000)
-	if o.Full {
-		cycles = 2_000_000
-	}
-	var out []Fig14Map
+	cycles := o.pick(60_000, 200_000, 2_000_000)
+	var items []sweep.Item
 	for _, b := range []splash.Benchmark{splash.Radix, splash.Water} {
-		intensity := 1.0
-		missFrac := 0.04
-		if b == splash.Water {
-			intensity = 8.0
-			missFrac = 0.005 // water's base event count is ~8x radix's
-		}
-		tr := splashTrace(b, o, cycles, intensity)
-		// The coherence traffic rides alongside corner-MC miss traffic,
-		// exactly as in the paper's single-controller SPLASH runs; the
-		// miss stream stays light relative to coherence traffic.
-		mcTr, err := splash.GenerateMemory(b, splash.Params{
-			Nodes: 64, Width: 8, Height: 8, Cycles: cycles,
-			Seed: o.Seed, Intensity: missFrac,
-		}, []noc.NodeID{0})
-		if err != nil {
-			panic(err)
-		}
-		tr.Events = append(tr.Events, mcTr.Events...)
-		tr.Sort()
+		items = append(items, sweep.Item{
+			Key: fmt.Sprintf("fig14/%s", b),
+			Run: func(ctx sweep.Ctx) (any, error) {
+				intensity := 1.0
+				missFrac := 0.04
+				if b == splash.Water {
+					intensity = 8.0
+					missFrac = 0.005 // water's base event count is ~8x radix's
+				}
+				tr := splashTrace(b, o, cycles, intensity)
+				// The coherence traffic rides alongside corner-MC miss
+				// traffic, exactly as in the paper's single-controller SPLASH
+				// runs; the miss stream stays light relative to coherence
+				// traffic.
+				mcTr, err := splash.GenerateMemory(b, splash.Params{
+					Nodes: 64, Width: 8, Height: 8, Cycles: cycles,
+					Seed: o.Seed, Intensity: missFrac,
+				}, []noc.NodeID{0})
+				if err != nil {
+					return nil, err
+				}
+				tr.Events = append(tr.Events, mcTr.Events...)
+				tr.Sort()
 
-		sys := splashSystemFF(o, config.RouteXY, config.VCADynamic, 4, 8, false)
-		sys.AttachTrace(tr)
-		sys.AttachTraceControllers([]noc.NodeID{0}, 50, 8)
-		sys.RunUntil(cycles*40, func(uint64) bool { return sys.TraceDone() })
+				sys := splashSystemFF(o, config.RouteXY, config.VCADynamic, 4, 8, false, ctx)
+				sys.AttachTrace(tr)
+				sys.AttachTraceControllers([]noc.NodeID{0}, 50, 8)
+				sys.RunUntil(cycles*40, func(uint64) bool { return sys.TraceDone() })
 
-		grid, err := thermal.NewGrid(8, 8, sys.Config.Thermal)
-		if err != nil {
-			panic(err)
-		}
-		mp := sys.Power.MeanPower()
-		peak := 0.0
-		for _, w := range mp {
-			if w > peak {
-				peak = w
-			}
-		}
-		temps := grid.SteadyState(normalizePower(mp, peak))
-		m := Fig14Map{Benchmark: string(b), Width: 8, TempsC: temps}
-		for i, t := range temps {
-			if t > m.MaxTempC {
-				m.MaxTempC = t
-				m.HotX, m.HotY = i%8, i/8
-			}
-		}
-		m.CornerMCTempC = temps[0]
-		out = append(out, m)
+				grid, err := thermal.NewGrid(8, 8, sys.Config.Thermal)
+				if err != nil {
+					return nil, err
+				}
+				mp := sys.Power.MeanPower()
+				peak := 0.0
+				for _, w := range mp {
+					if w > peak {
+						peak = w
+					}
+				}
+				temps := grid.SteadyState(normalizePower(mp, peak))
+				m := Fig14Map{Benchmark: string(b), Width: 8, TempsC: temps}
+				for i, t := range temps {
+					if t > m.MaxTempC {
+						m.MaxTempC = t
+						m.HotX, m.HotY = i%8, i/8
+					}
+				}
+				m.CornerMCTempC = temps[0]
+				return m, nil
+			},
+		})
 	}
-	return out
+	results := runSweep(o, false, items)
+	return collect[Fig14Map](results), results
 }
 
 // ---------------------------------------------------------------------------
@@ -396,33 +447,66 @@ type Sec4aResult struct {
 }
 
 // Sec4a verifies the worst-link flow-count law analytically and
-// demonstrates flow starvation under heavy load via simulation.
+// demonstrates flow starvation under heavy load via simulation. The two
+// analytic counts and the starvation simulation are independent sweep
+// items.
 func Sec4a(o Options) Sec4aResult {
+	r, _ := sec4a(o)
+	return r
+}
+
+func sec4a(o Options) (Sec4aResult, []sweep.Result) {
 	o.fill()
-	res := Sec4aResult{
-		MaxFlows8:  maxLinkFlowsXY(8),
-		MaxFlows32: maxLinkFlowsXY(32),
-		Law8:       8 * 8 * 8 / 4,
-		Law32:      32 * 32 * 32 / 4,
+	results := runSweep(o, false, []sweep.Item{
+		{
+			Key: "sec4a/maxflows/8",
+			Run: func(sweep.Ctx) (any, error) { return maxLinkFlowsXY(8), nil },
+		},
+		{
+			Key: "sec4a/maxflows/32",
+			Run: func(sweep.Ctx) (any, error) { return maxLinkFlowsXY(32), nil },
+		},
+		{
+			Key: "sec4a/starvation",
+			Run: func(ctx sweep.Ctx) (any, error) {
+				cfg := config.Default()
+				cfg.Topology.Width, cfg.Topology.Height = 8, 8
+				cfg.Engine.Workers = ctx.Workers
+				cfg.Engine.Seed = ctx.Seed
+				cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternUniform, InjectionRate: 0.35}}
+				sys := mustSystem(cfg)
+				must(sys.AttachSyntheticTraffic())
+				sys.Run(o.synthCycles() * 2)
+				sum := sys.Summary()
+				return [2]int{len(sum.StarvedFlows(0.1)), len(sum.Flows)}, nil
+			},
+		},
+	})
+	starved := results[2].Value.([2]int)
+	r := Sec4aResult{
+		MaxFlows8:    results[0].Value.(int),
+		MaxFlows32:   results[1].Value.(int),
+		Law8:         8 * 8 * 8 / 4,
+		Law32:        32 * 32 * 32 / 4,
+		StarvedFlows: starved[0],
+		TotalFlows:   starved[1],
 	}
-	cfg := config.Default()
-	cfg.Topology.Width, cfg.Topology.Height = 8, 8
-	cfg.Engine.Seed = o.Seed
-	cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternUniform, InjectionRate: 0.35}}
-	sys := mustSystem(cfg)
-	must(sys.AttachSyntheticTraffic())
-	sys.Run(o.synthCycles() * 2)
-	sum := sys.Summary()
-	res.StarvedFlows = len(sum.StarvedFlows(0.1))
-	res.TotalFlows = len(sum.Flows)
-	return res
+	all := append(results, sweep.Result{Index: len(results), Key: "sec4a/result", Value: r})
+	return r, all
 }
 
 // maxLinkFlowsXY counts, for XY all-to-all on an n x n mesh, the maximum
 // number of (src,dst) flows whose route crosses any one directed link.
+// Links are indexed densely (node * 4 + direction) rather than hashed:
+// the 32x32 case walks ~21M link crossings and map overhead dominated.
 func maxLinkFlowsXY(n int) int {
-	type link struct{ a, b int }
-	load := make(map[link]int)
+	const (
+		east = iota
+		west
+		north
+		south
+	)
+	load := make([]int, n*n*4)
 	idx := func(x, y int) int { return y*n + x }
 	for sy := 0; sy < n; sy++ {
 		for sx := 0; sx < n; sx++ {
@@ -433,14 +517,20 @@ func maxLinkFlowsXY(n int) int {
 					}
 					x, y := sx, sy
 					for x != dx {
-						nx := x + sign(dx-x)
-						load[link{idx(x, y), idx(nx, y)}]++
-						x = nx
+						dir := east
+						if dx < x {
+							dir = west
+						}
+						load[idx(x, y)*4+dir]++
+						x += sign(dx - x)
 					}
 					for y != dy {
-						ny := y + sign(dy-y)
-						load[link{idx(x, y), idx(x, ny)}]++
-						y = ny
+						dir := south
+						if dy < y {
+							dir = north
+						}
+						load[idx(x, y)*4+dir]++
+						y += sign(dy - y)
 					}
 				}
 			}
@@ -471,8 +561,12 @@ func sign(v int) int {
 // TableI instantiates the paper's configuration matrix (Table I) and runs
 // each combination for a short window, returning the labels exercised.
 func TableI(o Options) []string {
+	rows, _ := tableI(o)
+	return rows
+}
+
+func tableI(o Options) ([]string, []sweep.Result) {
 	o.fill()
-	var done []string
 	type combo struct {
 		topoW, topoH int
 		alg          string
@@ -491,60 +585,54 @@ func TableI(o Options) []string {
 			combo{32, 32, config.RouteO1Turn, config.VCAEDVCA, 8, 8},
 		)
 	}
-	for _, c := range combos {
-		cfg := config.Default()
-		cfg.Topology.Width, cfg.Topology.Height = c.topoW, c.topoH
-		cfg.Routing.Algorithm = c.alg
-		cfg.Router.VCAlloc = c.vca
-		cfg.Router.VCsPerPort = c.vcs
-		cfg.Router.VCBufFlits = c.buf
-		cfg.Engine.Seed = o.Seed
-		cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternTranspose, InjectionRate: 0.02}}
-		sys := mustSystem(cfg)
-		must(sys.AttachSyntheticTraffic())
-		sys.Run(2_000)
-		done = append(done, sprintCombo(c.topoW, c.topoH, c.alg, c.vca, c.vcs, c.buf))
+	items := make([]sweep.Item, len(combos))
+	for i, c := range combos {
+		items[i] = sweep.Item{
+			Key: "t1/" + sprintCombo(c.topoW, c.topoH, c.alg, c.vca, c.vcs, c.buf),
+			Run: func(ctx sweep.Ctx) (any, error) {
+				cfg := config.Default()
+				cfg.Topology.Width, cfg.Topology.Height = c.topoW, c.topoH
+				cfg.Routing.Algorithm = c.alg
+				cfg.Router.VCAlloc = c.vca
+				cfg.Router.VCsPerPort = c.vcs
+				cfg.Router.VCBufFlits = c.buf
+				cfg.Engine.Workers = ctx.Workers
+				cfg.Engine.Seed = ctx.Seed
+				cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternTranspose, InjectionRate: 0.02}}
+				sys := mustSystem(cfg)
+				must(sys.AttachSyntheticTraffic())
+				sys.Run(2_000)
+				return sprintCombo(c.topoW, c.topoH, c.alg, c.vca, c.vcs, c.buf), nil
+			},
+		}
 	}
-	return done
+	results := runSweep(o, false, items)
+	return collect[string](results), results
 }
 
 func sprintCombo(w, h int, alg, vca string, vcs, buf int) string {
-	return alg + "/" + vca + " " + itoa(w) + "x" + itoa(h) + " " + itoa(vcs) + "VCx" + itoa(buf)
+	return fmt.Sprintf("%s/%s %dx%d %dVCx%d", alg, vca, w, h, vcs, buf)
 }
 
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var b [8]byte
-	i := len(b)
-	for v > 0 {
-		i--
-		b[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(b[i:])
-}
-
-// splashSystem builds the 8x8 SPLASH replay system.
-func splashSystem(o Options, alg, vcaPolicy string, vcs, buf int) *core.System {
-	return splashSystemFF(o, alg, vcaPolicy, vcs, buf, true)
+// splashSystem builds the 8x8 SPLASH replay system for a sweep run: the
+// engine takes the run's derived seed and granted CPU slots.
+func splashSystem(o Options, alg, vcaPolicy string, vcs, buf int, ctx sweep.Ctx) *core.System {
+	return splashSystemFF(o, alg, vcaPolicy, vcs, buf, true, ctx)
 }
 
 // splashSystemFF allows disabling fast-forward: the thermal figures need
 // every power epoch sampled, and FF would merge epochs across skipped
 // idle stretches into artificially inflated samples.
-func splashSystemFF(o Options, alg, vcaPolicy string, vcs, buf int, ff bool) *core.System {
+func splashSystemFF(o Options, alg, vcaPolicy string, vcs, buf int, ff bool, ctx sweep.Ctx) *core.System {
 	cfg := config.Default()
 	cfg.Topology.Width, cfg.Topology.Height = 8, 8
 	cfg.Routing.Algorithm = alg
 	cfg.Router.VCAlloc = vcaPolicy
 	cfg.Router.VCsPerPort = vcs
 	cfg.Router.VCBufFlits = buf
-	cfg.Engine.Seed = o.Seed
+	cfg.Engine.Workers = ctx.Workers
+	cfg.Engine.Seed = ctx.Seed
 	cfg.Engine.FastForward = ff
 	cfg.Power.EpochCycles = 5_000
 	return mustSystem(cfg)
 }
-
-var _ = trace.Event{} // the trace type appears in exported signatures via core

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this test binary was built with the race
+// detector; the heaviest sweeps shrink their scope under -short -race.
+const raceEnabled = true

@@ -4,9 +4,32 @@ import "testing"
 
 // The shape tests assert the qualitative results the paper reports, not
 // absolute numbers (EXPERIMENTS.md records both).
+//
+// Under `go test -short` the experiments run at Tiny scale: the same
+// simulations over shrunk measurement windows, keeping every qualitative
+// assertion while finishing in a few seconds per figure. Full runs (the
+// default) keep the paper-shape windows.
+
+func testOpts(t *testing.T) Options {
+	t.Helper()
+	return Options{Tiny: testing.Short()}
+}
+
+// skipHeavyUnderShortRace exempts the heaviest SPLASH sweeps from the
+// short race gate: race instrumentation is 10-30x on the replay hot
+// loop, and these figures re-exercise exactly the replay-through-sweep
+// path Fig8 already covers (the thermal figures even run single-worker
+// engines, adding no concurrent surface at all). A full (non-short)
+// race run still includes them.
+func skipHeavyUnderShortRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled && testing.Short() {
+		t.Skip("heavy SPLASH sweep: race coverage comes from Fig8's identical path")
+	}
+}
 
 func TestFig8Shape(t *testing.T) {
-	rows := Fig8(Options{})
+	rows := Fig8(testOpts(t))
 	byName := map[string]Fig8Row{}
 	for _, r := range rows {
 		byName[r.Benchmark] = r
@@ -27,7 +50,8 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	rows := Fig9(Options{})
+	skipHeavyUnderShortRace(t)
+	rows := Fig9(testOpts(t))
 	get := func(bench string, vcs, buf int, vca string) float64 {
 		for _, r := range rows {
 			if r.Benchmark == bench && r.VCs == vcs && r.BufFlits == buf && r.VCA == vca {
@@ -54,7 +78,8 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	rows := Fig10(Options{})
+	skipHeavyUnderShortRace(t)
+	rows := Fig10(testOpts(t))
 	get := func(alg, vca string, vcs int) float64 {
 		for _, r := range rows {
 			if r.Routing == alg && r.VCA == vca && r.VCs == vcs {
@@ -78,7 +103,8 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
-	rows := Fig11(Options{})
+	skipHeavyUnderShortRace(t)
+	rows := Fig11(testOpts(t))
 	var lat1, lat5 []float64
 	for _, r := range rows {
 		t.Logf("%dMC %s/%s: %.1f", r.Controllers, r.Routing, r.VCA, r.Latency)
@@ -103,7 +129,8 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestFig13Shape(t *testing.T) {
-	series := Fig13(Options{})
+	skipHeavyUnderShortRace(t)
+	series := Fig13(testOpts(t))
 	var ocean, radix Fig13Series
 	for _, s := range series {
 		t.Logf("%s: %d epochs, swing=%.2fC", s.Benchmark, len(s.Cycle), s.SwingC)
@@ -123,7 +150,8 @@ func TestFig13Shape(t *testing.T) {
 }
 
 func TestFig14Shape(t *testing.T) {
-	maps := Fig14(Options{})
+	skipHeavyUnderShortRace(t)
+	maps := Fig14(testOpts(t))
 	for _, m := range maps {
 		t.Logf("%s: hotspot at (%d,%d) %.2fC, corner MC %.2fC",
 			m.Benchmark, m.HotX, m.HotY, m.MaxTempC, m.CornerMCTempC)
@@ -141,7 +169,7 @@ func TestFig14Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
-	r := Fig12(Options{})
+	r := Fig12(testOpts(t))
 	t.Logf("ideal=%d replay=%d integrated=%d normRate=%.2f normTime=%.2f",
 		r.IdealCycles, r.TraceReplayCycles, r.IntegratedCycles,
 		r.NormInjectionRateTrace, r.NormExecTimeTrace)
@@ -154,7 +182,7 @@ func TestFig12Shape(t *testing.T) {
 }
 
 func TestSec4aLaw(t *testing.T) {
-	r := Sec4a(Options{})
+	r := Sec4a(testOpts(t))
 	t.Logf("max flows: 8x8=%d (law %d), 32x32=%d (law %d); starved %d/%d",
 		r.MaxFlows8, r.Law8, r.MaxFlows32, r.Law32, r.StarvedFlows, r.TotalFlows)
 	if r.MaxFlows8 != r.Law8 {
@@ -166,7 +194,7 @@ func TestSec4aLaw(t *testing.T) {
 }
 
 func TestFig6bShape(t *testing.T) {
-	rows := Fig6b(Options{})
+	rows := Fig6b(testOpts(t))
 	for _, r := range rows {
 		t.Logf("period %4d: speedup=%.2f accuracy=%.1f%% latency=%.2f",
 			r.Period, r.Speedup, r.AccuracyPct, r.AvgLatency)
@@ -183,7 +211,7 @@ func TestFig6bShape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	rows := Fig7(Options{})
+	rows := Fig7(testOpts(t))
 	var burstGain, cbrGain float64
 	for _, r := range rows {
 		t.Logf("%s ff=%v workers=%d: wall=%v skipped=%d speedup=%.2f",
@@ -207,7 +235,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestTableISmoke(t *testing.T) {
-	rows := TableI(Options{})
+	rows := TableI(testOpts(t))
 	if len(rows) < 4 {
 		t.Fatalf("only %d Table I combinations ran", len(rows))
 	}

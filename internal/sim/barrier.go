@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -17,6 +18,7 @@ import (
 // they do not.
 type Barrier struct {
 	parties int32
+	spin    int
 	arrived atomic.Int32
 	sense   atomic.Uint32
 
@@ -29,7 +31,13 @@ func NewBarrier(n int) *Barrier {
 	if n < 1 {
 		panic("sim: barrier party count must be >= 1")
 	}
-	b := &Barrier{parties: int32(n)}
+	b := &Barrier{parties: int32(n), spin: 4096}
+	if runtime.GOMAXPROCS(0) < n {
+		// Oversubscribed host: the parties we would spin for cannot even
+		// be scheduled while we burn the CPU, so spinning only delays
+		// them. Yield straight into the sleep path instead.
+		b.spin = 0
+	}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
@@ -61,10 +69,14 @@ func (b *Barrier) Await(action func()) {
 	}
 	// Spin briefly: with balanced partitions the other workers arrive
 	// within a few hundred nanoseconds.
-	for i := 0; i < 4096; i++ {
+	for i := 0; i < b.spin; i++ {
 		if b.sense.Load() != sense {
 			return
 		}
+	}
+	runtime.Gosched()
+	if b.sense.Load() != sense {
+		return
 	}
 	b.mu.Lock()
 	for b.sense.Load() == sense {

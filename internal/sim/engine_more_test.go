@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBarrierReuseUnderContention stresses sense reversal: one barrier
+// reused for thousands of generations by parties that arrive at wildly
+// different times (some spin-wait, some sleep into the cond-wait slow
+// path), checking that no generation releases early and no party is left
+// behind.
+func TestBarrierReuseUnderContention(t *testing.T) {
+	const parties = 6
+	rounds := 2000
+	if testing.Short() {
+		rounds = 400
+	}
+	b := NewBarrier(parties)
+	var entered atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Stagger arrivals: party 0 dawdles into the sleep path,
+				// the rest hit the spin path at staggered offsets.
+				if p == 0 && r%64 == 0 {
+					time.Sleep(50 * time.Microsecond)
+				} else if r%(p+2) == 0 {
+					runtime.Gosched()
+				}
+				entered.Add(1)
+				b.Await(func() {
+					// The last arriver of generation r must observe every
+					// party's arrival for this and all previous generations.
+					if got := entered.Load(); got != int64((r+1)*parties) {
+						t.Errorf("generation %d: leader saw %d arrivals, want %d",
+							r, got, (r+1)*parties)
+					}
+				})
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := entered.Load(); got != int64(parties*rounds) {
+		t.Fatalf("total arrivals %d, want %d", got, parties*rounds)
+	}
+}
+
+func TestBarrierSinglePartyRunsAction(t *testing.T) {
+	b := NewBarrier(1)
+	runs := 0
+	for i := 0; i < 100; i++ {
+		b.Await(func() { runs++ })
+		b.Await(nil)
+	}
+	if runs != 100 {
+		t.Fatalf("action ran %d times, want 100", runs)
+	}
+}
+
+// TestFastForwardAllIdle: when every tile reports NoEvent and the network
+// is empty, the engine must jump straight to the end of the run window —
+// executing (nearly) nothing — rather than stepping empty cycles.
+func TestFastForwardAllIdle(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		tiles := []Tile{&countTile{}, &countTile{}, &countTile{}, &countTile{}}
+		e := NewEngine(tiles, workers, 1, true, nil)
+		res := e.Run(0, 100_000, nil)
+		if res.Cycles+res.SkippedCycles != 100_000 {
+			t.Fatalf("workers=%d: cycles %d + skipped %d != 100000",
+				workers, res.Cycles, res.SkippedCycles)
+		}
+		if res.Cycles > 2 {
+			t.Fatalf("workers=%d: executed %d cycles of an entirely idle run", workers, res.Cycles)
+		}
+	}
+}
+
+// TestFastForwardNextEventNowPlusOne: a tile whose next event is always
+// the very next cycle gives fast-forwarding nothing to skip; every cycle
+// must execute.
+func TestFastForwardNextEventNowPlusOne(t *testing.T) {
+	tiles := []Tile{&countTile{next: 1}, &countTile{next: 1}}
+	e := NewEngine(tiles, 1, 1, true, nil)
+	res := e.Run(0, 500, nil)
+	if res.SkippedCycles != 0 {
+		t.Fatalf("skipped %d cycles past now+1 events", res.SkippedCycles)
+	}
+	if res.Cycles != 500 {
+		t.Fatalf("executed %d cycles, want 500", res.Cycles)
+	}
+	if n := len(tiles[0].(*countTile).transfers); n != 500 {
+		t.Fatalf("tile saw %d transfers, want 500", n)
+	}
+}
+
+// TestFastForwardSingleWorkerLandsOnEvent: with one worker (leader does
+// everything) the engine must still stop the jump exactly at the earliest
+// scheduled event and resume cycle-by-cycle there.
+func TestFastForwardSingleWorkerLandsOnEvent(t *testing.T) {
+	tiles := []Tile{&countTile{next: 700}, &countTile{}}
+	e := NewEngine(tiles, 1, 1, true, nil)
+	res := e.Run(0, 1000, nil)
+	if res.Cycles+res.SkippedCycles != 1000 {
+		t.Fatalf("cycles %d + skipped %d != 1000", res.Cycles, res.SkippedCycles)
+	}
+	ct := tiles[0].(*countTile)
+	sawEvent := false
+	for _, c := range ct.transfers {
+		if c == 700 {
+			sawEvent = true
+		}
+		if c > 0 && c < 700 && c != ct.transfers[0] {
+			// Cycles strictly inside the idle stretch may only appear before
+			// the first fast-forward decision (cycle 0 executes).
+			if c != 0 {
+				t.Fatalf("idle cycle %d was executed", c)
+			}
+		}
+	}
+	if !sawEvent {
+		t.Fatal("event cycle 700 was skipped over")
+	}
+}
+
+// TestFastForwardInFlightBlocksSkip: a non-empty network must veto
+// fast-forwarding even when every tile reports NoEvent — in-flight flits
+// still need cycle-by-cycle delivery.
+func TestFastForwardInFlightBlocksSkip(t *testing.T) {
+	inflight := new(atomic.Int64)
+	inflight.Store(1)
+	tiles := []Tile{&countTile{}, &countTile{}}
+	e := NewEngine(tiles, 2, 1, true, inflight)
+	res := e.Run(0, 200, nil)
+	if res.SkippedCycles != 0 {
+		t.Fatalf("skipped %d cycles with flits in flight", res.SkippedCycles)
+	}
+	if res.Cycles != 200 {
+		t.Fatalf("executed %d cycles, want 200", res.Cycles)
+	}
+}
+
+// exchangeTile is a deterministic communicating tile for the determinism
+// test: each cycle it hands a value derived from its private RNG to its
+// right neighbour (PhaseTransfer) and folds the value received from its
+// left neighbour into a checksum (PhaseCommit). Mailbox slots are written
+// by exactly one tile per phase and read only across the engine's
+// transfer/commit barrier, so the pattern is race-free in cycle-accurate
+// mode — mirroring how real tiles write neighbouring ingress buffers.
+type exchangeTile struct {
+	id       int
+	rng      *RNG
+	mailbox  []uint64 // shared across tiles; slot i is written only by tile i-1
+	n        int
+	checksum uint64
+}
+
+func (x *exchangeTile) PhaseTransfer(cycle uint64) {
+	x.mailbox[(x.id+1)%x.n] = x.rng.Uint64() + cycle
+}
+
+func (x *exchangeTile) PhaseCommit(cycle uint64) {
+	x.checksum = x.checksum*0x9E3779B97F4A7C15 + x.mailbox[x.id]
+}
+
+func (x *exchangeTile) NextEvent(now uint64) uint64 { return now + 1 }
+
+// TestEngineDeterminismAcrossWorkers: identical seeds must give
+// bit-identical per-tile state for 1 worker and any other worker count —
+// the paper's core determinism claim (§II-C), here exercised at the
+// engine level with communicating tiles.
+func TestEngineDeterminismAcrossWorkers(t *testing.T) {
+	const n = 16
+	cycles := uint64(1000)
+	workerSet := []int{2, 3, 4, 8, 16}
+	if testing.Short() {
+		// The property is worker-count independence, not endurance: a few
+		// hundred cycles across two partitionings already exercises every
+		// barrier path, and race-mode spin barriers are slow on small hosts.
+		cycles = 200
+		workerSet = []int{2, 4}
+	}
+	run := func(workers int) []uint64 {
+		mailbox := make([]uint64, n)
+		tiles := make([]Tile, n)
+		for i := 0; i < n; i++ {
+			tiles[i] = &exchangeTile{
+				id:      i,
+				rng:     NewRNG(DeriveSeed(0x5EED, "tile")*uint64(i+1) + uint64(i)),
+				mailbox: mailbox,
+				n:       n,
+			}
+		}
+		e := NewEngine(tiles, workers, 1, false, nil)
+		if res := e.Run(0, cycles, nil); res.Cycles != cycles {
+			t.Fatalf("workers=%d ran %d cycles, want %d", workers, res.Cycles, cycles)
+		}
+		out := make([]uint64, n)
+		for i, tl := range tiles {
+			out[i] = tl.(*exchangeTile).checksum
+		}
+		return out
+	}
+	ref := run(1)
+	for _, workers := range workerSet {
+		got := run(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: tile %d checksum %#x != 1-worker %#x",
+					workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestDeriveSeedProperties(t *testing.T) {
+	if DeriveSeed(1, "a") != DeriveSeed(1, "a") {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	if DeriveSeed(1, "a") == DeriveSeed(1, "b") {
+		t.Fatal("different keys derived the same seed")
+	}
+	if DeriveSeed(1, "a") == DeriveSeed(2, "a") {
+		t.Fatal("different bases derived the same seed")
+	}
+	// The derived stream must not be the base stream.
+	if DeriveSeed(1, "") == 1 {
+		t.Fatal("empty key returned the base seed unmixed")
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := DeriveSeed(42, string(rune('a'+i%26))+string(rune('0'+i/26)))
+		if seen[s] {
+			t.Fatalf("seed collision at %d", i)
+		}
+		seen[s] = true
+	}
+}

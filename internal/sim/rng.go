@@ -20,6 +20,25 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// DeriveSeed splits an independent stream seed off base, keyed by an
+// arbitrary string. It hashes the key (FNV-1a) into the base and applies
+// the same splitmix64 finalizer Reseed uses, so derived seeds are as
+// unrelated to each other — and to the base — as reseeding is. Sweep
+// harnesses use it to give every run a deterministic private seed that
+// depends only on (sweep seed, run key), never on scheduling order.
+func DeriveSeed(base uint64, key string) uint64 {
+	h := base ^ 0xCBF29CE484222325 // FNV-1a offset basis
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 0x100000001B3 // FNV prime
+	}
+	// splitmix64 finalizer, as in Reseed, to decorrelate near-equal hashes.
+	z := h + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
 // Reseed resets the generator to the stream defined by seed.
 func (r *RNG) Reseed(seed uint64) {
 	// splitmix64 step so that small/sequential seeds give unrelated streams.

@@ -10,9 +10,18 @@ func params(cycles uint64) Params {
 	return Params{Nodes: 64, Width: 8, Height: 8, Cycles: cycles, Seed: 1}
 }
 
+// testCycles halves trace windows under -short; every assertion in this
+// file is window-relative, so the shapes survive the shrink.
+func testCycles(c uint64) uint64 {
+	if testing.Short() {
+		return c / 2
+	}
+	return c
+}
+
 func TestAllBenchmarksGenerate(t *testing.T) {
 	for _, b := range Benchmarks() {
-		tr, err := Generate(b, params(100_000))
+		tr, err := Generate(b, params(testCycles(100_000)))
 		if err != nil {
 			t.Fatalf("%s: %v", b, err)
 		}
@@ -34,8 +43,8 @@ func TestAllBenchmarksGenerate(t *testing.T) {
 }
 
 func TestDeterministicGeneration(t *testing.T) {
-	a, _ := Generate(Radix, params(80_000))
-	b, _ := Generate(Radix, params(80_000))
+	a, _ := Generate(Radix, params(testCycles(80_000)))
+	b, _ := Generate(Radix, params(testCycles(80_000)))
 	if len(a.Events) != len(b.Events) {
 		t.Fatal("same seed produced different event counts")
 	}
@@ -44,7 +53,7 @@ func TestDeterministicGeneration(t *testing.T) {
 			t.Fatalf("event %d differs", i)
 		}
 	}
-	p2 := params(80_000)
+	p2 := params(testCycles(80_000))
 	p2.Seed = 2
 	c, _ := Generate(Radix, p2)
 	if len(a.Events) > 0 && len(c.Events) == len(a.Events) {
@@ -64,7 +73,8 @@ func TestDeterministicGeneration(t *testing.T) {
 // volume returns flits per node per cycle.
 func volume(t *testing.T, b Benchmark, intensity float64) float64 {
 	t.Helper()
-	p := params(120_000)
+	cycles := testCycles(120_000)
+	p := params(cycles)
 	p.Intensity = intensity
 	tr, err := Generate(b, p)
 	if err != nil {
@@ -74,7 +84,7 @@ func volume(t *testing.T, b Benchmark, intensity float64) float64 {
 	for _, e := range tr.Events {
 		flits += e.Flits
 	}
-	return float64(flits) / 64 / 120_000
+	return float64(flits) / 64 / float64(cycles)
 }
 
 func TestRelativeTrafficVolumes(t *testing.T) {
@@ -101,11 +111,12 @@ func TestIntensityScaling(t *testing.T) {
 }
 
 func TestRadixIsPhased(t *testing.T) {
-	tr, _ := Generate(Radix, params(80_000))
+	cycles := testCycles(80_000)
+	tr, _ := Generate(Radix, params(cycles))
 	// Count flits per 5k-cycle window: bursts should dwarf quiet phases.
-	bins := make([]int, 16)
+	bins := make([]int, cycles/5_000)
 	for _, e := range tr.Events {
-		if e.Cycle < 80_000 {
+		if e.Cycle < cycles {
 			bins[e.Cycle/5_000] += e.Flits
 		}
 	}
@@ -124,7 +135,7 @@ func TestRadixIsPhased(t *testing.T) {
 }
 
 func TestFFTButterflyPartners(t *testing.T) {
-	tr, _ := Generate(FFT, params(100_000))
+	tr, _ := Generate(FFT, params(testCycles(100_000)))
 	for _, e := range tr.Events {
 		x := int(e.Src) ^ int(e.Dst)
 		if x&(x-1) != 0 {
@@ -134,7 +145,7 @@ func TestFFTButterflyPartners(t *testing.T) {
 }
 
 func TestOceanIsNeighborOnly(t *testing.T) {
-	tr, _ := Generate(Ocean, params(50_000))
+	tr, _ := Generate(Ocean, params(testCycles(50_000)))
 	for _, e := range tr.Events {
 		sx, sy := int(e.Src)%8, int(e.Src)/8
 		dx, dy := int(e.Dst)%8, int(e.Dst)/8
@@ -146,7 +157,7 @@ func TestOceanIsNeighborOnly(t *testing.T) {
 
 func TestGenerateMemoryTargetsControllers(t *testing.T) {
 	mcs := []noc.NodeID{0, 63}
-	tr, err := GenerateMemory(Radix, params(80_000), mcs)
+	tr, err := GenerateMemory(Radix, params(testCycles(80_000)), mcs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,8 +180,8 @@ func TestGenerateMemoryTargetsControllers(t *testing.T) {
 }
 
 func TestGenerateMemoryThinning(t *testing.T) {
-	full, _ := GenerateMemory(Radix, params(80_000), []noc.NodeID{0})
-	p := params(80_000)
+	full, _ := GenerateMemory(Radix, params(testCycles(80_000)), []noc.NodeID{0})
+	p := params(testCycles(80_000))
 	p.Intensity = 0.1
 	thin, _ := GenerateMemory(Radix, p, []noc.NodeID{0})
 	ratio := float64(len(thin.Events)) / float64(len(full.Events))

@@ -1,0 +1,70 @@
+package sweep
+
+import "sync"
+
+// Budget is a counting semaphore over host CPU slots, shared by every run
+// of a sweep. A run that will start W engine workers acquires W slots up
+// front and holds them for its duration, so the total number of busy
+// simulation threads — across all concurrently executing configurations —
+// never exceeds the budget. This is what lets a sweep safely mix
+// single-threaded runs with runs that are themselves parallel.
+type Budget struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int
+	used int
+}
+
+// NewBudget returns a budget of n slots. n < 1 is treated as 1.
+func NewBudget(n int) *Budget {
+	if n < 1 {
+		n = 1
+	}
+	b := &Budget{cap: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Cap returns the total slot count.
+func (b *Budget) Cap() int { return b.cap }
+
+// InUse returns the number of slots currently held.
+func (b *Budget) InUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Acquire blocks until w slots are free and takes them, returning the
+// number actually granted: requests are clamped to [1, Cap], so a run
+// asking for more workers than the host has budget for is granted the
+// whole budget rather than deadlocking.
+func (b *Budget) Acquire(w int) int {
+	if w < 1 {
+		w = 1
+	}
+	if w > b.cap {
+		w = b.cap
+	}
+	b.mu.Lock()
+	for b.used+w > b.cap {
+		b.cond.Wait()
+	}
+	b.used += w
+	b.mu.Unlock()
+	return w
+}
+
+// Release returns w previously acquired slots to the pool.
+func (b *Budget) Release(w int) {
+	if w < 1 {
+		return
+	}
+	b.mu.Lock()
+	if w > b.used {
+		panic("sweep: Budget.Release of more slots than acquired")
+	}
+	b.used -= w
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}

@@ -1,0 +1,198 @@
+// Package sweep runs independent simulation configurations concurrently:
+// the unit of parallelism is the *experiment sweep*, not the simulated
+// cycle. A sweep is a list of Items, each naming one configuration by a
+// stable key; the engine executes them on a bounded worker pool, derives a
+// deterministic per-run seed from (sweep seed, key) via sim.DeriveSeed,
+// charges every run's engine-worker request against a global CPU budget so
+// sweep-level and engine-level parallelism never oversubscribe the host,
+// and streams per-run results over a channel as they complete.
+//
+// Results are identified by item index and key, never by completion
+// order, so a sweep's collected output is byte-identical for any worker
+// count — the property the JSON emitter (emit.go) relies on for
+// caching/resume by config hash.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"hornet/internal/sim"
+)
+
+// Item is one run of a sweep: a stable key identifying the configuration
+// and a function executing it. Weight is the number of engine workers
+// (CPU slots) the run will occupy; 0 means 1.
+type Item struct {
+	Key    string
+	Weight int
+	Run    func(Ctx) (any, error)
+}
+
+// Ctx carries the per-run context the engine hands to an Item's Run.
+type Ctx struct {
+	Key     string
+	Index   int    // position of the item in the sweep
+	Seed    uint64 // deterministic private seed: sim.DeriveSeed(sweep seed, key)
+	Workers int    // CPU slots granted (the item's weight clamped to the budget)
+}
+
+// Result is one completed run.
+type Result struct {
+	Index   int
+	Key     string
+	Seed    uint64
+	Value   any
+	Err     error
+	Wall    time.Duration
+	Workers int
+}
+
+// Config controls sweep execution.
+type Config struct {
+	// Workers is the number of runs in flight at once; 0 means GOMAXPROCS.
+	Workers int
+	// Budget is the global CPU-slot pool shared by all concurrent runs: a
+	// run of weight W holds W slots for its duration, so sweep-level and
+	// engine-level workers together never exceed it. 0 means
+	// max(Workers, GOMAXPROCS).
+	Budget int
+	// Seed is the sweep master seed from which every run's private seed is
+	// derived.
+	Seed uint64
+	// OnProgress, if non-nil, is called after each run completes with the
+	// number of finished runs, the sweep size, and the run's result. Calls
+	// are serialized; the callback needs no locking.
+	OnProgress func(done, total int, r Result)
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) budget() int {
+	if c.Budget > 0 {
+		return c.Budget
+	}
+	if w := c.workers(); w > runtime.GOMAXPROCS(0) {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes all items and returns their results ordered by item index
+// (not completion order), so collected output is deterministic for any
+// worker count.
+func Run(items []Item, cfg Config) []Result {
+	out := make([]Result, 0, len(items))
+	for r := range Stream(items, cfg) {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Stream executes all items on the worker pool and sends each Result as
+// its run completes. The channel is closed once every item has finished.
+// Items are dispatched in index order, but completion order depends on
+// run durations; use Run for order-stable collection.
+func Stream(items []Item, cfg Config) <-chan Result {
+	results := make(chan Result, len(items))
+	workers := cfg.workers()
+	if workers > len(items) {
+		workers = len(items)
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	budget := NewBudget(cfg.budget())
+
+	var progressMu sync.Mutex
+	done := 0
+	emit := func(r Result) {
+		if cfg.OnProgress != nil {
+			progressMu.Lock()
+			done++
+			cfg.OnProgress(done, len(items), r)
+			progressMu.Unlock()
+		}
+		results <- r
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				emit(runOne(items[i], i, cfg.Seed, budget))
+			}
+		}()
+	}
+	go func() {
+		for i := range items {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		close(results)
+	}()
+	return results
+}
+
+// runOne executes a single item under the budget, converting panics into
+// errors so one failing configuration cannot take down the whole sweep.
+func runOne(it Item, index int, sweepSeed uint64, budget *Budget) (res Result) {
+	granted := budget.Acquire(it.Weight)
+	defer budget.Release(granted)
+
+	ctx := Ctx{
+		Key:     it.Key,
+		Index:   index,
+		Seed:    sim.DeriveSeed(sweepSeed, it.Key),
+		Workers: granted,
+	}
+	res = Result{Index: index, Key: it.Key, Seed: ctx.Seed, Workers: granted}
+	began := time.Now()
+	defer func() {
+		res.Wall = time.Since(began)
+		if p := recover(); p != nil {
+			res.Err = fmt.Errorf("sweep: run %q panicked: %v", it.Key, p)
+		}
+	}()
+	res.Value, res.Err = it.Run(ctx)
+	return res
+}
+
+// PairSeed derives a seed shared by a group of runs that must observe
+// identical stochastic inputs (e.g. a measurement pair differing only in
+// the knob under study), keyed by the formatted parts. Runs that need
+// fully private streams should use the Ctx.Seed the engine derives from
+// their item key instead.
+func PairSeed(base uint64, parts ...any) uint64 {
+	return sim.DeriveSeed(base, fmt.Sprintln(parts...))
+}
+
+// Collect extracts the typed values from results in index order,
+// returning the first error encountered (keyed for diagnosis).
+func Collect[T any](results []Result) ([]T, error) {
+	out := make([]T, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("sweep: run %q: %w", r.Key, r.Err)
+		}
+		v, ok := r.Value.(T)
+		if !ok {
+			return nil, fmt.Errorf("sweep: run %q returned %T, want %T", r.Key, r.Value, *new(T))
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
