@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-full bench vet
+.PHONY: build test test-race test-full bench serve vet
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,16 @@ test-race:
 test-full:
 	$(GO) test ./...
 
-# One iteration of every figure benchmark plus the engine
-# micro-benchmarks. HORNET_FULL=1 switches to paper-scale parameters.
+# One iteration of every benchmark in the repo: the root-package figure
+# benchmarks plus the per-package micro-benchmarks (sweep overhead,
+# engine, ...). HORNET_FULL=1 switches to paper-scale parameters.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Run the simulation-as-a-service daemon (see README: hornet-serve).
+# Override flags via SERVE_FLAGS, e.g. make serve SERVE_FLAGS='-addr :9090'.
+serve:
+	$(GO) run ./cmd/hornet-serve $(SERVE_FLAGS)
 
 vet:
 	$(GO) vet ./...

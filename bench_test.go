@@ -10,6 +10,7 @@
 package hornet_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -101,7 +102,7 @@ func BenchmarkSweepOverhead(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		sweep.Run(items, sweep.Config{Workers: 8, Seed: 1})
+		sweep.Run(context.Background(), items, sweep.Config{Workers: 8, Seed: 1})
 	}
 }
 

@@ -20,11 +20,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"hornet/internal/experiments"
@@ -66,12 +70,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM cancel the sweep context: workers drain, the partial
+	// document is still flushed (JSON mode), and nothing dies mid-write.
+	// The first signal unregisters the handler, so a second signal kills
+	// the process with the default disposition instead of being swallowed
+	// while in-flight runs drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	o := experiments.Options{
 		Full:     *full || experiments.FullFromEnv(),
 		Tiny:     *tiny,
 		Seed:     *seed,
 		Parallel: *parallel,
 		Budget:   *budget,
+		Context:  ctx,
 	}
 	if !*quiet {
 		o.Progress = func(done, total int, key string) {
@@ -80,7 +97,16 @@ func main() {
 	}
 
 	for _, f := range figs {
-		if err := run(f, o, *jsonOut, *outDir); err != nil {
+		err := run(f, o, *jsonOut, *outDir)
+		if errors.Is(err, context.Canceled) {
+			if *jsonOut {
+				fmt.Fprintf(os.Stderr, "hornet-exp: interrupted; partial results flushed\n")
+			} else {
+				fmt.Fprintf(os.Stderr, "hornet-exp: interrupted\n")
+			}
+			os.Exit(130)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "hornet-exp: %v\n", err)
 			os.Exit(1)
 		}
@@ -90,7 +116,8 @@ func main() {
 // run executes one figure and renders it. In JSON mode the sweep document
 // goes to stdout (and, with -out, into the cache directory keyed by the
 // configuration hash — a figure whose document is already cached is not
-// re-run).
+// re-run). An interrupted figure still flushes its partial document to
+// stdout, but is never cached: a hash hit must always mean a complete run.
 func run(f experiments.Figure, o experiments.Options, jsonOut bool, outDir string) error {
 	if jsonOut && outDir != "" {
 		cache := sweep.Cache{Dir: outDir}
@@ -101,22 +128,42 @@ func run(f experiments.Figure, o experiments.Options, jsonOut bool, outDir strin
 			fmt.Fprintf(os.Stderr, "%s: cached (%s)\n", f.Name, cache.Path(f.Name, hash))
 			return doc.WriteJSON(os.Stdout)
 		}
-		_, doc := f.Document(o)
+		_, doc, runErr := f.Document(o)
+		if runErr != nil {
+			if err := doc.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+			return runErr
+		}
 		if err := cache.Store(doc); err != nil {
 			return err
 		}
 		return doc.WriteJSON(os.Stdout)
 	}
 	if jsonOut {
-		_, doc := f.Document(o)
-		return doc.WriteJSON(os.Stdout)
+		_, doc, runErr := f.Document(o)
+		if err := doc.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		return runErr
 	}
 	began := time.Now()
 	rows, _ := f.Run(o)
+	if err := context.Cause(ctxOf(o)); err != nil {
+		return err
+	}
 	fmt.Printf("== %s ==\n", f.Title)
 	printRows(f.Name, rows)
 	fmt.Fprintf(os.Stderr, "%s: %v\n", f.Name, time.Since(began).Round(time.Millisecond))
 	return nil
+}
+
+// ctxOf returns the options context, Background when unset.
+func ctxOf(o experiments.Options) context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 func printRows(name string, rows any) {

@@ -1,0 +1,92 @@
+// Command hornet-serve runs HORNET as a long-lived simulation service:
+// clients submit scenarios (a full configuration, a named experiment
+// figure, or a batch sweep) over HTTP/JSON, receive a job ID, stream
+// progress over SSE or long-poll, and fetch deterministic result
+// documents. A shared CPU budget keeps concurrent jobs from
+// oversubscribing the host, and a content-addressed cache serves
+// repeated scenarios instantly with byte-identical responses.
+//
+// Usage:
+//
+//	hornet-serve                          # listen on :8080, budget = GOMAXPROCS
+//	hornet-serve -addr :9090 -jobs 4      # 4 jobs in flight at once
+//	hornet-serve -budget 8                # 8 CPU slots shared by all jobs
+//	hornet-serve -cache results/          # persist result documents on disk
+//
+// Endpoints (see README.md for the full job lifecycle):
+//
+//	POST   /api/v1/jobs              submit a scenario
+//	GET    /api/v1/jobs              list jobs
+//	GET    /api/v1/jobs/{id}         job state (?wait=30s long-polls)
+//	GET    /api/v1/jobs/{id}/result  result document (cached: byte-identical)
+//	GET    /api/v1/jobs/{id}/events  SSE progress stream
+//	DELETE /api/v1/jobs/{id}         cancel
+//	GET    /api/v1/figures           runnable experiments
+//	GET    /api/v1/stats             scheduler + cache counters
+//	GET    /healthz                  liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"hornet/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	jobs := flag.Int("jobs", 2, "jobs in flight at once")
+	budget := flag.Int("budget", runtime.GOMAXPROCS(0),
+		"CPU-slot budget shared by all concurrent jobs")
+	cacheDir := flag.String("cache", "", "persist result documents under this directory (\"\" = memory only)")
+	flag.Parse()
+
+	srv := service.New(service.Options{
+		MaxJobs:  *jobs,
+		Budget:   *budget,
+		CacheDir: *cacheDir,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("hornet-serve: listening on %s (jobs=%d budget=%d cache=%q)",
+		*addr, *jobs, *budget, *cacheDir)
+
+	select {
+	case <-ctx.Done():
+		// Restore default signal disposition immediately: a second
+		// SIGINT/SIGTERM during the drain kills the process instead of
+		// being swallowed by the (now-cancelled) NotifyContext.
+		stop()
+		log.Printf("hornet-serve: shutting down (interrupt again to force quit)")
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "hornet-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Stop accepting requests, then drain jobs: in-flight simulations
+	// observe their cancelled contexts at the next sync point.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("hornet-serve: shutdown: %v", err)
+	}
+	srv.Close()
+}

@@ -1,0 +1,100 @@
+// Example serve drives a running hornet-serve daemon through the Go
+// client: it submits a small mesh scenario twice (the second submission
+// is served from the daemon's content-addressed cache), streams progress
+// for a batch sweep over SSE, and prints the resulting documents.
+//
+// Start the daemon first, then run the example:
+//
+//	make serve                       # terminal 1: hornet-serve on :8080
+//	go run ./examples/serve          # terminal 2
+//	go run ./examples/serve -addr http://localhost:9090
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"hornet/internal/config"
+	"hornet/internal/service"
+	"hornet/internal/service/client"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "hornet-serve base URL")
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c := client.New(*addr)
+
+	if _, err := c.Figures(ctx); err != nil {
+		log.Fatalf("cannot reach %s — is hornet-serve running? (%v)", *addr, err)
+	}
+
+	// A small scenario: 8x8 mesh, uniform traffic, short measured window.
+	cfg := config.Default()
+	cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternUniform, InjectionRate: 0.05}}
+	cfg.WarmupCycles = 1_000
+	cfg.AnalyzedCycles = 20_000
+	req := service.SubmitRequest{Name: "example-uniform", Config: &cfg, Seed: 42}
+
+	fmt.Println("== submit scenario (cold) ==")
+	runOnce(ctx, c, req)
+	fmt.Println("== submit the same scenario again (served from cache) ==")
+	runOnce(ctx, c, req)
+
+	// A batch sweep with streamed progress: one run per injection rate.
+	fmt.Println("== batch sweep with SSE progress ==")
+	var items []service.BatchItem
+	for i, rate := range []float64{0.01, 0.03, 0.05, 0.08} {
+		bc := cfg
+		bc.Traffic = []config.TrafficConfig{{Pattern: config.PatternUniform, InjectionRate: rate}}
+		items = append(items, service.BatchItem{Key: fmt.Sprintf("rate-%d", i), Config: bc})
+	}
+	info, err := c.Submit(ctx, service.SubmitRequest{Name: "example-sweep", Batch: items, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = c.Events(ctx, info.ID, func(ev service.Event) bool {
+		switch ev.Type {
+		case "progress":
+			fmt.Printf("  [%d/%d] %s\n", ev.Done, ev.Total, ev.Key)
+		case "state":
+			fmt.Printf("  state: %s\n", ev.State)
+		}
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, _, err := c.Result(ctx, info.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  document %s (%s): %d runs\n", doc.Name, doc.ConfigHash, len(doc.Runs))
+}
+
+func runOnce(ctx context.Context, c *client.Client, req service.SubmitRequest) {
+	began := time.Now()
+	info, err := c.SubmitAndWait(ctx, req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if info.State != service.StateDone {
+		log.Fatalf("job %s: %s (%s)", info.ID, info.State, info.Error)
+	}
+	doc, _, err := c.Result(ctx, info.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var stats map[string]any
+	if len(doc.Runs) == 1 {
+		stats, _ = doc.Runs[0].Value.(map[string]any)
+	}
+	fmt.Printf("  job %s: cache_hit=%v wall=%v hash=%s avg_packet_latency=%v\n",
+		info.ID, info.CacheHit, time.Since(began).Round(time.Millisecond),
+		info.ConfigHash, stats["avg_packet_latency"])
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -131,5 +132,165 @@ func TestTopologyNodes(t *testing.T) {
 		if got := c.tc.Nodes(); got != c.want {
 			t.Errorf("%+v: Nodes() = %d, want %d", c.tc, got, c.want)
 		}
+	}
+}
+
+// Validation rejections carry messages precise enough to surface as
+// structured API errors (hornet-serve returns them verbatim in 4xx
+// responses): each names the offending field or value.
+func TestValidateErrorMessages(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*Config)
+		contains string
+	}{
+		{"unknown topology", func(c *Config) { c.Topology.Kind = "hypercube" }, "hypercube"},
+		{"line too narrow", func(c *Config) { c.Topology.Kind = TopoLine; c.Topology.Width = 1 }, "width >= 2"},
+		{"mesh too small", func(c *Config) { c.Topology.Height = 1 }, "width,height >= 2"},
+		{"multilayer needs layers", func(c *Config) { c.Topology.Kind = TopoMeshX1; c.Topology.Layers = 1 }, "layers >= 2"},
+		{"zero VCs", func(c *Config) { c.Router.VCsPerPort = 0 }, "vcs_per_port"},
+		{"zero buffers", func(c *Config) { c.Router.VCBufFlits = 0 }, "vc_buf_flits"},
+		{"zero bandwidth", func(c *Config) { c.Router.LinkBandwidth = 0 }, "link_bandwidth"},
+		{"unknown vca", func(c *Config) { c.Router.VCAlloc = "psychic" }, "psychic"},
+		{"unknown routing", func(c *Config) { c.Routing.Algorithm = "teleport" }, "teleport"},
+		{"o1turn needs VCs", func(c *Config) { c.Routing.Algorithm = RouteO1Turn; c.Router.VCsPerPort = 1 }, "o1turn"},
+		{"romm needs VCs", func(c *Config) { c.Routing.Algorithm = RouteROMM; c.Router.VCsPerPort = 1 }, "romm"},
+		{"static needs paths", func(c *Config) { c.Routing.Algorithm = RouteStatic }, "static_paths"},
+		{"short static path", func(c *Config) {
+			c.Routing.Algorithm = RouteStatic
+			c.Routing.StaticPaths = [][]int{{3}}
+		}, "fewer than 2"},
+		{"static path out of range", func(c *Config) {
+			c.Routing.Algorithm = RouteStatic
+			c.Routing.StaticPaths = [][]int{{0, 4096}}
+		}, "outside topology"},
+		{"unknown pattern", func(c *Config) { c.Traffic = []TrafficConfig{{Pattern: "storm"}} }, "storm"},
+		{"rate out of range", func(c *Config) {
+			c.Traffic = []TrafficConfig{{Pattern: PatternUniform, InjectionRate: 1.5}}
+		}, "injection_rate"},
+		{"hotspot needs nodes", func(c *Config) { c.Traffic = []TrafficConfig{{Pattern: PatternHotspot}} }, "hot_nodes"},
+		{"hot node out of range", func(c *Config) {
+			c.Traffic = []TrafficConfig{{Pattern: PatternHotspot, HotNodes: []int{70}}}
+		}, "hot node 70"},
+		{"bad line bytes", func(c *Config) { c.Memory = DefaultMemory(); c.Memory.LineBytes = 24 }, "line_bytes"},
+		{"bad L1", func(c *Config) { c.Memory = DefaultMemory(); c.Memory.L1Sets = 0 }, "L1"},
+		{"bad protocol", func(c *Config) { c.Memory = DefaultMemory(); c.Memory.Protocol = "mesi2000" }, "mesi2000"},
+		{"no controllers", func(c *Config) { c.Memory = DefaultMemory(); c.Memory.Controllers = nil }, "controller"},
+		{"controller out of range", func(c *Config) {
+			c.Memory = DefaultMemory()
+			c.Memory.Controllers = []int{9999}
+		}, "9999"},
+		{"zero sync period", func(c *Config) { c.Engine.SyncPeriod = 0 }, "sync_period"},
+		{"negative workers", func(c *Config) { c.Engine.Workers = -1 }, "workers"},
+		{"zero packet flits", func(c *Config) { c.AvgPacketFlits = 0 }, "avg_packet_flits"},
+		{"zero epoch", func(c *Config) { c.Power.EpochCycles = 0 }, "epoch_cycles"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Default()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("invalid config validated")
+			}
+			if !strings.Contains(err.Error(), tc.contains) {
+				t.Fatalf("error %q does not mention %q", err, tc.contains)
+			}
+		})
+	}
+}
+
+// Every topology/routing/VC-allocation/traffic constant embeds in a
+// valid configuration that survives a strict JSON round trip — the
+// property that makes API submissions loss-free for every enum value.
+func TestConstantsJSONRoundTrip(t *testing.T) {
+	roundTrip := func(t *testing.T, cfg Config) Config {
+		t.Helper()
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("fixture invalid: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := cfg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var back Config
+		dec := json.NewDecoder(&buf)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&back); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round-tripped config invalid: %v", err)
+		}
+		return back
+	}
+
+	topologies := []TopologyConfig{
+		{Kind: TopoLine, Width: 4, Height: 1},
+		{Kind: TopoRing, Width: 6, Height: 1},
+		{Kind: TopoMesh, Width: 4, Height: 4},
+		{Kind: TopoTorus, Width: 4, Height: 4},
+		{Kind: TopoMeshX1, Width: 2, Height: 2, Layers: 2},
+		{Kind: TopoMeshX1Y1, Width: 2, Height: 2, Layers: 2},
+		{Kind: TopoMeshXCube, Width: 2, Height: 2, Layers: 2},
+	}
+	for _, topo := range topologies {
+		t.Run("topo-"+topo.Kind, func(t *testing.T) {
+			cfg := Default()
+			cfg.Topology = topo
+			back := roundTrip(t, cfg)
+			if back.Topology != topo {
+				t.Fatalf("topology changed: %+v -> %+v", topo, back.Topology)
+			}
+		})
+	}
+
+	for _, alg := range []string{RouteXY, RouteYX, RouteO1Turn, RouteROMM,
+		RouteValiant, RoutePROM, RouteStatic, RouteAdaptive} {
+		t.Run("routing-"+alg, func(t *testing.T) {
+			cfg := Default()
+			cfg.Routing.Algorithm = alg
+			if alg == RouteStatic {
+				cfg.Routing.StaticPaths = [][]int{{0, 1, 2}}
+			}
+			back := roundTrip(t, cfg)
+			if back.Routing.Algorithm != alg {
+				t.Fatalf("algorithm changed: %s -> %s", alg, back.Routing.Algorithm)
+			}
+			if alg == RouteStatic && len(back.Routing.StaticPaths) != 1 {
+				t.Fatal("static paths lost in round trip")
+			}
+		})
+	}
+
+	for _, vca := range []string{VCADynamic, VCAStaticSet, VCAEDVCA, VCAFAA} {
+		t.Run("vca-"+vca, func(t *testing.T) {
+			cfg := Default()
+			cfg.Router.VCAlloc = vca
+			if back := roundTrip(t, cfg); back.Router.VCAlloc != vca {
+				t.Fatalf("vca changed: %s -> %s", vca, back.Router.VCAlloc)
+			}
+		})
+	}
+
+	for _, pat := range []string{PatternUniform, PatternTranspose, PatternBitComplement,
+		PatternShuffle, PatternTornado, PatternNeighbor, PatternHotspot, PatternH264} {
+		t.Run("pattern-"+pat, func(t *testing.T) {
+			cfg := Default()
+			tc := TrafficConfig{Pattern: pat, InjectionRate: 0.02}
+			if pat == PatternHotspot {
+				tc.HotNodes = []int{0, 9}
+				tc.HotFrac = 0.8
+			}
+			cfg.Traffic = []TrafficConfig{tc}
+			back := roundTrip(t, cfg)
+			if len(back.Traffic) != 1 || back.Traffic[0].Pattern != pat {
+				t.Fatalf("pattern lost: %+v", back.Traffic)
+			}
+			if pat == PatternHotspot &&
+				(len(back.Traffic[0].HotNodes) != 2 || back.Traffic[0].HotFrac != 0.8) {
+				t.Fatalf("hotspot params lost: %+v", back.Traffic[0])
+			}
+		})
 	}
 }

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -44,7 +45,16 @@ type Options struct {
 	Parallel int
 	// Budget caps total CPU slots across concurrent runs (0 means
 	// max(Parallel, GOMAXPROCS)); a run using W engine workers holds W slots.
+	// Ignored when Pool is set.
 	Budget int
+	// Pool, if non-nil, is an externally owned CPU-slot pool shared with
+	// other concurrent work (e.g. other jobs in hornet-serve); every sweep
+	// run acquires its engine workers from it.
+	Pool *sweep.Budget
+	// Context, if non-nil, cancels in-progress sweeps: dispatch stops,
+	// in-flight runs drain, and Figure.Document returns the completed
+	// prefix along with the context's error. Nil means Background.
+	Context context.Context
 	// Progress, if non-nil, is called after each sweep run completes.
 	Progress func(done, total int, key string)
 }
@@ -135,7 +145,7 @@ func (o *Options) sweepConfig(serial bool) sweep.Config {
 	if serial {
 		workers = 1
 	}
-	cfg := sweep.Config{Workers: workers, Budget: o.Budget, Seed: o.Seed}
+	cfg := sweep.Config{Workers: workers, Budget: o.Budget, Pool: o.Pool, Seed: o.Seed}
 	if o.Progress != nil {
 		progress := o.Progress
 		cfg.OnProgress = func(done, total int, r sweep.Result) {
@@ -145,11 +155,29 @@ func (o *Options) sweepConfig(serial bool) sweep.Config {
 	return cfg
 }
 
+// canceledSweep carries the completed prefix of a sweep whose context was
+// cancelled. runSweep panics with it — unwinding past the figure's
+// post-processing, which cannot run on partial results — and
+// Figure.Run/Document recover it into a partial result set.
+type canceledSweep struct {
+	results []sweep.Result
+	err     error
+}
+
 // runSweep executes items through the sweep engine, panicking on the
 // first failed run: the experiments API treats configuration errors as
-// programming errors, as the pre-sweep code did.
+// programming errors, as the pre-sweep code did. Cancellation via
+// Options.Context panics with canceledSweep (recovered by the Figure
+// entry points).
 func runSweep(o Options, serial bool, items []sweep.Item) []sweep.Result {
-	results := sweep.Run(items, o.sweepConfig(serial))
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := sweep.Run(ctx, items, o.sweepConfig(serial))
+	if err := ctx.Err(); err != nil {
+		panic(canceledSweep{results: results, err: err})
+	}
 	for _, r := range results {
 		if r.Err != nil {
 			panic(fmt.Sprintf("experiments: %v", r.Err))

@@ -22,8 +22,29 @@ type Figure struct {
 
 // Run executes the figure, returning its typed rows (the same value the
 // corresponding exported FigNN function returns) plus the per-run sweep
-// records for emission.
-func (f Figure) Run(o Options) (any, []sweep.Result) { return f.run(o) }
+// records for emission. If Options.Context is cancelled mid-figure, Run
+// returns nil rows and only the completed runs of the in-flight sweep
+// (post-processing needs the full set).
+func (f Figure) Run(o Options) (any, []sweep.Result) {
+	rows, results, _ := f.runRecover(o)
+	return rows, results
+}
+
+// runRecover invokes the figure's runner, converting a sweep cancelled
+// via Options.Context into (nil rows, completed prefix, ctx error).
+func (f Figure) runRecover(o Options) (rows any, results []sweep.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			cs, ok := p.(canceledSweep)
+			if !ok {
+				panic(p)
+			}
+			rows, results, err = nil, cs.results, cs.err
+		}
+	}()
+	rows, results = f.run(o)
+	return rows, results, nil
+}
 
 // ConfigHash returns the figure's document cache key at the given
 // options without running the sweep: a stable hash over the figure name
@@ -38,10 +59,16 @@ func (f Figure) ConfigHash(o Options) string {
 // stable JSON envelope: for a fixed (name, options identity, seed) the
 // document is byte-identical at any Parallel/Budget setting. Timing
 // figures are the exception — their rows carry wall-clock fields.
-func (f Figure) Document(o Options) (any, sweep.Document) {
+//
+// If Options.Context is cancelled mid-figure, Document returns a partial
+// document holding the completed runs of the sweep that was in flight
+// (multi-sweep figures drop earlier sweeps' runs), along with the
+// context's error; partial documents must not be cached under the
+// figure's hash.
+func (f Figure) Document(o Options) (any, sweep.Document, error) {
 	(&o).fill()
-	rows, results := f.run(o)
-	return rows, sweep.NewDocument(f.Name, f.ConfigHash(o), o.Seed, results)
+	rows, results, err := f.runRecover(o)
+	return rows, sweep.NewDocument(f.Name, f.ConfigHash(o), o.Seed, results), err
 }
 
 // Figures lists every experiment in presentation order.

@@ -1,0 +1,201 @@
+// Package service implements hornet-serve: a simulation-as-a-service job
+// daemon. Clients submit scenarios — a full simulation configuration, a
+// named experiment figure, or a batch of configurations — over an
+// HTTP/JSON API, receive a job ID, poll or stream progress, and fetch the
+// result as a sweep.Document.
+//
+// Three properties define the service:
+//
+//   - Scheduling: a fixed pool of job workers executes jobs concurrently,
+//     and every simulation run inside every job acquires its CPU slots
+//     from one shared sweep.Budget, so in-flight jobs together never
+//     oversubscribe the host.
+//
+//   - Caching: results are content-addressed by sweep.ConfigHash over the
+//     scenario's identity (normalized configuration, seed, scale). A
+//     repeated scenario is served from the cache instantly, and the
+//     cached response is byte-for-byte identical to the cold run's —
+//     the document layer guarantees output does not depend on
+//     parallelism, and the store keeps raw bytes.
+//
+//   - Streaming: per-run progress flows to clients over SSE
+//     (GET /api/v1/jobs/{id}/events) or long-poll (GET /api/v1/jobs/{id}
+//     with ?wait=), wired to the sweep engine's OnProgress callback.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"hornet/internal/config"
+)
+
+// Job kinds.
+const (
+	KindConfig = "config" // one full config.Config simulation
+	KindFigure = "figure" // a named experiment from internal/experiments
+	KindBatch  = "batch"  // several configurations as one sweep
+)
+
+// Job states. Terminal states are StateDone, StateFailed, StateCanceled.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// SubmitRequest is the body of POST /api/v1/jobs. Exactly one of Config,
+// Figure, Batch selects the scenario.
+type SubmitRequest struct {
+	// Name labels the job and its result document. Optional; defaults to
+	// the scenario kind. Restricted to [a-zA-Z0-9._-], at most 64
+	// characters, so it is filesystem- and URL-safe. Figure jobs must
+	// omit it: they are identified by the figure itself, so job, ETag,
+	// and document identity always agree.
+	Name string `json:"name,omitempty"`
+
+	// Config submits one simulation of this configuration (synthetic
+	// traffic only; attach patterns via its traffic list). WarmupCycles
+	// and AnalyzedCycles in the config delimit the measured window.
+	Config *config.Config `json:"config,omitempty"`
+
+	// Figure names an experiment from the registry ("8", "t1", "fig9"...).
+	Figure string `json:"figure,omitempty"`
+
+	// Batch submits several keyed configurations executed as one sweep.
+	Batch []BatchItem `json:"batch,omitempty"`
+
+	// Seed is the job's master seed; per-run seeds derive from it.
+	// 0 means the default experiment seed.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Workers is the number of engine workers (CPU slots) each simulation
+	// run requests; it is clamped to the server's budget. 0 means 1.
+	Workers int `json:"workers,omitempty"`
+
+	// Tiny and Full pick the experiment scale for figure jobs
+	// (smoke-test vs paper-scale); both false is the CI default scale.
+	Tiny bool `json:"tiny,omitempty"`
+	Full bool `json:"full,omitempty"`
+
+	// NoCache forces re-execution even when a cached result exists.
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// BatchItem is one keyed configuration of a batch job.
+type BatchItem struct {
+	Key    string        `json:"key"`
+	Config config.Config `json:"config"`
+}
+
+// JobInfo is the client-visible job state (GET /api/v1/jobs/{id}).
+type JobInfo struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	Kind       string    `json:"kind"`
+	State      string    `json:"state"`
+	ConfigHash string    `json:"config_hash"`
+	Seed       uint64    `json:"seed"`
+	CacheHit   bool      `json:"cache_hit,omitempty"`
+	RunsDone   int       `json:"runs_done"`
+	RunsTotal  int       `json:"runs_total"`
+	Error      string    `json:"error,omitempty"`
+	Created    time.Time `json:"created"`
+	Started    time.Time `json:"started,omitzero"`
+	Finished   time.Time `json:"finished,omitzero"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (j JobInfo) Terminal() bool {
+	switch j.State {
+	case StateDone, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// Event is one progress notification on a job's SSE stream.
+type Event struct {
+	Type  string `json:"type"` // "state" or "progress"
+	Job   string `json:"job"`
+	State string `json:"state,omitempty"`
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+	Key   string `json:"key,omitempty"` // completed run's key (progress events)
+}
+
+// FigureInfo describes one registry experiment (GET /api/v1/figures).
+type FigureInfo struct {
+	Name   string `json:"name"`
+	Title  string `json:"title"`
+	Serial bool   `json:"serial"` // wall-clock figure: runs serially, never cached
+}
+
+// ServerStats is the scheduler/cache observability view
+// (GET /api/v1/stats). BudgetPeak never exceeds BudgetCap: the shared
+// pool is what keeps concurrent jobs from oversubscribing the host.
+type ServerStats struct {
+	BudgetCap    int    `json:"budget_cap"`
+	BudgetInUse  int    `json:"budget_in_use"`
+	BudgetPeak   int    `json:"budget_peak"`
+	JobsQueued   int    `json:"jobs_queued"`
+	JobsRunning  int    `json:"jobs_running"`
+	JobsDone     int    `json:"jobs_done"`
+	JobsFailed   int    `json:"jobs_failed"`
+	JobsCanceled int    `json:"jobs_canceled"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	// CacheWriteErrs counts failed disk-tier writes: non-zero means the
+	// daemon is serving correctly but no longer persisting results.
+	CacheWriteErrs uint64 `json:"cache_write_errs"`
+}
+
+// RunStats is the deterministic result record of one config/batch
+// simulation run: pure functions of (configuration, seed), no wall-clock
+// or host-dependent fields, so result documents are cacheable
+// byte-for-byte.
+type RunStats struct {
+	Nodes            int     `json:"nodes"`
+	Cycles           uint64  `json:"cycles"`
+	SkippedCycles    uint64  `json:"skipped_cycles,omitempty"`
+	FlitsInjected    uint64  `json:"flits_injected"`
+	FlitsDelivered   uint64  `json:"flits_delivered"`
+	PacketsInjected  uint64  `json:"packets_injected"`
+	PacketsDelivered uint64  `json:"packets_delivered"`
+	AvgFlitLatency   float64 `json:"avg_flit_latency"`
+	AvgPacketLatency float64 `json:"avg_packet_latency"`
+	MaxPacketLatency uint64  `json:"max_packet_latency"`
+	AvgHops          float64 `json:"avg_hops"`
+	Throughput       float64 `json:"throughput"` // delivered flits / node / cycle
+}
+
+// Error codes carried in the JSON error envelope.
+const (
+	CodeInvalidRequest = "invalid_request"
+	CodeInvalidConfig  = "invalid_config"
+	CodeUnknownFigure  = "unknown_figure"
+	CodeNotFound       = "not_found"
+	CodeNotFinished    = "not_finished"
+	CodeQueueFull      = "queue_full"
+	CodeShuttingDown   = "shutting_down"
+)
+
+// APIError is the structured error envelope every non-2xx response
+// carries: {"error": {"code": "...", "message": "..."}}.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error implements the error interface (used by the Go client).
+func (e *APIError) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// errorBody is the wire envelope around APIError.
+type errorBody struct {
+	Err APIError `json:"error"`
+}

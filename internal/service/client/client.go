@@ -1,0 +1,228 @@
+// Package client is the Go client for hornet-serve: submit scenarios,
+// poll or stream job progress, and fetch result documents over the
+// daemon's HTTP/JSON API.
+//
+//	c := client.New("http://localhost:8080")
+//	info, err := c.Submit(ctx, service.SubmitRequest{Figure: "t1", Tiny: true})
+//	info, err = c.Wait(ctx, info.ID)
+//	doc, raw, err := c.Result(ctx, info.ID)
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hornet/internal/service"
+	"hornet/internal/sweep"
+)
+
+// Client talks to one hornet-serve daemon.
+type Client struct {
+	// Base is the daemon's base URL, e.g. "http://localhost:8080".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// New returns a client for the daemon at base.
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes either the success body into out or
+// the structured error envelope into an *service.APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env struct {
+		Err service.APIError `json:"error"`
+	}
+	if err := json.Unmarshal(b, &env); err == nil && env.Err.Code != "" {
+		return &env.Err
+	}
+	return fmt.Errorf("http %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+}
+
+// Submit sends a scenario and returns the accepted job.
+func (c *Client) Submit(ctx context.Context, req service.SubmitRequest) (service.JobInfo, error) {
+	var info service.JobInfo
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", req, &info)
+	return info, err
+}
+
+// Job fetches the job's current state.
+func (c *Client) Job(ctx context.Context, id string) (service.JobInfo, error) {
+	var info service.JobInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, nil, &info)
+	return info, err
+}
+
+// Jobs lists every job the daemon knows about.
+func (c *Client) Jobs(ctx context.Context) ([]service.JobInfo, error) {
+	var infos []service.JobInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs", nil, &infos)
+	return infos, err
+}
+
+// Wait long-polls until the job reaches a terminal state (or ctx ends).
+func (c *Client) Wait(ctx context.Context, id string) (service.JobInfo, error) {
+	for {
+		var info service.JobInfo
+		err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id+"?wait=30s", nil, &info)
+		if err != nil {
+			return info, err
+		}
+		if info.Terminal() {
+			return info, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return info, err
+		}
+	}
+}
+
+// Cancel asks the daemon to cancel the job and returns its state.
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobInfo, error) {
+	var info service.JobInfo
+	err := c.do(ctx, http.MethodDelete, "/api/v1/jobs/"+id, nil, &info)
+	return info, err
+}
+
+// Result fetches the job's result document: parsed, plus the exact bytes
+// the daemon served (the cache byte-identity contract is on the bytes).
+func (c *Client) Result(ctx context.Context, id string) (sweep.Document, []byte, error) {
+	var doc sweep.Document
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/api/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return doc, nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return doc, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return doc, nil, decodeError(resp)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return doc, nil, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, raw, fmt.Errorf("client: malformed result document: %w", err)
+	}
+	return doc, raw, nil
+}
+
+// Figures lists the registry experiments the daemon can run.
+func (c *Client) Figures(ctx context.Context) ([]service.FigureInfo, error) {
+	var figs []service.FigureInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/figures", nil, &figs)
+	return figs, err
+}
+
+// Stats fetches the scheduler/cache observability snapshot.
+func (c *Client) Stats(ctx context.Context) (service.ServerStats, error) {
+	var st service.ServerStats
+	err := c.do(ctx, http.MethodGet, "/api/v1/stats", nil, &st)
+	return st, err
+}
+
+// Events subscribes to the job's SSE stream and invokes fn for every
+// event until the stream ends (terminal state), ctx is cancelled, or fn
+// returns false.
+func (c *Client) Events(ctx context.Context, id string, fn func(service.Event) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/api/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // event: lines and keep-alive blanks
+		}
+		var ev service.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return fmt.Errorf("client: malformed event: %w", err)
+		}
+		if !fn(ev) {
+			return nil
+		}
+	}
+	if err := scanner.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
+// SubmitAndWait is the common round trip: submit, wait for terminal,
+// return the final state.
+func (c *Client) SubmitAndWait(ctx context.Context, req service.SubmitRequest) (service.JobInfo, error) {
+	info, err := c.Submit(ctx, req)
+	if err != nil {
+		return info, err
+	}
+	return c.Wait(ctx, info.ID)
+}
+
+// WaitTimeout is Wait bounded by d.
+func (c *Client) WaitTimeout(ctx context.Context, id string, d time.Duration) (service.JobInfo, error) {
+	ctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	return c.Wait(ctx, id)
+}

@@ -1,0 +1,228 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// job is the server-side job record: client-visible info, the compiled
+// scenario, the cancellation handle, and the progress subscribers.
+type job struct {
+	mu     sync.Mutex
+	info   JobInfo
+	sc     *scenario
+	req    SubmitRequest
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed on terminal transition
+	subs   map[int]chan Event
+	nextID int
+	result []byte // canonical document bytes, set on StateDone
+}
+
+func newJob(id string, req SubmitRequest, sc *scenario, parent context.Context, now time.Time) *job {
+	ctx, cancel := context.WithCancel(parent)
+	total := len(sc.items) // figure jobs learn their total from progress
+	return &job{
+		info: JobInfo{
+			ID:         id,
+			Name:       sc.name,
+			Kind:       sc.kind,
+			State:      StateQueued,
+			ConfigHash: sc.hash,
+			Seed:       sc.seed,
+			RunsTotal:  total,
+			Created:    now,
+		},
+		sc:     sc,
+		req:    req,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		subs:   map[int]chan Event{},
+	}
+}
+
+// Info returns a snapshot of the client-visible state.
+func (j *job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.info
+}
+
+// Result returns the document bytes and whether they are available.
+func (j *job) Result() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.info.State == StateDone
+}
+
+// Done exposes the terminal-transition channel for long-polling.
+func (j *job) Done() <-chan struct{} { return j.done }
+
+// start moves the job to running; it reports false when the job was
+// already cancelled (the scheduler then skips it).
+func (j *job) start(now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.info.Terminal() {
+		return false
+	}
+	j.info.State = StateRunning
+	j.info.Started = now
+	j.broadcastLocked(Event{Type: "state", Job: j.info.ID, State: StateRunning})
+	return true
+}
+
+// progress records one completed run and notifies subscribers.
+func (j *job) progress(done, total int, key string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.info.RunsDone = done
+	j.info.RunsTotal = total
+	j.broadcastLocked(Event{Type: "progress", Job: j.info.ID, Done: done, Total: total, Key: key})
+}
+
+// finish marks the job done with its canonical result bytes.
+func (j *job) finish(result []byte, cacheHit bool, now time.Time) {
+	j.finalize(StateDone, "", now, func() {
+		j.result = result
+		j.info.CacheHit = cacheHit
+		if cacheHit {
+			// A cache hit never ran, so progress shows completion.
+			j.info.RunsDone = j.info.RunsTotal
+		}
+	})
+}
+
+// fail marks the job failed with a diagnostic message.
+func (j *job) fail(msg string, now time.Time) {
+	j.finalize(StateFailed, msg, now, nil)
+}
+
+// markCanceled records the terminal canceled state.
+func (j *job) markCanceled(now time.Time) {
+	j.finalize(StateCanceled, "", now, nil)
+}
+
+func (j *job) finalize(state, msg string, now time.Time, fill func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.info.Terminal() {
+		return
+	}
+	j.info.State = state
+	j.info.Error = msg
+	j.info.Finished = now
+	if fill != nil {
+		fill()
+	}
+	// No terminal broadcast: closing the subscriber channels makes every
+	// SSE handler emit one final full snapshot, so broadcasting here
+	// would duplicate the terminal frame (and without done/total counts).
+	close(j.done)
+	for id, ch := range j.subs {
+		close(ch)
+		delete(j.subs, id)
+	}
+}
+
+// subscribe registers a progress listener. The channel is closed when the
+// job reaches a terminal state (or immediately if it already has); slow
+// consumers lose intermediate progress events rather than stalling the
+// scheduler.
+func (j *job) subscribe() (<-chan Event, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan Event, 64)
+	if j.info.Terminal() {
+		close(ch)
+		return ch, func() {}
+	}
+	id := j.nextID
+	j.nextID++
+	j.subs[id] = ch
+	return ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if c, ok := j.subs[id]; ok {
+			close(c)
+			delete(j.subs, id)
+		}
+	}
+}
+
+func (j *job) broadcastLocked(ev Event) {
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default: // slow consumer: drop the event, never block the scheduler
+		}
+	}
+}
+
+// jobStore indexes jobs by ID and preserves submission order.
+type jobStore struct {
+	mu    sync.Mutex
+	byID  map[string]*job
+	order []*job
+	seq   int
+}
+
+func newJobStore() *jobStore {
+	return &jobStore{byID: map[string]*job{}}
+}
+
+// nextID mints a monotonically increasing job ID.
+func (s *jobStore) nextID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	return fmt.Sprintf("job-%06d", s.seq)
+}
+
+func (s *jobStore) add(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byID[j.Info().ID] = j
+	s.order = append(s.order, j)
+}
+
+func (s *jobStore) get(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	return j, ok
+}
+
+// list returns job snapshots in submission order (newest last).
+func (s *jobStore) list() []JobInfo {
+	s.mu.Lock()
+	jobs := append([]*job(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]JobInfo, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Info()
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// all returns the jobs themselves (shutdown cancellation).
+func (s *jobStore) all() []*job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*job(nil), s.order...)
+}
+
+// countByState tallies jobs for the stats endpoint.
+func (s *jobStore) countByState() map[string]int {
+	counts := map[string]int{}
+	for _, info := range s.list() {
+		counts[info.State]++
+	}
+	return counts
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package service_test
+
+// raceEnabled reports that this test binary was built with the race
+// detector; the sim-heavy end-to-end cases shrink under -short -race.
+const raceEnabled = true

@@ -1,0 +1,283 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"regexp"
+
+	"hornet/internal/config"
+	"hornet/internal/core"
+	"hornet/internal/experiments"
+	"hornet/internal/stats"
+	"hornet/internal/sweep"
+)
+
+// defaultSeed matches the experiment harness default, so a figure
+// submitted with no seed reproduces the CLI's documents.
+const defaultSeed = 0x5EED0A11
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
+
+// scenario is a validated, normalized submission: everything the
+// scheduler needs to execute the job, plus the content-address (name,
+// hash) of its result document.
+type scenario struct {
+	kind string
+	name string // document name (also the cache key prefix)
+	hash string // sweep.ConfigHash over the identity
+	seed uint64
+
+	// cacheable is false for wall-clock experiments (Serial figures):
+	// their documents carry timing fields and are never byte-stable.
+	cacheable bool
+
+	// config/batch scenarios: the sweep items to run.
+	items []sweep.Item
+
+	// figure scenarios: the registry entry and its scale options.
+	fig     experiments.Figure
+	figOpts experiments.Options
+}
+
+// buildScenario validates a submission and compiles it into a runnable
+// scenario. Every rejection is an *APIError suitable for a 4xx response.
+func buildScenario(req SubmitRequest) (*scenario, *APIError) {
+	set := 0
+	if req.Config != nil {
+		set++
+	}
+	if req.Figure != "" {
+		set++
+	}
+	if len(req.Batch) > 0 {
+		set++
+	}
+	if set != 1 {
+		return nil, &APIError{CodeInvalidRequest,
+			"exactly one of config, figure, batch must be set"}
+	}
+	if req.Name != "" && !nameRE.MatchString(req.Name) {
+		return nil, &APIError{CodeInvalidRequest,
+			"name must match [a-zA-Z0-9._-]{1,64}"}
+	}
+	if req.Workers < 0 {
+		return nil, &APIError{CodeInvalidRequest, "workers must be >= 0"}
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	switch {
+	case req.Config != nil:
+		return buildConfigScenario(req, seed)
+	case req.Figure != "":
+		return buildFigureScenario(req, seed)
+	default:
+		return buildBatchScenario(req, seed)
+	}
+}
+
+// checkRunnable validates one submitted simulation configuration beyond
+// config.Validate: the service runs synthetic-traffic simulations with a
+// bounded measured window, so both must be present.
+func checkRunnable(c *config.Config, where string) *APIError {
+	if err := c.Validate(); err != nil {
+		return &APIError{CodeInvalidConfig, where + err.Error()}
+	}
+	if len(c.Traffic) == 0 {
+		return &APIError{CodeInvalidConfig,
+			where + "config: scenario needs at least one synthetic traffic source"}
+	}
+	if c.AnalyzedCycles < 1 {
+		return &APIError{CodeInvalidConfig,
+			where + "config: analyzed_cycles must be >= 1"}
+	}
+	if c.WarmupCycles < 0 {
+		return &APIError{CodeInvalidConfig,
+			where + "config: warmup_cycles must be >= 0"}
+	}
+	return nil
+}
+
+// normalize strips the execution-only engine fields from a copy of the
+// configuration: worker count never changes results (the engine is
+// deterministic across workers) and the engine seed is overridden by the
+// job's derived per-run seed, so neither may enter the cache identity.
+func normalize(c config.Config) config.Config {
+	c.Engine.Workers = 0
+	c.Engine.Seed = 0
+	return c
+}
+
+func buildConfigScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) {
+	if apiErr := checkRunnable(req.Config, ""); apiErr != nil {
+		return nil, apiErr
+	}
+	name := req.Name
+	if name == "" {
+		name = KindConfig
+	}
+	norm := normalize(*req.Config)
+	sc := &scenario{
+		kind:      KindConfig,
+		name:      name,
+		hash:      sweep.ConfigHash("service/config", name, norm, seed),
+		seed:      seed,
+		cacheable: true,
+		items: []sweep.Item{{
+			Key:    name,
+			Weight: req.Workers,
+			Run:    runConfig(norm),
+		}},
+	}
+	return sc, nil
+}
+
+func buildBatchScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) {
+	name := req.Name
+	if name == "" {
+		name = KindBatch
+	}
+	identity := make([]BatchItem, 0, len(req.Batch))
+	items := make([]sweep.Item, 0, len(req.Batch))
+	seen := map[string]bool{}
+	for i := range req.Batch {
+		it := &req.Batch[i]
+		if !nameRE.MatchString(it.Key) {
+			return nil, &APIError{CodeInvalidRequest,
+				fmt.Sprintf("batch[%d]: key must match [a-zA-Z0-9._-]{1,64}", i)}
+		}
+		if seen[it.Key] {
+			return nil, &APIError{CodeInvalidRequest,
+				fmt.Sprintf("batch[%d]: duplicate key %q", i, it.Key)}
+		}
+		seen[it.Key] = true
+		if apiErr := checkRunnable(&it.Config, fmt.Sprintf("batch[%d] (%s): ", i, it.Key)); apiErr != nil {
+			return nil, apiErr
+		}
+		norm := normalize(it.Config)
+		identity = append(identity, BatchItem{Key: it.Key, Config: norm})
+		items = append(items, sweep.Item{
+			Key:    it.Key,
+			Weight: req.Workers,
+			Run:    runConfig(norm),
+		})
+	}
+	return &scenario{
+		kind:      KindBatch,
+		name:      name,
+		hash:      sweep.ConfigHash("service/batch", name, identity, seed),
+		seed:      seed,
+		cacheable: true,
+		items:     items,
+	}, nil
+}
+
+func buildFigureScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) {
+	fig, ok := experiments.FigureByName(req.Figure)
+	if !ok {
+		return nil, &APIError{CodeUnknownFigure,
+			fmt.Sprintf("unknown figure %q", req.Figure)}
+	}
+	if req.Tiny && req.Full {
+		return nil, &APIError{CodeInvalidRequest, "tiny and full are mutually exclusive"}
+	}
+	o := experiments.Options{
+		Tiny:     req.Tiny,
+		Full:     req.Full,
+		Seed:     seed,
+		Parallel: req.Workers,
+	}
+	// A figure job adopts the registry document's own identity — the
+	// figure name and its registry config hash — so JobInfo, the /result
+	// ETag, and the document body all agree, and the disk cache shares
+	// hornet-exp's exact name-hash.json entries. A custom Name is
+	// rejected rather than silently diverging from the document.
+	if req.Name != "" {
+		return nil, &APIError{CodeInvalidRequest,
+			"figure jobs are named by the figure itself; omit name"}
+	}
+	return &scenario{
+		kind:      KindFigure,
+		name:      fig.Name,
+		hash:      fig.ConfigHash(o),
+		seed:      seed,
+		cacheable: !fig.Serial, // wall-clock documents are never byte-stable
+		fig:       fig,
+		figOpts:   o,
+	}, nil
+}
+
+// runConfig returns the sweep run function for one normalized
+// configuration: build the system, warm up, measure, and summarize into
+// the deterministic RunStats record. The run polls the sweep context at
+// every synchronization point so a cancelled job drains quickly even
+// mid-simulation; a stop function that never fires leaves the simulation
+// byte-identical to an unconditional run.
+func runConfig(cfg config.Config) func(sweep.Ctx) (any, error) {
+	return func(c sweep.Ctx) (any, error) {
+		rc := cfg
+		rc.Engine.Workers = c.Workers
+		rc.Engine.Seed = c.Seed
+		sys, err := core.New(rc)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.AttachSyntheticTraffic(); err != nil {
+			return nil, err
+		}
+		stop := cancelStop(c.Context)
+		sys.RunUntil(uint64(rc.WarmupCycles), stop)
+		sys.ResetStats()
+		res := sys.RunUntil(uint64(rc.AnalyzedCycles), stop)
+		if err := c.Context.Err(); err != nil {
+			return nil, err
+		}
+		return summarize(sys.Summary(), rc.Topology.Nodes(), res.Cycles, res.SkippedCycles), nil
+	}
+}
+
+// cancelStop adapts a context to the engine's stop-function interface.
+func cancelStop(ctx context.Context) func(cycle uint64) bool {
+	return func(uint64) bool {
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// summarize projects the aggregate statistics onto the wire record.
+func summarize(s stats.Summary, nodes int, cycles, skipped uint64) RunStats {
+	rs := RunStats{
+		Nodes:            nodes,
+		Cycles:           cycles,
+		SkippedCycles:    skipped,
+		FlitsInjected:    s.FlitsInjected,
+		FlitsDelivered:   s.FlitsDelivered,
+		PacketsInjected:  s.PacketsInjected,
+		PacketsDelivered: s.PacketsDelivered,
+		AvgFlitLatency:   s.AvgFlitLatency,
+		AvgPacketLatency: s.AvgPacketLatency,
+		MaxPacketLatency: s.MaxPacketLatency,
+		AvgHops:          s.AvgHops,
+	}
+	if total := cycles + skipped; nodes > 0 && total > 0 {
+		rs.Throughput = float64(s.FlitsDelivered) / float64(nodes) / float64(total)
+	}
+	return rs
+}
+
+// encodeDocument renders a document to the exact bytes the API serves
+// and the cache stores — one canonical encoding, so cold and cached
+// responses are byte-identical.
+func encodeDocument(doc sweep.Document) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hornet/internal/sweep"
+)
+
+// scheduler executes jobs on a fixed pool of job workers. Concurrency is
+// bounded twice, on purpose:
+//
+//   - maxJobs job workers limit how many jobs are *in flight* (so a burst
+//     of submissions queues instead of thrashing), and
+//   - one shared sweep.Budget limits how many *CPU slots* all in-flight
+//     jobs hold together — every simulation run, in every job, acquires
+//     its engine workers from this pool, so two concurrent jobs can never
+//     oversubscribe the host no matter how parallel each one is.
+type scheduler struct {
+	pool    *sweep.Budget
+	results *resultStore
+	queue   chan *job
+	wg      sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu      sync.Mutex
+	stopped bool
+}
+
+// queueDepth bounds accepted-but-unstarted jobs; beyond it submissions
+// are rejected with 503 queue_full rather than growing without bound.
+const queueDepth = 1024
+
+func newScheduler(maxJobs, budget int, results *resultStore) *scheduler {
+	if maxJobs < 1 {
+		maxJobs = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &scheduler{
+		pool:       sweep.NewBudget(budget),
+		results:    results,
+		queue:      make(chan *job, queueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	for i := 0; i < maxJobs; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+// submit enqueues a job. It fails only when the daemon is shutting down
+// or the queue is full.
+func (s *scheduler) submit(j *job) *APIError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return &APIError{CodeShuttingDown, "server is shutting down"}
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return &APIError{CodeQueueFull,
+			fmt.Sprintf("job queue is full (%d pending)", queueDepth)}
+	}
+}
+
+// stop cancels every in-flight job and waits for the workers to drain.
+// Queued jobs are marked canceled as the workers pop them.
+func (s *scheduler) stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	// Cancel before closing the queue: workers then pop any still-queued
+	// jobs with an already-cancelled context and mark them canceled
+	// instead of starting them mid-shutdown.
+	s.baseCancel()
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// runJob executes one job end to end: cache lookup, scenario execution
+// under the shared budget, result persistence, terminal transition.
+func (s *scheduler) runJob(j *job) {
+	// Release the job's context registration on the scheduler's base
+	// context once it is terminal, or every served job would leak a
+	// cancel-child for the daemon's lifetime.
+	defer j.cancel()
+	sc := j.sc
+	if j.ctx.Err() != nil || !j.start(time.Now()) {
+		j.markCanceled(time.Now())
+		return
+	}
+	if sc.cacheable && !j.req.NoCache {
+		if b, ok := s.results.Get(sc.name, sc.hash); ok {
+			j.finish(b, true, time.Now())
+			return
+		}
+	}
+
+	bytes, runErrs, err := s.execute(j)
+	switch {
+	case errors.Is(err, context.Canceled) || j.ctx.Err() != nil:
+		j.markCanceled(time.Now())
+	case err != nil:
+		j.fail(err.Error(), time.Now())
+	default:
+		// Only complete, fully successful documents enter the cache: a
+		// hash hit must always mean "this exact scenario ran to the end".
+		if sc.cacheable && runErrs == 0 {
+			// A failed disk write degrades to memory-only serving; the
+			// store counts it and /api/v1/stats surfaces the counter.
+			_ = s.results.Put(sc.name, sc.hash, bytes)
+		}
+		if sc.kind == KindConfig && runErrs > 0 {
+			// A single-run job whose run failed is a failed job; the
+			// diagnostic is in the document's run record.
+			j.fail(firstRunError(bytes), time.Now())
+			return
+		}
+		j.finish(bytes, false, time.Now())
+	}
+}
+
+// execute runs the scenario and returns the canonical document bytes
+// plus the number of per-run errors recorded inside the document. A
+// panic anywhere in scenario execution (the experiments package treats
+// bad runs as programming errors and panics) becomes a failed job, never
+// a dead daemon.
+func (s *scheduler) execute(j *job) (b []byte, runErrs int, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			b, runErrs, err = nil, 0, fmt.Errorf("job panicked: %v", p)
+		}
+	}()
+	sc := j.sc
+	switch sc.kind {
+	case KindFigure:
+		o := sc.figOpts
+		o.Context = j.ctx
+		o.Pool = s.pool
+		o.Progress = j.progress
+		_, doc, runErr := sc.fig.Document(o)
+		if runErr != nil {
+			return nil, 0, runErr // cancelled mid-figure
+		}
+		for _, r := range doc.Runs {
+			if r.Err != "" {
+				runErrs++
+			}
+		}
+		b, err = encodeDocument(doc)
+		return b, runErrs, err
+	default: // KindConfig, KindBatch
+		cfg := sweep.Config{
+			// In-flight runs within the job: bounded by the shared pool
+			// anyway, so let the sweep try to dispatch as wide as the pool.
+			Workers: s.pool.Cap(),
+			Pool:    s.pool,
+			Seed:    sc.seed,
+			OnProgress: func(done, total int, r sweep.Result) {
+				j.progress(done, total, r.Key)
+			},
+		}
+		results := sweep.Run(j.ctx, sc.items, cfg)
+		if err := j.ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				runErrs++
+			}
+		}
+		doc := sweep.NewDocument(sc.name, sc.hash, sc.seed, results)
+		b, err = encodeDocument(doc)
+		return b, runErrs, err
+	}
+}
+
+// firstRunError digs the run error out of an encoded single-run document
+// for the job-level failure message.
+func firstRunError(doc []byte) string {
+	var d sweep.Document
+	if err := json.Unmarshal(doc, &d); err == nil {
+		for _, r := range d.Runs {
+			if r.Err != "" {
+				return r.Err
+			}
+		}
+	}
+	return "run failed"
+}

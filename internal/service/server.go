@@ -1,0 +1,279 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hornet/internal/experiments"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxJobs is the number of jobs in flight at once; 0 means 2.
+	MaxJobs int
+	// Budget is the shared CPU-slot pool capacity all concurrent jobs
+	// draw from; 0 means GOMAXPROCS (sweep.NewBudget clamps to >= 1).
+	Budget int
+	// CacheDir, if non-empty, persists result documents on disk
+	// (name-hash.json, the same layout hornet-exp -out writes).
+	CacheDir string
+}
+
+// Server is the hornet-serve HTTP handler plus its scheduler and stores.
+// Create with New, mount as an http.Handler, Close on shutdown.
+type Server struct {
+	mux     *http.ServeMux
+	jobs    *jobStore
+	results *resultStore
+	sched   *scheduler
+}
+
+// New builds a serving stack: job store, result cache, scheduler workers.
+func New(opts Options) *Server {
+	maxJobs := opts.MaxJobs
+	if maxJobs < 1 {
+		maxJobs = 2
+	}
+	results := newResultStore(opts.CacheDir)
+	s := &Server{
+		mux:     http.NewServeMux(),
+		jobs:    newJobStore(),
+		results: results,
+		sched:   newScheduler(maxJobs, opts.Budget, results),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/v1/figures", s.handleFigures)
+	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close cancels all in-flight jobs and stops the scheduler workers.
+// Call after the HTTP listener has stopped accepting requests.
+func (s *Server) Close() {
+	s.sched.stop()
+	now := time.Now()
+	for _, j := range s.jobs.all() {
+		j.cancel()
+		j.markCanceled(now) // no-op for jobs already terminal
+	}
+}
+
+// Stats snapshots scheduler and cache state (also GET /api/v1/stats).
+func (s *Server) Stats() ServerStats {
+	counts := s.jobs.countByState()
+	return ServerStats{
+		BudgetCap:    s.sched.pool.Cap(),
+		BudgetInUse:  s.sched.pool.InUse(),
+		BudgetPeak:   s.sched.pool.Peak(),
+		JobsQueued:   counts[StateQueued],
+		JobsRunning:  counts[StateRunning],
+		JobsDone:     counts[StateDone],
+		JobsFailed:   counts[StateFailed],
+		JobsCanceled: counts[StateCanceled],
+		CacheEntries:   s.results.Len(),
+		CacheHits:      s.results.Hits(),
+		CacheMisses:    s.results.Misses(),
+		CacheWriteErrs: s.results.WriteErrs(),
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	var out []FigureInfo
+	for _, f := range experiments.Figures() {
+		out = append(out, FigureInfo{Name: f.Name, Title: f.Title, Serial: f.Serial})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, &APIError{CodeInvalidRequest,
+			"malformed request body: " + err.Error()})
+		return
+	}
+	sc, apiErr := buildScenario(req)
+	if apiErr != nil {
+		writeError(w, http.StatusBadRequest, apiErr)
+		return
+	}
+	j := newJob(s.jobs.nextID(), req, sc, s.sched.baseCtx, time.Now())
+	s.jobs.add(j)
+	if apiErr := s.sched.submit(j); apiErr != nil {
+		j.fail(apiErr.Message, time.Now())
+		j.cancel() // never enqueued: release its context registration
+		status := http.StatusServiceUnavailable
+		writeError(w, status, apiErr)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.jobs.list())
+}
+
+// handleJob returns the job snapshot. With ?wait=DURATION it long-polls:
+// the response is delayed until the job reaches a terminal state or the
+// wait elapses, whichever is first.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, &APIError{CodeNotFound, "no such job"})
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil || wait < 0 {
+			writeError(w, http.StatusBadRequest, &APIError{CodeInvalidRequest,
+				fmt.Sprintf("bad wait duration %q", waitStr)})
+			return
+		}
+		const maxWait = 5 * time.Minute
+		if wait > maxWait {
+			wait = maxWait
+		}
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-j.Done():
+		case <-timer.C:
+		case <-r.Context().Done():
+		}
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, &APIError{CodeNotFound, "no such job"})
+		return
+	}
+	j.cancel()
+	// A queued job can be finalized right away; a running one drains and
+	// the scheduler marks it canceled when its runs return.
+	if j.Info().State == StateQueued {
+		j.markCanceled(time.Now())
+	}
+	writeJSON(w, http.StatusOK, j.Info())
+}
+
+// handleResult serves the canonical result document bytes. Because the
+// store keeps raw bytes, a cached response is byte-identical to the cold
+// run's; the config hash doubles as a strong ETag.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, &APIError{CodeNotFound, "no such job"})
+		return
+	}
+	info := j.Info()
+	b, ready := j.Result()
+	if !ready {
+		code := http.StatusConflict
+		msg := fmt.Sprintf("job is %s", info.State)
+		if info.State == StateFailed {
+			msg = "job failed: " + info.Error
+		}
+		writeError(w, code, &APIError{CodeNotFinished, msg})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", `"`+info.ConfigHash+`"`)
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+// handleEvents streams job progress as Server-Sent Events: one "state"
+// snapshot on connect, "progress" events as runs complete, and a final
+// "state" event when the job reaches a terminal state, after which the
+// stream ends.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, &APIError{CodeNotFound, "no such job"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, &APIError{CodeInvalidRequest,
+			"streaming unsupported by this connection"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe before the snapshot so no transition can fall between.
+	events, unsubscribe := j.subscribe()
+	defer unsubscribe()
+
+	info := j.Info()
+	writeSSE(w, Event{Type: "state", Job: info.ID, State: info.State,
+		Done: info.RunsDone, Total: info.RunsTotal})
+	flusher.Flush()
+
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				// Terminal: emit the final snapshot and end the stream.
+				info := j.Info()
+				writeSSE(w, Event{Type: "state", Job: info.ID, State: info.State,
+					Done: info.RunsDone, Total: info.RunsTotal})
+				flusher.Flush()
+				return
+			}
+			writeSSE(w, ev)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one SSE frame: "event: <type>\ndata: <json>\n\n".
+func writeSSE(w http.ResponseWriter, ev Event) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, b)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, apiErr *APIError) {
+	writeJSON(w, status, errorBody{Err: *apiErr})
+}

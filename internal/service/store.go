@@ -1,0 +1,112 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// resultStore is the content-addressed result cache: canonical document
+// bytes keyed by (name, config hash). It always holds results in memory;
+// with a directory configured it also persists them in the same
+// name-hash.json layout sweep.Cache uses, so a restarted daemon (or the
+// hornet-exp CLI pointed at the same directory) serves warm results.
+//
+// The store deals in raw bytes, never re-marshalled documents: a decoded
+// document re-encodes `any` values as sorted maps rather than structs, so
+// only byte passthrough keeps cached responses identical to cold runs.
+type resultStore struct {
+	mu        sync.Mutex
+	mem       map[string][]byte
+	dir       string // "" disables the disk tier
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	writeErrs atomic.Uint64
+}
+
+func newResultStore(dir string) *resultStore {
+	return &resultStore{mem: map[string][]byte{}, dir: dir}
+}
+
+func (s *resultStore) key(name, hash string) string { return name + "-" + hash }
+
+func (s *resultStore) path(name, hash string) string {
+	return filepath.Join(s.dir, s.key(name, hash)+".json")
+}
+
+// Get returns the cached document bytes, consulting memory first and
+// then the disk tier. Disk entries must be valid JSON (a partial write
+// cannot occur — writes are atomic — but a foreign or truncated file is
+// treated as a miss rather than served).
+func (s *resultStore) Get(name, hash string) ([]byte, bool) {
+	s.mu.Lock()
+	b, ok := s.mem[s.key(name, hash)]
+	s.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+		return b, true
+	}
+	if s.dir != "" {
+		if b, err := os.ReadFile(s.path(name, hash)); err == nil && json.Valid(b) {
+			s.mu.Lock()
+			s.mem[s.key(name, hash)] = b
+			s.mu.Unlock()
+			s.hits.Add(1)
+			return b, true
+		}
+	}
+	s.misses.Add(1)
+	return nil, false
+}
+
+// Put stores the canonical bytes. Disk writes go through a temp file and
+// rename so a killed daemon never leaves a half-written entry; a failed
+// disk write degrades to memory-only serving but is counted (WriteErrs,
+// surfaced via /api/v1/stats) so a broken disk tier is visible.
+func (s *resultStore) Put(name, hash string, b []byte) error {
+	s.mu.Lock()
+	s.mem[s.key(name, hash)] = b
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	if err := s.persist(name, hash, b); err != nil {
+		s.writeErrs.Add(1)
+		return err
+	}
+	return nil
+}
+
+func (s *resultStore) persist(name, hash string, b []byte) error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(s.dir, s.key(name, hash)+"-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), s.path(name, hash))
+}
+
+// Len reports the in-memory entry count.
+func (s *resultStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}
+
+// Hits, Misses and WriteErrs report counters for the stats endpoint.
+func (s *resultStore) Hits() uint64      { return s.hits.Load() }
+func (s *resultStore) Misses() uint64    { return s.misses.Load() }
+func (s *resultStore) WriteErrs() uint64 { return s.writeErrs.Load() }

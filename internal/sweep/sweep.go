@@ -11,9 +11,18 @@
 // order, so a sweep's collected output is byte-identical for any worker
 // count — the property the JSON emitter (emit.go) relies on for
 // caching/resume by config hash.
+//
+// Sweeps are cancellable: when the context passed to Run or Stream is
+// cancelled, no further items are dispatched, runs blocked on the budget
+// give up, and in-flight runs drain to completion. Cancellation never
+// truncates an individual result — a run either appears complete or not
+// at all. The surviving result set can have index gaps (a run queued on
+// the budget may be abandoned while a later-indexed run completes), so
+// partial-document consumers must key on run presence, not position.
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -34,6 +43,10 @@ type Item struct {
 
 // Ctx carries the per-run context the engine hands to an Item's Run.
 type Ctx struct {
+	// Context is the sweep's cancellation context; long runs should poll
+	// it (e.g. via a RunUntil stop function) to exit early when the sweep
+	// is cancelled. Never nil.
+	Context context.Context
 	Key     string
 	Index   int    // position of the item in the sweep
 	Seed    uint64 // deterministic private seed: sim.DeriveSeed(sweep seed, key)
@@ -58,8 +71,13 @@ type Config struct {
 	// Budget is the global CPU-slot pool shared by all concurrent runs: a
 	// run of weight W holds W slots for its duration, so sweep-level and
 	// engine-level workers together never exceed it. 0 means
-	// max(Workers, GOMAXPROCS).
+	// max(Workers, GOMAXPROCS). Ignored when Pool is set.
 	Budget int
+	// Pool, if non-nil, is an externally owned budget shared with other
+	// sweeps: every run acquires its slots from it, so several concurrent
+	// sweeps (e.g. jobs in a serving daemon) together never exceed the
+	// pool's capacity.
+	Pool *Budget
 	// Seed is the sweep master seed from which every run's private seed is
 	// derived.
 	Seed uint64
@@ -86,12 +104,21 @@ func (c Config) budget() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+func (c Config) pool() *Budget {
+	if c.Pool != nil {
+		return c.Pool
+	}
+	return NewBudget(c.budget())
+}
+
 // Run executes all items and returns their results ordered by item index
 // (not completion order), so collected output is deterministic for any
-// worker count.
-func Run(items []Item, cfg Config) []Result {
+// worker count. If ctx is cancelled mid-sweep, Run returns the results of
+// the runs that completed; callers distinguish a full sweep from a
+// truncated one via ctx.Err() (or by comparing lengths).
+func Run(ctx context.Context, items []Item, cfg Config) []Result {
 	out := make([]Result, 0, len(items))
-	for r := range Stream(items, cfg) {
+	for r := range Stream(ctx, items, cfg) {
 		out = append(out, r)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
@@ -99,10 +126,17 @@ func Run(items []Item, cfg Config) []Result {
 }
 
 // Stream executes all items on the worker pool and sends each Result as
-// its run completes. The channel is closed once every item has finished.
-// Items are dispatched in index order, but completion order depends on
-// run durations; use Run for order-stable collection.
-func Stream(items []Item, cfg Config) <-chan Result {
+// its run completes. The channel is closed once every dispatched item has
+// finished. Items are dispatched in index order, but completion order
+// depends on run durations; use Run for order-stable collection.
+//
+// When ctx is cancelled, dispatch stops, queued runs are abandoned
+// without emitting a Result, and the channel closes after the in-flight
+// runs drain.
+func Stream(ctx context.Context, items []Item, cfg Config) <-chan Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make(chan Result, len(items))
 	workers := cfg.workers()
 	if workers > len(items) {
@@ -111,7 +145,7 @@ func Stream(items []Item, cfg Config) <-chan Result {
 			workers = 1
 		}
 	}
-	budget := NewBudget(cfg.budget())
+	budget := cfg.pool()
 
 	var progressMu sync.Mutex
 	done := 0
@@ -132,13 +166,21 @@ func Stream(items []Item, cfg Config) <-chan Result {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				emit(runOne(items[i], i, cfg.Seed, budget))
+				if r, ok := runOne(ctx, items[i], i, cfg.Seed, budget); ok {
+					emit(r)
+				}
 			}
 		}()
 	}
 	go func() {
 		for i := range items {
-			next <- i
+			if ctx.Err() != nil {
+				break
+			}
+			select {
+			case next <- i:
+			case <-ctx.Done():
+			}
 		}
 		close(next)
 		wg.Wait()
@@ -149,17 +191,24 @@ func Stream(items []Item, cfg Config) <-chan Result {
 
 // runOne executes a single item under the budget, converting panics into
 // errors so one failing configuration cannot take down the whole sweep.
-func runOne(it Item, index int, sweepSeed uint64, budget *Budget) (res Result) {
-	granted := budget.Acquire(it.Weight)
+// It reports ok=false — and no Result — when the sweep was cancelled
+// before the run could start (including while queued on the budget).
+func runOne(ctx context.Context, it Item, index int, sweepSeed uint64, budget *Budget) (res Result, ok bool) {
+	granted, err := budget.AcquireCtx(ctx, it.Weight)
+	if err != nil {
+		return Result{}, false
+	}
 	defer budget.Release(granted)
 
-	ctx := Ctx{
+	c := Ctx{
+		Context: ctx,
 		Key:     it.Key,
 		Index:   index,
 		Seed:    sim.DeriveSeed(sweepSeed, it.Key),
 		Workers: granted,
 	}
-	res = Result{Index: index, Key: it.Key, Seed: ctx.Seed, Workers: granted}
+	res = Result{Index: index, Key: it.Key, Seed: c.Seed, Workers: granted}
+	ok = true // the run is charged from here on: even a panic yields a Result
 	began := time.Now()
 	defer func() {
 		res.Wall = time.Since(began)
@@ -167,8 +216,8 @@ func runOne(it Item, index int, sweepSeed uint64, budget *Budget) (res Result) {
 			res.Err = fmt.Errorf("sweep: run %q panicked: %v", it.Key, p)
 		}
 	}()
-	res.Value, res.Err = it.Run(ctx)
-	return res
+	res.Value, res.Err = it.Run(c)
+	return res, true
 }
 
 // PairSeed derives a seed shared by a group of runs that must observe

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -28,9 +29,9 @@ func noopItems(n int) []Item {
 // across worker counts, stable across runs, distinct across keys.
 func TestDeterministicSeedDerivation(t *testing.T) {
 	items := noopItems(16)
-	ref := Run(items, Config{Workers: 1, Seed: 7})
+	ref := Run(context.Background(), items, Config{Workers: 1, Seed: 7})
 	for _, workers := range []int{2, 4, 16} {
-		got := Run(items, Config{Workers: workers, Seed: 7})
+		got := Run(context.Background(), items, Config{Workers: workers, Seed: 7})
 		for i := range ref {
 			if got[i].Key != ref[i].Key || got[i].Seed != ref[i].Seed {
 				t.Fatalf("workers=%d run %d: got (%s,%#x), want (%s,%#x)",
@@ -51,7 +52,7 @@ func TestDeterministicSeedDerivation(t *testing.T) {
 	if ref[0].Seed != sim.DeriveSeed(7, "run00") {
 		t.Fatalf("seed not derived via sim.DeriveSeed")
 	}
-	other := Run(items[:1], Config{Workers: 1, Seed: 8})
+	other := Run(context.Background(), items[:1], Config{Workers: 1, Seed: 8})
 	if other[0].Seed == ref[0].Seed {
 		t.Fatal("different sweep seeds derived identical run seeds")
 	}
@@ -69,7 +70,7 @@ func TestResultsOrderedByIndex(t *testing.T) {
 			},
 		}
 	}
-	results := Run(items, Config{Workers: 4, Seed: 1})
+	results := Run(context.Background(), items, Config{Workers: 4, Seed: 1})
 	for i, r := range results {
 		if r.Index != i || r.Value.(int) != i {
 			t.Fatalf("result %d out of order: %+v", i, r)
@@ -107,7 +108,7 @@ func TestBudgetAccounting(t *testing.T) {
 			},
 		}
 	}
-	for _, r := range Run(items, Config{Workers: 16, Budget: budget, Seed: 1}) {
+	for _, r := range Run(context.Background(), items, Config{Workers: 16, Budget: budget, Seed: 1}) {
 		if r.Err != nil {
 			t.Fatal(r.Err)
 		}
@@ -164,7 +165,7 @@ func TestPanicBecomesError(t *testing.T) {
 		{Key: "boom", Run: func(Ctx) (any, error) { panic("kaboom") }},
 		{Key: "fail", Run: func(Ctx) (any, error) { return nil, errors.New("nope") }},
 	}
-	results := Run(items, Config{Workers: 3, Seed: 1})
+	results := Run(context.Background(), items, Config{Workers: 3, Seed: 1})
 	if results[0].Err != nil {
 		t.Fatalf("ok run errored: %v", results[0].Err)
 	}
@@ -195,7 +196,7 @@ func TestProgressCallbackSerializedAndComplete(t *testing.T) {
 		}
 		lastDone = done
 	}}
-	Run(noopItems(20), cfg)
+	Run(context.Background(), noopItems(20), cfg)
 	if calls != 20 {
 		t.Fatalf("progress called %d times, want 20", calls)
 	}
@@ -203,7 +204,7 @@ func TestProgressCallbackSerializedAndComplete(t *testing.T) {
 
 func TestStreamDeliversAll(t *testing.T) {
 	seen := map[string]bool{}
-	for r := range Stream(noopItems(10), Config{Workers: 3, Seed: 1}) {
+	for r := range Stream(context.Background(), noopItems(10), Config{Workers: 3, Seed: 1}) {
 		seen[r.Key] = true
 	}
 	if len(seen) != 10 {
