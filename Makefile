@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-full bench serve vet
+.PHONY: build test test-race test-full bench bench-json serve vet
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ test-full:
 # engine, ...). HORNET_FULL=1 switches to paper-scale parameters.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Perf-trajectory data point: sweep items/sec with and without
+# warmup-snapshot reuse (warmup-once/fork-many), written to
+# BENCH_PR3.json. BENCH_SCALE=-tiny shrinks it for smoke runs.
+bench-json:
+	$(GO) run ./cmd/hornet-bench $(BENCH_SCALE) -out BENCH_PR3.json
 
 # Run the simulation-as-a-service daemon (see README: hornet-serve).
 # Override flags via SERVE_FLAGS, e.g. make serve SERVE_FLAGS='-addr :9090'.

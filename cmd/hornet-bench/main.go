@@ -1,0 +1,124 @@
+// Command hornet-bench measures the warmup-once/fork-many win: it runs
+// the `conv` sweep (one warmup prefix, many measured windows) twice —
+// once re-simulating every item's warmup, once restoring all but the
+// first from the shared warmup snapshot — verifies the two documents
+// are byte-identical (the snapshot round-trip contract), and emits a
+// JSON record of items/sec for the perf trajectory (make bench-json).
+//
+// Usage:
+//
+//	hornet-bench                      # default scale, writes BENCH_PR3.json
+//	hornet-bench -tiny -out -         # CI smoke scale, JSON on stdout only
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"hornet/internal/experiments"
+	"hornet/internal/sweep"
+)
+
+// report is the emitted benchmark record.
+type report struct {
+	Bench           string  `json:"bench"`
+	Scale           string  `json:"scale"`
+	Items           int     `json:"items"`
+	WarmupSimulated uint64  `json:"warmups_simulated"` // with reuse: 1
+	WarmupRestored  uint64  `json:"warmups_restored"`
+	WallColdMS      float64 `json:"wall_cold_ms"`  // every item simulates its warmup
+	WallReuseMS     float64 `json:"wall_reuse_ms"` // warmup-once/fork-many
+	ItemsPerSecCold float64 `json:"items_per_sec_cold"`
+	ItemsPerSecWarm float64 `json:"items_per_sec_reuse"`
+	Speedup         float64 `json:"speedup"`
+	DocsIdentical   bool    `json:"docs_identical"`
+}
+
+func main() {
+	tiny := flag("tiny")
+	full := flag("full")
+	out := "BENCH_PR3.json"
+	for i, a := range os.Args[1:] {
+		if a == "-out" && i+2 < len(os.Args) {
+			out = os.Args[i+2]
+		}
+	}
+
+	f, ok := experiments.FigureByName("conv")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "hornet-bench: conv figure missing")
+		os.Exit(1)
+	}
+	scale := "default"
+	if tiny {
+		scale = "tiny"
+	}
+	if full {
+		scale = "full"
+	}
+	base := experiments.Options{Tiny: tiny, Full: full, Seed: 0x5EED0A11}
+
+	docBytes := func(o experiments.Options) ([]byte, int, time.Duration) {
+		began := time.Now()
+		_, doc, err := f.Document(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hornet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		var buf bytes.Buffer
+		if err := doc.WriteJSON(&buf); err != nil {
+			fmt.Fprintf(os.Stderr, "hornet-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return buf.Bytes(), len(doc.Runs), time.Since(began)
+	}
+
+	cold := base
+	cold.NoWarmupReuse = true
+	coldDoc, items, coldWall := docBytes(cold)
+
+	warm := base
+	warm.Warmups = sweep.NewSnapshotCache("")
+	warmDoc, _, warmWall := docBytes(warm)
+
+	r := report{
+		Bench:           "warmup-snapshot-reuse",
+		Scale:           scale,
+		Items:           items,
+		WarmupSimulated: warm.Warmups.Misses(),
+		WarmupRestored:  warm.Warmups.Hits(),
+		WallColdMS:      float64(coldWall.Microseconds()) / 1000,
+		WallReuseMS:     float64(warmWall.Microseconds()) / 1000,
+		ItemsPerSecCold: float64(items) / coldWall.Seconds(),
+		ItemsPerSecWarm: float64(items) / warmWall.Seconds(),
+		Speedup:         float64(coldWall) / float64(warmWall),
+		DocsIdentical:   bytes.Equal(coldDoc, warmDoc),
+	}
+	b, _ := json.MarshalIndent(r, "", "  ")
+	b = append(b, '\n')
+	os.Stdout.Write(b)
+	if out != "-" {
+		if err := os.WriteFile(out, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "hornet-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if !r.DocsIdentical {
+		fmt.Fprintln(os.Stderr, "hornet-bench: documents differ between cold and reuse runs")
+		os.Exit(1)
+	}
+}
+
+// flag reports whether a bare boolean flag is present (the command's
+// argument surface is too small for the flag package's ceremony).
+func flag(name string) bool {
+	for _, a := range os.Args[1:] {
+		if a == "-"+name || a == "--"+name {
+			return true
+		}
+	}
+	return false
+}

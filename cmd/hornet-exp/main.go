@@ -17,6 +17,10 @@
 //	hornet-exp -only 9 -json            # emit the sweep document as JSON
 //	hornet-exp -all -json -out results  # cache documents under results/ (resume: cached figures are skipped)
 //	hornet-exp -only 6a -full           # paper-scale parameters (slow)
+//	hornet-exp -only conv -checkpoint-dir ckpt/
+//	                                    # persist warmup snapshots: later
+//	                                    # invocations skip shared warmups
+//	hornet-exp snapshot ckpt/FILE.snap  # inspect a snapshot file
 package main
 
 import (
@@ -32,11 +36,17 @@ import (
 	"time"
 
 	"hornet/internal/experiments"
+	"hornet/internal/snapshotcli"
 	"hornet/internal/sweep"
 	"hornet/internal/thermal"
 )
 
 func main() {
+	// Subcommand form: `hornet-exp snapshot <file>` inspects a warmup or
+	// checkpoint snapshot and exits.
+	if len(os.Args) > 1 && os.Args[1] == "snapshot" {
+		os.Exit(snapshotcli.Inspect(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	only := flag.String("only", "", "comma-separated figures to reproduce: 6a 6b 7 8 9 10 11 12 13 14 4a t1")
 	figFlag := flag.String("fig", "", "alias for -only (kept for compatibility)")
 	all := flag.Bool("all", false, "run every experiment")
@@ -47,6 +57,8 @@ func main() {
 	budget := flag.Int("budget", 0, "CPU-slot budget shared by all concurrent runs (0 = max(parallel, GOMAXPROCS))")
 	jsonOut := flag.Bool("json", false, "emit sweep documents as JSON on stdout instead of text")
 	outDir := flag.String("out", "", "with -json: cache documents under this directory, skipping figures already cached for the same configuration")
+	ckptDir := flag.String("checkpoint-dir", "", "persist warmup snapshots under this directory so repeated invocations skip shared warmups (\"\" = per-process memory cache)")
+	noReuse := flag.Bool("no-warmup-reuse", false, "simulate every warmup instead of restoring shared snapshots (byte-identical output; for benchmarking the reuse win)")
 	quiet := flag.Bool("q", false, "suppress per-run progress on stderr")
 	flag.Parse()
 
@@ -83,12 +95,18 @@ func main() {
 	}()
 
 	o := experiments.Options{
-		Full:     *full || experiments.FullFromEnv(),
-		Tiny:     *tiny,
-		Seed:     *seed,
-		Parallel: *parallel,
-		Budget:   *budget,
-		Context:  ctx,
+		Full:          *full || experiments.FullFromEnv(),
+		Tiny:          *tiny,
+		Seed:          *seed,
+		Parallel:      *parallel,
+		Budget:        *budget,
+		Context:       ctx,
+		NoWarmupReuse: *noReuse,
+	}
+	if *ckptDir != "" {
+		// One disk-backed warmup cache shared by every figure this
+		// invocation runs — and, via the directory, by future invocations.
+		o.Warmups = sweep.NewSnapshotCache(*ckptDir)
 	}
 	if !*quiet {
 		o.Progress = func(done, total int, key string) {
@@ -229,6 +247,12 @@ func printRows(name string, rows any) {
 				}
 				fmt.Printf("    %9d  %6.2f  %6.2f\n", s.Cycle[i], s.MaxTempC[i], s.MeanTempC[i])
 			}
+		}
+	case "conv":
+		fmt.Println("  window     avg-latency  throughput  delta-vs-longest")
+		for _, r := range rows.([]experiments.ConvRow) {
+			fmt.Printf("  %8d  %10.2f  %10.4f  %14.2f%%\n",
+				r.Window, r.AvgPacketLatency, r.Throughput, r.DeltaPct)
 		}
 	case "14":
 		for _, m := range rows.([]experiments.Fig14Map) {

@@ -12,6 +12,14 @@
 //	hornet-serve -addr :9090 -jobs 4      # 4 jobs in flight at once
 //	hornet-serve -budget 8                # 8 CPU slots shared by all jobs
 //	hornet-serve -cache results/          # persist result documents on disk
+//	hornet-serve -checkpoint-dir ckpt/ -checkpoint-every 100000
+//	                                      # autosave running jobs; a restarted
+//	                                      # daemon resumes resubmitted jobs
+//	                                      # from their last snapshot
+//	hornet-serve -job-ttl 1h              # expire finished job records
+//	hornet-serve -cache-max-entries 1024 -cache-max-bytes 268435456
+//	                                      # LRU-bound the in-memory result cache
+//	hornet-serve snapshot ckpt/FILE.snap  # inspect a checkpoint file
 //
 // Endpoints (see README.md for the full job lifecycle):
 //
@@ -40,20 +48,42 @@ import (
 	"time"
 
 	"hornet/internal/service"
+	"hornet/internal/snapshotcli"
 )
 
 func main() {
+	// Subcommand form: `hornet-serve snapshot <file>` inspects a
+	// checkpoint/warmup snapshot and exits.
+	if len(os.Args) > 1 && os.Args[1] == "snapshot" {
+		os.Exit(snapshotcli.Inspect(os.Args[2:], os.Stdout, os.Stderr))
+	}
+
 	addr := flag.String("addr", ":8080", "listen address")
 	jobs := flag.Int("jobs", 2, "jobs in flight at once")
 	budget := flag.Int("budget", runtime.GOMAXPROCS(0),
 		"CPU-slot budget shared by all concurrent jobs")
 	cacheDir := flag.String("cache", "", "persist result documents under this directory (\"\" = memory only)")
+	ckptDir := flag.String("checkpoint-dir", "",
+		"autosave running jobs and cache warmup snapshots under this directory (\"\" = no checkpointing)")
+	ckptEvery := flag.Uint64("checkpoint-every", 100_000,
+		"autosave period in simulated cycles (with -checkpoint-dir)")
+	jobTTL := flag.Duration("job-ttl", 0,
+		"expire finished job records this long after completion (0 = keep forever)")
+	cacheMaxEntries := flag.Int("cache-max-entries", 0,
+		"LRU bound on in-memory result documents (0 = unbounded)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0,
+		"LRU bound on in-memory result bytes (0 = unbounded)")
 	flag.Parse()
 
 	srv := service.New(service.Options{
-		MaxJobs:  *jobs,
-		Budget:   *budget,
-		CacheDir: *cacheDir,
+		MaxJobs:         *jobs,
+		Budget:          *budget,
+		CacheDir:        *cacheDir,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		JobTTL:          *jobTTL,
+		CacheMaxEntries: *cacheMaxEntries,
+		CacheMaxBytes:   *cacheMaxBytes,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -66,8 +96,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("hornet-serve: listening on %s (jobs=%d budget=%d cache=%q)",
-		*addr, *jobs, *budget, *cacheDir)
+	log.Printf("hornet-serve: listening on %s (jobs=%d budget=%d cache=%q checkpoint=%q every=%d job-ttl=%v)",
+		*addr, *jobs, *budget, *cacheDir, *ckptDir, *ckptEvery, *jobTTL)
 
 	select {
 	case <-ctx.Done():

@@ -79,6 +79,7 @@ func (s *System) TraceDone() bool {
 // the given nodes: each answers class-1 request packets with
 // responseFlits-sized responses after the DRAM latency.
 func (s *System) AttachTraceControllers(nodes []noc.NodeID, latency, responseFlits int) {
+	s.markUnsnapshottable("trace-mode memory controllers (payload-bearing responses)")
 	for _, n := range nodes {
 		t := s.tiles[n]
 		tc := mem.NewTraceController(n, latency, responseFlits)
@@ -114,6 +115,7 @@ func (s *System) AttachMemory(mc config.MemoryConfig) (*memoryFabric, error) {
 	if len(mc.Controllers) == 0 {
 		return nil, fmt.Errorf("core: memory needs at least one controller node")
 	}
+	s.markUnsnapshottable("shared-memory fabric (in-flight coherence messages)")
 	am := &mem.AddressMap{LineBytes: mc.LineBytes, Nodes: s.Topo.Nodes()}
 	for _, c := range mc.Controllers {
 		am.Controllers = append(am.Controllers, noc.NodeID(c))
@@ -193,6 +195,7 @@ func (s *System) PortFor(f *memoryFabric, n noc.NodeID, mc config.MemoryConfig) 
 // same program image, with the MPI-style network port (private memory).
 // Returns the cores in node order.
 func (s *System) AttachMIPS(nodes []noc.NodeID, img *mips.Image) []*mips.Core {
+	s.markUnsnapshottable("MIPS cores (register/RAM state and payload-bearing packets)")
 	cores := make([]*mips.Core, 0, len(nodes))
 	for _, n := range nodes {
 		t := s.tiles[n]
@@ -208,6 +211,7 @@ func (s *System) AttachMIPS(nodes []noc.NodeID, img *mips.Image) []*mips.Core {
 // AttachMIPSShared places MIPS cores whose data accesses go through the
 // shared-memory fabric (MSI L1 or NUCA port per the memory config).
 func (s *System) AttachMIPSShared(nodes []noc.NodeID, img *mips.Image, f *memoryFabric, mc config.MemoryConfig) []*mips.Core {
+	s.markUnsnapshottable("MIPS cores (register/RAM state and payload-bearing packets)")
 	cores := make([]*mips.Core, 0, len(nodes))
 	for _, n := range nodes {
 		t := s.tiles[n]
@@ -225,6 +229,7 @@ func (s *System) AttachMIPSShared(nodes []noc.NodeID, img *mips.Image, f *memory
 // instrumenting their memory accesses through the shared-memory fabric
 // (the Pin frontend substitute). Returns the per-tile frontends.
 func (s *System) AttachPinApp(threads int, f *memoryFabric, mc config.MemoryConfig, app func(t *pinsim.Thread)) []*pinsim.Frontend {
+	s.markUnsnapshottable("pinsim frontends (live application goroutines)")
 	fes := make([]*pinsim.Frontend, 0, threads)
 	for i := 0; i < threads; i++ {
 		n := noc.NodeID(i)

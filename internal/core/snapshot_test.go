@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"hornet/internal/config"
+	"hornet/internal/snapshot"
+	"hornet/internal/trace"
+)
+
+// snapCfg returns a small config exercising multiple traffic processes
+// (Bernoulli + bursty) so snapshots capture mid-flight state.
+func snapCfg(workers int) config.Config {
+	cfg := config.Default()
+	cfg.Topology.Width, cfg.Topology.Height = 4, 4
+	cfg.Engine.Workers = workers
+	cfg.Engine.Seed = 0xC0FFEE
+	cfg.WarmupCycles = 300
+	cfg.AnalyzedCycles = 400
+	cfg.Traffic = []config.TrafficConfig{
+		{Pattern: config.PatternTranspose, InjectionRate: 0.10},
+		{Pattern: config.PatternUniform, InjectionRate: 0.05, BurstLen: 40, BurstGap: 60},
+	}
+	return cfg
+}
+
+func buildSynthetic(t *testing.T, cfg config.Config) *System {
+	t.Helper()
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := sys.AttachSyntheticTraffic(); err != nil {
+		t.Fatalf("AttachSyntheticTraffic: %v", err)
+	}
+	return sys
+}
+
+// TestSnapshotRoundTripGolden is the subsystem's core property:
+// run A cycles → snapshot → restore into a fresh system → run B cycles
+// must be indistinguishable — byte for byte — from running A+B cycles
+// with a snapshot/restore-free boundary, at every worker count.
+func TestSnapshotRoundTripGolden(t *testing.T) {
+	workerSet := []int{1, 2, 3}
+	if testing.Short() {
+		workerSet = []int{1, 2}
+	}
+	for _, workers := range workerSet {
+		cfg := snapCfg(workers)
+
+		// Reference: one system, two back-to-back runs (the phase
+		// boundary exists in both executions, so fast-forward chunking
+		// cannot differ).
+		ref := buildSynthetic(t, cfg)
+		ref.Run(uint64(cfg.WarmupCycles))
+		blob, err := ref.SnapshotBytes()
+		if err != nil {
+			t.Fatalf("workers=%d: snapshot: %v", workers, err)
+		}
+		ref.Run(uint64(cfg.AnalyzedCycles))
+		refFinal, err := ref.SnapshotBytes()
+		if err != nil {
+			t.Fatalf("workers=%d: final snapshot: %v", workers, err)
+		}
+
+		// Restored: a fresh system resumed from the mid-run snapshot.
+		res := buildSynthetic(t, cfg)
+		if err := res.RestoreBytes(blob); err != nil {
+			t.Fatalf("workers=%d: restore: %v", workers, err)
+		}
+		if res.Clock() != uint64(cfg.WarmupCycles) {
+			t.Fatalf("workers=%d: restored clock %d, want %d", workers, res.Clock(), cfg.WarmupCycles)
+		}
+		res.Run(uint64(cfg.AnalyzedCycles))
+		resFinal, err := res.SnapshotBytes()
+		if err != nil {
+			t.Fatalf("workers=%d: final snapshot after restore: %v", workers, err)
+		}
+
+		if string(refFinal) != string(resFinal) {
+			t.Errorf("workers=%d: continued state diverged from uninterrupted run (snapshots differ)", workers)
+		}
+		if !reflect.DeepEqual(ref.Summary(), res.Summary()) {
+			t.Errorf("workers=%d: summaries diverged:\nref: %+v\nres: %+v",
+				workers, ref.Summary(), res.Summary())
+		}
+	}
+}
+
+// TestSnapshotRoundTripAcrossWorkerCounts checks that a snapshot taken
+// at one worker count restores into a system running at another and
+// still reproduces the uninterrupted single-worker execution.
+func TestSnapshotRoundTripAcrossWorkerCounts(t *testing.T) {
+	base := snapCfg(1)
+	ref := buildSynthetic(t, base)
+	ref.Run(uint64(base.WarmupCycles))
+	blob, err := ref.SnapshotBytes()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	ref.Run(uint64(base.AnalyzedCycles))
+
+	cfg2 := snapCfg(2) // same identity: workers excluded from the hash
+	res := buildSynthetic(t, cfg2)
+	if err := res.RestoreBytes(blob); err != nil {
+		t.Fatalf("restore into 2-worker system: %v", err)
+	}
+	res.Run(uint64(base.AnalyzedCycles))
+	if !reflect.DeepEqual(ref.Summary(), res.Summary()) {
+		t.Errorf("summaries diverged across worker counts:\nref: %+v\nres: %+v",
+			ref.Summary(), res.Summary())
+	}
+}
+
+// TestSnapshotTraceInjectors round-trips a trace-driven system.
+func TestSnapshotTraceInjectors(t *testing.T) {
+	cfg := snapCfg(1)
+	cfg.Traffic = nil
+	tr := &trace.Trace{}
+	tr.AddPeriodic(5, 0, 15, 4, 37, 50)
+	tr.AddPeriodic(11, 7, 2, 2, 23, 40)
+	tr.Add(400, 3, 12, 8)
+
+	ref, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ref.AttachTrace(tr)
+	ref.Run(200)
+	blob, err := ref.SnapshotBytes()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	ref.Run(600)
+
+	res, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res.AttachTrace(tr)
+	if err := res.RestoreBytes(blob); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	res.Run(600)
+	if !reflect.DeepEqual(ref.Summary(), res.Summary()) {
+		t.Errorf("trace summaries diverged:\nref: %+v\nres: %+v", ref.Summary(), res.Summary())
+	}
+}
+
+// TestSnapshotRejectsWrongConfig: the hash guard must refuse a snapshot
+// from a different configuration with a structured MismatchError.
+func TestSnapshotRejectsWrongConfig(t *testing.T) {
+	sys := buildSynthetic(t, snapCfg(1))
+	sys.Run(100)
+	blob, err := sys.SnapshotBytes()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	other := snapCfg(1)
+	other.Traffic[0].InjectionRate = 0.2 // different identity
+	dst := buildSynthetic(t, other)
+	err = dst.RestoreBytes(blob)
+	var mm *snapshot.MismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("restore into different config: got %v, want *snapshot.MismatchError", err)
+	}
+	if mm.Field != "config_hash" {
+		t.Errorf("mismatch field = %q, want config_hash", mm.Field)
+	}
+}
+
+// TestSnapshotRejectsCorruption: flipped payload bytes must surface as
+// CorruptError (checksum), and a bumped version as VersionError.
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	sys := buildSynthetic(t, snapCfg(1))
+	sys.Run(100)
+	blob, err := sys.SnapshotBytes()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)/2] ^= 0xFF
+	var ce *snapshot.CorruptError
+	if err := buildSynthetic(t, snapCfg(1)).RestoreBytes(bad); !errors.As(err, &ce) {
+		t.Errorf("bit-flipped snapshot: got %v, want *snapshot.CorruptError", err)
+	}
+
+	if err := buildSynthetic(t, snapCfg(1)).RestoreBytes(blob[:37]); !errors.As(err, &ce) {
+		t.Errorf("truncated snapshot: got %v, want *snapshot.CorruptError", err)
+	}
+}
+
+// TestSnapshotUnsupportedFrontends: systems with payload-bearing or
+// goroutine-holding frontends refuse to snapshot, with the component
+// named in a structured error.
+func TestSnapshotUnsupportedFrontends(t *testing.T) {
+	cfg := snapCfg(1)
+	cfg.Traffic = nil
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := sys.AttachMemory(*config.DefaultMemory()); err != nil {
+		t.Fatalf("AttachMemory: %v", err)
+	}
+	_, err = sys.Snapshot()
+	var ue *snapshot.UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("snapshot with memory fabric: got %v, want *snapshot.UnsupportedError", err)
+	}
+	if ue.Component == "" {
+		t.Error("unsupported error does not name the component")
+	}
+}
+
+// TestRestoreRequiresFreshSystem: restoring over a system that already
+// ran would splice two histories; it must be refused.
+func TestRestoreRequiresFreshSystem(t *testing.T) {
+	sys := buildSynthetic(t, snapCfg(1))
+	sys.Run(50)
+	blob, err := sys.SnapshotBytes()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if err := sys.RestoreBytes(blob); err == nil {
+		t.Fatal("restore into a running system succeeded, want error")
+	}
+}

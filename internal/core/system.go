@@ -28,6 +28,19 @@ type System struct {
 	clock      uint64 // next cycle to simulate
 	generators []*traffic.Generator
 	injectors  []*trace.Injector
+
+	// unsnapshottable names the first attached component whose state
+	// cannot be serialized (live goroutines, payload-bearing frontends);
+	// empty means Snapshot/Restore are available.
+	unsnapshottable string
+}
+
+// markUnsnapshottable records that an attached frontend rules out
+// checkpointing; the first component wins (it is the one reported).
+func (s *System) markUnsnapshottable(component string) {
+	if s.unsnapshottable == "" {
+		s.unsnapshottable = component
+	}
 }
 
 // New builds a system from a validated configuration: topology, routing

@@ -57,6 +57,19 @@ type Options struct {
 	Context context.Context
 	// Progress, if non-nil, is called after each sweep run completes.
 	Progress func(done, total int, key string)
+	// Warmups, if non-nil, is the warmup snapshot cache shared with other
+	// work (other figures, other jobs in hornet-serve, or a -checkpoint-dir
+	// disk tier): figures whose sweep items share a warmup prefix simulate
+	// the prefix once and fork the rest from the cached snapshot. Nil means
+	// a private in-memory cache per figure invocation (still warmup-once
+	// within the figure). Like Parallel, this must not change a single
+	// output byte — the snapshot round-trip contract guarantees it — so it
+	// is excluded from config hashes.
+	Warmups *sweep.SnapshotCache
+	// NoWarmupReuse disables warmup snapshot reuse entirely (every item
+	// re-simulates its warmup). Results are byte-identical either way;
+	// the flag exists for benchmarking the reuse win and for debugging.
+	NoWarmupReuse bool
 }
 
 // FullFromEnv reports whether HORNET_FULL requests paper-scale runs:

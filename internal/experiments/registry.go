@@ -98,6 +98,8 @@ func Figures() []Figure {
 			run: func(o Options) (any, []sweep.Result) { return anyRows(fig13(o)) }},
 		{Name: "14", Title: "Fig 14: steady-state temperature maps",
 			run: func(o Options) (any, []sweep.Result) { return anyRows(fig14(o)) }},
+		{Name: "conv", Title: "Measurement-window convergence (warmup-once/fork-many)",
+			run: func(o Options) (any, []sweep.Result) { return anyRows(convergence(o)) }},
 	}
 }
 

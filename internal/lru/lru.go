@@ -1,0 +1,96 @@
+// Package lru implements the small byte-blob LRU shared by the
+// service result store and the sweep warmup-snapshot cache: string keys
+// to []byte values, bounded by entry count and/or total bytes, with the
+// rule that the newest entry always stays resident (the producer that
+// just inserted it must be able to serve it even when it alone exceeds
+// the byte bound).
+//
+// Cache is NOT safe for concurrent use; callers guard it with their own
+// mutex (they all have one protecting adjacent state anyway).
+package lru
+
+import "container/list"
+
+// Cache is a bounded most-recently-used-first store.
+type Cache struct {
+	maxEntries int   // 0 = unbounded
+	maxBytes   int64 // 0 = unbounded
+
+	m         map[string]*list.Element
+	l         *list.List // front = most recently used
+	bytes     int64
+	evictions uint64
+}
+
+type entry struct {
+	key string
+	b   []byte
+}
+
+// New returns an unbounded cache; bound it with SetBounds.
+func New() *Cache {
+	return &Cache{m: map[string]*list.Element{}, l: list.New()}
+}
+
+// SetBounds configures the limits (0 = unbounded) and applies them.
+func (c *Cache) SetBounds(maxEntries int, maxBytes int64) {
+	c.maxEntries, c.maxBytes = maxEntries, maxBytes
+	c.evict()
+}
+
+// Get returns the value and promotes the entry to most-recently-used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.l.MoveToFront(el)
+	return el.Value.(*entry).b, true
+}
+
+// Put inserts or refreshes an entry at the front, then enforces the
+// bounds (the just-inserted entry itself is never evicted).
+func (c *Cache) Put(key string, b []byte) {
+	if el, ok := c.m[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(b)) - int64(len(e.b))
+		e.b = b
+		c.l.MoveToFront(el)
+	} else {
+		c.m[key] = c.l.PushFront(&entry{key: key, b: b})
+		c.bytes += int64(len(b))
+	}
+	c.evict()
+}
+
+// Delete removes an entry if present.
+func (c *Cache) Delete(key string) {
+	if el, ok := c.m[key]; ok {
+		c.remove(el)
+	}
+}
+
+func (c *Cache) evict() {
+	for c.l.Len() > 1 &&
+		((c.maxEntries > 0 && c.l.Len() > c.maxEntries) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		c.remove(c.l.Back())
+		c.evictions++
+	}
+}
+
+func (c *Cache) remove(el *list.Element) {
+	e := el.Value.(*entry)
+	c.l.Remove(el)
+	delete(c.m, e.key)
+	c.bytes -= int64(len(e.b))
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int { return c.l.Len() }
+
+// Bytes returns the resident byte total.
+func (c *Cache) Bytes() int64 { return c.bytes }
+
+// Evictions returns how many entries the bounds have dropped.
+func (c *Cache) Evictions() uint64 { return c.evictions }

@@ -1,0 +1,430 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"hornet/internal/snapshot"
+)
+
+// This file implements checkpoint save/restore for the NoC layer. The
+// encoding walks structures in construction order (ports as added, VCs
+// in index order, maps by sorted key), so a given simulator state always
+// serializes to the same bytes. Restore is the exact inverse and
+// validates every structural count against the freshly built router it
+// is loading into, returning *snapshot.MismatchError when the snapshot
+// belongs to a different configuration and *snapshot.CorruptError when
+// the bytes are internally inconsistent.
+
+// saveFlit encodes one flit. Payloads cannot be serialized generically
+// (they are `any`); synthetic and trace traffic carry none, and systems
+// with payload-bearing frontends refuse to snapshot at a higher level,
+// so a non-nil payload here is reported as unsupported state.
+func saveFlit(w *snapshot.Writer, f Flit) error {
+	if f.Payload != nil {
+		return &snapshot.UnsupportedError{
+			Component: fmt.Sprintf("flit payload of type %T (flow %v)", f.Payload, f.Flow)}
+	}
+	w.Uint8(uint8(f.Kind))
+	w.Uint32(uint32(f.Flow))
+	w.Uint64(f.Packet)
+	w.Uint16(f.Seq)
+	w.Uint16(f.Len)
+	w.Uint64(f.FlowSeq)
+	w.Int32(int32(f.Src))
+	w.Int32(int32(f.Dst))
+	w.Uint64(f.InjectedAt)
+	w.Uint64(f.HeadInjectedAt)
+	w.Uint64(f.VisibleAt)
+	w.Uint64(f.Latency)
+	w.Uint16(f.Hops)
+	return nil
+}
+
+func loadFlit(r *snapshot.Reader) Flit {
+	return Flit{
+		Kind:           Kind(r.Uint8()),
+		Flow:           FlowID(r.Uint32()),
+		Packet:         r.Uint64(),
+		Seq:            r.Uint16(),
+		Len:            r.Uint16(),
+		FlowSeq:        r.Uint64(),
+		Src:            NodeID(r.Int32()),
+		Dst:            NodeID(r.Int32()),
+		InjectedAt:     r.Uint64(),
+		HeadInjectedAt: r.Uint64(),
+		VisibleAt:      r.Uint64(),
+		Latency:        r.Uint64(),
+		Hops:           r.Uint16(),
+	}
+}
+
+func savePacket(w *snapshot.Writer, p Packet) error {
+	if p.Payload != nil {
+		return &snapshot.UnsupportedError{
+			Component: fmt.Sprintf("packet payload of type %T (flow %v)", p.Payload, p.Flow)}
+	}
+	w.Uint64(p.ID)
+	w.Uint32(uint32(p.Flow))
+	w.Int32(int32(p.Src))
+	w.Int32(int32(p.Dst))
+	w.Int(p.Flits)
+	w.Uint64(p.FlowSeq)
+	w.Uint64(p.Latency)
+	return nil
+}
+
+func loadPacket(r *snapshot.Reader) Packet {
+	return Packet{
+		ID:      r.Uint64(),
+		Flow:    FlowID(r.Uint32()),
+		Src:     NodeID(r.Int32()),
+		Dst:     NodeID(r.Int32()),
+		Flits:   r.Int(),
+		FlowSeq: r.Uint64(),
+		Latency: r.Uint64(),
+	}
+}
+
+// SaveState serializes the buffer: capacity (structural check), the
+// cumulative pop count, and the resident flits in FIFO order.
+func (b *VCBuffer) SaveState(w *snapshot.Writer) error {
+	w.Int(len(b.buf))
+	w.Uint64(b.pops)
+	live := int(b.live.Load())
+	w.Int(live)
+	for i := 0; i < live; i++ {
+		if err := saveFlit(w, b.buf[(b.head+i)%len(b.buf)]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadState restores a buffer saved by SaveState into this (fresh,
+// empty) buffer. Ring positions are normalized to head 0; only the
+// FIFO content and the credit counters are semantic.
+func (b *VCBuffer) LoadState(r *snapshot.Reader) error {
+	capacity := r.Int()
+	pops := r.Uint64()
+	live := r.Count(1 << 20)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if capacity != len(b.buf) {
+		return &snapshot.MismatchError{Field: "vc buffer capacity",
+			Got: fmt.Sprint(capacity), Want: fmt.Sprint(len(b.buf))}
+	}
+	if live > capacity {
+		return &snapshot.CorruptError{
+			Detail: fmt.Sprintf("buffer holds %d flits but capacity is %d", live, capacity)}
+	}
+	for i := 0; i < live; i++ {
+		b.buf[i] = loadFlit(r)
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	b.head = 0
+	b.tail = live % len(b.buf)
+	b.live.Store(int32(live))
+	b.pops = pops
+	b.committedPops.Store(pops)
+	return nil
+}
+
+// SaveState serializes the link's arbitration state: the published
+// demand and space, and the grants that govern next cycle's bandwidth.
+func (l *Link) SaveState(w *snapshot.Writer) {
+	w.Int(l.BandwidthPerDir)
+	w.Bool(l.Bidirectional)
+	for side := 0; side < 2; side++ {
+		w.Int64(l.demand[side].Load())
+		w.Int64(l.space[side].Load())
+		w.Int64(l.grant[side].Load())
+	}
+}
+
+// LoadState restores link state saved by SaveState.
+func (l *Link) LoadState(r *snapshot.Reader) error {
+	bw := r.Int()
+	bidi := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if bw != l.BandwidthPerDir || bidi != l.Bidirectional {
+		return &snapshot.MismatchError{Field: "link parameters",
+			Got:  fmt.Sprintf("bw=%d bidi=%v", bw, bidi),
+			Want: fmt.Sprintf("bw=%d bidi=%v", l.BandwidthPerDir, l.Bidirectional)}
+	}
+	for side := 0; side < 2; side++ {
+		l.demand[side].Store(r.Int64())
+		l.space[side].Store(r.Int64())
+		l.grant[side].Store(r.Int64())
+	}
+	return r.Err()
+}
+
+func saveEgressVC(w *snapshot.Writer, e *egressVC) {
+	w.Uint64(e.pushes)
+	w.Uint64(e.allocPacket)
+	w.Uint32(uint32(e.allocFlow))
+	w.Uint32(uint32(e.lastFlow))
+}
+
+func loadEgressVC(r *snapshot.Reader, e *egressVC) {
+	e.pushes = r.Uint64()
+	e.allocPacket = r.Uint64()
+	e.allocFlow = FlowID(r.Uint32())
+	e.lastFlow = FlowID(r.Uint32())
+}
+
+// saveVCState serializes one ingress VC's pipeline state. The arrival
+// stamps need canonicalization: whether a flit pushed by a neighbouring
+// tile is stamped in the same cycle or the next depends on worker
+// scheduling — a benign race, because latency accounting always takes
+// max(stamp, VisibleAt). Saving that effective value (and stamping
+// not-yet-scanned residents at the restore clock, exactly when the
+// next PhaseTransfer would stamp them) makes snapshots of the same
+// simulated state byte-identical regardless of how workers interleaved,
+// and restores the exact latency semantics.
+func saveVCState(w *snapshot.Writer, s *vcState, buf *VCBuffer, clock uint64) {
+	w.Bool(s.routed)
+	w.Uint64(s.routedAt)
+	w.Uint32(uint32(s.flow))
+	w.Int32(int32(s.next))
+	w.Uint32(uint32(s.nextFlow))
+	w.Int(s.egress)
+	w.Bool(s.vaDone)
+	w.Uint64(s.vaAt)
+	w.Int(s.outVC)
+	w.Uint64(s.pktID)
+	live := buf.Len()
+	w.Int(live)
+	for i := 0; i < live; i++ {
+		f := buf.flitAt(i)
+		eff := clock
+		if i < s.sCount {
+			eff = s.stamps[(s.sHead+i)%len(s.stamps)]
+		}
+		if f.VisibleAt > eff {
+			eff = f.VisibleAt
+		}
+		w.Uint64(eff)
+	}
+}
+
+func loadVCState(r *snapshot.Reader, s *vcState) error {
+	s.routed = r.Bool()
+	s.routedAt = r.Uint64()
+	s.flow = FlowID(r.Uint32())
+	s.next = NodeID(r.Int32())
+	s.nextFlow = FlowID(r.Uint32())
+	s.egress = r.Int()
+	s.vaDone = r.Bool()
+	s.vaAt = r.Uint64()
+	s.outVC = r.Int()
+	s.pktID = r.Uint64()
+	n := r.Count(len(s.stamps))
+	for i := 0; i < n; i++ {
+		s.stamps[i] = r.Uint64()
+	}
+	s.sHead = 0
+	s.sCount = n
+	return r.Err()
+}
+
+// SaveState serializes the router's complete mutable state: injection
+// queue and streaming packet, per-flow sequence counters, ingress VC
+// buffers with their pipeline state, producer-side egress bookkeeping,
+// and the ejection-port reassembly table. clock is the next cycle the
+// suspended simulation would execute (used to canonicalize arrival
+// stamps; see saveVCState).
+func (r *Router) SaveState(w *snapshot.Writer, clock uint64) error {
+	w.Uint64(r.pktCounter)
+
+	// Injection queue and the packet currently streaming in.
+	w.Int(len(r.pending))
+	for _, pp := range r.pending {
+		if err := savePacket(w, pp.pkt); err != nil {
+			return err
+		}
+	}
+	w.Bool(r.curFlits != nil)
+	if r.curFlits != nil {
+		w.Int(len(r.curFlits))
+		for _, f := range r.curFlits {
+			if err := saveFlit(w, f); err != nil {
+				return err
+			}
+		}
+		w.Int(r.curNext)
+		w.Int(r.curVC)
+	}
+
+	// Per-flow packet sequence counters, sorted for determinism.
+	flows := make([]FlowID, 0, len(r.flowSeq))
+	for f := range r.flowSeq {
+		flows = append(flows, f)
+	}
+	sort.Slice(flows, func(i, j int) bool { return flows[i] < flows[j] })
+	w.Int(len(flows))
+	for _, f := range flows {
+		w.Uint32(uint32(f))
+		w.Uint64(r.flowSeq[f])
+	}
+
+	// Producer bookkeeping for the local injection VCs.
+	w.Int(len(r.sourceState))
+	for i := range r.sourceState {
+		saveEgressVC(w, &r.sourceState[i])
+	}
+
+	// Ports: ingress buffers + pipeline state, and egress bookkeeping
+	// where the port has a downstream side.
+	w.Int(len(r.ports))
+	for _, p := range r.ports {
+		w.Int(len(p.In))
+		for vi, buf := range p.In {
+			if err := buf.SaveState(w); err != nil {
+				return err
+			}
+			saveVCState(w, &p.inState[vi], buf, clock)
+		}
+		w.Int(len(p.outState))
+		for i := range p.outState {
+			saveEgressVC(w, &p.outState[i])
+		}
+	}
+
+	// Ejection-port reassembly table, sorted by packet ID.
+	ids := make([]uint64, 0, len(r.assembly))
+	for id := range r.assembly {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.Int(len(ids))
+	for _, id := range ids {
+		w.Uint64(id)
+		if err := saveFlit(w, r.assembly[id].head); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadState restores router state saved by SaveState into this router,
+// which must be freshly built from the same configuration (same port
+// and VC geometry).
+func (r *Router) LoadState(rd *snapshot.Reader) error {
+	r.pktCounter = rd.Uint64()
+
+	n := rd.Count(1 << 24)
+	r.pending = r.pending[:0]
+	for i := 0; i < n; i++ {
+		r.pending = append(r.pending, pendingPacket{pkt: loadPacket(rd)})
+	}
+	r.curFlits = nil
+	if rd.Bool() {
+		n := rd.Count(1 << 16)
+		r.curFlits = make([]Flit, 0, n)
+		for i := 0; i < n; i++ {
+			r.curFlits = append(r.curFlits, loadFlit(rd))
+		}
+		r.curNext = rd.Int()
+		r.curVC = rd.Int()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		if r.curNext < 0 || r.curNext > len(r.curFlits) ||
+			r.curVC < 0 || r.curVC >= len(r.ports[r.localPort].In) {
+			return &snapshot.CorruptError{Detail: fmt.Sprintf(
+				"router %d: streaming position %d/%d vc %d out of range", r.ID, r.curNext, len(r.curFlits), r.curVC)}
+		}
+	}
+
+	n = rd.Count(1 << 28)
+	// Cap the preallocation hint: the count is bounded by the section's
+	// actual bytes, but a huge (legitimate or hostile) value must not
+	// translate into one giant up-front allocation.
+	r.flowSeq = make(map[FlowID]uint64, min(n, 1<<20))
+	for i := 0; i < n && rd.Err() == nil; i++ {
+		f := FlowID(rd.Uint32())
+		r.flowSeq[f] = rd.Uint64()
+	}
+
+	n = rd.Int()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if n != len(r.sourceState) {
+		return &snapshot.MismatchError{Field: "injection VCs",
+			Got: fmt.Sprint(n), Want: fmt.Sprint(len(r.sourceState))}
+	}
+	for i := range r.sourceState {
+		loadEgressVC(rd, &r.sourceState[i])
+	}
+
+	n = rd.Int()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if n != len(r.ports) {
+		return &snapshot.MismatchError{Field: "router ports",
+			Got: fmt.Sprint(n), Want: fmt.Sprint(len(r.ports))}
+	}
+	for _, p := range r.ports {
+		vcs := rd.Int()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		if vcs != len(p.In) {
+			return &snapshot.MismatchError{Field: "port VCs",
+				Got: fmt.Sprint(vcs), Want: fmt.Sprint(len(p.In))}
+		}
+		for vi, buf := range p.In {
+			if err := buf.LoadState(rd); err != nil {
+				return err
+			}
+			if err := loadVCState(rd, &p.inState[vi]); err != nil {
+				return err
+			}
+			st := &p.inState[vi]
+			if st.routed && (st.egress < 0 || st.egress >= len(r.ports)) {
+				return &snapshot.CorruptError{Detail: fmt.Sprintf(
+					"router %d: VC state names egress port %d of %d", r.ID, st.egress, len(r.ports))}
+			}
+		}
+		outs := rd.Int()
+		if err := rd.Err(); err != nil {
+			return err
+		}
+		if outs != len(p.outState) {
+			return &snapshot.MismatchError{Field: "egress VCs",
+				Got: fmt.Sprint(outs), Want: fmt.Sprint(len(p.outState))}
+		}
+		for i := range p.outState {
+			loadEgressVC(rd, &p.outState[i])
+		}
+	}
+
+	n = rd.Count(1 << 24)
+	r.assembly = make(map[uint64]assembling, min(n, 1<<20))
+	for i := 0; i < n && rd.Err() == nil; i++ {
+		id := rd.Uint64()
+		r.assembly[id] = assembling{head: loadFlit(rd)}
+	}
+	return rd.Err()
+}
+
+// ResidentFlits counts flits held anywhere in this router's ingress
+// buffers (used by restore to rebuild the global in-flight counter).
+func (r *Router) ResidentFlits() int64 {
+	var n int64
+	for _, p := range r.ports {
+		for _, buf := range p.In {
+			n += int64(buf.Len())
+		}
+	}
+	return n
+}

@@ -116,6 +116,13 @@ func (b *VCBuffer) Commit() {
 	}
 }
 
+// flitAt returns the i-th resident flit counted from the head (consumer
+// side). Only used at quiescent points (checkpointing), never during a
+// timed run.
+func (b *VCBuffer) flitAt(i int) Flit {
+	return b.buf[(b.head+i)%len(b.buf)]
+}
+
 // Drain removes all resident flits regardless of visibility (used by
 // tests and by reset paths, never during a timed run).
 func (b *VCBuffer) Drain() []Flit {

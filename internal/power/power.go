@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"hornet/internal/config"
+	"hornet/internal/snapshot"
 )
 
 // EventCounts is a snapshot of one tile's cumulative power-relevant
@@ -79,6 +80,63 @@ func (m *Model) Sample(tile int, now EventCounts, cycle uint64) {
 		DynamicW: energyPJ * 1e-12 / epochSec,
 		LeakageW: m.cfg.LeakageMW * 1e-3,
 	})
+}
+
+// SaveState serializes the model: per-tile epoch baselines and the
+// accumulated sample series.
+func (m *Model) SaveState(w *snapshot.Writer) {
+	w.Int(m.tiles)
+	for t := 0; t < m.tiles; t++ {
+		lc := m.last[t]
+		w.Uint64(lc.BufReads)
+		w.Uint64(lc.BufWrites)
+		w.Uint64(lc.XbarTransits)
+		w.Uint64(lc.LinkTransits)
+		w.Uint64(lc.ArbEvents)
+		w.Int(len(m.series[t]))
+		for _, s := range m.series[t] {
+			w.Uint64(s.Cycle)
+			w.Float64(s.DynamicW)
+			w.Float64(s.LeakageW)
+		}
+	}
+}
+
+// LoadState restores model state saved by SaveState.
+func (m *Model) LoadState(r *snapshot.Reader) error {
+	tiles := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if tiles != m.tiles {
+		return &snapshot.MismatchError{Field: "power tiles",
+			Got: fmt.Sprint(tiles), Want: fmt.Sprint(m.tiles)}
+	}
+	last := make([]EventCounts, m.tiles)
+	series := make([][]Sample, m.tiles)
+	for t := 0; t < m.tiles; t++ {
+		last[t] = EventCounts{
+			BufReads:     r.Uint64(),
+			BufWrites:    r.Uint64(),
+			XbarTransits: r.Uint64(),
+			LinkTransits: r.Uint64(),
+			ArbEvents:    r.Uint64(),
+		}
+		n := r.Count(1 << 26)
+		for i := 0; i < n; i++ {
+			series[t] = append(series[t], Sample{
+				Cycle:    r.Uint64(),
+				DynamicW: r.Float64(),
+				LeakageW: r.Float64(),
+			})
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	m.last = last
+	m.series = series
+	return nil
 }
 
 // EpochSeconds returns the wall-clock duration of one epoch at the

@@ -80,8 +80,18 @@ type SubmitRequest struct {
 	Tiny bool `json:"tiny,omitempty"`
 	Full bool `json:"full,omitempty"`
 
-	// NoCache forces re-execution even when a cached result exists.
+	// NoCache forces re-execution even when a cached result exists. It
+	// also opts the job out of single-flight coalescing: a NoCache
+	// submission always runs its own simulation.
 	NoCache bool `json:"no_cache,omitempty"`
+
+	// ShareWarmup (config/batch jobs) derives every run's engine seed
+	// from its warmup-prefix group instead of its item key, so runs whose
+	// configurations agree on everything but measured-phase knobs
+	// (analyzed_cycles) restore from one cached warmup snapshot instead
+	// of each re-simulating the warmup. Changes per-run seeding, so it is
+	// part of the job's cache identity.
+	ShareWarmup bool `json:"share_warmup,omitempty"`
 }
 
 // BatchItem is one keyed configuration of a batch job.
@@ -92,19 +102,28 @@ type BatchItem struct {
 
 // JobInfo is the client-visible job state (GET /api/v1/jobs/{id}).
 type JobInfo struct {
-	ID         string    `json:"id"`
-	Name       string    `json:"name"`
-	Kind       string    `json:"kind"`
-	State      string    `json:"state"`
-	ConfigHash string    `json:"config_hash"`
-	Seed       uint64    `json:"seed"`
-	CacheHit   bool      `json:"cache_hit,omitempty"`
-	RunsDone   int       `json:"runs_done"`
-	RunsTotal  int       `json:"runs_total"`
-	Error      string    `json:"error,omitempty"`
-	Created    time.Time `json:"created"`
-	Started    time.Time `json:"started,omitzero"`
-	Finished   time.Time `json:"finished,omitzero"`
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	Kind       string `json:"kind"`
+	State      string `json:"state"`
+	ConfigHash string `json:"config_hash"`
+	Seed       uint64 `json:"seed"`
+	CacheHit   bool   `json:"cache_hit,omitempty"`
+	// Coalesced marks a job served by attaching to an identical job that
+	// was already in flight (single-flight): it never simulated, and its
+	// result bytes are the leader's.
+	Coalesced bool `json:"coalesced,omitempty"`
+	RunsDone  int  `json:"runs_done"`
+	RunsTotal int  `json:"runs_total"`
+	// ResumedRuns counts runs restored from a checkpoint snapshot
+	// instead of starting at cycle 0; Checkpoints counts autosave
+	// snapshots this job wrote (checkpointing daemons only).
+	ResumedRuns int       `json:"resumed_runs,omitempty"`
+	Checkpoints int       `json:"checkpoints,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	Created     time.Time `json:"created"`
+	Started     time.Time `json:"started,omitzero"`
+	Finished    time.Time `json:"finished,omitzero"`
 }
 
 // Terminal reports whether the job has reached a final state.
@@ -118,12 +137,14 @@ func (j JobInfo) Terminal() bool {
 
 // Event is one progress notification on a job's SSE stream.
 type Event struct {
-	Type  string `json:"type"` // "state" or "progress"
+	Type  string `json:"type"` // "state", "progress", "checkpoint" or "resumed"
 	Job   string `json:"job"`
 	State string `json:"state,omitempty"`
 	Done  int    `json:"done,omitempty"`
 	Total int    `json:"total,omitempty"`
-	Key   string `json:"key,omitempty"` // completed run's key (progress events)
+	Key   string `json:"key,omitempty"` // run key (progress/checkpoint/resumed events)
+	// Cycle is the simulation clock of a checkpoint or resume point.
+	Cycle uint64 `json:"cycle,omitempty"`
 }
 
 // FigureInfo describes one registry experiment (GET /api/v1/figures).
@@ -151,6 +172,26 @@ type ServerStats struct {
 	// CacheWriteErrs counts failed disk-tier writes: non-zero means the
 	// daemon is serving correctly but no longer persisting results.
 	CacheWriteErrs uint64 `json:"cache_write_errs"`
+	// CacheEvictions counts in-memory result entries dropped by the
+	// LRU/size bound (disk-tier entries, when configured, survive).
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// JobsExpired counts finished job records removed by the retention
+	// TTL; expired jobs return 404 (their cached results remain served
+	// to new submissions of the same scenario).
+	JobsExpired uint64 `json:"jobs_expired"`
+	// CoalescedJobs counts submissions served by attaching to an
+	// identical in-flight job instead of simulating twice.
+	CoalescedJobs uint64 `json:"coalesced_jobs"`
+	// Warmup-snapshot cache counters: hits are warmups restored from a
+	// snapshot, misses are warmups actually simulated.
+	WarmupHits   uint64 `json:"warmup_hits"`
+	WarmupMisses uint64 `json:"warmup_misses"`
+	// Checkpoint counters: snapshots autosaved, failed autosave writes
+	// (non-zero means the daemon can no longer persist state and resume
+	// protection is degraded), and runs resumed from a snapshot.
+	CheckpointsWritten  uint64 `json:"checkpoints_written"`
+	CheckpointWriteErrs uint64 `json:"checkpoint_write_errs"`
+	RunsResumed         uint64 `json:"runs_resumed"`
 }
 
 // RunStats is the deterministic result record of one config/batch

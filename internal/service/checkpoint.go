@@ -1,0 +1,267 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"hornet/internal/core"
+	"hornet/internal/snapshot"
+	"hornet/internal/sweep"
+)
+
+// execEnv is the scheduler's execution environment for config/batch
+// runs: the warmup snapshot cache (warmup-once/fork-many) and the
+// checkpoint settings (periodic autosave + resume). One env is shared
+// by every job the scheduler runs.
+type execEnv struct {
+	// warm dedupes warmup prefixes across runs, jobs, and — with a
+	// checkpoint directory configured — daemon restarts.
+	warm *sweep.SnapshotCache
+	// ckptDir enables measured/warmup-phase autosave; every run writes
+	// its snapshot under ckpt-<name>-<hash>-<key>.snap. Empty disables.
+	ckptDir string
+	// ckptEvery is the autosave period in simulated cycles.
+	ckptEvery uint64
+
+	checkpointsWritten atomic.Uint64
+	checkpointWriteErr atomic.Uint64
+	runsResumed        atomic.Uint64
+}
+
+// warmCacheEntries bounds the daemon's in-memory warmup snapshots:
+// they are full-system states (hundreds of KB to MB each), so a
+// long-lived daemon with many distinct warmup groups must not hoard
+// them. Evicted entries refault from the checkpoint directory's disk
+// tier when one is configured.
+const warmCacheEntries = 32
+
+func newExecEnv(checkpointDir string, checkpointEvery uint64) *execEnv {
+	warm := sweep.NewSnapshotCache(checkpointDir)
+	warm.SetMaxEntries(warmCacheEntries)
+	return &execEnv{
+		warm:      warm,
+		ckptDir:   checkpointDir,
+		ckptEvery: checkpointEvery,
+	}
+}
+
+// ckptMeta is the driver-level progress record riding in the snapshot's
+// extra section: which run this is, which phase it was in, and the
+// accumulated engine counters the final RunStats needs.
+type ckptMeta struct {
+	Name string `json:"name"`
+	Hash string `json:"hash"` // job scenario hash (identity guard)
+	Key  string `json:"key"`  // run key within the job
+	Seed uint64 `json:"seed"` // effective engine seed of the run
+
+	Phase string `json:"phase"` // "warmup" or "measured"
+	// Done is the simulated-cycle progress within the current phase
+	// (executed + fast-forwarded); Exec/Skip accumulate the measured
+	// phase's executed and skipped counts for the RunStats record.
+	Done uint64 `json:"done"`
+	Exec uint64 `json:"exec"`
+	Skip uint64 `json:"skip"`
+}
+
+const serveMetaSection = "serve-meta"
+
+// ckptPath returns the checkpoint file for one run of one scenario.
+// The address is content-based — scenario hash, not job ID — so a
+// resubmitted scenario finds the checkpoints a killed daemon left.
+func (e *execEnv) ckptPath(sc *scenario, key string) string {
+	return filepath.Join(e.ckptDir, fmt.Sprintf("ckpt-%s-%s-%s.snap", sc.name, sc.hash, key))
+}
+
+// saveCheckpoint snapshots the system plus progress meta, atomically.
+func (e *execEnv) saveCheckpoint(sys *core.System, sc *scenario, meta ckptMeta) error {
+	snap, err := sys.Snapshot()
+	if err != nil {
+		return err
+	}
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	snap.Section(serveMetaSection).Bytes(mb)
+	if err := snap.WriteFile(e.ckptPath(sc, meta.Key)); err != nil {
+		return err
+	}
+	e.checkpointsWritten.Add(1)
+	return nil
+}
+
+// loadCheckpoint tries to resume one run from disk. It returns ok=false
+// — silently, the run just starts from cycle 0 — when there is no
+// usable checkpoint: missing file, corrupt or version-skewed container,
+// a different scenario's state, or a snapshot the freshly built system
+// refuses (config-hash guard).
+func (e *execEnv) loadCheckpoint(sc *scenario, key string, seed uint64, build func() (*core.System, error)) (*core.System, ckptMeta, bool) {
+	var meta ckptMeta
+	snap, err := snapshot.ReadFile(e.ckptPath(sc, key))
+	if err != nil {
+		return nil, meta, false
+	}
+	r, err := snap.Open(serveMetaSection)
+	if err != nil {
+		return nil, meta, false
+	}
+	if err := json.Unmarshal(r.ByteSlice(), &meta); err != nil || r.Close() != nil {
+		return nil, meta, false
+	}
+	if meta.Name != sc.name || meta.Hash != sc.hash || meta.Key != key || meta.Seed != seed {
+		return nil, meta, false
+	}
+	sys, err := build()
+	if err != nil {
+		return nil, meta, false
+	}
+	if err := sys.Restore(snap); err != nil {
+		return nil, meta, false
+	}
+	return sys, meta, true
+}
+
+// removeCheckpoint discards a consumed checkpoint once its run has
+// completed (the result document now carries the state).
+func (e *execEnv) removeCheckpoint(sc *scenario, key string) {
+	os.Remove(e.ckptPath(sc, key))
+}
+
+// runConfig compiles one runSpec into its sweep run function: build the
+// system, advance it through warmup (restoring a shared warmup snapshot
+// when the scenario opted in), measure, and summarize into the
+// deterministic RunStats record. With checkpointing enabled the run
+// autosaves every ckptEvery simulated cycles and resumes from the
+// latest autosave instead of cycle 0.
+//
+// The run polls the sweep context at every synchronization point so a
+// cancelled job drains quickly even mid-simulation; a cancelled run
+// saves a final checkpoint (checkpointing daemons) so a retry resumes
+// where it stopped.
+func (e *execEnv) runConfig(sc *scenario, j *job, spec runSpec) func(sweep.Ctx) (any, error) {
+	return func(c sweep.Ctx) (any, error) {
+		// c.Seed is the run's effective seed: the scenario builder set
+		// the item's explicit warmup-group seed for share_warmup jobs,
+		// so the emitted document records what actually ran.
+		seed := c.Seed
+		// The system configuration must be identical for every run that
+		// shares a warmup prefix (the snapshot guard hashes it), so the
+		// driver-level cycle windows are zeroed and driven explicitly.
+		rc := spec.cfg
+		rc.Engine.Workers = c.Workers
+		rc.Engine.Seed = seed
+		warmup := uint64(rc.WarmupCycles)
+		analyzed := uint64(rc.AnalyzedCycles)
+		rc.WarmupCycles, rc.AnalyzedCycles = 0, 0
+		build := func() (*core.System, error) {
+			sys, err := core.New(rc)
+			if err != nil {
+				return nil, err
+			}
+			if err := sys.AttachSyntheticTraffic(); err != nil {
+				return nil, err
+			}
+			return sys, nil
+		}
+		stop := cancelStop(c.Context)
+		// Fast-forwarding runs are never chunked: a chunk boundary makes
+		// the engine execute cycles a skip would have jumped, so the
+		// autosave cadence would leak into result bytes and break the
+		// cache's byte-identity contract (the scenario hash knows
+		// nothing of daemon checkpoint settings). Such runs keep warmup
+		// sharing — the warmup/measure boundary is inherent — but forgo
+		// autosave/resume.
+		ckptOn := e.ckptDir != "" && !rc.Engine.FastForward
+
+		var sys *core.System
+		meta := ckptMeta{Name: sc.name, Hash: sc.hash, Key: spec.key, Seed: seed, Phase: "warmup"}
+		if ckptOn {
+			if restored, m, ok := e.loadCheckpoint(sc, spec.key, seed, build); ok {
+				sys, meta = restored, m
+				e.runsResumed.Add(1)
+				j.noteResumed(spec.key, restored.Clock())
+			}
+		}
+		if sys == nil {
+			var err error
+			if sc.shareWarmup && warmup > 0 {
+				// Warmup-once/fork-many: restore the group's warmup
+				// snapshot (simulating it only if this run is first).
+				sys, err = core.WarmedSystem(c.Context, e.warm, rc, warmup, stop, build)
+				if err != nil {
+					return nil, err
+				}
+				meta.Phase, meta.Done = "measured", 0
+				sys.ResetStats()
+			} else {
+				sys, err = build()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// checkpoint saves the current state; invoked at autosave
+		// boundaries and when a cancelled run drains. Failed saves are
+		// counted (ServerStats.CheckpointWriteErrs) so a daemon that
+		// silently stopped persisting is visible before the crash that
+		// needed the snapshots.
+		checkpoint := func() {
+			if !ckptOn {
+				return
+			}
+			if err := e.saveCheckpoint(sys, sc, meta); err == nil {
+				j.noteCheckpoint(spec.key, sys.Clock())
+			} else {
+				e.checkpointWriteErr.Add(1)
+			}
+		}
+		// runPhase advances the current phase to its target in autosave
+		// chunks, returning false when the sweep was cancelled. Chunk
+		// boundaries are pinned to absolute multiples of ckptEvery so a
+		// resume after a mid-chunk cancel re-aligns with the cadence an
+		// uninterrupted run would have used.
+		runPhase := func(target uint64, measured bool) (bool, error) {
+			for meta.Done < target {
+				chunk := target - meta.Done
+				if ckptOn && e.ckptEvery > 0 {
+					if next := (meta.Done/e.ckptEvery + 1) * e.ckptEvery; next-meta.Done < chunk {
+						chunk = next - meta.Done
+					}
+				}
+				res := sys.RunUntil(chunk, stop)
+				meta.Done += res.Cycles + res.SkippedCycles
+				if measured {
+					meta.Exec += res.Cycles
+					meta.Skip += res.SkippedCycles
+				}
+				if err := c.Context.Err(); err != nil {
+					checkpoint()
+					return false, err
+				}
+				if meta.Done < target {
+					checkpoint()
+				}
+			}
+			return true, nil
+		}
+
+		if meta.Phase == "warmup" {
+			if ok, err := runPhase(warmup, false); !ok {
+				return nil, err
+			}
+			sys.ResetStats()
+			meta.Phase, meta.Done = "measured", 0
+		}
+		if ok, err := runPhase(analyzed, true); !ok {
+			return nil, err
+		}
+		if ckptOn {
+			e.removeCheckpoint(sc, spec.key)
+		}
+		return summarize(sys.Summary(), rc.Topology.Nodes(), meta.Exec, meta.Skip), nil
+	}
+}

@@ -25,7 +25,7 @@ type job struct {
 
 func newJob(id string, req SubmitRequest, sc *scenario, parent context.Context, now time.Time) *job {
 	ctx, cancel := context.WithCancel(parent)
-	total := len(sc.items) // figure jobs learn their total from progress
+	total := len(sc.runs) // figure jobs learn their total from progress
 	return &job{
 		info: JobInfo{
 			ID:         id,
@@ -86,6 +86,23 @@ func (j *job) progress(done, total int, key string) {
 	j.broadcastLocked(Event{Type: "progress", Job: j.info.ID, Done: done, Total: total, Key: key})
 }
 
+// noteResumed records that one of the job's runs restored a checkpoint
+// instead of starting at cycle 0, and tells subscribers where.
+func (j *job) noteResumed(key string, cycle uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.info.ResumedRuns++
+	j.broadcastLocked(Event{Type: "resumed", Job: j.info.ID, Key: key, Cycle: cycle})
+}
+
+// noteCheckpoint records one autosaved snapshot.
+func (j *job) noteCheckpoint(key string, cycle uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.info.Checkpoints++
+	j.broadcastLocked(Event{Type: "checkpoint", Job: j.info.ID, Key: key, Cycle: cycle})
+}
+
 // finish marks the job done with its canonical result bytes.
 func (j *job) finish(result []byte, cacheHit bool, now time.Time) {
 	j.finalize(StateDone, "", now, func() {
@@ -95,6 +112,16 @@ func (j *job) finish(result []byte, cacheHit bool, now time.Time) {
 			// A cache hit never ran, so progress shows completion.
 			j.info.RunsDone = j.info.RunsTotal
 		}
+	})
+}
+
+// coalesceFinish marks the job done with another job's result bytes
+// (single-flight: an identical scenario was already in flight).
+func (j *job) coalesceFinish(result []byte, now time.Time) {
+	j.finalize(StateDone, "", now, func() {
+		j.result = result
+		j.info.Coalesced = true
+		j.info.RunsDone = j.info.RunsTotal
 	})
 }
 
@@ -209,6 +236,27 @@ func (s *jobStore) list() []JobInfo {
 	}
 	sort.SliceStable(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	return out
+}
+
+// expire removes terminal jobs that finished before cutoff (retention
+// TTL) and returns how many were dropped. Expired jobs 404 afterwards;
+// their cached result documents are unaffected.
+func (s *jobStore) expire(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := make([]*job, 0, len(s.order))
+	dropped := 0
+	for _, j := range s.order {
+		info := j.Info()
+		if info.Terminal() && !info.Finished.IsZero() && info.Finished.Before(cutoff) {
+			delete(s.byID, info.ID)
+			dropped++
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.order = kept
+	return dropped
 }
 
 // all returns the jobs themselves (shutdown cancellation).

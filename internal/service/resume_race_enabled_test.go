@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceDetector lets the sim-heavy checkpoint/resume tests shrink their
+// cycle counts when built with the race detector (~10-30x slowdown on
+// single-core CI hosts).
+const raceDetector = true

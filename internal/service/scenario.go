@@ -9,6 +9,7 @@ import (
 	"hornet/internal/config"
 	"hornet/internal/core"
 	"hornet/internal/experiments"
+	"hornet/internal/sim"
 	"hornet/internal/stats"
 	"hornet/internal/sweep"
 )
@@ -32,12 +33,40 @@ type scenario struct {
 	// their documents carry timing fields and are never byte-stable.
 	cacheable bool
 
-	// config/batch scenarios: the sweep items to run.
-	items []sweep.Item
+	// config/batch scenarios: one spec per sweep run. The scheduler
+	// compiles them into sweep items against its execution environment
+	// (warmup cache, checkpoint settings).
+	runs []runSpec
+	// shareWarmup derives run seeds from warmup-prefix groups so runs
+	// agreeing on everything but measured-phase knobs fork from one
+	// warmup snapshot.
+	shareWarmup bool
 
 	// figure scenarios: the registry entry and its scale options.
 	fig     experiments.Figure
 	figOpts experiments.Options
+}
+
+// runSpec is one config/batch simulation: a stable key, the normalized
+// configuration it runs, and — for share_warmup scenarios — the
+// warmup-group seed every run in the group shares (0 = the sweep's
+// default per-key derivation). The explicit seed flows through
+// sweep.Item.Seed so the emitted document records the seed each run
+// actually used.
+type runSpec struct {
+	key    string
+	weight int
+	seed   uint64
+	cfg    config.Config
+}
+
+// groupSeed derives the shared engine seed for a warmup-prefix group:
+// runs agreeing on everything but measured-phase knobs must evolve —
+// and snapshot — identically through the warmup, so their seed derives
+// from the group identity instead of the item key.
+func groupSeed(jobSeed uint64, cfg config.Config) uint64 {
+	group := core.WarmupGroupKey(cfg, uint64(cfg.WarmupCycles))
+	return sim.DeriveSeed(jobSeed, "warmup-group:"+group)
 }
 
 // buildScenario validates a submission and compiles it into a runnable
@@ -110,6 +139,17 @@ func normalize(c config.Config) config.Config {
 	return c
 }
 
+// scenarioHash computes the job identity. share_warmup changes per-run
+// seeding, so it must fork the identity; the extra label keeps hashes
+// of share_warmup=false submissions identical to what earlier daemons
+// produced (their cached documents stay valid).
+func scenarioHash(kind, name string, identity any, seed uint64, shareWarmup bool) string {
+	if shareWarmup {
+		return sweep.ConfigHash("service/"+kind, name, identity, seed, "share_warmup")
+	}
+	return sweep.ConfigHash("service/"+kind, name, identity, seed)
+}
+
 func buildConfigScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) {
 	if apiErr := checkRunnable(req.Config, ""); apiErr != nil {
 		return nil, apiErr
@@ -119,17 +159,18 @@ func buildConfigScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) 
 		name = KindConfig
 	}
 	norm := normalize(*req.Config)
+	spec := runSpec{key: name, weight: req.Workers, cfg: norm}
+	if req.ShareWarmup {
+		spec.seed = groupSeed(seed, norm)
+	}
 	sc := &scenario{
-		kind:      KindConfig,
-		name:      name,
-		hash:      sweep.ConfigHash("service/config", name, norm, seed),
-		seed:      seed,
-		cacheable: true,
-		items: []sweep.Item{{
-			Key:    name,
-			Weight: req.Workers,
-			Run:    runConfig(norm),
-		}},
+		kind:        KindConfig,
+		name:        name,
+		hash:        scenarioHash("config", name, norm, seed, req.ShareWarmup),
+		seed:        seed,
+		cacheable:   true,
+		shareWarmup: req.ShareWarmup,
+		runs:        []runSpec{spec},
 	}
 	return sc, nil
 }
@@ -140,7 +181,7 @@ func buildBatchScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) {
 		name = KindBatch
 	}
 	identity := make([]BatchItem, 0, len(req.Batch))
-	items := make([]sweep.Item, 0, len(req.Batch))
+	runs := make([]runSpec, 0, len(req.Batch))
 	seen := map[string]bool{}
 	for i := range req.Batch {
 		it := &req.Batch[i]
@@ -158,19 +199,20 @@ func buildBatchScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) {
 		}
 		norm := normalize(it.Config)
 		identity = append(identity, BatchItem{Key: it.Key, Config: norm})
-		items = append(items, sweep.Item{
-			Key:    it.Key,
-			Weight: req.Workers,
-			Run:    runConfig(norm),
-		})
+		spec := runSpec{key: it.Key, weight: req.Workers, cfg: norm}
+		if req.ShareWarmup {
+			spec.seed = groupSeed(seed, norm)
+		}
+		runs = append(runs, spec)
 	}
 	return &scenario{
-		kind:      KindBatch,
-		name:      name,
-		hash:      sweep.ConfigHash("service/batch", name, identity, seed),
-		seed:      seed,
-		cacheable: true,
-		items:     items,
+		kind:        KindBatch,
+		name:        name,
+		hash:        scenarioHash("batch", name, identity, seed, req.ShareWarmup),
+		seed:        seed,
+		cacheable:   true,
+		shareWarmup: req.ShareWarmup,
+		runs:        runs,
 	}, nil
 }
 
@@ -198,6 +240,10 @@ func buildFigureScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) 
 		return nil, &APIError{CodeInvalidRequest,
 			"figure jobs are named by the figure itself; omit name"}
 	}
+	if req.ShareWarmup {
+		return nil, &APIError{CodeInvalidRequest,
+			"share_warmup applies to config/batch jobs; figures manage their own warmup sharing"}
+	}
 	return &scenario{
 		kind:      KindFigure,
 		name:      fig.Name,
@@ -207,35 +253,6 @@ func buildFigureScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) 
 		fig:       fig,
 		figOpts:   o,
 	}, nil
-}
-
-// runConfig returns the sweep run function for one normalized
-// configuration: build the system, warm up, measure, and summarize into
-// the deterministic RunStats record. The run polls the sweep context at
-// every synchronization point so a cancelled job drains quickly even
-// mid-simulation; a stop function that never fires leaves the simulation
-// byte-identical to an unconditional run.
-func runConfig(cfg config.Config) func(sweep.Ctx) (any, error) {
-	return func(c sweep.Ctx) (any, error) {
-		rc := cfg
-		rc.Engine.Workers = c.Workers
-		rc.Engine.Seed = c.Seed
-		sys, err := core.New(rc)
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.AttachSyntheticTraffic(); err != nil {
-			return nil, err
-		}
-		stop := cancelStop(c.Context)
-		sys.RunUntil(uint64(rc.WarmupCycles), stop)
-		sys.ResetStats()
-		res := sys.RunUntil(uint64(rc.AnalyzedCycles), stop)
-		if err := c.Context.Err(); err != nil {
-			return nil, err
-		}
-		return summarize(sys.Summary(), rc.Topology.Nodes(), res.Cycles, res.SkippedCycles), nil
-	}
 }
 
 // cancelStop adapts a context to the engine's stop-function interface.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hornet/internal/sweep"
@@ -23,11 +24,19 @@ import (
 type scheduler struct {
 	pool    *sweep.Budget
 	results *resultStore
+	env     *execEnv
 	queue   chan *job
 	wg      sync.WaitGroup
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+
+	// sf tracks the in-flight job per cacheable (name, hash): concurrent
+	// submissions of an identical scenario attach to the leader instead
+	// of simulating twice (single-flight).
+	sfMu      sync.Mutex
+	sf        map[string]*job
+	coalesced atomic.Uint64
 
 	mu      sync.Mutex
 	stopped bool
@@ -37,7 +46,7 @@ type scheduler struct {
 // are rejected with 503 queue_full rather than growing without bound.
 const queueDepth = 1024
 
-func newScheduler(maxJobs, budget int, results *resultStore) *scheduler {
+func newScheduler(maxJobs, budget int, results *resultStore, env *execEnv) *scheduler {
 	if maxJobs < 1 {
 		maxJobs = 1
 	}
@@ -45,6 +54,8 @@ func newScheduler(maxJobs, budget int, results *resultStore) *scheduler {
 	s := &scheduler{
 		pool:       sweep.NewBudget(budget),
 		results:    results,
+		env:        env,
+		sf:         map[string]*job{},
 		queue:      make(chan *job, queueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -109,9 +120,42 @@ func (s *scheduler) runJob(j *job) {
 		return
 	}
 	if sc.cacheable && !j.req.NoCache {
-		if b, ok := s.results.Get(sc.name, sc.hash); ok {
-			j.finish(b, true, time.Now())
-			return
+		// Cache, then single-flight: attach to an identical in-flight
+		// job rather than missing the cache twice. The loop re-checks
+		// after a leader ends without a usable result (failed or
+		// cancelled), so at most one job simulates at a time per key and
+		// a follower never inherits a failure it didn't cause.
+		key := sc.name + "-" + sc.hash
+		for {
+			if b, ok := s.results.Get(sc.name, sc.hash); ok {
+				j.finish(b, true, time.Now())
+				return
+			}
+			s.sfMu.Lock()
+			leader, busy := s.sf[key]
+			if !busy {
+				s.sf[key] = j
+			}
+			s.sfMu.Unlock()
+			if !busy {
+				defer func() {
+					s.sfMu.Lock()
+					delete(s.sf, key)
+					s.sfMu.Unlock()
+				}()
+				break // we lead: run the simulation below
+			}
+			select {
+			case <-leader.Done():
+			case <-j.ctx.Done():
+				j.markCanceled(time.Now())
+				return
+			}
+			if b, ok := leader.Result(); ok {
+				s.coalesced.Add(1)
+				j.coalesceFinish(b, time.Now())
+				return
+			}
 		}
 	}
 
@@ -157,6 +201,9 @@ func (s *scheduler) execute(j *job) (b []byte, runErrs int, err error) {
 		o.Context = j.ctx
 		o.Pool = s.pool
 		o.Progress = j.progress
+		// Figures with shared warmup prefixes draw on the daemon-wide
+		// warmup snapshot cache (reuse cannot change output bytes).
+		o.Warmups = s.env.warm
 		_, doc, runErr := sc.fig.Document(o)
 		if runErr != nil {
 			return nil, 0, runErr // cancelled mid-figure
@@ -169,6 +216,11 @@ func (s *scheduler) execute(j *job) (b []byte, runErrs int, err error) {
 		b, err = encodeDocument(doc)
 		return b, runErrs, err
 	default: // KindConfig, KindBatch
+		items := make([]sweep.Item, len(sc.runs))
+		for i, spec := range sc.runs {
+			items[i] = sweep.Item{Key: spec.key, Weight: spec.weight, Seed: spec.seed,
+				Run: s.env.runConfig(sc, j, spec)}
+		}
 		cfg := sweep.Config{
 			// In-flight runs within the job: bounded by the shared pool
 			// anyway, so let the sweep try to dispatch as wide as the pool.
@@ -179,7 +231,7 @@ func (s *scheduler) execute(j *job) (b []byte, runErrs int, err error) {
 				j.progress(done, total, r.Key)
 			},
 		}
-		results := sweep.Run(j.ctx, sc.items, cfg)
+		results := sweep.Run(j.ctx, items, cfg)
 		if err := j.ctx.Err(); err != nil {
 			return nil, 0, err
 		}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hornet/internal/experiments"
@@ -19,6 +21,29 @@ type Options struct {
 	// CacheDir, if non-empty, persists result documents on disk
 	// (name-hash.json, the same layout hornet-exp -out writes).
 	CacheDir string
+
+	// CheckpointDir, if non-empty, enables the checkpoint subsystem:
+	// warmup snapshots persist there (warmup-<key>.snap) and config/batch
+	// runs autosave their state (ckpt-<name>-<hash>-<key>.snap) every
+	// CheckpointEvery cycles, so a restarted daemon resumes a resubmitted
+	// job from its last snapshot instead of cycle 0.
+	CheckpointDir string
+	// CheckpointEvery is the autosave period in simulated cycles;
+	// 0 means 100000. Fast-forwarding configurations are exempt from
+	// autosave (a chunk boundary executes cycles a skip would have
+	// jumped, so the cadence would leak into result bytes); they keep
+	// warmup sharing but always run their measured phase unchunked.
+	CheckpointEvery uint64
+
+	// JobTTL, if positive, expires finished job records that many
+	// wall-clock units after completion (GET then returns 404); cached
+	// result documents are retained and keep serving resubmissions.
+	JobTTL time.Duration
+	// CacheMaxEntries / CacheMaxBytes bound the in-memory result cache
+	// with LRU eviction; 0 means unbounded. Disk-tier entries survive
+	// eviction and refault on demand.
+	CacheMaxEntries int
+	CacheMaxBytes   int64
 }
 
 // Server is the hornet-serve HTTP handler plus its scheduler and stores.
@@ -28,6 +53,12 @@ type Server struct {
 	jobs    *jobStore
 	results *resultStore
 	sched   *scheduler
+	env     *execEnv
+
+	jobsExpired atomic.Uint64
+	closeOnce   sync.Once
+	janitorStop chan struct{}
+	janitorDone chan struct{}
 }
 
 // New builds a serving stack: job store, result cache, scheduler workers.
@@ -36,13 +67,23 @@ func New(opts Options) *Server {
 	if maxJobs < 1 {
 		maxJobs = 2
 	}
-	results := newResultStore(opts.CacheDir)
-	s := &Server{
-		mux:     http.NewServeMux(),
-		jobs:    newJobStore(),
-		results: results,
-		sched:   newScheduler(maxJobs, opts.Budget, results),
+	every := opts.CheckpointEvery
+	if every == 0 {
+		every = 100_000
 	}
+	results := newResultStore(opts.CacheDir)
+	results.setBounds(opts.CacheMaxEntries, opts.CacheMaxBytes)
+	env := newExecEnv(opts.CheckpointDir, every)
+	s := &Server{
+		mux:         http.NewServeMux(),
+		jobs:        newJobStore(),
+		results:     results,
+		env:         env,
+		sched:       newScheduler(maxJobs, opts.Budget, results, env),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	go s.janitor(opts.JobTTL)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /api/v1/figures", s.handleFigures)
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
@@ -62,12 +103,45 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Close cancels all in-flight jobs and stops the scheduler workers.
 // Call after the HTTP listener has stopped accepting requests.
+// Idempotent: shutdown paths often race (signal handler vs deferred
+// cleanup), and a second Close must be a no-op, not a panic.
 func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.janitorStop) })
+	<-s.janitorDone
 	s.sched.stop()
 	now := time.Now()
 	for _, j := range s.jobs.all() {
 		j.cancel()
 		j.markCanceled(now) // no-op for jobs already terminal
+	}
+}
+
+// janitor enforces the finished-job retention TTL. With no TTL it just
+// parks until Close.
+func (s *Server) janitor(ttl time.Duration) {
+	defer close(s.janitorDone)
+	if ttl <= 0 {
+		<-s.janitorStop
+		return
+	}
+	period := ttl / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > time.Minute {
+		period = time.Minute
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if n := s.jobs.expire(time.Now().Add(-ttl)); n > 0 {
+				s.jobsExpired.Add(uint64(n))
+			}
+		case <-s.janitorStop:
+			return
+		}
 	}
 }
 
@@ -83,10 +157,22 @@ func (s *Server) Stats() ServerStats {
 		JobsDone:     counts[StateDone],
 		JobsFailed:   counts[StateFailed],
 		JobsCanceled: counts[StateCanceled],
+
 		CacheEntries:   s.results.Len(),
 		CacheHits:      s.results.Hits(),
 		CacheMisses:    s.results.Misses(),
 		CacheWriteErrs: s.results.WriteErrs(),
+		CacheEvictions: s.results.Evictions(),
+
+		JobsExpired:   s.jobsExpired.Load(),
+		CoalescedJobs: s.sched.coalesced.Load(),
+
+		WarmupHits:   s.env.warm.Hits(),
+		WarmupMisses: s.env.warm.Misses(),
+
+		CheckpointsWritten:  s.env.checkpointsWritten.Load(),
+		CheckpointWriteErrs: s.env.checkpointWriteErr.Load(),
+		RunsResumed:         s.env.runsResumed.Load(),
 	}
 }
 

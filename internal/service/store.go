@@ -6,20 +6,26 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"hornet/internal/lru"
 )
 
 // resultStore is the content-addressed result cache: canonical document
-// bytes keyed by (name, config hash). It always holds results in memory;
+// bytes keyed by (name, config hash). It always holds results in memory
+// — bounded by an LRU policy over entry count and total bytes — and
 // with a directory configured it also persists them in the same
 // name-hash.json layout sweep.Cache uses, so a restarted daemon (or the
 // hornet-exp CLI pointed at the same directory) serves warm results.
+// Evicting a memory entry never loses data when the disk tier is
+// configured: the next Get refaults it from disk.
 //
 // The store deals in raw bytes, never re-marshalled documents: a decoded
 // document re-encodes `any` values as sorted maps rather than structs, so
 // only byte passthrough keeps cached responses identical to cold runs.
 type resultStore struct {
-	mu        sync.Mutex
-	mem       map[string][]byte
+	mu  sync.Mutex
+	mem *lru.Cache
+
 	dir       string // "" disables the disk tier
 	hits      atomic.Uint64
 	misses    atomic.Uint64
@@ -27,7 +33,14 @@ type resultStore struct {
 }
 
 func newResultStore(dir string) *resultStore {
-	return &resultStore{mem: map[string][]byte{}, dir: dir}
+	return &resultStore{mem: lru.New(), dir: dir}
+}
+
+// setBounds configures the memory-tier LRU limits (0 = unbounded).
+func (s *resultStore) setBounds(maxEntries int, maxBytes int64) {
+	s.mu.Lock()
+	s.mem.SetBounds(maxEntries, maxBytes)
+	s.mu.Unlock()
 }
 
 func (s *resultStore) key(name, hash string) string { return name + "-" + hash }
@@ -41,8 +54,9 @@ func (s *resultStore) path(name, hash string) string {
 // cannot occur — writes are atomic — but a foreign or truncated file is
 // treated as a miss rather than served).
 func (s *resultStore) Get(name, hash string) ([]byte, bool) {
+	k := s.key(name, hash)
 	s.mu.Lock()
-	b, ok := s.mem[s.key(name, hash)]
+	b, ok := s.mem.Get(k)
 	s.mu.Unlock()
 	if ok {
 		s.hits.Add(1)
@@ -51,7 +65,7 @@ func (s *resultStore) Get(name, hash string) ([]byte, bool) {
 	if s.dir != "" {
 		if b, err := os.ReadFile(s.path(name, hash)); err == nil && json.Valid(b) {
 			s.mu.Lock()
-			s.mem[s.key(name, hash)] = b
+			s.mem.Put(k, b)
 			s.mu.Unlock()
 			s.hits.Add(1)
 			return b, true
@@ -67,7 +81,7 @@ func (s *resultStore) Get(name, hash string) ([]byte, bool) {
 // surfaced via /api/v1/stats) so a broken disk tier is visible.
 func (s *resultStore) Put(name, hash string, b []byte) error {
 	s.mu.Lock()
-	s.mem[s.key(name, hash)] = b
+	s.mem.Put(s.key(name, hash), b)
 	s.mu.Unlock()
 	if s.dir == "" {
 		return nil
@@ -103,7 +117,21 @@ func (s *resultStore) persist(name, hash string, b []byte) error {
 func (s *resultStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.mem)
+	return s.mem.Len()
+}
+
+// Bytes reports the in-memory byte total.
+func (s *resultStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Bytes()
+}
+
+// Evictions reports how many memory entries the LRU bounds dropped.
+func (s *resultStore) Evictions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mem.Evictions()
 }
 
 // Hits, Misses and WriteErrs report counters for the stats endpoint.

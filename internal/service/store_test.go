@@ -1,0 +1,77 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// The in-memory result tier is LRU-bounded; the disk tier (when
+// configured) is not, so evicted entries refault from disk.
+func TestResultStoreLRUEntryBound(t *testing.T) {
+	s := newResultStore("")
+	s.setBounds(2, 0)
+	for i := 0; i < 3; i++ {
+		s.Put(fmt.Sprintf("doc%d", i), "aaaa", []byte{byte(i)})
+	}
+	if got := s.Len(); got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+	if _, ok := s.Get("doc0", "aaaa"); ok {
+		t.Error("least-recently-used entry survived the bound")
+	}
+	if s.Evictions() != 1 {
+		t.Errorf("evictions = %d, want 1", s.Evictions())
+	}
+	// Touching doc1 promotes it; inserting doc3 must now evict doc2.
+	if _, ok := s.Get("doc1", "aaaa"); !ok {
+		t.Fatal("doc1 missing")
+	}
+	s.Put("doc3", "aaaa", []byte{3})
+	if _, ok := s.Get("doc1", "aaaa"); !ok {
+		t.Error("recently used doc1 was evicted")
+	}
+	if _, ok := s.Get("doc2", "aaaa"); ok {
+		t.Error("LRU doc2 survived")
+	}
+}
+
+func TestResultStoreLRUByteBound(t *testing.T) {
+	s := newResultStore("")
+	s.setBounds(0, 100)
+	s.Put("a", "h", make([]byte, 60))
+	s.Put("b", "h", make([]byte, 60))
+	if got := s.Len(); got != 1 {
+		t.Fatalf("entries = %d, want 1 (byte bound)", got)
+	}
+	if got := s.Bytes(); got != 60 {
+		t.Fatalf("bytes = %d, want 60", got)
+	}
+	// An oversized newest entry still stays resident (the producing job
+	// must be able to serve it).
+	s.Put("big", "h", make([]byte, 500))
+	if _, ok := s.Get("big", "h"); !ok {
+		t.Error("newest oversized entry was evicted")
+	}
+	if got := s.Len(); got != 1 {
+		t.Errorf("entries = %d, want 1", got)
+	}
+}
+
+func TestResultStoreEvictionRefaultsFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	s := newResultStore(dir)
+	s.setBounds(1, 0)
+	want := []byte(`{"doc":1}`)
+	if err := s.Put("first", "aaaa", want); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("second", "bbbb", []byte(`{"doc":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	// "first" is evicted from memory but must refault from the disk tier.
+	b, ok := s.Get("first", "aaaa")
+	if !ok || !bytes.Equal(b, want) {
+		t.Fatalf("disk refault failed: ok=%v b=%q", ok, b)
+	}
+}

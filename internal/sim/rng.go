@@ -52,6 +52,20 @@ func (r *RNG) Reseed(seed uint64) {
 	r.state = z
 }
 
+// State returns the generator's raw internal state, for checkpointing.
+// Restoring it with SetState resumes the exact stream position.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state captured by State. A zero state (invalid
+// for xorshift) is replaced by the same fallback Reseed uses, so a
+// corrupt snapshot cannot wedge the generator.
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.state = s
+}
+
 // Uint64 returns the next 64 pseudorandom bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state

@@ -1,0 +1,228 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+)
+
+// putUint32/putUint64/putString are the header-level primitives shared
+// by the container encoder and the section Writer.
+func putUint32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func putUint64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func putString(buf *bytes.Buffer, s string) {
+	putUint32(buf, uint32(len(s)))
+	buf.WriteString(s)
+}
+
+// Writer appends primitive values to one snapshot section. All writes
+// are infallible (they grow an in-memory buffer); the section's bytes
+// are captured when the snapshot is encoded.
+type Writer struct {
+	snap *Snapshot
+	idx  int
+	buf  bytes.Buffer
+	done bool
+}
+
+func (w *Writer) commit() {
+	// Every mutator flushes the accumulated bytes into the owning
+	// snapshot so callers never need an explicit Close.
+	w.snap.sections[w.idx].payload = w.buf.Bytes()
+}
+
+// Uint8 appends one byte.
+func (w *Writer) Uint8(v uint8) { w.buf.WriteByte(v); w.commit() }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.Uint8(b)
+}
+
+// Uint16 appends a little-endian uint16.
+func (w *Writer) Uint16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	w.buf.Write(b[:])
+	w.commit()
+}
+
+// Uint32 appends a little-endian uint32.
+func (w *Writer) Uint32(v uint32) { putUint32(&w.buf, v); w.commit() }
+
+// Uint64 appends a little-endian uint64.
+func (w *Writer) Uint64(v uint64) { putUint64(&w.buf, v); w.commit() }
+
+// Int appends an int as a two's-complement uint64.
+func (w *Writer) Int(v int) { w.Uint64(uint64(v)) }
+
+// Int64 appends an int64 as a two's-complement uint64.
+func (w *Writer) Int64(v int64) { w.Uint64(uint64(v)) }
+
+// Int32 appends an int32 as a two's-complement uint32.
+func (w *Writer) Int32(v int32) { w.Uint32(uint32(v)) }
+
+// Float64 appends an IEEE-754 bit pattern.
+func (w *Writer) Float64(v float64) { w.Uint64(math.Float64bits(v)) }
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) { putString(&w.buf, s); w.commit() }
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) {
+	putUint32(&w.buf, uint32(len(b)))
+	w.buf.Write(b)
+	w.commit()
+}
+
+// Reader consumes primitive values from one section's payload. Instead
+// of returning an error at every call site, it latches the first
+// failure; callers check Err once after decoding a logical unit (the
+// zero values returned after a failure are never installed because the
+// caller bails out on Err).
+type Reader struct {
+	buf  []byte
+	name string
+	err  error
+}
+
+// Err returns the first decoding failure, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unread bytes.
+func (r *Reader) Len() int { return len(r.buf) }
+
+// Close verifies the section was fully consumed: leftover bytes mean
+// the saver and loader disagree about the layout, which would silently
+// desynchronize every following field.
+func (r *Reader) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return corruptf("section %q: %d unread bytes", r.name, len(r.buf))
+	}
+	return nil
+}
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = corruptf("section %q: truncated", r.name)
+	}
+}
+
+func (r *Reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.buf) {
+		r.fail()
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+// Uint8 reads one byte.
+func (r *Reader) Uint8() uint8 {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a one-byte boolean.
+func (r *Reader) Bool() bool { return r.Uint8() != 0 }
+
+// Uint16 reads a little-endian uint16.
+func (r *Reader) Uint16() uint16 {
+	b := r.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// Uint32 reads a little-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Uint64 reads a little-endian uint64.
+func (r *Reader) Uint64() uint64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int reads a two's-complement int.
+func (r *Reader) Int() int { return int(r.Uint64()) }
+
+// Int64 reads a two's-complement int64.
+func (r *Reader) Int64() int64 { return int64(r.Uint64()) }
+
+// Int32 reads a two's-complement int32.
+func (r *Reader) Int32() int32 { return int32(r.Uint32()) }
+
+// Float64 reads an IEEE-754 bit pattern.
+func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uint64()) }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.Uint32())
+	if n > maxSectionBytes {
+		r.fail()
+		return ""
+	}
+	return string(r.bytes(n))
+}
+
+// ByteSlice reads a length-prefixed byte slice (copied).
+func (r *Reader) ByteSlice() []byte {
+	n := int(r.Uint32())
+	if n > maxSectionBytes {
+		r.fail()
+		return nil
+	}
+	return append([]byte(nil), r.bytes(n)...)
+}
+
+// Count reads an Int length prefix and validates it against both the
+// caller's ceiling and the bytes actually remaining in the section
+// (every counted element occupies at least one byte), failing the
+// reader when the stored count is implausible. This keeps a corrupt or
+// hostile prefix from driving huge allocations or long spin loops
+// before the truncation would surface.
+func (r *Reader) Count(max int) int {
+	n := r.Int()
+	if n < 0 || n > max || n > len(r.buf) {
+		if r.err == nil {
+			r.err = corruptf("section %q: count %d exceeds bound %d (remaining %d bytes)",
+				r.name, n, max, len(r.buf))
+		}
+		return 0
+	}
+	return n
+}

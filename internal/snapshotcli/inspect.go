@@ -1,0 +1,43 @@
+// Package snapshotcli implements the `snapshot <file>` inspection
+// subcommand shared by hornet-exp and hornet-serve: it decodes a
+// checkpoint or warmup snapshot, verifies its checksum and version, and
+// prints the guard hash, clock, section layout, and — for hornet-serve
+// checkpoints — the embedded job progress record.
+package snapshotcli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hornet/internal/snapshot"
+)
+
+// Inspect runs the subcommand over its argument list and returns the
+// process exit code. Structured snapshot errors (corrupt, version skew)
+// print as diagnostics rather than raw decode failures.
+func Inspect(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "usage: snapshot <file.snap>")
+		return 2
+	}
+	path := args[0]
+	snap, err := snapshot.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "snapshot: %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s\n", path)
+	fmt.Fprint(stdout, snap.Describe())
+	// hornet-serve checkpoints carry a job progress record; surface it.
+	if snap.Has("serve-meta") {
+		if r, err := snap.Open("serve-meta"); err == nil {
+			var meta map[string]any
+			if json.Unmarshal(r.ByteSlice(), &meta) == nil {
+				b, _ := json.MarshalIndent(meta, "", "  ")
+				fmt.Fprintf(stdout, "serve job progress:\n%s\n", b)
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"sort"
+
+	"hornet/internal/snapshot"
+)
+
+// SaveState serializes the tile's counters into a snapshot section.
+// Flow records are emitted in ascending flow-ID order so identical
+// statistics always encode to identical bytes.
+func (t *Tile) SaveState(w *snapshot.Writer) {
+	w.Uint64(t.FlitsInjected)
+	w.Uint64(t.FlitsDelivered)
+	w.Uint64(t.PacketsInjected)
+	w.Uint64(t.PacketsDelivered)
+	w.Uint64(t.FlitLatencySum)
+	w.Uint64(t.PacketLatencySum)
+	w.Uint64(t.MaxPacketLatency)
+	for _, v := range t.LatencyHist {
+		w.Uint64(v)
+	}
+	w.Uint64(t.BufReads)
+	w.Uint64(t.BufWrites)
+	w.Uint64(t.XbarTransits)
+	w.Uint64(t.LinkTransits)
+	w.Uint64(t.ArbEvents)
+	w.Uint64(t.HopSum)
+	ids := make([]uint32, 0, len(t.Flows))
+	for id := range t.Flows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.Int(len(ids))
+	for _, id := range ids {
+		r := t.Flows[id]
+		w.Uint32(id)
+		w.Uint64(r.PacketsDelivered)
+		w.Uint64(r.FlitsDelivered)
+		w.Uint64(r.LatencySum)
+		w.Uint64(r.LastSeq)
+		w.Uint64(r.OrderViolations)
+	}
+}
+
+// LoadState restores counters saved by SaveState, replacing the tile's
+// current contents.
+func (t *Tile) LoadState(r *snapshot.Reader) error {
+	nt := Tile{Flows: make(map[uint32]*FlowRecord)}
+	nt.FlitsInjected = r.Uint64()
+	nt.FlitsDelivered = r.Uint64()
+	nt.PacketsInjected = r.Uint64()
+	nt.PacketsDelivered = r.Uint64()
+	nt.FlitLatencySum = r.Uint64()
+	nt.PacketLatencySum = r.Uint64()
+	nt.MaxPacketLatency = r.Uint64()
+	for i := range nt.LatencyHist {
+		nt.LatencyHist[i] = r.Uint64()
+	}
+	nt.BufReads = r.Uint64()
+	nt.BufWrites = r.Uint64()
+	nt.XbarTransits = r.Uint64()
+	nt.LinkTransits = r.Uint64()
+	nt.ArbEvents = r.Uint64()
+	nt.HopSum = r.Uint64()
+	n := r.Count(1 << 28)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		id := r.Uint32()
+		fr := &FlowRecord{
+			PacketsDelivered: r.Uint64(),
+			FlitsDelivered:   r.Uint64(),
+			LatencySum:       r.Uint64(),
+			LastSeq:          r.Uint64(),
+			OrderViolations:  r.Uint64(),
+		}
+		nt.Flows[id] = fr
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	*t = nt
+	return nil
+}

@@ -35,9 +35,16 @@ import (
 // Item is one run of a sweep: a stable key identifying the configuration
 // and a function executing it. Weight is the number of engine workers
 // (CPU slots) the run will occupy; 0 means 1.
+//
+// Seed, when non-zero, overrides the run's derived private seed: items
+// that must observe identical stochastic inputs (a measurement pair, a
+// warmup-once/fork-many group) set the same explicit seed, and the
+// Ctx/Result/document seed then records what the run actually used.
+// Zero keeps the default derivation sim.DeriveSeed(sweep seed, key).
 type Item struct {
 	Key    string
 	Weight int
+	Seed   uint64
 	Run    func(Ctx) (any, error)
 }
 
@@ -48,9 +55,11 @@ type Ctx struct {
 	// is cancelled. Never nil.
 	Context context.Context
 	Key     string
-	Index   int    // position of the item in the sweep
-	Seed    uint64 // deterministic private seed: sim.DeriveSeed(sweep seed, key)
-	Workers int    // CPU slots granted (the item's weight clamped to the budget)
+	Index   int // position of the item in the sweep
+	// Seed is the run's deterministic seed: the item's explicit Seed, or
+	// sim.DeriveSeed(sweep seed, key) when the item left it zero.
+	Seed    uint64
+	Workers int // CPU slots granted (the item's weight clamped to the budget)
 }
 
 // Result is one completed run.
@@ -200,11 +209,15 @@ func runOne(ctx context.Context, it Item, index int, sweepSeed uint64, budget *B
 	}
 	defer budget.Release(granted)
 
+	seed := it.Seed
+	if seed == 0 {
+		seed = sim.DeriveSeed(sweepSeed, it.Key)
+	}
 	c := Ctx{
 		Context: ctx,
 		Key:     it.Key,
 		Index:   index,
-		Seed:    sim.DeriveSeed(sweepSeed, it.Key),
+		Seed:    seed,
 		Workers: granted,
 	}
 	res = Result{Index: index, Key: it.Key, Seed: c.Seed, Workers: granted}

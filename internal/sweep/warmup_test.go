@@ -1,0 +1,192 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hornet/internal/snapshot"
+)
+
+func TestSnapshotCacheSingleFlight(t *testing.T) {
+	c := NewSnapshotCache("")
+	var produced atomic.Int64
+	release := make(chan struct{})
+	const callers = 8
+
+	var wg sync.WaitGroup
+	results := make([][]byte, callers)
+	hits := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			b, hit, err := c.Get(context.Background(), "k", func() ([]byte, error) {
+				produced.Add(1)
+				<-release // hold every concurrent caller at the door
+				return []byte("blob"), nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i], hits[i] = b, hit
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := produced.Load(); got != 1 {
+		t.Errorf("produce ran %d times, want 1 (single-flight)", got)
+	}
+	nhits := 0
+	for i, b := range results {
+		if string(b) != "blob" {
+			t.Errorf("caller %d got %q", i, b)
+		}
+		if hits[i] {
+			nhits++
+		}
+	}
+	if nhits != callers-1 {
+		t.Errorf("%d callers reported a hit, want %d", nhits, callers-1)
+	}
+	if c.Misses() != 1 || c.Hits() != uint64(callers-1) {
+		t.Errorf("counters hits=%d misses=%d, want %d/1", c.Hits(), c.Misses(), callers-1)
+	}
+}
+
+// containerBlob builds valid snapshot-container bytes (the disk tier
+// verifies entries decode before serving them).
+func containerBlob(t *testing.T, payload string) []byte {
+	t.Helper()
+	s := snapshot.New("feedfeedfeedfeed", 1)
+	s.Section("data").String(payload)
+	b, err := s.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestSnapshotCacheDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	blob := containerBlob(t, "warm state")
+	c1 := NewSnapshotCache(dir)
+	b, hit, err := c1.Get(context.Background(), "abc123", func() ([]byte, error) {
+		return blob, nil
+	})
+	if err != nil || hit || !bytes.Equal(b, blob) {
+		t.Fatalf("first get: hit=%v err=%v", hit, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "warmup-abc123.snap")); err != nil {
+		t.Fatalf("disk entry missing: %v", err)
+	}
+
+	// A new cache (a new process) must hit disk without producing.
+	c2 := NewSnapshotCache(dir)
+	b, hit, err = c2.Get(context.Background(), "abc123", func() ([]byte, error) {
+		t.Error("produce ran despite a disk entry")
+		return nil, nil
+	})
+	if err != nil || !hit || !bytes.Equal(b, blob) {
+		t.Fatalf("disk get: hit=%v err=%v", hit, err)
+	}
+}
+
+// A corrupt disk entry degrades to a re-run (and is cleared), never a
+// served blob.
+func TestSnapshotCacheCorruptDiskEntryDegrades(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "warmup-k.snap")
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewSnapshotCache(dir)
+	blob := containerBlob(t, "fresh")
+	b, hit, err := c.Get(context.Background(), "k", func() ([]byte, error) { return blob, nil })
+	if err != nil || hit || !bytes.Equal(b, blob) {
+		t.Fatalf("corrupt entry: hit=%v err=%v", hit, err)
+	}
+	if got, _ := os.ReadFile(path); !bytes.Equal(got, blob) {
+		t.Error("corrupt disk entry was not replaced by the re-produced blob")
+	}
+}
+
+// Drop purges a key so the next Get re-produces.
+func TestSnapshotCacheDrop(t *testing.T) {
+	dir := t.TempDir()
+	c := NewSnapshotCache(dir)
+	c.Get(context.Background(), "k", func() ([]byte, error) { return containerBlob(t, "v1"), nil })
+	c.Drop("k")
+	if _, err := os.Stat(c.Path("k")); !os.IsNotExist(err) {
+		t.Error("Drop left the disk entry")
+	}
+	_, hit, _ := c.Get(context.Background(), "k", func() ([]byte, error) { return containerBlob(t, "v2"), nil })
+	if hit {
+		t.Error("dropped key still served from cache")
+	}
+}
+
+// SetMaxEntries LRU-bounds the memory tier; evicted entries refault
+// from disk.
+func TestSnapshotCacheMaxEntries(t *testing.T) {
+	dir := t.TempDir()
+	c := NewSnapshotCache(dir)
+	c.SetMaxEntries(2)
+	for _, k := range []string{"a", "b", "c"} {
+		k := k
+		c.Get(context.Background(), k, func() ([]byte, error) { return containerBlob(t, k), nil })
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+	// "a" was evicted from memory but refaults from disk without producing.
+	_, hit, err := c.Get(context.Background(), "a", func() ([]byte, error) {
+		t.Error("produce ran for an entry present on disk")
+		return nil, nil
+	})
+	if err != nil || !hit {
+		t.Fatalf("refault: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestSnapshotCacheProduceError(t *testing.T) {
+	c := NewSnapshotCache("")
+	boom := errors.New("boom")
+	_, _, err := c.Get(context.Background(), "k", func() ([]byte, error) { return nil, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want produce error", err)
+	}
+	// Failure is not cached: the next caller produces again and can succeed.
+	b, hit, err := c.Get(context.Background(), "k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || string(b) != "ok" {
+		t.Fatalf("retry after failure: b=%q hit=%v err=%v", b, hit, err)
+	}
+}
+
+func TestSnapshotCacheWaiterCancellation(t *testing.T) {
+	c := NewSnapshotCache("")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Get(context.Background(), "k", func() ([]byte, error) {
+		close(started)
+		<-release
+		return []byte("late"), nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.Get(ctx, "k", func() ([]byte, error) {
+		return nil, fmt.Errorf("waiter must not produce")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: got %v, want context.Canceled", err)
+	}
+	close(release)
+}

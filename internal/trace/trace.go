@@ -17,6 +17,7 @@ import (
 
 	"hornet/internal/noc"
 	"hornet/internal/sim"
+	"hornet/internal/snapshot"
 )
 
 // Event is one trace record. Count > 1 with Period > 0 repeats the
@@ -216,6 +217,50 @@ func (inj *Injector) Tick(cycle uint64, offer func(noc.Packet)) {
 		inj.heap[0] = pe
 		heap.Fix(&inj.heap, 0)
 	}
+}
+
+// SaveState serializes the injector's replay position: the pending
+// heap, slot by slot. The heap's slice layout is a deterministic
+// function of the push/pop history, so saving it verbatim keeps the
+// encoding stable and restores an identical replay order.
+func (inj *Injector) SaveState(w *snapshot.Writer) {
+	w.Int(len(inj.heap))
+	for _, pe := range inj.heap {
+		w.Uint64(pe.next)
+		w.Uint64(pe.remaining)
+		w.Uint64(pe.ev.Cycle)
+		w.Int32(int32(pe.ev.Src))
+		w.Int32(int32(pe.ev.Dst))
+		w.Int(pe.ev.Flits)
+		w.Uint64(pe.ev.Period)
+		w.Uint64(pe.ev.Count)
+	}
+}
+
+// LoadState restores a replay position saved by SaveState, replacing
+// whatever schedule the injector currently holds.
+func (inj *Injector) LoadState(r *snapshot.Reader) error {
+	n := r.Count(1 << 26)
+	h := make(eventHeap, 0, n)
+	for i := 0; i < n; i++ {
+		h = append(h, pendingEvent{
+			next:      r.Uint64(),
+			remaining: r.Uint64(),
+			ev: Event{
+				Cycle:  r.Uint64(),
+				Src:    noc.NodeID(r.Int32()),
+				Dst:    noc.NodeID(r.Int32()),
+				Flits:  r.Int(),
+				Period: r.Uint64(),
+				Count:  r.Uint64(),
+			},
+		})
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	inj.heap = h
+	return nil
 }
 
 // NextEvent implements the fast-forward query.

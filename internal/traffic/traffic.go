@@ -11,6 +11,7 @@ import (
 	"hornet/internal/config"
 	"hornet/internal/noc"
 	"hornet/internal/sim"
+	"hornet/internal/snapshot"
 	"hornet/internal/topology"
 )
 
@@ -200,6 +201,19 @@ func NewGenerator(node noc.NodeID, tc config.TrafficConfig, t *topology.Topology
 
 // Stop halts further injection (used to drain the network at run end).
 func (g *Generator) Stop() { g.stopped = true }
+
+// SaveState serializes the generator's mutable state. Everything else
+// about a generator is a pure function of (config, cycle, RNG stream),
+// and the RNG is the owning tile's, checkpointed with the tile.
+func (g *Generator) SaveState(w *snapshot.Writer) {
+	w.Bool(g.stopped)
+}
+
+// LoadState restores state saved by SaveState.
+func (g *Generator) LoadState(r *snapshot.Reader) error {
+	g.stopped = r.Bool()
+	return r.Err()
+}
 
 // Tick implements the tile generator contract: called once per cycle
 // during the owning tile's transfer phase.
