@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race test-full bench bench-json serve vet
+.PHONY: build test test-race test-race-rest test-full test-snapshot bench bench-json serve vet
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,26 @@ test-race:
 # The paper-shape suite (tier-1 verify): full CI-scale windows.
 test-full:
 	$(GO) test ./...
+
+# The snapshot-determinism test set: the golden round-trip harness
+# (every frontend × 2 worker counts × snapshot cycles in short mode; 3
+# worker counts without -short), the section-corruption tests, the
+# MIPS/mem warmup-cache reuse proof, the killed-daemon resume drill, and
+# the container fuzz seed corpora.
+SNAPSHOT_TESTS := TestSnapshotRoundTrip|TestSnapshotSectionCorruption|TestSnapshotMIPSRunsToCompletion|TestWarmupCacheMIPSSharedMem|TestMipsCheckpointResumeAfterRestart|Fuzz
+
+# Snapshot-determinism gate, isolated so a checkpoint/restore regression
+# is visible apart from the general suite — all under the race detector.
+test-snapshot:
+	$(GO) test -short -race -timeout 20m -count=1 \
+		-run '$(SNAPSHOT_TESTS)' \
+		./internal/core ./internal/snapshot ./internal/service
+
+# The race gate minus the snapshot set: CI runs test-snapshot first and
+# this second, so the heaviest tests are not raced twice per run while
+# local `make test-race` stays a single complete gate.
+test-race-rest:
+	$(GO) test -short -race -timeout 30m -skip '$(SNAPSHOT_TESTS)' ./...
 
 # One iteration of every benchmark in the repo: the root-package figure
 # benchmarks plus the per-package micro-benchmarks (sweep overhead,

@@ -79,12 +79,12 @@ func (s *System) TraceDone() bool {
 // the given nodes: each answers class-1 request packets with
 // responseFlits-sized responses after the DRAM latency.
 func (s *System) AttachTraceControllers(nodes []noc.NodeID, latency, responseFlits int) {
-	s.markUnsnapshottable("trace-mode memory controllers (payload-bearing responses)")
 	for _, n := range nodes {
 		t := s.tiles[n]
 		tc := mem.NewTraceController(n, latency, responseFlits)
 		tc.Bind(t.Router.OfferPacket)
 		t.extra = tc
+		s.traceMCs = append(s.traceMCs, tc)
 		t.AddComponent(componentFunc{
 			tick: func(cycle uint64) { tc.Tick(cycle, nil) },
 			next: tc.NextEvent,
@@ -115,7 +115,6 @@ func (s *System) AttachMemory(mc config.MemoryConfig) (*memoryFabric, error) {
 	if len(mc.Controllers) == 0 {
 		return nil, fmt.Errorf("core: memory needs at least one controller node")
 	}
-	s.markUnsnapshottable("shared-memory fabric (in-flight coherence messages)")
 	am := &mem.AddressMap{LineBytes: mc.LineBytes, Nodes: s.Topo.Nodes()}
 	for _, c := range mc.Controllers {
 		am.Controllers = append(am.Controllers, noc.NodeID(c))
@@ -138,6 +137,7 @@ func (s *System) AttachMemory(mc config.MemoryConfig) (*memoryFabric, error) {
 		f.mcs[cn] = ctl
 		t.AddComponent(componentFunc{tick: ctl.Tick})
 	}
+	s.memFab = f
 	return f, nil
 }
 
@@ -145,14 +145,18 @@ func (s *System) AttachMemory(mc config.MemoryConfig) (*memoryFabric, error) {
 func (f *memoryFabric) AddressMap() *mem.AddressMap { return f.am }
 
 // Preload writes bytes into the authoritative home slices (program and
-// data images before the run starts).
+// data images before the run starts). It goes through Store.Preload so
+// the content enters each store's checkpoint baseline: snapshots encode
+// the stores as deltas against it.
 func (f *memoryFabric) Preload(addr uint32, data []byte) {
 	for len(data) > 0 {
-		lineBase := f.am.LineAddr(addr)
 		home := f.am.Home(addr)
-		line := f.dirs[home].Store().Line(lineBase)
 		off := f.am.LineOffset(addr)
-		n := copy(line[off:], data)
+		n := f.am.LineBytes - off
+		if n > len(data) {
+			n = len(data)
+		}
+		f.dirs[home].Store().Preload(addr, data[:n])
 		data = data[n:]
 		addr += uint32(n)
 	}
@@ -195,7 +199,6 @@ func (s *System) PortFor(f *memoryFabric, n noc.NodeID, mc config.MemoryConfig) 
 // same program image, with the MPI-style network port (private memory).
 // Returns the cores in node order.
 func (s *System) AttachMIPS(nodes []noc.NodeID, img *mips.Image) []*mips.Core {
-	s.markUnsnapshottable("MIPS cores (register/RAM state and payload-bearing packets)")
 	cores := make([]*mips.Core, 0, len(nodes))
 	for _, n := range nodes {
 		t := s.tiles[n]
@@ -205,13 +208,13 @@ func (s *System) AttachMIPS(nodes []noc.NodeID, img *mips.Image) []*mips.Core {
 		t.AddComponent(componentFunc{tick: c.Tick, next: c.NextEvent})
 		cores = append(cores, c)
 	}
+	s.mipsCores = append(s.mipsCores, cores...)
 	return cores
 }
 
 // AttachMIPSShared places MIPS cores whose data accesses go through the
 // shared-memory fabric (MSI L1 or NUCA port per the memory config).
 func (s *System) AttachMIPSShared(nodes []noc.NodeID, img *mips.Image, f *memoryFabric, mc config.MemoryConfig) []*mips.Core {
-	s.markUnsnapshottable("MIPS cores (register/RAM state and payload-bearing packets)")
 	cores := make([]*mips.Core, 0, len(nodes))
 	for _, n := range nodes {
 		t := s.tiles[n]
@@ -222,6 +225,7 @@ func (s *System) AttachMIPSShared(nodes []noc.NodeID, img *mips.Image, f *memory
 		t.AddComponent(componentFunc{tick: c.Tick, next: c.NextEvent})
 		cores = append(cores, c)
 	}
+	s.mipsCores = append(s.mipsCores, cores...)
 	return cores
 }
 

@@ -12,21 +12,28 @@ import (
 // This file implements whole-system checkpointing: System.Snapshot
 // captures every piece of mutable simulator state — engine clock, the
 // global in-flight flit counter, per-tile RNG streams and statistics,
-// router pipeline/buffer/allocation state, link arbitration state,
-// synthetic-traffic generators, trace injectors, and the power model's
-// epoch series — into a versioned snapshot.Snapshot guarded by the
-// system's config hash. System.Restore is the exact inverse; the
-// contract (enforced by internal/core's round-trip tests) is that
-// run → Snapshot → Restore → run produces byte-identical results to an
-// uninterrupted run, at any engine worker count.
+// router pipeline/buffer/allocation state (in-flight payloads included,
+// via the snapshot payload codec registry), link arbitration state,
+// synthetic-traffic generators, trace injectors, the coherent-memory
+// fabric (caches, directories, memory controllers, backing stores as
+// deltas against the preloaded image), MIPS cores (registers, private
+// RAM, network-port DMA queues), trace-mode memory controllers, and the
+// power model's epoch series — into a versioned snapshot.Snapshot
+// guarded by the system's config hash. System.Restore is the exact
+// inverse; the contract (enforced by internal/core's golden round-trip
+// harness) is that run → Snapshot → Restore → run produces
+// byte-identical results to an uninterrupted run, at any engine worker
+// count.
 //
-// Frontends that hold live goroutines (pinsim) or whose in-network
-// messages carry arbitrary payloads (the shared-memory fabric, MIPS
-// cores) cannot be serialized; attaching one marks the system
-// unsnapshottable and Snapshot returns a *snapshot.UnsupportedError
-// naming the component.
+// The one frontend that cannot be serialized is pinsim: its application
+// threads are live goroutines parked mid-call, state no byte encoding
+// can capture. Attaching it marks the system unsnapshottable and
+// Snapshot returns a *snapshot.UnsupportedError naming the component.
 
-// Section names used by the system snapshot layout.
+// Section names used by the system snapshot layout. Frontend sections
+// (mem, mips, tracemc) are present exactly when the frontend is
+// attached; Restore cross-checks presence so a snapshot can never be
+// loaded into a system with different frontends.
 const (
 	secEngine  = "engine"
 	secTiles   = "tiles"
@@ -34,6 +41,9 @@ const (
 	secTraffic = "traffic"
 	secTrace   = "trace"
 	secPower   = "power"
+	secMem     = "mem"
+	secMIPS    = "mips"
+	secTraceMC = "tracemc"
 )
 
 // Snapshot serializes the complete simulator state at the current
@@ -84,7 +94,130 @@ func (s *System) Snapshot() (*snapshot.Snapshot, error) {
 	w = snap.Section(secPower)
 	s.Power.SaveState(w)
 
+	if s.memFab != nil {
+		if err := s.memFab.SaveState(snap.Section(secMem)); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.mipsCores) > 0 {
+		w = snap.Section(secMIPS)
+		w.Int(len(s.mipsCores))
+		for _, c := range s.mipsCores {
+			if err := c.SaveState(w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(s.traceMCs) > 0 {
+		w = snap.Section(secTraceMC)
+		w.Int(len(s.traceMCs))
+		for _, tc := range s.traceMCs {
+			tc.SaveState(w)
+		}
+	}
+
+	if err := snap.WriteManifest(s.manifest(snap)); err != nil {
+		return nil, err
+	}
 	return snap, nil
+}
+
+// manifest summarizes the snapshot for inspection tools (the
+// `snapshot <file>` subcommand): attached frontends, component counts,
+// and how many typed payloads ride in the encoded state.
+func (s *System) manifest(snap *snapshot.Snapshot) snapshot.Manifest {
+	m := snapshot.Manifest{
+		Nodes:         len(s.tiles),
+		Generators:    len(s.generators),
+		Injectors:     len(s.injectors),
+		MIPSCores:     len(s.mipsCores),
+		TraceMCs:      len(s.traceMCs),
+		InFlightFlits: s.engine.InFlight().Load(),
+		Payloads:      snap.Payloads(),
+	}
+	if len(s.generators) > 0 {
+		m.Frontends = append(m.Frontends, "synthetic")
+	}
+	if len(s.injectors) > 0 {
+		m.Frontends = append(m.Frontends, "trace")
+	}
+	if len(s.mipsCores) > 0 {
+		m.Frontends = append(m.Frontends, "mips")
+	}
+	if s.memFab != nil {
+		m.Frontends = append(m.Frontends, "mem")
+		m.MemTiles = len(s.tiles)
+	}
+	if len(s.traceMCs) > 0 {
+		m.Frontends = append(m.Frontends, "trace-mc")
+	}
+	return m
+}
+
+// SaveState serializes the shared-memory fabric tile by tile: directory
+// slice (with its backing-store delta), then the optional processor-side
+// ports (MSI L1 or NUCA), then the memory controllers in configured
+// order.
+func (f *memoryFabric) SaveState(w *snapshot.Writer) error {
+	for i := range f.dirs {
+		f.dirs[i].SaveState(w)
+		b := f.bridges[i]
+		w.Bool(b.L1 != nil)
+		if b.L1 != nil {
+			b.L1.SaveState(w)
+		}
+		w.Bool(b.Nuca != nil)
+		if b.Nuca != nil {
+			b.Nuca.SaveState(w)
+		}
+	}
+	for _, cn := range f.am.Controllers {
+		f.mcs[cn].SaveState(w)
+	}
+	return nil
+}
+
+// LoadState restores fabric state saved by SaveState into this (freshly
+// built, identically attached) fabric.
+func (f *memoryFabric) LoadState(r *snapshot.Reader) error {
+	for i := range f.dirs {
+		if err := f.dirs[i].LoadState(r); err != nil {
+			return err
+		}
+		b := f.bridges[i]
+		hasL1 := r.Bool()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if hasL1 != (b.L1 != nil) {
+			return &snapshot.MismatchError{Field: fmt.Sprintf("tile %d L1", i),
+				Got: fmt.Sprint(hasL1), Want: fmt.Sprint(b.L1 != nil)}
+		}
+		if b.L1 != nil {
+			if err := b.L1.LoadState(r); err != nil {
+				return err
+			}
+		}
+		hasNuca := r.Bool()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if hasNuca != (b.Nuca != nil) {
+			return &snapshot.MismatchError{Field: fmt.Sprintf("tile %d NUCA port", i),
+				Got: fmt.Sprint(hasNuca), Want: fmt.Sprint(b.Nuca != nil)}
+		}
+		if b.Nuca != nil {
+			if err := b.Nuca.LoadState(r); err != nil {
+				return err
+			}
+		}
+	}
+	for _, cn := range f.am.Controllers {
+		if err := f.mcs[cn].LoadState(r); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // SnapshotBytes serializes the system into an encoded snapshot blob.
@@ -119,6 +252,23 @@ func (s *System) Restore(snap *snapshot.Snapshot) error {
 	}
 	if err := snap.CheckConfigHash(s.ConfigHash()); err != nil {
 		return err
+	}
+	// Frontend sections exist exactly when the frontend is attached; a
+	// mismatch means the snapshot came from a system wired differently
+	// (attachments are not part of the config hash).
+	for _, fe := range []struct {
+		section  string
+		attached bool
+	}{
+		{secMem, s.memFab != nil},
+		{secMIPS, len(s.mipsCores) > 0},
+		{secTraceMC, len(s.traceMCs) > 0},
+	} {
+		if snap.Has(fe.section) != fe.attached {
+			return &snapshot.MismatchError{Field: "frontend " + fe.section,
+				Got:  fmt.Sprintf("present=%v", snap.Has(fe.section)),
+				Want: fmt.Sprintf("present=%v", fe.attached)}
+		}
 	}
 
 	r, err := snap.Open(secEngine)
@@ -211,6 +361,55 @@ func (s *System) Restore(snap *snapshot.Snapshot) error {
 	}
 	if err := r.Close(); err != nil {
 		return err
+	}
+
+	if s.memFab != nil {
+		r, err = snap.Open(secMem)
+		if err != nil {
+			return err
+		}
+		if err := s.memFab.LoadState(r); err != nil {
+			return err
+		}
+		if err := r.Close(); err != nil {
+			return err
+		}
+	}
+	if len(s.mipsCores) > 0 {
+		r, err = snap.Open(secMIPS)
+		if err != nil {
+			return err
+		}
+		if n := r.Int(); n != len(s.mipsCores) {
+			return &snapshot.MismatchError{Field: "mips cores",
+				Got: fmt.Sprint(n), Want: fmt.Sprint(len(s.mipsCores))}
+		}
+		for _, c := range s.mipsCores {
+			if err := c.LoadState(r); err != nil {
+				return err
+			}
+		}
+		if err := r.Close(); err != nil {
+			return err
+		}
+	}
+	if len(s.traceMCs) > 0 {
+		r, err = snap.Open(secTraceMC)
+		if err != nil {
+			return err
+		}
+		if n := r.Int(); n != len(s.traceMCs) {
+			return &snapshot.MismatchError{Field: "trace controllers",
+				Got: fmt.Sprint(n), Want: fmt.Sprint(len(s.traceMCs))}
+		}
+		for _, tc := range s.traceMCs {
+			if err := tc.LoadState(r); err != nil {
+				return err
+			}
+		}
+		if err := r.Close(); err != nil {
+			return err
+		}
 	}
 
 	// Cross-check the global flit counter against the flits actually

@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 
 	"hornet/internal/config"
+	"hornet/internal/mem"
+	"hornet/internal/mips"
 	"hornet/internal/noc"
 	"hornet/internal/power"
 	"hornet/internal/routing"
@@ -29,9 +31,16 @@ type System struct {
 	generators []*traffic.Generator
 	injectors  []*trace.Injector
 
+	// Snapshot-visible frontends: the shared-memory fabric, MIPS cores
+	// (attach order) and trace-mode memory controllers attached to this
+	// system. Snapshot/Restore serialize their state alongside the NoC.
+	memFab    *memoryFabric
+	mipsCores []*mips.Core
+	traceMCs  []*mem.TraceController
+
 	// unsnapshottable names the first attached component whose state
-	// cannot be serialized (live goroutines, payload-bearing frontends);
-	// empty means Snapshot/Restore are available.
+	// cannot be serialized (live goroutines); empty means
+	// Snapshot/Restore are available.
 	unsnapshottable string
 }
 
@@ -210,6 +219,11 @@ func (s *System) Router(n noc.NodeID) *noc.Router { return s.tiles[n].Router }
 
 // Algorithm returns the routing algorithm in use.
 func (s *System) Algorithm() routing.Algorithm { return s.alg }
+
+// MIPSCores returns the MIPS cores attached to this system, in attach
+// order. Restored systems expose the cores their own Attach calls built
+// (a snapshot rewrites their state, not their identity).
+func (s *System) MIPSCores() []*mips.Core { return s.mipsCores }
 
 // Clock returns the next cycle to be simulated.
 func (s *System) Clock() uint64 { return s.clock }

@@ -53,6 +53,10 @@ type l1Pending struct {
 	haveData  bool
 	fill      []byte
 	fillState byte
+	// noInstall marks a GetS fill whose line was invalidated while the
+	// data was in flight: the load completes with the fill data (it is
+	// ordered before the invalidating store) but the line is not cached.
+	noInstall bool
 }
 
 // L1 is a private set-associative write-back write-allocate L1 cache with
@@ -236,6 +240,15 @@ func (c *L1) poll(cycle uint64) (uint64, bool) {
 			c.Stats.StallCycles++
 			return 0, false
 		}
+		if p.noInstall {
+			// The line was invalidated while this GetS fill was in
+			// flight: serve the load from the received data without
+			// caching it (see the MsgInv handler).
+			off := c.am.LineOffset(p.addr)
+			r := getUint(p.fill[off : off+p.size])
+			c.pend = nil
+			return r, true
+		}
 		// Fill completed: install line and fall through to completion.
 		v := c.victim(p.addr)
 		v.valid = true
@@ -315,6 +328,23 @@ func (c *L1) handle(m *Message, src noc.NodeID, cycle uint64) {
 			c.lines[i].state = stInvalid
 			c.lines[i].valid = false
 			c.Stats.Invalidations++
+		}
+		if p := c.pend; p != nil && p.network && !p.write && c.am.LineAddr(p.addr) == m.Addr {
+			// The invalidation raced our own in-flight GetS fill of this
+			// line: the Data may already be buffered but not installed
+			// (directory and cache share a tile, so both land in one
+			// inbox batch), or still be in the network with the 1-flit
+			// Inv having overtaken the multi-flit Data worm (dynamic VC
+			// allocation does not order same-flow packets). Installing
+			// that fill would leave a Shared copy the directory no
+			// longer tracks — a permanently stale read. The textbook
+			// IS_D resolution: complete the load with the fill data
+			// (the load is ordered before the invalidating store at the
+			// directory) but do not cache the line, so the next access
+			// misses and refetches. Pending GetM fills ignore the Inv:
+			// it targets our old Shared copy, and once we are granted M
+			// later writers are forwarded to us, never invalidated.
+			p.noInstall = true
 		}
 		// Always ack (silent S evictions make spurious Invs normal).
 		c.sender.Send(m.Requester, ClassResponse, &Message{

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"sort"
 
 	"hornet/internal/noc"
 )
@@ -156,8 +157,17 @@ func (d *Directory) service(l *dirLine, m *Message) {
 			Type: MsgFwdGetM, Addr: d.am.LineAddr(m.Addr), Requester: m.Requester, Txn: m.Txn,
 		})
 	default: // GetM on I or S
-		acks := 0
+		// Invalidations go out in sorted sharer order: map iteration
+		// order would inject packets in a run-to-run random order, which
+		// breaks the simulator's determinism (and with it the snapshot
+		// round-trip contract).
+		sharers := make([]noc.NodeID, 0, len(l.sharers))
 		for s := range l.sharers {
+			sharers = append(sharers, s)
+		}
+		sort.Slice(sharers, func(i, j int) bool { return sharers[i] < sharers[j] })
+		acks := 0
+		for _, s := range sharers {
 			if s == m.Requester {
 				continue
 			}

@@ -36,14 +36,30 @@ func (am *AddressMap) Controller(addr uint32) noc.NodeID {
 // Store is a sparse line-granularity backing store. Each directory slice
 // (or NUCA home slice, or memory controller) owns one, so no cross-thread
 // access occurs; absent lines read as zero.
+//
+// Preloaded content (program and data images written before the run) is
+// additionally recorded as the store's baseline: checkpointing encodes
+// only the lines that diverged from it (delta/sparse), and restoring
+// resets to the baseline before applying the delta, so snapshots stay
+// small while a restore still reproduces the exact byte state.
 type Store struct {
 	lineBytes int
 	lines     map[uint32][]byte
+	baseline  map[uint32][]byte
+	// baseFP memoizes baselineFingerprint: the baseline is immutable
+	// once simulation starts, but save/load consult the fingerprint on
+	// every checkpoint.
+	baseFP      uint32
+	baseFPvalid bool
 }
 
 // NewStore creates an empty store with the given line size.
 func NewStore(lineBytes int) *Store {
-	return &Store{lineBytes: lineBytes, lines: make(map[uint32][]byte)}
+	return &Store{
+		lineBytes: lineBytes,
+		lines:     make(map[uint32][]byte),
+		baseline:  map[uint32][]byte{},
+	}
 }
 
 // Line returns the data for the line containing addr, materializing a
@@ -64,12 +80,17 @@ func (s *Store) WriteLine(addr uint32, data []byte) {
 }
 
 // Preload writes arbitrary bytes starting at addr (program loading before
-// simulation starts).
+// simulation starts) and records the touched lines' resulting content as
+// the store's snapshot baseline. Must not be called once simulation has
+// started: the baseline is the delta-encoding reference for checkpoints.
 func (s *Store) Preload(addr uint32, data []byte) {
 	for len(data) > 0 {
 		line := s.Line(addr)
 		off := int(addr & uint32(s.lineBytes-1))
 		n := copy(line[off:], data)
+		base := addr &^ uint32(s.lineBytes-1)
+		s.baseline[base] = append([]byte(nil), line...)
+		s.baseFPvalid = false
 		data = data[n:]
 		addr += uint32(n)
 	}

@@ -54,6 +54,10 @@ type Core struct {
 	halted  bool
 	exit    uint32
 
+	// imgFP fingerprints the program image the core was built with; the
+	// checkpoint loader refuses state saved under a different program.
+	imgFP uint32
+
 	// In-flight data access (core stalled on memory).
 	memBusy   bool
 	memWrite  bool
@@ -71,7 +75,8 @@ type Core struct {
 func NewCore(id noc.NodeID, numCores int, img *Image, data DataMem, net *NetPort) *Core {
 	ram := NewRAM()
 	ram.LoadImage(img)
-	c := &Core{ID: id, NumCores: numCores, ram: ram, data: data, net: net, PC: img.Entry}
+	c := &Core{ID: id, NumCores: numCores, ram: ram, data: data, net: net,
+		PC: img.Entry, imgFP: ImageFingerprint(img)}
 	if data == nil {
 		c.data = LocalData{RAM: ram}
 	}

@@ -8,8 +8,13 @@ import (
 // RAM is a sparse page-backed flat 32-bit memory used as a core's private
 // store (MPI mode) and as the instruction memory in every mode.
 // Little-endian, matching the assembler's data directives.
+//
+// The loaded program image is kept as the RAM's checkpoint baseline:
+// snapshots encode only pages that diverged from it, and restores reset
+// to the baseline before applying the delta (see state.go).
 type RAM struct {
-	pages map[uint32][]byte
+	pages    map[uint32][]byte
+	baseline map[uint32][]byte
 }
 
 const pageBits = 12
@@ -17,7 +22,7 @@ const pageSize = 1 << pageBits
 
 // NewRAM returns an empty memory; all bytes read as zero.
 func NewRAM() *RAM {
-	return &RAM{pages: make(map[uint32][]byte)}
+	return &RAM{pages: make(map[uint32][]byte), baseline: map[uint32][]byte{}}
 }
 
 func (r *RAM) page(addr uint32) []byte {
@@ -105,9 +110,14 @@ func checkAlign(addr uint32, size int) error {
 	return nil
 }
 
-// LoadImage writes a program image (segments from the assembler).
+// LoadImage writes a program image (segments from the assembler) and
+// seals the resulting content as the RAM's checkpoint baseline.
 func (r *RAM) LoadImage(img *Image) {
 	for _, s := range img.Segments {
 		r.WriteBytes(s.Addr, s.Data)
+	}
+	r.baseline = make(map[uint32][]byte, len(r.pages))
+	for key, p := range r.pages {
+		r.baseline[key] = append([]byte(nil), p...)
 	}
 }

@@ -16,15 +16,12 @@ import (
 // belongs to a different configuration and *snapshot.CorruptError when
 // the bytes are internally inconsistent.
 
-// saveFlit encodes one flit. Payloads cannot be serialized generically
-// (they are `any`); synthetic and trace traffic carry none, and systems
-// with payload-bearing frontends refuse to snapshot at a higher level,
-// so a non-nil payload here is reported as unsupported state.
+// saveFlit encodes one flit, including its payload: synthetic and trace
+// traffic carry none, protocol and MPI-style traffic carry typed values
+// serialized through the snapshot package's payload codec registry. A
+// payload of an unregistered type is unsupported state and fails the
+// snapshot with a structured error.
 func saveFlit(w *snapshot.Writer, f Flit) error {
-	if f.Payload != nil {
-		return &snapshot.UnsupportedError{
-			Component: fmt.Sprintf("flit payload of type %T (flow %v)", f.Payload, f.Flow)}
-	}
 	w.Uint8(uint8(f.Kind))
 	w.Uint32(uint32(f.Flow))
 	w.Uint64(f.Packet)
@@ -38,11 +35,14 @@ func saveFlit(w *snapshot.Writer, f Flit) error {
 	w.Uint64(f.VisibleAt)
 	w.Uint64(f.Latency)
 	w.Uint16(f.Hops)
+	if err := snapshot.EncodePayload(w, f.Payload); err != nil {
+		return fmt.Errorf("flit (flow %v): %w", f.Flow, err)
+	}
 	return nil
 }
 
 func loadFlit(r *snapshot.Reader) Flit {
-	return Flit{
+	f := Flit{
 		Kind:           Kind(r.Uint8()),
 		Flow:           FlowID(r.Uint32()),
 		Packet:         r.Uint64(),
@@ -57,13 +57,15 @@ func loadFlit(r *snapshot.Reader) Flit {
 		Latency:        r.Uint64(),
 		Hops:           r.Uint16(),
 	}
+	f.Payload = snapshot.DecodePayload(r)
+	return f
 }
 
-func savePacket(w *snapshot.Writer, p Packet) error {
-	if p.Payload != nil {
-		return &snapshot.UnsupportedError{
-			Component: fmt.Sprintf("packet payload of type %T (flow %v)", p.Payload, p.Flow)}
-	}
+// EncodePacket appends one bridge-level packet, payload included, using
+// the snapshot payload codec registry. Exported because frontends that
+// queue packets outside the network (the MIPS DMA engine) serialize
+// them with the same wire encoding the routers use.
+func EncodePacket(w *snapshot.Writer, p Packet) error {
 	w.Uint64(p.ID)
 	w.Uint32(uint32(p.Flow))
 	w.Int32(int32(p.Src))
@@ -71,11 +73,16 @@ func savePacket(w *snapshot.Writer, p Packet) error {
 	w.Int(p.Flits)
 	w.Uint64(p.FlowSeq)
 	w.Uint64(p.Latency)
+	if err := snapshot.EncodePayload(w, p.Payload); err != nil {
+		return fmt.Errorf("packet (flow %v): %w", p.Flow, err)
+	}
 	return nil
 }
 
-func loadPacket(r *snapshot.Reader) Packet {
-	return Packet{
+// DecodePacket reads one packet written by EncodePacket. Decoding
+// failures latch on the reader.
+func DecodePacket(r *snapshot.Reader) Packet {
+	p := Packet{
 		ID:      r.Uint64(),
 		Flow:    FlowID(r.Uint32()),
 		Src:     NodeID(r.Int32()),
@@ -84,6 +91,8 @@ func loadPacket(r *snapshot.Reader) Packet {
 		FlowSeq: r.Uint64(),
 		Latency: r.Uint64(),
 	}
+	p.Payload = snapshot.DecodePayload(r)
+	return p
 }
 
 // SaveState serializes the buffer: capacity (structural check), the
@@ -246,7 +255,7 @@ func (r *Router) SaveState(w *snapshot.Writer, clock uint64) error {
 	// Injection queue and the packet currently streaming in.
 	w.Int(len(r.pending))
 	for _, pp := range r.pending {
-		if err := savePacket(w, pp.pkt); err != nil {
+		if err := EncodePacket(w, pp.pkt); err != nil {
 			return err
 		}
 	}
@@ -322,7 +331,7 @@ func (r *Router) LoadState(rd *snapshot.Reader) error {
 	n := rd.Count(1 << 24)
 	r.pending = r.pending[:0]
 	for i := 0; i < n; i++ {
-		r.pending = append(r.pending, pendingPacket{pkt: loadPacket(rd)})
+		r.pending = append(r.pending, pendingPacket{pkt: DecodePacket(rd)})
 	}
 	r.curFlits = nil
 	if rd.Bool() {

@@ -35,6 +35,7 @@ const (
 	KindConfig = "config" // one full config.Config simulation
 	KindFigure = "figure" // a named experiment from internal/experiments
 	KindBatch  = "batch"  // several configurations as one sweep
+	KindMips   = "mips"   // an application workload on MIPS cores
 )
 
 // Job states. Terminal states are StateDone, StateFailed, StateCanceled.
@@ -47,7 +48,7 @@ const (
 )
 
 // SubmitRequest is the body of POST /api/v1/jobs. Exactly one of Config,
-// Figure, Batch selects the scenario.
+// Figure, Batch, Mips selects the scenario.
 type SubmitRequest struct {
 	// Name labels the job and its result document. Optional; defaults to
 	// the scenario kind. Restricted to [a-zA-Z0-9._-], at most 64
@@ -66,6 +67,12 @@ type SubmitRequest struct {
 
 	// Batch submits several keyed configurations executed as one sweep.
 	Batch []BatchItem `json:"batch,omitempty"`
+
+	// Mips submits an application workload executed on built-in MIPS
+	// cores over the modeled interconnect (and, for shared-memory
+	// workloads, the coherent-memory fabric). Cycle-level simulation of
+	// real programs — the paper's Figs 8-12 mode — as a service.
+	Mips *MipsSpec `json:"mips,omitempty"`
 
 	// Seed is the job's master seed; per-run seeds derive from it.
 	// 0 means the default experiment seed.
@@ -97,6 +104,31 @@ type SubmitRequest struct {
 // BatchItem is one keyed configuration of a batch job.
 type BatchItem struct {
 	Key    string        `json:"key"`
+	Config config.Config `json:"config"`
+}
+
+// MipsSpec describes one MIPS application scenario: a built-in workload
+// kernel, its parameters, and the platform configuration it runs on.
+// These runs are deterministic end to end, so their documents cache and
+// checkpoint exactly like synthetic-traffic runs.
+type MipsSpec struct {
+	// Workload names the kernel: "pingpong" (MPI-style DMA ping-pong,
+	// private per-core memory), "shared-pingpong" (the same hand-off
+	// through the coherent-memory fabric; requires config.memory), or
+	// "cannon" (Cannon's matrix multiply with message passing).
+	Workload string `json:"workload"`
+	// Rounds parameterizes the ping-pong workloads (default 100).
+	Rounds int `json:"rounds,omitempty"`
+	// Q and B parameterize cannon: a q x q core grid of b x b blocks
+	// (defaults 2 and 4); the topology must have exactly q*q nodes.
+	Q int `json:"q,omitempty"`
+	B int `json:"b,omitempty"`
+	// MaxCycles caps the simulation in case the workload never halts
+	// (default 10,000,000).
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	// Config is the platform: topology, router, routing, engine, and —
+	// for shared-memory workloads — the memory hierarchy. Synthetic
+	// traffic sources are rejected: the workload is the traffic.
 	Config config.Config `json:"config"`
 }
 

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -8,6 +9,8 @@ import (
 	"sync/atomic"
 
 	"hornet/internal/core"
+	"hornet/internal/mips"
+	"hornet/internal/noc"
 	"hornet/internal/snapshot"
 	"hornet/internal/sweep"
 )
@@ -130,6 +133,156 @@ func (e *execEnv) removeCheckpoint(sc *scenario, key string) {
 	os.Remove(e.ckptPath(sc, key))
 }
 
+// runFor compiles one runSpec into its sweep run function, dispatching
+// on the spec's kind: synthetic-traffic window runs (runConfig) or
+// application-workload runs (runMips).
+func (e *execEnv) runFor(sc *scenario, j *job, spec runSpec) func(sweep.Ctx) (any, error) {
+	if spec.mips != nil {
+		return e.runMips(sc, j, spec)
+	}
+	return e.runConfig(sc, j, spec)
+}
+
+// chunkedRun drives one checkpointable simulation: it advances the
+// system toward a phase target in autosave chunks, saving at chunk
+// boundaries and when a cancelled run drains, and accounting executed/
+// skipped cycles into the meta record that rides in every snapshot.
+// Both run kinds (synthetic windows and application workloads) share
+// this loop so the cadence-alignment rules can never diverge between
+// them — divergence would break the resumed-vs-uninterrupted
+// byte-identity contract for one kind only.
+type chunkedRun struct {
+	env    *execEnv
+	sys    *core.System
+	sc     *scenario
+	j      *job
+	meta   *ckptMeta
+	ckptOn bool
+	stop   func(cycle uint64) bool // sweep-cancellation probe
+}
+
+// checkpoint saves the current state; invoked at autosave boundaries
+// and when a cancelled run drains. Failed saves are counted
+// (ServerStats.CheckpointWriteErrs) so a daemon that silently stopped
+// persisting is visible before the crash that needed the snapshots.
+func (cr *chunkedRun) checkpoint() {
+	if !cr.ckptOn {
+		return
+	}
+	if err := cr.env.saveCheckpoint(cr.sys, cr.sc, *cr.meta); err == nil {
+		cr.j.noteCheckpoint(cr.meta.Key, cr.sys.Clock())
+	} else {
+		cr.env.checkpointWriteErr.Add(1)
+	}
+}
+
+// advance runs the current phase until meta.Done reaches target or the
+// optional done predicate reports the workload finished, in autosave
+// chunks; it returns false with the context error when the sweep was
+// cancelled (after saving a final checkpoint so a retry resumes here).
+// Chunk boundaries are pinned to absolute multiples of ckptEvery so a
+// resume after a mid-chunk cancel re-aligns with the cadence an
+// uninterrupted run would have used.
+func (cr *chunkedRun) advance(ctx context.Context, target uint64, measured bool, done func(cycle uint64) bool) (bool, error) {
+	stopOrDone := cr.stop
+	if done != nil {
+		stop := cr.stop
+		stopOrDone = func(cycle uint64) bool { return stop(cycle) || done(cycle) }
+	}
+	finished := func() bool { return done != nil && done(cr.sys.Clock()) }
+	for cr.meta.Done < target && !finished() {
+		chunk := target - cr.meta.Done
+		if cr.ckptOn && cr.env.ckptEvery > 0 {
+			if next := (cr.meta.Done/cr.env.ckptEvery + 1) * cr.env.ckptEvery; next-cr.meta.Done < chunk {
+				chunk = next - cr.meta.Done
+			}
+		}
+		res := cr.sys.RunUntil(chunk, stopOrDone)
+		cr.meta.Done += res.Cycles + res.SkippedCycles
+		if measured {
+			cr.meta.Exec += res.Cycles
+			cr.meta.Skip += res.SkippedCycles
+		}
+		if err := ctx.Err(); err != nil {
+			cr.checkpoint()
+			return false, err
+		}
+		if cr.meta.Done < target && !finished() {
+			cr.checkpoint()
+		}
+	}
+	return true, nil
+}
+
+// runMips compiles an application-workload runSpec: build the system,
+// attach the MIPS cores (and the coherent fabric for shared-memory
+// workloads), and simulate until every core halts and the network
+// drains, or the cycle cap. With checkpointing enabled the run
+// autosaves every ckptEvery simulated cycles — the full core/RAM/fabric
+// state rides in the snapshot — and resumes from the latest autosave
+// instead of instruction zero.
+func (e *execEnv) runMips(sc *scenario, j *job, spec runSpec) func(sweep.Ctx) (any, error) {
+	return func(c sweep.Ctx) (any, error) {
+		seed := c.Seed
+		m := spec.mips
+		rc := spec.cfg
+		rc.Engine.Workers = c.Workers
+		rc.Engine.Seed = seed
+		img, err := mips.Assemble(mipsWorkloadSource(m, rc.Topology.Nodes()))
+		if err != nil {
+			return nil, err
+		}
+		build := func() (*core.System, error) {
+			sys, err := core.New(rc)
+			if err != nil {
+				return nil, err
+			}
+			nodes := make([]noc.NodeID, rc.Topology.Nodes())
+			for i := range nodes {
+				nodes[i] = noc.NodeID(i)
+			}
+			if m.Workload == "shared-pingpong" {
+				fab, err := sys.AttachMemory(*rc.Memory)
+				if err != nil {
+					return nil, err
+				}
+				sys.AttachMIPSShared([]noc.NodeID{0, nodes[len(nodes)-1]}, img, fab, *rc.Memory)
+			} else {
+				sys.AttachMIPS(nodes, img)
+			}
+			return sys, nil
+		}
+		stop := cancelStop(c.Context)
+		ckptOn := e.ckptDir != "" && !rc.Engine.FastForward
+
+		var sys *core.System
+		meta := ckptMeta{Name: sc.name, Hash: sc.hash, Key: spec.key, Seed: seed, Phase: "measured"}
+		if ckptOn {
+			if restored, rm, ok := e.loadCheckpoint(sc, spec.key, seed, build); ok {
+				sys, meta = restored, rm
+				e.runsResumed.Add(1)
+				j.noteResumed(spec.key, restored.Clock())
+			}
+		}
+		if sys == nil {
+			if sys, err = build(); err != nil {
+				return nil, err
+			}
+		}
+		// Advance in autosave chunks until the application halts or the
+		// cycle cap is reached (fast-forwarding runs are exempt from
+		// chunking entirely).
+		cr := &chunkedRun{env: e, sys: sys, sc: sc, j: j, meta: &meta, ckptOn: ckptOn, stop: stop}
+		if ok, err := cr.advance(c.Context, m.MaxCycles, true, sys.CoresHalted(sys.MIPSCores())); !ok {
+			return nil, err
+		}
+		if ckptOn {
+			e.removeCheckpoint(sc, spec.key)
+		}
+		return summarize(sys.Summary(), rc.Topology.Nodes(), meta.Exec, meta.Skip), nil
+	}
+}
+
 // runConfig compiles one runSpec into its sweep run function: build the
 // system, advance it through warmup (restoring a shared warmup snapshot
 // when the scenario opted in), measure, and summarize into the
@@ -204,59 +357,15 @@ func (e *execEnv) runConfig(sc *scenario, j *job, spec runSpec) func(sweep.Ctx) 
 			}
 		}
 
-		// checkpoint saves the current state; invoked at autosave
-		// boundaries and when a cancelled run drains. Failed saves are
-		// counted (ServerStats.CheckpointWriteErrs) so a daemon that
-		// silently stopped persisting is visible before the crash that
-		// needed the snapshots.
-		checkpoint := func() {
-			if !ckptOn {
-				return
-			}
-			if err := e.saveCheckpoint(sys, sc, meta); err == nil {
-				j.noteCheckpoint(spec.key, sys.Clock())
-			} else {
-				e.checkpointWriteErr.Add(1)
-			}
-		}
-		// runPhase advances the current phase to its target in autosave
-		// chunks, returning false when the sweep was cancelled. Chunk
-		// boundaries are pinned to absolute multiples of ckptEvery so a
-		// resume after a mid-chunk cancel re-aligns with the cadence an
-		// uninterrupted run would have used.
-		runPhase := func(target uint64, measured bool) (bool, error) {
-			for meta.Done < target {
-				chunk := target - meta.Done
-				if ckptOn && e.ckptEvery > 0 {
-					if next := (meta.Done/e.ckptEvery + 1) * e.ckptEvery; next-meta.Done < chunk {
-						chunk = next - meta.Done
-					}
-				}
-				res := sys.RunUntil(chunk, stop)
-				meta.Done += res.Cycles + res.SkippedCycles
-				if measured {
-					meta.Exec += res.Cycles
-					meta.Skip += res.SkippedCycles
-				}
-				if err := c.Context.Err(); err != nil {
-					checkpoint()
-					return false, err
-				}
-				if meta.Done < target {
-					checkpoint()
-				}
-			}
-			return true, nil
-		}
-
+		cr := &chunkedRun{env: e, sys: sys, sc: sc, j: j, meta: &meta, ckptOn: ckptOn, stop: stop}
 		if meta.Phase == "warmup" {
-			if ok, err := runPhase(warmup, false); !ok {
+			if ok, err := cr.advance(c.Context, warmup, false, nil); !ok {
 				return nil, err
 			}
 			sys.ResetStats()
 			meta.Phase, meta.Done = "measured", 0
 		}
-		if ok, err := runPhase(analyzed, true); !ok {
+		if ok, err := cr.advance(c.Context, analyzed, true, nil); !ok {
 			return nil, err
 		}
 		if ckptOn {

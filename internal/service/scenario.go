@@ -9,9 +9,11 @@ import (
 	"hornet/internal/config"
 	"hornet/internal/core"
 	"hornet/internal/experiments"
+	"hornet/internal/mips"
 	"hornet/internal/sim"
 	"hornet/internal/stats"
 	"hornet/internal/sweep"
+	"hornet/internal/workloads"
 )
 
 // defaultSeed matches the experiment harness default, so a figure
@@ -47,17 +49,19 @@ type scenario struct {
 	figOpts experiments.Options
 }
 
-// runSpec is one config/batch simulation: a stable key, the normalized
-// configuration it runs, and — for share_warmup scenarios — the
-// warmup-group seed every run in the group shares (0 = the sweep's
+// runSpec is one config/batch/mips simulation: a stable key, the
+// normalized configuration it runs, and — for share_warmup scenarios —
+// the warmup-group seed every run in the group shares (0 = the sweep's
 // default per-key derivation). The explicit seed flows through
 // sweep.Item.Seed so the emitted document records the seed each run
-// actually used.
+// actually used. mips, when set, switches the run from synthetic
+// traffic to an application workload (execEnv.runMips).
 type runSpec struct {
 	key    string
 	weight int
 	seed   uint64
 	cfg    config.Config
+	mips   *MipsSpec
 }
 
 // groupSeed derives the shared engine seed for a warmup-prefix group:
@@ -82,9 +86,12 @@ func buildScenario(req SubmitRequest) (*scenario, *APIError) {
 	if len(req.Batch) > 0 {
 		set++
 	}
+	if req.Mips != nil {
+		set++
+	}
 	if set != 1 {
 		return nil, &APIError{CodeInvalidRequest,
-			"exactly one of config, figure, batch must be set"}
+			"exactly one of config, figure, batch, mips must be set"}
 	}
 	if req.Name != "" && !nameRE.MatchString(req.Name) {
 		return nil, &APIError{CodeInvalidRequest,
@@ -102,9 +109,113 @@ func buildScenario(req SubmitRequest) (*scenario, *APIError) {
 		return buildConfigScenario(req, seed)
 	case req.Figure != "":
 		return buildFigureScenario(req, seed)
+	case req.Mips != nil:
+		return buildMipsScenario(req, seed)
 	default:
 		return buildBatchScenario(req, seed)
 	}
+}
+
+// mipsWorkloadSource generates the assembly for a validated spec.
+// nodes is the topology's node count (the shared ping-pong partner is
+// the last node).
+func mipsWorkloadSource(m *MipsSpec, nodes int) string {
+	switch m.Workload {
+	case "pingpong":
+		return workloads.PingPongSource(m.Rounds)
+	case "shared-pingpong":
+		return workloads.SharedPingPongSource(m.Rounds, nodes-1)
+	case "cannon":
+		return workloads.CannonSource(m.Q, m.B)
+	}
+	panic("service: unvalidated mips workload " + m.Workload)
+}
+
+// buildMipsScenario validates an application-workload submission. The
+// normalized spec (defaults applied) is the cache identity, so
+// {"rounds": 0} and {"rounds": 100} hash identically.
+func buildMipsScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) {
+	m := *req.Mips
+	if m.Rounds <= 0 {
+		m.Rounds = 100
+	}
+	if m.Q <= 0 {
+		m.Q = 2
+	}
+	if m.B <= 0 {
+		m.B = 4
+	}
+	if m.MaxCycles == 0 {
+		m.MaxCycles = 10_000_000
+	}
+	// Bound the workload parameters: they size in-memory structures
+	// (cannon blocks are 4*b*b bytes each) and run length, so an
+	// unbounded submission could exhaust the daemon at validation time.
+	if m.Rounds > 1_000_000 {
+		return nil, &APIError{CodeInvalidRequest, "mips: rounds must be <= 1000000"}
+	}
+	if m.Q > 64 || m.B > 64 {
+		return nil, &APIError{CodeInvalidRequest, "mips: cannon q and b must be <= 64"}
+	}
+	if m.MaxCycles > 1_000_000_000 {
+		return nil, &APIError{CodeInvalidRequest, "mips: max_cycles must be <= 1000000000"}
+	}
+	if err := m.Config.Validate(); err != nil {
+		return nil, &APIError{CodeInvalidConfig, "mips: " + err.Error()}
+	}
+	if len(m.Config.Traffic) > 0 {
+		return nil, &APIError{CodeInvalidConfig,
+			"mips: scenario takes no synthetic traffic (the workload is the traffic)"}
+	}
+	nodes := m.Config.Topology.Nodes()
+	switch m.Workload {
+	case "pingpong", "shared-pingpong":
+		if nodes < 2 {
+			return nil, &APIError{CodeInvalidConfig,
+				"mips: ping-pong workloads need at least 2 nodes"}
+		}
+	case "cannon":
+		if nodes != m.Q*m.Q {
+			return nil, &APIError{CodeInvalidConfig, fmt.Sprintf(
+				"mips: cannon on a %dx%d grid needs exactly %d nodes, topology has %d",
+				m.Q, m.Q, m.Q*m.Q, nodes)}
+		}
+	default:
+		return nil, &APIError{CodeInvalidRequest, fmt.Sprintf(
+			"mips: unknown workload %q (pingpong, shared-pingpong, cannon)", m.Workload)}
+	}
+	if m.Workload == "shared-pingpong" && m.Config.Memory == nil {
+		return nil, &APIError{CodeInvalidConfig,
+			"mips: shared-pingpong needs config.memory (the coherent fabric it runs on)"}
+	}
+	if m.Workload != "shared-pingpong" && m.Config.Memory != nil {
+		return nil, &APIError{CodeInvalidConfig,
+			"mips: " + m.Workload + " uses private per-core memory; omit config.memory"}
+	}
+	// Catch assembly errors at submission time (4xx), not mid-job.
+	if _, err := mips.Assemble(mipsWorkloadSource(&m, nodes)); err != nil {
+		return nil, &APIError{CodeInvalidConfig, "mips: workload does not assemble: " + err.Error()}
+	}
+	name := req.Name
+	if name == "" {
+		name = "mips-" + m.Workload
+	}
+	if req.ShareWarmup {
+		return nil, &APIError{CodeInvalidRequest,
+			"share_warmup applies to config/batch jobs; mips runs have no warmup prefix"}
+	}
+	m.Config = normalize(m.Config)
+	// The driver-level cycle windows do not apply to application runs:
+	// the workload defines its own span (halt or max_cycles).
+	m.Config.WarmupCycles, m.Config.AnalyzedCycles = 0, 0
+	return &scenario{
+		kind:      KindMips,
+		name:      name,
+		hash:      scenarioHash("mips", name, m, seed, false),
+		seed:      seed,
+		cacheable: true,
+		runs:      []runSpec{{key: name, weight: req.Workers, cfg: m.Config, mips: &m}},
+	}, nil
 }
 
 // checkRunnable validates one submitted simulation configuration beyond

@@ -173,7 +173,7 @@ func (s *scheduler) runJob(j *job) {
 			// store counts it and /api/v1/stats surfaces the counter.
 			_ = s.results.Put(sc.name, sc.hash, bytes)
 		}
-		if sc.kind == KindConfig && runErrs > 0 {
+		if (sc.kind == KindConfig || sc.kind == KindMips) && runErrs > 0 {
 			// A single-run job whose run failed is a failed job; the
 			// diagnostic is in the document's run record.
 			j.fail(firstRunError(bytes), time.Now())
@@ -219,7 +219,7 @@ func (s *scheduler) execute(j *job) (b []byte, runErrs int, err error) {
 		items := make([]sweep.Item, len(sc.runs))
 		for i, spec := range sc.runs {
 			items[i] = sweep.Item{Key: spec.key, Weight: spec.weight, Seed: spec.seed,
-				Run: s.env.runConfig(sc, j, spec)}
+				Run: s.env.runFor(sc, j, spec)}
 		}
 		cfg := sweep.Config{
 			// In-flight runs within the job: bounded by the shared pool

@@ -120,8 +120,13 @@ func (r *Reader) Close() error {
 }
 
 func (r *Reader) fail() {
+	r.setErr(corruptf("section %q: truncated", r.name))
+}
+
+// setErr latches a decoding failure (first error wins).
+func (r *Reader) setErr(err error) {
 	if r.err == nil {
-		r.err = corruptf("section %q: truncated", r.name)
+		r.err = err
 	}
 }
 

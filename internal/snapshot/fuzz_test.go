@@ -1,0 +1,139 @@
+package snapshot
+
+import (
+	"errors"
+	"testing"
+)
+
+// corpusSnapshot builds a representative container: several sections,
+// including one holding codec-tagged payloads, as the NoC state encoder
+// would produce.
+func corpusSnapshot() *Snapshot {
+	s := New("fuzz-corpus-hash", 12345)
+	w := s.Section("engine")
+	w.Int64(3)
+	w = s.Section("payloads")
+	_ = EncodePayload(w, []byte{0xDE, 0xAD, 0xBE, 0xEF})
+	_ = EncodePayload(w, nil)
+	_ = EncodePayload(w, []byte{})
+	w = s.Section("tiles")
+	w.Int(2)
+	w.Uint64(0xA5A5A5A5)
+	w.String("stats")
+	w.Float64(3.25)
+	return s
+}
+
+// FuzzDecodeBytes is the decoder's no-panic contract: arbitrary bytes —
+// including truncated, bit-flipped and length-lying containers — must
+// yield a structured error or a valid snapshot, never a panic or a
+// runaway allocation. The seed corpus covers the interesting layouts so
+// plain `go test` (and `go test -run Fuzz`) exercises them without a
+// fuzzing engine.
+func FuzzDecodeBytes(f *testing.F) {
+	valid, err := corpusSnapshot().Bytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("HSNAP1\n"))
+	f.Add(valid[:len(valid)-5])                     // CRC gone
+	f.Add(valid[:len(valid)/2])                     // body truncated
+	f.Add(append([]byte("XSNAP1\n"), valid[7:]...)) // bad magic
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	// A container whose section claims more bytes than exist, with a
+	// recomputed CRC so the corruption is reached.
+	liar := corpusSnapshot()
+	liar.SetSection("tiles", []byte{0xFF, 0xFF, 0xFF, 0x7F})
+	liarBytes, err := liar.Bytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(liarBytes)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeBytes(data)
+		if err != nil {
+			var ce *CorruptError
+			var ve *VersionError
+			if !errors.As(err, &ce) && !errors.As(err, &ve) {
+				t.Fatalf("DecodeBytes returned unstructured error %T: %v", err, err)
+			}
+			return
+		}
+		// A successful decode must re-encode and decode to the same state.
+		b2, err := s.Bytes()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if _, err := DecodeBytes(b2); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+	})
+}
+
+// FuzzReaderPayload drives DecodePayload over arbitrary section bytes:
+// unknown codec names, truncated payloads, and hostile length prefixes
+// must latch structured errors on the reader, never panic.
+func FuzzReaderPayload(f *testing.F) {
+	good := New("h", 0)
+	w := good.Section("p")
+	_ = EncodePayload(w, []byte("hello"))
+	gb, _ := good.SectionPayload("p")
+	f.Add(gb)
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 0x00, 0x00, 0x00, 'b', 'y', 't', 'e', 'X'}) // unknown codec name
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})                          // absurd name length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &Reader{buf: data, name: "fuzz"}
+		v := DecodePayload(r)
+		if err := r.Err(); err != nil {
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("payload decode latched unstructured error %T: %v", err, err)
+			}
+			return
+		}
+		_ = v
+	})
+}
+
+// TestPayloadCodecRoundTrip covers the registry basics the fuzzers skim:
+// nil, empty and non-empty byte payloads round-trip; unregistered types
+// are refused with an UnsupportedError naming the type.
+func TestPayloadCodecRoundTrip(t *testing.T) {
+	s := New("h", 0)
+	w := s.Section("p")
+	for _, v := range []any{nil, []byte{}, []byte("abc")} {
+		if err := EncodePayload(w, v); err != nil {
+			t.Fatalf("EncodePayload(%v): %v", v, err)
+		}
+	}
+	if got := s.Payloads(); got != 2 {
+		t.Errorf("Payloads() = %d, want 2 (nil payloads are not counted)", got)
+	}
+	type opaque struct{ x int }
+	err := EncodePayload(w, opaque{1})
+	var ue *UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("unregistered payload type: got %v, want *UnsupportedError", err)
+	}
+
+	b, _ := s.SectionPayload("p")
+	r := &Reader{buf: b, name: "p"}
+	if v := DecodePayload(r); v != nil {
+		t.Errorf("first payload = %v, want nil", v)
+	}
+	if v, ok := DecodePayload(r).([]byte); !ok || len(v) != 0 {
+		t.Errorf("second payload = %v, want empty []byte", v)
+	}
+	if v, ok := DecodePayload(r).([]byte); !ok || string(v) != "abc" {
+		t.Errorf("third payload = %v, want abc", v)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("reader error: %v", err)
+	}
+}

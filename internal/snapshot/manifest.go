@@ -1,0 +1,55 @@
+package snapshot
+
+import "encoding/json"
+
+// ManifestSection names the optional self-describing section producers
+// append last: a JSON summary of what the snapshot contains, used by the
+// `snapshot <file>` inspection subcommands. Restore paths ignore it; the
+// simulator state lives in the typed sections.
+const ManifestSection = "manifest"
+
+// Manifest summarizes a system snapshot for inspection tools: which
+// frontends were attached, how many of each component the state covers,
+// and how many typed payloads ride inside the encoded flits and packets.
+type Manifest struct {
+	Nodes     int      `json:"nodes"`
+	Frontends []string `json:"frontends"`
+
+	Generators int `json:"generators,omitempty"`
+	Injectors  int `json:"injectors,omitempty"`
+	MIPSCores  int `json:"mips_cores,omitempty"`
+	MemTiles   int `json:"mem_tiles,omitempty"`
+	TraceMCs   int `json:"trace_mcs,omitempty"`
+
+	InFlightFlits int64 `json:"in_flight_flits"`
+	Payloads      int   `json:"payloads"`
+}
+
+// WriteManifest appends the manifest section (call after every state
+// section, so Payloads reflects the full encoding).
+func (s *Snapshot) WriteManifest(m Manifest) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	s.Section(ManifestSection).Bytes(b)
+	return nil
+}
+
+// ReadManifest decodes the manifest section; ok is false when the
+// snapshot carries none (pre-manifest producers, warmup blobs from old
+// builds).
+func (s *Snapshot) ReadManifest() (m Manifest, ok bool, err error) {
+	r, err := s.Open(ManifestSection)
+	if err != nil {
+		return m, false, nil
+	}
+	b := r.ByteSlice()
+	if err := r.Close(); err != nil {
+		return m, false, err
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, false, corruptf("manifest: %v", err)
+	}
+	return m, true, nil
+}

@@ -1,0 +1,102 @@
+package snapshot
+
+// Payload codec registry: how `any`-typed flit/packet payloads cross the
+// snapshot boundary. The NoC layer moves opaque payloads (coherence
+// messages, MPI-style user buffers) that it cannot serialize itself, so
+// the owning package registers a typed codec here and the NoC's state
+// encoder dispatches on the payload's dynamic type. Each codec writes a
+// stable wire name ahead of its bytes; decoding looks the codec up by
+// that name, so a snapshot produced by a build with more codecs than the
+// reader degrades to a structured CorruptError, never a misread.
+//
+// Registration happens in package init functions (the packages that own
+// payload types register on import), strictly before any encode/decode
+// traffic, so the registry needs no locking.
+
+import "fmt"
+
+// PayloadCodec serializes one concrete payload type.
+type PayloadCodec struct {
+	// Name is the stable wire identifier written before the payload
+	// bytes. Changing an existing codec's encoding requires bumping
+	// FormatVersion; changing its name orphans old snapshots.
+	Name string
+	// Match reports whether this codec handles v's dynamic type.
+	Match func(v any) bool
+	// Encode appends v to the section. Called only when Match(v).
+	Encode func(w *Writer, v any)
+	// Decode reads one payload back. Structural failures must latch on
+	// the reader (the usual truncation paths do this automatically).
+	Decode func(r *Reader) any
+}
+
+var (
+	payloadCodecs []PayloadCodec
+	payloadByName = map[string]*PayloadCodec{}
+)
+
+// RegisterPayloadCodec installs a codec. It panics on a duplicate name:
+// two packages claiming one wire name would corrupt every snapshot.
+func RegisterPayloadCodec(c PayloadCodec) {
+	if c.Name == "" || c.Match == nil || c.Encode == nil || c.Decode == nil {
+		panic("snapshot: payload codec is missing a field")
+	}
+	if _, dup := payloadByName[c.Name]; dup {
+		panic("snapshot: duplicate payload codec " + c.Name)
+	}
+	payloadCodecs = append(payloadCodecs, c)
+	// The map gets its own copy: a pointer into payloadCodecs would
+	// dangle when a later append reallocates the backing array.
+	cc := c
+	payloadByName[c.Name] = &cc
+}
+
+// EncodePayload appends one payload value: the empty string for nil, or
+// the matching codec's name followed by its encoding. A payload no
+// registered codec claims is unserializable state — the caller's
+// snapshot attempt fails with an *UnsupportedError naming the type.
+func EncodePayload(w *Writer, v any) error {
+	if v == nil {
+		w.String("")
+		return nil
+	}
+	for i := range payloadCodecs {
+		c := &payloadCodecs[i]
+		if c.Match(v) {
+			w.String(c.Name)
+			c.Encode(w, v)
+			if w.snap != nil {
+				w.snap.payloads++
+			}
+			return nil
+		}
+	}
+	return &UnsupportedError{Component: fmt.Sprintf("payload of type %T (no registered codec)", v)}
+}
+
+// DecodePayload reads one payload written by EncodePayload. An unknown
+// codec name latches a CorruptError on the reader (the snapshot was
+// written by a build with codecs this one lacks, or the bytes are bad).
+func DecodePayload(r *Reader) any {
+	name := r.String()
+	if name == "" || r.err != nil {
+		return nil
+	}
+	c, ok := payloadByName[name]
+	if !ok {
+		r.setErr(corruptf("section %q: unknown payload codec %q", r.name, name))
+		return nil
+	}
+	return c.Decode(r)
+}
+
+// The byte-slice codec ships with the registry itself: raw []byte
+// payloads are the MPI-style user packets the MIPS network port sends.
+func init() {
+	RegisterPayloadCodec(PayloadCodec{
+		Name:   "bytes",
+		Match:  func(v any) bool { _, ok := v.([]byte); return ok },
+		Encode: func(w *Writer, v any) { w.Bytes(v.([]byte)) },
+		Decode: func(r *Reader) any { return r.ByteSlice() },
+	})
+}

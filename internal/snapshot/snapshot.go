@@ -36,7 +36,13 @@ import (
 // FormatVersion is the current snapshot layout version. Bump whenever
 // any section's encoding changes; Decode rejects other versions with a
 // *VersionError.
-const FormatVersion = 1
+//
+// Version history:
+//
+//	1: initial layout (synthetic/trace frontends, payload-free flits)
+//	2: flits and packets carry codec-tagged payloads (mem.Message,
+//	   []byte); mem/mips/trace-MC frontend sections; manifest section
+const FormatVersion = 2
 
 var magic = []byte("HSNAP1\n")
 
@@ -53,7 +59,16 @@ type Snapshot struct {
 	Clock uint64
 
 	sections []section
+	// payloads counts flit/packet payloads encoded into this snapshot
+	// (via EncodePayload); producers surface it in inspection manifests.
+	payloads int
 }
+
+// Payloads reports how many typed payloads were encoded into this
+// (under-construction) snapshot. Zero for decoded snapshots — the count
+// is a producer-side statistic, carried explicitly (e.g. in a manifest
+// section) when it must survive the round trip.
+func (s *Snapshot) Payloads() int { return s.payloads }
 
 type section struct {
 	name    string
@@ -92,6 +107,32 @@ func (s *Snapshot) Has(name string) bool {
 		}
 	}
 	return false
+}
+
+// SectionPayload returns a copy of the named section's raw bytes, for
+// inspection tools and corruption-injection tests.
+func (s *Snapshot) SectionPayload(name string) ([]byte, bool) {
+	for _, sec := range s.sections {
+		if sec.name == name {
+			return append([]byte(nil), sec.payload...), true
+		}
+	}
+	return nil, false
+}
+
+// SetSection replaces the named section's payload, appending a new
+// section if none exists. It exists for tests that inject section-level
+// corruption past the container checksum (re-encoding recomputes the
+// CRC) and for tools that rewrite snapshots; simulator save paths use
+// Section writers instead.
+func (s *Snapshot) SetSection(name string, payload []byte) {
+	for i := range s.sections {
+		if s.sections[i].name == name {
+			s.sections[i].payload = append([]byte(nil), payload...)
+			return
+		}
+	}
+	s.sections = append(s.sections, section{name: name, payload: append([]byte(nil), payload...)})
 }
 
 // SectionInfo describes one section for inspection tools.

@@ -1,14 +1,17 @@
 // Package snapshotcli implements the `snapshot <file>` inspection
 // subcommand shared by hornet-exp and hornet-serve: it decodes a
 // checkpoint or warmup snapshot, verifies its checksum and version, and
-// prints the guard hash, clock, section layout, and — for hornet-serve
-// checkpoints — the embedded job progress record.
+// prints the guard hash, clock, section layout, the frontend manifest
+// (which frontends' state the snapshot carries, component and payload
+// counts), and — for hornet-serve checkpoints — the embedded job
+// progress record.
 package snapshotcli
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"hornet/internal/snapshot"
 )
@@ -29,6 +32,7 @@ func Inspect(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "%s\n", path)
 	fmt.Fprint(stdout, snap.Describe())
+	describeManifest(snap, stdout)
 	// hornet-serve checkpoints carry a job progress record; surface it.
 	if snap.Has("serve-meta") {
 		if r, err := snap.Open("serve-meta"); err == nil {
@@ -40,4 +44,37 @@ func Inspect(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// describeManifest renders the frontend manifest, when present: which
+// frontends' state the snapshot carries and the component/payload
+// counts. Old (pre-manifest) snapshots simply omit the block; a corrupt
+// manifest is reported but does not fail the inspection (the typed
+// sections are the authoritative state).
+func describeManifest(snap *snapshot.Snapshot, out io.Writer) {
+	m, ok, err := snap.ReadManifest()
+	if err != nil {
+		fmt.Fprintf(out, "manifest:       unreadable (%v)\n", err)
+		return
+	}
+	if !ok {
+		return
+	}
+	fmt.Fprintf(out, "frontends:      %s (%d nodes)\n", strings.Join(m.Frontends, ", "), m.Nodes)
+	counts := []struct {
+		name string
+		n    int
+	}{
+		{"traffic generators", m.Generators},
+		{"trace injectors", m.Injectors},
+		{"mips cores", m.MIPSCores},
+		{"mem fabric tiles", m.MemTiles},
+		{"trace-mode MCs", m.TraceMCs},
+	}
+	for _, c := range counts {
+		if c.n > 0 {
+			fmt.Fprintf(out, "  %-18s %d\n", c.name, c.n)
+		}
+	}
+	fmt.Fprintf(out, "  %-18s %d (%d payload-bearing)\n", "in-flight flits", m.InFlightFlits, m.Payloads)
 }

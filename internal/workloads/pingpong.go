@@ -1,0 +1,133 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PingPongSource generates the MPI-style ping-pong microbenchmark: node 0
+// sends a 4-byte counter to node N-1, which increments and returns it,
+// for the given number of rounds; node 0 then prints the final value
+// (equal to rounds) and every core exits. Nodes other than 0 and N-1
+// exit immediately. It exercises the network-port DMA path (payload-
+// bearing user packets) end to end and runs for a duration roughly
+// linear in rounds, which makes it the checkpoint tests' workhorse.
+func PingPongSource(rounds int) string {
+	return fmt.Sprintf(`# MPI ping-pong, %d rounds.
+	.data
+buf:	.space 8
+	.text
+main:
+	li   $v0, 64
+	syscall
+	move $s0, $v0        # id
+	li   $v0, 65
+	syscall
+	addiu $s1, $v0, -1   # partner/last id
+	li   $s2, %d         # rounds
+	bnez $s0, responder
+
+	# node 0: initiate
+	li   $s3, 0          # counter
+p0_loop:
+	la   $t0, buf
+	sw   $s3, 0($t0)
+	move $a0, $s1
+	la   $a1, buf
+	li   $a2, 4
+	li   $v0, 60
+	syscall
+	move $a0, $s1
+	la   $a1, buf
+	li   $a2, 4
+	li   $v0, 63
+	syscall
+	la   $t0, buf
+	lw   $s3, 0($t0)
+	addiu $s2, $s2, -1
+	bgtz $s2, p0_loop
+	move $a0, $s3
+	li   $v0, 1
+	syscall
+	li   $v0, 10
+	syscall
+
+responder:
+	bne  $s0, $s1, idle
+r_loop:
+	li   $a0, 0
+	la   $a1, buf
+	li   $a2, 4
+	li   $v0, 63
+	syscall
+	la   $t0, buf
+	lw   $t1, 0($t0)
+	addiu $t1, $t1, 1
+	sw   $t1, 0($t0)
+	li   $a0, 0
+	la   $a1, buf
+	li   $a2, 4
+	li   $v0, 60
+	syscall
+	addiu $s2, $s2, -1
+	bgtz $s2, r_loop
+idle:
+	li   $v0, 10
+	syscall
+`, rounds, rounds)
+}
+
+// SharedPingPongSource generates the shared-memory analogue of the
+// ping-pong: core 0 and the core at node `partner` hand a round counter
+// back and forth through two flag words on distinct cache lines (0x1000
+// and 0x2000), driving the full MSI invalidate/forward protocol once per
+// hand-off. Core 0 prints the final counter (equal to rounds); any other
+// core exits immediately. All communication is through the
+// coherent-memory fabric — no network syscalls — so it is the
+// MIPS-shared-memory checkpoint scenario.
+func SharedPingPongSource(rounds, partner int) string {
+	var s strings.Builder
+	fmt.Fprintf(&s, `# Shared-memory ping-pong, %d rounds, partner node %d.
+	.text
+main:
+	li   $v0, 64
+	syscall
+	move $s0, $v0        # id
+	li   $s2, %d         # rounds
+	li   $s4, 0x1000     # ping word (core 0 writes)
+	li   $s5, 0x2000     # pong word (the partner writes)
+	li   $s3, 1          # round counter
+	bnez $s0, partner
+	beqz $s2, done0
+
+w_loop:
+	sw   $s3, 0($s4)     # publish round i
+w_spin:
+	lw   $t0, 0($s5)     # wait for the echo
+	bne  $t0, $s3, w_spin
+	addiu $s3, $s3, 1
+	ble  $s3, $s2, w_loop
+done0:
+	lw   $a0, 0($s5)
+	li   $v0, 1
+	syscall
+	li   $v0, 10
+	syscall
+
+partner:
+	li   $t1, %d
+	bne  $s0, $t1, idle
+	beqz $s2, idle
+p_loop:
+p_spin:
+	lw   $t0, 0($s4)     # wait for round i
+	bne  $t0, $s3, p_spin
+	sw   $s3, 0($s5)     # echo it
+	addiu $s3, $s3, 1
+	ble  $s3, $s2, p_loop
+idle:
+	li   $v0, 10
+	syscall
+`, rounds, partner, rounds, partner)
+	return s.String()
+}
