@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: build test test-race test-race-rest test-full test-snapshot bench bench-json serve vet
+.PHONY: build test test-race test-race-rest test-full test-snapshot bench bench-json bench-gate \
+	e2e-distributed fuzz-smoke fmt-check serve worker vet
 
 build:
 	$(GO) build ./...
@@ -44,16 +45,51 @@ test-race-rest:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
-# Perf-trajectory data point: sweep items/sec with and without
-# warmup-snapshot reuse (warmup-once/fork-many), written to
-# BENCH_PR3.json. BENCH_SCALE=-tiny shrinks it for smoke runs.
+# Perf-trajectory data point: the same job set executed on the local
+# backend and on a 2-worker fleet (distributed vs local throughput +
+# cross-backend byte-identity), written to BENCH_PR5.json.
+# BENCH_SCALE=-tiny shrinks it for smoke runs; the PR 3 warmup-reuse
+# bench is still available via `hornet-bench -warmup`.
 bench-json:
-	$(GO) run ./cmd/hornet-bench $(BENCH_SCALE) -out BENCH_PR3.json
+	$(GO) run ./cmd/hornet-bench $(BENCH_SCALE) -out BENCH_PR5.json
+
+# Bench regression gate (blocking in CI): the fleet's documents must be
+# byte-identical to the local backend's, the fleet must actually have
+# executed the jobs, and fleet throughput must stay above the committed
+# floor. The floor is deliberately conservative — it catches "the fleet
+# serialized/restarted everything" regressions, not host noise.
+BENCH_FLOOR ?= 0.35
+bench-gate:
+	$(GO) run ./cmd/hornet-bench -gate BENCH_PR5.json -floor $(BENCH_FLOOR)
+
+# Process-level distributed drill: build the real binaries, boot a
+# coordinator plus 2 workers, SIGKILL the one executing the job, and
+# require checkpoint migration (resumed_runs > 0) plus a byte-identical
+# document. Opt-in via HORNET_E2E so the hermetic suite stays fast.
+e2e-distributed:
+	HORNET_E2E=1 $(GO) test -count=1 -timeout 15m -v -run TestDistributedFleetE2E ./e2e
+
+# Fuzz smoke over the snapshot container's seed corpora (one target per
+# invocation — `go test -fuzz` accepts a single target).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeBytes$$' -fuzztime $(FUZZTIME) ./internal/snapshot
+	$(GO) test -run '^$$' -fuzz '^FuzzReaderPayload$$' -fuzztime $(FUZZTIME) ./internal/snapshot
+	$(GO) test -run '^$$' -fuzz '^FuzzVerify$$' -fuzztime $(FUZZTIME) ./internal/snapshot
+
+# Formatting gate: fails listing any file gofmt would rewrite.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Run the simulation-as-a-service daemon (see README: hornet-serve).
 # Override flags via SERVE_FLAGS, e.g. make serve SERVE_FLAGS='-addr :9090'.
 serve:
 	$(GO) run ./cmd/hornet-serve $(SERVE_FLAGS)
+
+# Join a running coordinator as a worker (distributed mode). Override
+# via WORKER_FLAGS, e.g. make worker WORKER_FLAGS='-capacity 4'.
+worker:
+	$(GO) run ./cmd/hornet-worker $(WORKER_FLAGS)
 
 vet:
 	$(GO) vet ./...

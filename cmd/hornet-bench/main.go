@@ -1,63 +1,292 @@
-// Command hornet-bench measures the warmup-once/fork-many win: it runs
-// the `conv` sweep (one warmup prefix, many measured windows) twice —
-// once re-simulating every item's warmup, once restoring all but the
-// first from the shared warmup snapshot — verifies the two documents
-// are byte-identical (the snapshot round-trip contract), and emits a
-// JSON record of items/sec for the perf trajectory (make bench-json).
+// Command hornet-bench emits the repo's perf-trajectory data points as
+// JSON, and gates CI on the determinism contract behind them.
 //
-// Usage:
+// Modes:
 //
-//	hornet-bench                      # default scale, writes BENCH_PR3.json
-//	hornet-bench -tiny -out -         # CI smoke scale, JSON on stdout only
+//	hornet-bench                      # distributed-fleet bench → BENCH_PR5.json
+//	hornet-bench -tiny                # CI smoke scale
+//	hornet-bench -warmup              # PR 3 warmup-reuse bench → BENCH_PR3.json
+//	hornet-bench -gate BENCH_PR5.json -floor 0.35
+//	                                  # regression gate: exit 1 unless
+//	                                  # docs_identical && speedup >= floor
+//
+// The distributed bench boots a real coordinator (over HTTP) twice: once
+// bare (every job executes on the in-process local backend) and once
+// with two attached hornet-workers (every job ships to the fleet). The
+// same jobs run both ways; the report records wall-clock throughput for
+// each and whether the result documents are byte-identical across
+// backends — the golden contract that makes the fleet safe to use.
+// Determinism is blocking in CI (the gate), throughput is trajectory
+// data.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
+	"hornet/internal/config"
 	"hornet/internal/experiments"
+	"hornet/internal/service"
+	"hornet/internal/service/client"
+	"hornet/internal/service/worker"
 	"hornet/internal/sweep"
 )
 
-// report is the emitted benchmark record.
+// report is the emitted benchmark record. The warmup bench (PR 3) and
+// the distributed bench (PR 5) share the envelope; unused fields stay
+// zero.
 type report struct {
-	Bench           string  `json:"bench"`
-	Scale           string  `json:"scale"`
-	Items           int     `json:"items"`
-	WarmupSimulated uint64  `json:"warmups_simulated"` // with reuse: 1
-	WarmupRestored  uint64  `json:"warmups_restored"`
-	WallColdMS      float64 `json:"wall_cold_ms"`  // every item simulates its warmup
-	WallReuseMS     float64 `json:"wall_reuse_ms"` // warmup-once/fork-many
-	ItemsPerSecCold float64 `json:"items_per_sec_cold"`
-	ItemsPerSecWarm float64 `json:"items_per_sec_reuse"`
-	Speedup         float64 `json:"speedup"`
-	DocsIdentical   bool    `json:"docs_identical"`
+	Bench string `json:"bench"`
+	Scale string `json:"scale"`
+
+	// Distributed-fleet bench (BENCH_PR5.json).
+	Jobs            int     `json:"jobs,omitempty"`
+	Workers         int     `json:"workers,omitempty"`
+	WallLocalMS     float64 `json:"wall_local_ms,omitempty"`
+	WallFleetMS     float64 `json:"wall_fleet_ms,omitempty"`
+	JobsPerSecLocal float64 `json:"jobs_per_sec_local,omitempty"`
+	JobsPerSecFleet float64 `json:"jobs_per_sec_fleet,omitempty"`
+	RemoteJobs      uint64  `json:"remote_jobs,omitempty"`
+
+	// Warmup-reuse bench (BENCH_PR3.json).
+	Items           int     `json:"items,omitempty"`
+	WarmupSimulated uint64  `json:"warmups_simulated,omitempty"`
+	WarmupRestored  uint64  `json:"warmups_restored,omitempty"`
+	WallColdMS      float64 `json:"wall_cold_ms,omitempty"`
+	WallReuseMS     float64 `json:"wall_reuse_ms,omitempty"`
+	ItemsPerSecCold float64 `json:"items_per_sec_cold,omitempty"`
+	ItemsPerSecWarm float64 `json:"items_per_sec_reuse,omitempty"`
+
+	// Shared: Speedup is fleet-vs-local (distributed) or reuse-vs-cold
+	// (warmup); DocsIdentical is the byte-identity verdict.
+	Speedup       float64 `json:"speedup"`
+	DocsIdentical bool    `json:"docs_identical"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hornet-bench: "+format+"\n", args...)
+	os.Exit(1)
 }
 
 func main() {
-	tiny := flag("tiny")
-	full := flag("full")
-	out := "BENCH_PR3.json"
-	for i, a := range os.Args[1:] {
-		if a == "-out" && i+2 < len(os.Args) {
-			out = os.Args[i+2]
-		}
-	}
+	tiny := flag.Bool("tiny", false, "smoke-test scale")
+	full := flag.Bool("full", false, "paper scale")
+	warmup := flag.Bool("warmup", false, "run the PR 3 warmup-reuse bench instead of the distributed bench")
+	out := flag.String("out", "", `output path ("-" = stdout only; default BENCH_PR5.json, or BENCH_PR3.json with -warmup)`)
+	gate := flag.String("gate", "", "gate mode: check this report file instead of benchmarking")
+	floor := flag.Float64("floor", 0.35, "minimum acceptable speedup in gate mode")
+	flag.Parse()
 
-	f, ok := experiments.FigureByName("conv")
-	if !ok {
-		fmt.Fprintln(os.Stderr, "hornet-bench: conv figure missing")
-		os.Exit(1)
+	if *gate != "" {
+		runGate(*gate, *floor)
+		return
 	}
 	scale := "default"
-	if tiny {
+	if *tiny {
 		scale = "tiny"
 	}
-	if full {
+	if *full {
 		scale = "full"
+	}
+	var r report
+	if *warmup {
+		if *out == "" {
+			*out = "BENCH_PR3.json"
+		}
+		r = warmupBench(*tiny, *full, scale)
+	} else {
+		if *out == "" {
+			*out = "BENCH_PR5.json"
+		}
+		r = distributedBench(scale)
+	}
+
+	b, _ := json.MarshalIndent(r, "", "  ")
+	b = append(b, '\n')
+	os.Stdout.Write(b)
+	if *out != "-" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if !r.DocsIdentical {
+		fatalf("documents are not byte-identical across execution paths")
+	}
+}
+
+// runGate enforces the committed regression floor on an existing report:
+// determinism is always blocking; throughput blocks only below floor
+// (set low enough that noisy CI hosts pass and real regressions do not).
+func runGate(path string, floor float64) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("gate: %v", err)
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		fatalf("gate: parsing %s: %v", path, err)
+	}
+	if !r.DocsIdentical {
+		fatalf("gate: %s: docs_identical=false — the cross-backend byte-identity contract is broken", path)
+	}
+	if r.Bench == "distributed-fleet" && r.RemoteJobs == 0 {
+		fatalf("gate: %s: remote_jobs=0 — the fleet never executed anything, the comparison is vacuous", path)
+	}
+	if r.Speedup < floor {
+		fatalf("gate: %s: speedup %.3f below floor %.3f", path, r.Speedup, floor)
+	}
+	fmt.Printf("hornet-bench: gate ok (%s: speedup %.3f >= %.3f, docs identical)\n", r.Bench, r.Speedup, floor)
+}
+
+// benchJobs builds the distributed bench's job set: independent config
+// scenarios (distinct injection rates, so no coalescing or cache
+// interference) sized by scale.
+func benchJobs(scale string) []service.SubmitRequest {
+	jobs, analyzed := 4, 20_000
+	switch scale {
+	case "tiny":
+		jobs, analyzed = 3, 2_000
+	case "full":
+		jobs, analyzed = 8, 60_000
+	}
+	reqs := make([]service.SubmitRequest, jobs)
+	for i := range reqs {
+		cfg := config.Default()
+		cfg.Topology.Width, cfg.Topology.Height = 4, 4
+		cfg.Traffic = []config.TrafficConfig{{
+			Pattern:       config.PatternTranspose,
+			InjectionRate: 0.04 + 0.01*float64(i),
+		}}
+		cfg.WarmupCycles = 400
+		cfg.AnalyzedCycles = analyzed
+		reqs[i] = service.SubmitRequest{
+			Name:   fmt.Sprintf("bench-%02d", i),
+			Config: &cfg,
+			Seed:   0x5EED0A11,
+		}
+	}
+	return reqs
+}
+
+// runAll submits every job at once and waits for all documents,
+// returning them keyed by job name plus the total wall time.
+func runAll(c *client.Client, reqs []service.SubmitRequest) (map[string][]byte, time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Minute)
+	defer cancel()
+	docs := make(map[string][]byte, len(reqs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	began := time.Now()
+	for _, req := range reqs {
+		wg.Add(1)
+		go func(req service.SubmitRequest) {
+			defer wg.Done()
+			info, err := c.SubmitAndWait(ctx, req)
+			if err != nil {
+				fatalf("submit %s: %v", req.Name, err)
+			}
+			if info.State != service.StateDone {
+				fatalf("job %s: state %s (%s)", req.Name, info.State, info.Error)
+			}
+			_, raw, err := c.Result(ctx, info.ID)
+			if err != nil {
+				fatalf("result %s: %v", req.Name, err)
+			}
+			mu.Lock()
+			docs[req.Name] = raw
+			mu.Unlock()
+		}(req)
+	}
+	wg.Wait()
+	return docs, time.Since(began)
+}
+
+func distributedBench(scale string) report {
+	reqs := benchJobs(scale)
+	maxJobs := len(reqs)
+	budget := runtime.GOMAXPROCS(0)
+
+	// Pass 1: bare coordinator — every job executes on the local backend.
+	localSrv := service.New(service.Options{MaxJobs: maxJobs, Budget: budget})
+	localHTTP := httptest.NewServer(localSrv)
+	localDocs, localWall := runAll(client.New(localHTTP.URL), reqs)
+	localHTTP.Close()
+	localSrv.Close()
+
+	// Pass 2: the same coordinator shape with two attached workers —
+	// every job ships over HTTP to the fleet.
+	fleetSrv := service.New(service.Options{MaxJobs: maxJobs, Budget: budget})
+	fleetHTTP := httptest.NewServer(fleetSrv)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	const workers = 2
+	capacity := (budget + 1) / workers
+	for i := 0; i < workers; i++ {
+		w := worker.New(worker.Options{
+			Coordinator: fleetHTTP.URL,
+			ID:          fmt.Sprintf("bench-w%d", i+1),
+			Capacity:    capacity,
+		})
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Run(ctx) }()
+	}
+	cl := client.New(fleetHTTP.URL)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := cl.Stats(context.Background())
+		if err == nil && st.Fleet.WorkersLive == workers {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatalf("workers never registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fleetDocs, fleetWall := runAll(cl, reqs)
+	st, err := cl.Stats(context.Background())
+	if err != nil {
+		fatalf("stats: %v", err)
+	}
+	cancel()
+	wg.Wait()
+	fleetHTTP.Close()
+	fleetSrv.Close()
+
+	identical := len(localDocs) == len(fleetDocs)
+	for name, doc := range localDocs {
+		if !bytes.Equal(doc, fleetDocs[name]) {
+			identical = false
+		}
+	}
+	return report{
+		Bench:           "distributed-fleet",
+		Scale:           scale,
+		Jobs:            len(reqs),
+		Workers:         workers,
+		WallLocalMS:     float64(localWall.Microseconds()) / 1000,
+		WallFleetMS:     float64(fleetWall.Microseconds()) / 1000,
+		JobsPerSecLocal: float64(len(reqs)) / localWall.Seconds(),
+		JobsPerSecFleet: float64(len(reqs)) / fleetWall.Seconds(),
+		RemoteJobs:      st.RemoteJobs,
+		Speedup:         float64(localWall) / float64(fleetWall),
+		DocsIdentical:   identical,
+	}
+}
+
+// warmupBench is the PR 3 data point: the `conv` sweep with and without
+// warmup-once/fork-many snapshot reuse.
+func warmupBench(tiny, full bool, scale string) report {
+	f, ok := experiments.FigureByName("conv")
+	if !ok {
+		fatalf("conv figure missing")
 	}
 	base := experiments.Options{Tiny: tiny, Full: full, Seed: 0x5EED0A11}
 
@@ -65,13 +294,11 @@ func main() {
 		began := time.Now()
 		_, doc, err := f.Document(o)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "hornet-bench: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		var buf bytes.Buffer
 		if err := doc.WriteJSON(&buf); err != nil {
-			fmt.Fprintf(os.Stderr, "hornet-bench: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		return buf.Bytes(), len(doc.Runs), time.Since(began)
 	}
@@ -84,7 +311,7 @@ func main() {
 	warm.Warmups = sweep.NewSnapshotCache("")
 	warmDoc, _, warmWall := docBytes(warm)
 
-	r := report{
+	return report{
 		Bench:           "warmup-snapshot-reuse",
 		Scale:           scale,
 		Items:           items,
@@ -97,28 +324,4 @@ func main() {
 		Speedup:         float64(coldWall) / float64(warmWall),
 		DocsIdentical:   bytes.Equal(coldDoc, warmDoc),
 	}
-	b, _ := json.MarshalIndent(r, "", "  ")
-	b = append(b, '\n')
-	os.Stdout.Write(b)
-	if out != "-" {
-		if err := os.WriteFile(out, b, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "hornet-bench: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	if !r.DocsIdentical {
-		fmt.Fprintln(os.Stderr, "hornet-bench: documents differ between cold and reuse runs")
-		os.Exit(1)
-	}
-}
-
-// flag reports whether a bare boolean flag is present (the command's
-// argument surface is too small for the flag package's ceremony).
-func flag(name string) bool {
-	for _, a := range os.Args[1:] {
-		if a == "-"+name || a == "--"+name {
-			return true
-		}
-	}
-	return false
 }

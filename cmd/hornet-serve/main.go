@@ -16,6 +16,10 @@
 //	                                      # autosave running jobs; a restarted
 //	                                      # daemon resumes resubmitted jobs
 //	                                      # from their last snapshot
+//	hornet-serve -worker-ttl 15s          # distributed mode: hornet-worker
+//	                                      # processes register and execute
+//	                                      # jobs; a dead worker's job migrates
+//	                                      # (via checkpoint) to a survivor
 //	hornet-serve -job-ttl 1h              # expire finished job records
 //	hornet-serve -cache-max-entries 1024 -cache-max-bytes 268435456
 //	                                      # LRU-bound the in-memory result cache
@@ -30,7 +34,10 @@
 //	GET    /api/v1/jobs/{id}/events  SSE progress stream
 //	DELETE /api/v1/jobs/{id}         cancel
 //	GET    /api/v1/figures           runnable experiments
-//	GET    /api/v1/stats             scheduler + cache counters
+//	GET    /api/v1/stats             scheduler + cache + fleet counters
+//	GET    /api/v1/workers           registered worker fleet
+//	POST   /api/v1/workers           (workers) register
+//	POST   /api/v1/workers/{id}/...  (workers) poll/heartbeat/push protocol
 //	GET    /healthz                  liveness
 package main
 
@@ -67,6 +74,8 @@ func main() {
 		"autosave running jobs and cache warmup snapshots under this directory (\"\" = no checkpointing)")
 	ckptEvery := flag.Uint64("checkpoint-every", 100_000,
 		"autosave period in simulated cycles (with -checkpoint-dir)")
+	workerTTL := flag.Duration("worker-ttl", 15*time.Second,
+		"declare a silent hornet-worker dead (and migrate its jobs) after this")
 	jobTTL := flag.Duration("job-ttl", 0,
 		"expire finished job records this long after completion (0 = keep forever)")
 	cacheMaxEntries := flag.Int("cache-max-entries", 0,
@@ -81,6 +90,7 @@ func main() {
 		CacheDir:        *cacheDir,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
+		WorkerTTL:       *workerTTL,
 		JobTTL:          *jobTTL,
 		CacheMaxEntries: *cacheMaxEntries,
 		CacheMaxBytes:   *cacheMaxBytes,

@@ -1,0 +1,72 @@
+// Command hornet-worker is a fleet member for hornet-serve's
+// distributed mode: it registers with a coordinator daemon, long-polls
+// for job assignments, executes them with the exact validation and
+// execution path the daemon uses locally, streams progress back, and
+// uploads periodic checkpoint snapshots so a job survives this process
+// dying — the coordinator migrates it, checkpoint included, to another
+// worker.
+//
+// Workers are diskless and stateless: point any number of them at a
+// coordinator and kill them freely.
+//
+// Usage:
+//
+//	hornet-worker                                  # join localhost:8080
+//	hornet-worker -coordinator http://host:8080    # join a remote daemon
+//	hornet-worker -capacity 4                      # offer 4 CPU slots
+//	hornet-worker -id worker-blue                  # stable identity
+//
+// SIGINT/SIGTERM drains gracefully: the worker deregisters and its
+// in-flight tasks requeue (with their uploaded checkpoints) onto the
+// surviving fleet. kill -9 is also safe — the coordinator notices the
+// missed heartbeats and migrates the same way.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"hornet/internal/service/worker"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "http://localhost:8080",
+		"hornet-serve base URL to register with")
+	id := flag.String("id", "", "stable worker identity (\"\" = coordinator-assigned)")
+	capacity := flag.Int("capacity", runtime.GOMAXPROCS(0),
+		"CPU slots offered to the fleet")
+	flag.Parse()
+
+	w := worker.New(worker.Options{
+		Coordinator: *coordinator,
+		ID:          *id,
+		Capacity:    *capacity,
+		Logf:        log.Printf,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := w.Run(ctx)
+	if ctx.Err() != nil {
+		// Graceful drain: deregister so assigned tasks migrate now
+		// instead of after the lease TTL.
+		stop()
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := w.Deregister(dctx); err != nil {
+			log.Printf("hornet-worker: deregister: %v", err)
+		}
+		log.Printf("hornet-worker: %s drained", w.ID())
+		return
+	}
+	if err != nil {
+		log.Fatalf("hornet-worker: %v", err)
+	}
+}

@@ -1,0 +1,198 @@
+// Package e2e holds process-level end-to-end drills that build the real
+// binaries and kill real processes. They are opt-in (HORNET_E2E=1) so
+// the normal test suite stays hermetic and fast; CI runs them as a
+// dedicated pipeline step (make e2e-distributed).
+package e2e
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hornet/internal/config"
+	"hornet/internal/service"
+	"hornet/internal/service/client"
+)
+
+// TestDistributedFleetE2E is the full distributed drill against real
+// processes: build hornet-serve and hornet-worker, boot a coordinator
+// and two workers, SIGKILL the worker that is executing a job mid-run,
+// and require that the job migrates to the survivor via its uploaded
+// checkpoints (resumed_runs > 0) and that the final document is
+// byte-identical to an uninterrupted in-process execution of the same
+// request.
+func TestDistributedFleetE2E(t *testing.T) {
+	if os.Getenv("HORNET_E2E") == "" {
+		t.Skip("set HORNET_E2E=1 to run the process-level distributed drill")
+	}
+
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin,
+		"hornet/cmd/hornet-serve", "hornet/cmd/hornet-worker")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building binaries: %v", err)
+	}
+
+	// A freshly freed port: racy in principle, fine for a dedicated CI
+	// step.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	base := "http://" + addr
+
+	start := func(name string, args ...string) *exec.Cmd {
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		})
+		return cmd
+	}
+
+	start("hornet-serve",
+		"-addr", addr, "-jobs", "1", "-budget", "1",
+		"-checkpoint-every", "500", "-worker-ttl", "2s")
+	waitHealthy(t, base)
+
+	workers := map[string]*exec.Cmd{
+		"e2e-w1": start("hornet-worker", "-coordinator", base, "-id", "e2e-w1", "-capacity", "1"),
+		"e2e-w2": start("hornet-worker", "-coordinator", base, "-id", "e2e-w2", "-capacity", "1"),
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c := client.New(base)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ws, err := c.Workers(ctx)
+		if err == nil && len(ws) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("two workers never registered (last: %v, %v)", ws, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	cfg := config.Default()
+	cfg.Topology.Width, cfg.Topology.Height = 4, 4
+	cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternTranspose, InjectionRate: 0.08}}
+	cfg.WarmupCycles = 400
+	cfg.AnalyzedCycles = 60_000
+	req := service.SubmitRequest{Name: "e2e-migrate", Config: &cfg, Seed: 17}
+
+	info, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// Wait for checkpointed progress, then SIGKILL whichever worker
+	// process holds the task.
+	deadline = time.Now().Add(2 * time.Minute)
+	for {
+		ji, err := c.Job(ctx, info.ID)
+		if err != nil {
+			t.Fatalf("job poll: %v", err)
+		}
+		if ji.Terminal() {
+			t.Fatalf("job finished before the kill; state %+v (grow analyzed_cycles)", ji)
+		}
+		if ji.Checkpoints >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint observed; job %+v", ji)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	ws, err := c.Workers(ctx)
+	if err != nil {
+		t.Fatalf("workers: %v", err)
+	}
+	victim := ""
+	for _, w := range ws {
+		if len(w.Tasks) > 0 {
+			victim = w.ID
+		}
+	}
+	if victim == "" {
+		t.Fatal("no worker holds the task despite checkpoint progress")
+	}
+	t.Logf("SIGKILLing %s mid-job", victim)
+	if err := workers[victim].Process.Kill(); err != nil {
+		t.Fatalf("kill %s: %v", victim, err)
+	}
+	workers[victim].Wait()
+
+	final, err := c.Wait(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.State != service.StateDone {
+		t.Fatalf("migrated job state = %s (%s)", final.State, final.Error)
+	}
+	if final.ResumedRuns < 1 {
+		t.Errorf("resumed_runs = %d, want >= 1 (the survivor should have resumed from the uploaded checkpoint)",
+			final.ResumedRuns)
+	}
+	_, migrated, err := c.Result(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("result: %v", err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Fleet.TasksRequeued < 1 || st.Fleet.WorkersLost < 1 {
+		t.Errorf("fleet stats show no migration: %+v", st.Fleet)
+	}
+
+	// The golden contract across process boundaries: an uninterrupted
+	// in-process execution of the same request must produce the exact
+	// bytes the twice-executed, once-killed fleet run served.
+	ref, err := service.Execute(ctx, req, service.ExecOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("reference execute: %v", err)
+	}
+	if !bytes.Equal(migrated, ref.Doc) {
+		t.Errorf("migrated document differs from uninterrupted in-process run:\nmigrated: %s\nref:      %s",
+			migrated, ref.Doc)
+	}
+	fmt.Printf("e2e: migrated after killing %s; resumed_runs=%d, requeued=%d, doc bytes identical\n",
+		victim, final.ResumedRuns, st.Fleet.TasksRequeued)
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never became healthy at %s (last err: %v)", base, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,44 @@
+// Package fsatomic is the repo's one implementation of the
+// write-atomically idiom: temp file in the target directory, write,
+// close, rename. A killed process never leaves a partial file under
+// the final name. Result caches, warmup snapshots, checkpoint blobs
+// and the snapshot container all persist through it.
+package fsatomic
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write creates path atomically, streaming the content through fill.
+// The target directory is created as needed; on any error the temp
+// file is removed and the previous file at path (if any) is untouched.
+func Write(path string, fill func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+"-*.tmp")
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
+
+// WriteFile is Write for in-memory content.
+func WriteFile(path string, b []byte) error {
+	return Write(path, func(w io.Writer) error {
+		_, err := w.Write(b)
+		return err
+	})
+}

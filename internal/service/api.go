@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"hornet/internal/config"
+	"hornet/internal/service/backend"
 )
 
 // Job kinds.
@@ -145,8 +146,12 @@ type JobInfo struct {
 	// was already in flight (single-flight): it never simulated, and its
 	// result bytes are the leader's.
 	Coalesced bool `json:"coalesced,omitempty"`
-	RunsDone  int  `json:"runs_done"`
-	RunsTotal int  `json:"runs_total"`
+	// Backend is the execution backend that ran (or is running) the job:
+	// "local" (in-process) or "fleet" (a remote worker). Empty for jobs
+	// that never executed (cache hits, coalesced followers).
+	Backend   string `json:"backend,omitempty"`
+	RunsDone  int    `json:"runs_done"`
+	RunsTotal int    `json:"runs_total"`
 	// ResumedRuns counts runs restored from a checkpoint snapshot
 	// instead of starting at cycle 0; Checkpoints counts autosave
 	// snapshots this job wrote (checkpointing daemons only).
@@ -224,6 +229,14 @@ type ServerStats struct {
 	CheckpointsWritten  uint64 `json:"checkpoints_written"`
 	CheckpointWriteErrs uint64 `json:"checkpoint_write_errs"`
 	RunsResumed         uint64 `json:"runs_resumed"`
+	// RemoteJobs counts jobs completed on the worker fleet; FallbackJobs
+	// counts jobs the fleet handed back (no surviving workers) that the
+	// local backend then ran.
+	RemoteJobs   uint64 `json:"remote_jobs"`
+	FallbackJobs uint64 `json:"fallback_jobs"`
+	// Fleet is the worker-fleet registry view (workers, capacity,
+	// dispatch/migration counters).
+	Fleet backend.FleetStats `json:"fleet"`
 }
 
 // RunStats is the deterministic result record of one config/batch

@@ -1,0 +1,209 @@
+// Package backend defines hornet-serve's pluggable execution layer: a
+// scheduler hands each job to a Backend, which runs the scenario and
+// returns the canonical result document. Two implementations exist —
+// the in-process sweep backend (in package service, wrapping the
+// scheduler's shared execution environment) and the Fleet remote
+// backend (fleet.go), which ships validated job configs to registered
+// hornet-worker processes, streams their progress back, and migrates a
+// dead worker's job to a survivor via its uploaded checkpoints.
+//
+// The package deliberately knows nothing about the service package's
+// scenario compilation: a Task carries the client's original request
+// bytes (the worker revalidates them itself) plus the job's compiled
+// identity, so backend and service can be layered without an import
+// cycle.
+package backend
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"time"
+)
+
+// Task is one unit of executable work: the job's compiled identity plus
+// the original submit-request bytes a remote worker needs to rebuild
+// and revalidate the scenario.
+type Task struct {
+	// ID is assigned by the fleet at dispatch time; empty for tasks that
+	// never leave the coordinator.
+	ID string
+	// Name/Hash/Seed are the job's content address (document identity).
+	Name string
+	Hash string
+	Seed uint64
+	// Kind is the scenario kind (config/batch/mips/figure).
+	Kind string
+	// Weight is the engine-worker (CPU slot) request of the job's runs;
+	// the executing backend clamps it to what it can grant.
+	Weight int
+	// RunsTotal sizes progress reporting.
+	RunsTotal int
+	// Request is the client's original SubmitRequest JSON. Remote
+	// workers re-run full validation on it — a coordinator must never be
+	// able to make a worker execute an unvalidated configuration.
+	Request json.RawMessage
+	// Checkpoints carries the latest uploaded snapshot blob per run key.
+	// The fleet fills it when re-dispatching a task whose worker died,
+	// so the next executor resumes instead of restarting.
+	Checkpoints map[string]Blob
+	// Compiled is the coordinator's pre-validated scenario, consumed by
+	// the in-process backend to skip re-parsing. Opaque at this layer.
+	Compiled any
+}
+
+// Blob is one checkpoint snapshot in transit: the encoded container
+// plus the simulation clock it was taken at (observability).
+type Blob struct {
+	Cycle uint64 `json:"cycle"`
+	Data  []byte `json:"data"`
+}
+
+// Sink receives execution progress from whichever backend runs the
+// task. Implementations must be safe for concurrent calls.
+type Sink interface {
+	// Progress reports done-of-total completed runs.
+	Progress(done, total int, key string)
+	// Resumed reports that a run restored a checkpoint at cycle instead
+	// of starting from 0.
+	Resumed(key string, cycle uint64)
+	// Checkpoint reports one autosaved snapshot at cycle.
+	Checkpoint(key string, cycle uint64)
+}
+
+// Backend executes tasks.
+type Backend interface {
+	// Name labels the backend in job records and logs ("local", "fleet").
+	Name() string
+	// Execute runs the task to completion and returns the canonical
+	// document bytes plus the number of per-run errors recorded inside
+	// the document. The context cancels the execution.
+	Execute(ctx context.Context, t *Task, sink Sink) (doc []byte, runErrs int, err error)
+}
+
+// ErrNoWorkers reports that the fleet cannot take the task — no live
+// worker is registered (or none survived while the task waited). The
+// scheduler treats it as "fall back to the local backend".
+var ErrNoWorkers = errors.New("backend: no live workers in the fleet")
+
+// ErrUnknownWorker reports a fleet call from a worker ID the registry
+// does not know — typically a worker that outlived its lease and was
+// expired. The worker's recovery is to re-register.
+var ErrUnknownWorker = errors.New("backend: unknown worker")
+
+// ErrGone reports a push for a task no longer assigned to the pushing
+// worker (cancelled, migrated, or completed elsewhere). The worker's
+// response is to abandon the run.
+var ErrGone = errors.New("backend: task no longer assigned to this worker")
+
+// Wire types of the coordinator←worker HTTP protocol. Both ends are Go,
+// so time.Durations travel as int64 nanoseconds and blobs as base64.
+
+// RegisterRequest is the body of POST /api/v1/workers.
+type RegisterRequest struct {
+	// ID is the worker's stable identity; empty lets the coordinator
+	// mint one. Re-registering an ID the fleet already knows replaces
+	// the old incarnation (its tasks requeue).
+	ID string `json:"id,omitempty"`
+	// Capacity is the number of CPU slots the worker offers; it bounds
+	// the engine workers of any task assigned to it.
+	Capacity int `json:"capacity"`
+}
+
+// RegisterResponse tells the worker its identity and cadences.
+type RegisterResponse struct {
+	ID string `json:"id"`
+	// LeaseTTL is how long the coordinator keeps a silent worker alive;
+	// the worker must heartbeat (or poll, or push) more often than this.
+	LeaseTTL time.Duration `json:"lease_ttl"`
+	// HeartbeatEvery is the suggested heartbeat period (TTL/3).
+	HeartbeatEvery time.Duration `json:"heartbeat_every"`
+	// CheckpointEvery is the autosave cadence (simulated cycles) every
+	// worker must use, so migrated runs re-align chunk boundaries.
+	CheckpointEvery uint64 `json:"checkpoint_every"`
+}
+
+// Assignment is one dispatched task (POST .../poll response).
+type Assignment struct {
+	TaskID string `json:"task_id"`
+	Name   string `json:"name"`
+	Hash   string `json:"hash"`
+	Kind   string `json:"kind"`
+	Seed   uint64 `json:"seed"`
+	// Workers is the CPU-slot grant for this execution (the task weight
+	// clamped to the worker's capacity).
+	Workers int `json:"workers"`
+	// CheckpointEvery is the autosave cadence in simulated cycles.
+	CheckpointEvery uint64 `json:"checkpoint_every"`
+	// Request is the original SubmitRequest JSON to revalidate and run.
+	Request json.RawMessage `json:"request"`
+	// Checkpoints seeds the worker's checkpoint store for resume after a
+	// migration (run key → latest blob).
+	Checkpoints map[string]Blob `json:"checkpoints,omitempty"`
+}
+
+// TaskEvent is one progress push (POST .../tasks/{id}/events).
+type TaskEvent struct {
+	// Type is "progress", "resumed" or "checkpoint".
+	Type  string `json:"type"`
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+	Key   string `json:"key,omitempty"`
+	Cycle uint64 `json:"cycle,omitempty"`
+}
+
+// ResultPush is the terminal push (POST .../tasks/{id}/result).
+type ResultPush struct {
+	// Doc is the canonical document bytes of a successful execution.
+	Doc []byte `json:"doc,omitempty"`
+	// RunErrs is the number of per-run errors recorded in the document.
+	RunErrs int `json:"run_errs,omitempty"`
+	// Error is a non-empty diagnostic when the execution failed.
+	Error string `json:"error,omitempty"`
+	// Canceled acknowledges a coordinator-initiated cancellation.
+	Canceled bool `json:"canceled,omitempty"`
+}
+
+// HeartbeatResponse piggybacks coordinator→worker control on the
+// heartbeat: tasks the worker should stop executing.
+type HeartbeatResponse struct {
+	CancelTasks []string `json:"cancel_tasks,omitempty"`
+}
+
+// WorkerInfo is the ops view of one registered worker
+// (GET /api/v1/workers).
+type WorkerInfo struct {
+	ID       string    `json:"id"`
+	Capacity int       `json:"capacity"`
+	Free     int       `json:"free"`
+	Tasks    []string  `json:"tasks,omitempty"`
+	LastSeen time.Time `json:"last_seen"`
+}
+
+// FleetStats is the fleet's observability snapshot, embedded in
+// ServerStats.
+type FleetStats struct {
+	// WorkersLive / FleetCapacity describe the current fleet;
+	// FleetInUse/FleetPeak are the aggregate budget's lease accounting —
+	// peak never exceeding the capacity at the time is the proof the
+	// coordinator never oversubscribed the fleet.
+	WorkersLive   int    `json:"workers_live"`
+	WorkersJoined uint64 `json:"workers_joined"`
+	WorkersLost   uint64 `json:"workers_lost"`
+	FleetCapacity int    `json:"fleet_capacity"`
+	FleetInUse    int    `json:"fleet_in_use"`
+	FleetPeak     int    `json:"fleet_peak"`
+	// TasksDispatched counts assignments (including re-dispatches);
+	// TasksRequeued counts migrations back to the queue after a worker
+	// died or deregistered mid-task.
+	TasksQueued     int    `json:"tasks_queued"`
+	TasksDispatched uint64 `json:"tasks_dispatched"`
+	TasksRequeued   uint64 `json:"tasks_requeued"`
+	TasksCompleted  uint64 `json:"tasks_completed"`
+	// CheckpointBlobs is the number of migration snapshots currently
+	// held for in-flight tasks; LeaseMisses counts aggregate-budget
+	// leases that were not free at assignment time (always 0 unless a
+	// shrink raced an assignment).
+	CheckpointBlobs int    `json:"checkpoint_blobs"`
+	LeaseMisses     uint64 `json:"lease_misses"`
+}

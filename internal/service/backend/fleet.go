@@ -1,0 +1,640 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hornet/internal/sweep"
+)
+
+// BlobStore is the optional persistence hook for uploaded checkpoint
+// blobs: when the coordinator has a checkpoint directory, migration
+// snapshots also land there (under the same content address the local
+// backend reads), so a job survives both a worker death *and* a
+// coordinator restart, and a local-fallback execution resumes from the
+// fleet's last uploaded state. service.CheckpointStore satisfies it.
+type BlobStore interface {
+	Save(key string, blob []byte, cycle uint64) error
+	Remove(key string)
+}
+
+// FleetOptions configures a Fleet.
+type FleetOptions struct {
+	// LeaseTTL is how long a silent worker stays in the fleet; 0 means
+	// 15s. Workers heartbeat at TTL/3.
+	LeaseTTL time.Duration
+	// CheckpointEvery is the autosave cadence (simulated cycles) pushed
+	// to every worker; 0 means 100000.
+	CheckpointEvery uint64
+	// Persist, if non-nil, additionally stores uploaded checkpoint blobs
+	// under their content key.
+	Persist BlobStore
+}
+
+// Fleet is the remote execution backend: a registry of hornet-worker
+// processes, a FIFO queue of dispatched tasks, and the migration
+// machinery that moves a dead worker's task (with its uploaded
+// checkpoints) to a survivor. It implements Backend; the scheduler
+// calls Execute, the HTTP layer calls the worker-protocol methods.
+type Fleet struct {
+	opts FleetOptions
+	// agg is the fleet-wide CPU budget: capacity tracks the sum of live
+	// workers' capacities (Resize on join/leave), and every assignment
+	// holds a lease for its slot grant, so Peak proves the coordinator
+	// never oversubscribed the fleet.
+	agg *sweep.Budget
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	queue   []*pending // unassigned tasks, FIFO; migrated tasks go first
+	seq     int
+	nextID  int
+	notify  chan struct{} // replaced+closed whenever work may be available
+	closed  bool
+
+	workersJoined   uint64
+	workersLost     uint64
+	tasksDispatched uint64
+	tasksRequeued   uint64
+	tasksCompleted  uint64
+	leaseMisses     uint64
+
+	closeOnce   sync.Once
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+}
+
+type workerState struct {
+	id       string
+	capacity int
+	free     int
+	lastSeen time.Time
+	tasks    map[string]*pending
+}
+
+// pending is one task in flight through the fleet.
+type pending struct {
+	task *Task
+	sink Sink
+
+	worker    string // assigned worker ID; "" while queued
+	grant     int    // slots granted on the assigned worker
+	lease     *sweep.Lease
+	cancelled bool
+
+	done    chan struct{} // closed on terminal transition
+	doc     []byte
+	runErrs int
+	err     error
+}
+
+// NewFleet builds an empty fleet and starts its lease janitor.
+func NewFleet(opts FleetOptions) *Fleet {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 15 * time.Second
+	}
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = 100_000
+	}
+	f := &Fleet{
+		opts:        opts,
+		agg:         sweep.NewBudget(1), // resized to 0 below; NewBudget clamps
+		workers:     map[string]*workerState{},
+		notify:      make(chan struct{}),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	f.agg.Resize(0)
+	go f.janitor()
+	return f
+}
+
+// Close fails every in-flight task and stops the janitor. Idempotent:
+// shutdown paths race (signal handler vs deferred cleanup), and a
+// second Close must be a no-op, not a panic.
+func (f *Fleet) Close() {
+	f.closeOnce.Do(func() { close(f.janitorStop) })
+	<-f.janitorDone
+	f.mu.Lock()
+	f.closed = true
+	var terminal []*pending
+	for _, p := range f.queue {
+		terminal = append(terminal, p)
+	}
+	f.queue = nil
+	for _, w := range f.workers {
+		for _, p := range w.tasks {
+			terminal = append(terminal, p)
+		}
+		w.tasks = map[string]*pending{}
+	}
+	for _, p := range terminal {
+		f.finishLocked(p, nil, 0, ErrNoWorkers)
+	}
+	// Drop the registry too: workers attached to a closed fleet must get
+	// worker_unknown from polls/heartbeats (and then shutting_down from
+	// re-registration) rather than parking in successful empty polls
+	// against a dead coordinator forever.
+	f.workers = map[string]*workerState{}
+	f.agg.Resize(0)
+	f.wakeLocked()
+	f.mu.Unlock()
+}
+
+// Name implements Backend.
+func (f *Fleet) Name() string { return "fleet" }
+
+// Live reports the number of registered (non-expired) workers.
+func (f *Fleet) Live() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.workers)
+}
+
+// Execute implements Backend: queue the task, wait for a worker to run
+// it (surviving migrations), and return the pushed result. It fails
+// fast with ErrNoWorkers when the fleet is empty — the scheduler then
+// runs the task on the local backend instead.
+func (f *Fleet) Execute(ctx context.Context, t *Task, sink Sink) ([]byte, int, error) {
+	f.mu.Lock()
+	if f.closed || len(f.workers) == 0 {
+		f.mu.Unlock()
+		return nil, 0, ErrNoWorkers
+	}
+	f.seq++
+	t.ID = fmt.Sprintf("task-%06d", f.seq)
+	if t.Checkpoints == nil {
+		t.Checkpoints = map[string]Blob{}
+	}
+	p := &pending{task: t, sink: sink, done: make(chan struct{})}
+	f.queue = append(f.queue, p)
+	f.wakeLocked()
+	f.mu.Unlock()
+
+	select {
+	case <-p.done:
+	case <-ctx.Done():
+		f.abort(p)
+		<-p.done
+	}
+	if p.err == nil && ctx.Err() != nil {
+		return nil, 0, ctx.Err()
+	}
+	return p.doc, p.runErrs, p.err
+}
+
+// abort cancels an in-flight task: a queued task terminates right away;
+// an assigned one is marked cancelled and the executing worker learns
+// via its next heartbeat (or push) and acknowledges with a cancelled
+// result push, which releases the assignment.
+func (f *Fleet) abort(p *pending) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p.cancelled = true
+	for i, q := range f.queue {
+		if q == p {
+			f.queue = append(f.queue[:i], f.queue[i+1:]...)
+			f.finishLocked(p, nil, 0, context.Canceled)
+			return
+		}
+	}
+	// Assigned (or already terminal): the result push path resolves it.
+}
+
+// finishLocked moves a pending to its terminal state exactly once.
+func (f *Fleet) finishLocked(p *pending, doc []byte, runErrs int, err error) {
+	select {
+	case <-p.done:
+		return
+	default:
+	}
+	p.doc, p.runErrs, p.err = doc, runErrs, err
+	p.lease.Release()
+	if err == nil {
+		f.tasksCompleted++
+	}
+	if f.opts.Persist != nil {
+		// The run completed or failed terminally; its migration blobs
+		// are superseded by the result (or useless without a retry).
+		// Keep them on failure so a resubmission can still resume.
+		if err == nil {
+			for key := range p.task.Checkpoints {
+				f.opts.Persist.Remove(key)
+			}
+		}
+	}
+	close(p.done)
+}
+
+// Register adds (or replaces) a worker. A re-registered ID is treated
+// as a fresh incarnation: the old one's tasks requeue with their
+// checkpoints.
+func (f *Fleet) Register(req RegisterRequest) (RegisterResponse, error) {
+	if req.Capacity < 1 {
+		return RegisterResponse{}, errors.New("backend: worker capacity must be >= 1")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return RegisterResponse{}, ErrNoWorkers
+	}
+	id := req.ID
+	if id == "" {
+		f.nextID++
+		id = fmt.Sprintf("worker-%03d", f.nextID)
+	}
+	if old, ok := f.workers[id]; ok {
+		f.evictLocked(old)
+	}
+	f.workers[id] = &workerState{
+		id:       id,
+		capacity: req.Capacity,
+		free:     req.Capacity,
+		lastSeen: time.Now(),
+		tasks:    map[string]*pending{},
+	}
+	f.workersJoined++
+	f.resizeLocked()
+	f.wakeLocked()
+	return RegisterResponse{
+		ID:              id,
+		LeaseTTL:        f.opts.LeaseTTL,
+		HeartbeatEvery:  f.opts.LeaseTTL / 3,
+		CheckpointEvery: f.opts.CheckpointEvery,
+	}, nil
+}
+
+// Deregister removes a worker gracefully; its tasks requeue with their
+// checkpoints and migrate to the survivors.
+func (f *Fleet) Deregister(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[id]
+	if !ok {
+		return ErrUnknownWorker
+	}
+	f.evictLocked(w)
+	f.resizeLocked()
+	f.failQueuedIfEmptyLocked()
+	return nil
+}
+
+// evictLocked removes a worker and requeues its assigned tasks at the
+// front of the queue (migrated work resumes before new work starts).
+func (f *Fleet) evictLocked(w *workerState) {
+	delete(f.workers, w.id)
+	var requeue []*pending
+	for _, p := range w.tasks {
+		p.lease.Release()
+		p.lease = nil
+		p.worker, p.grant = "", 0
+		if p.cancelled {
+			f.finishLocked(p, nil, 0, context.Canceled)
+			continue
+		}
+		requeue = append(requeue, p)
+		f.tasksRequeued++
+	}
+	w.tasks = map[string]*pending{}
+	if len(requeue) > 0 {
+		f.queue = append(requeue, f.queue...)
+		f.wakeLocked()
+	}
+}
+
+// resizeLocked re-derives the aggregate budget capacity from the live
+// workers.
+func (f *Fleet) resizeLocked() {
+	total := 0
+	for _, w := range f.workers {
+		total += w.capacity
+	}
+	f.agg.Resize(total)
+}
+
+// failQueuedIfEmptyLocked fails every queued task with ErrNoWorkers
+// once the fleet has no one left to run them; the scheduler falls back
+// to the local backend (resuming from persisted blobs when the daemon
+// checkpoints).
+func (f *Fleet) failQueuedIfEmptyLocked() {
+	if len(f.workers) > 0 {
+		return
+	}
+	for _, p := range f.queue {
+		f.finishLocked(p, nil, 0, ErrNoWorkers)
+	}
+	f.queue = nil
+}
+
+// Heartbeat refreshes a worker's lease and returns the IDs of its
+// assigned tasks the coordinator wants cancelled.
+func (f *Fleet) Heartbeat(id string) (HeartbeatResponse, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[id]
+	if !ok {
+		return HeartbeatResponse{}, ErrUnknownWorker
+	}
+	w.lastSeen = time.Now()
+	var resp HeartbeatResponse
+	for tid, p := range w.tasks {
+		if p.cancelled {
+			resp.CancelTasks = append(resp.CancelTasks, tid)
+		}
+	}
+	return resp, nil
+}
+
+// Poll hands the worker its next assignment, long-polling up to wait.
+// A nil assignment with nil error means "nothing to do, poll again".
+// Poll doubles as a heartbeat.
+func (f *Fleet) Poll(ctx context.Context, id string, wait time.Duration) (*Assignment, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		f.mu.Lock()
+		w, ok := f.workers[id]
+		if !ok {
+			f.mu.Unlock()
+			return nil, ErrUnknownWorker
+		}
+		w.lastSeen = time.Now()
+		if a := f.assignLocked(w); a != nil {
+			f.mu.Unlock()
+			return a, nil
+		}
+		ch := f.notify
+		f.mu.Unlock()
+
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, nil
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return nil, nil
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// assignLocked dispatches the first queued task that fits the worker's
+// free slots.
+func (f *Fleet) assignLocked(w *workerState) *Assignment {
+	for i, p := range f.queue {
+		weight := p.task.Weight
+		if weight < 1 {
+			weight = 1
+		}
+		if weight > w.capacity {
+			weight = w.capacity
+		}
+		if weight > w.free {
+			continue
+		}
+		f.queue = append(f.queue[:i], f.queue[i+1:]...)
+		w.free -= weight
+		w.tasks[p.task.ID] = p
+		p.worker, p.grant = w.id, weight
+		if p.lease = f.agg.TryLease(weight); p.lease == nil {
+			f.leaseMisses++ // shrink raced the assignment; placement still bounds usage
+		}
+		f.tasksDispatched++
+		ckpts := make(map[string]Blob, len(p.task.Checkpoints))
+		for k, b := range p.task.Checkpoints {
+			ckpts[k] = b
+		}
+		return &Assignment{
+			TaskID:          p.task.ID,
+			Name:            p.task.Name,
+			Hash:            p.task.Hash,
+			Kind:            p.task.Kind,
+			Seed:            p.task.Seed,
+			Workers:         weight,
+			CheckpointEvery: f.opts.CheckpointEvery,
+			Request:         p.task.Request,
+			Checkpoints:     ckpts,
+		}
+	}
+	return nil
+}
+
+// taskFor resolves a worker push to its pending record, refreshing the
+// worker's lease.
+func (f *Fleet) taskFor(workerID, taskID string) (*pending, error) {
+	w, ok := f.workers[workerID]
+	if !ok {
+		return nil, ErrUnknownWorker
+	}
+	w.lastSeen = time.Now()
+	p, ok := w.tasks[taskID]
+	if !ok {
+		return nil, ErrGone
+	}
+	if p.cancelled {
+		return nil, ErrGone
+	}
+	return p, nil
+}
+
+// PushEvent maps a worker's progress event onto the job's sink.
+func (f *Fleet) PushEvent(workerID, taskID string, ev TaskEvent) error {
+	f.mu.Lock()
+	p, err := f.taskFor(workerID, taskID)
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Sink calls happen outside the fleet lock: they take the job lock
+	// and fan out to SSE subscribers.
+	switch ev.Type {
+	case "progress":
+		p.sink.Progress(ev.Done, ev.Total, ev.Key)
+	case "resumed":
+		p.sink.Resumed(ev.Key, ev.Cycle)
+	case "checkpoint":
+		p.sink.Checkpoint(ev.Key, ev.Cycle)
+	default:
+		return fmt.Errorf("backend: unknown event type %q", ev.Type)
+	}
+	return nil
+}
+
+// PushCheckpoint stores an uploaded snapshot blob as the task's latest
+// migration state. key is the content-based store address
+// ("<name>-<hash>-<runkey>") the worker's checkpoint store saves under —
+// the same address a re-dispatched worker (or the local fallback) loads
+// from. The corresponding job-visible "checkpoint" notification arrives
+// separately through PushEvent.
+func (f *Fleet) PushCheckpoint(workerID, taskID, key string, cycle uint64, blob []byte) error {
+	f.mu.Lock()
+	p, err := f.taskFor(workerID, taskID)
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	// Checkpoints only move forward: a lagging upload (a stale worker
+	// incarnation losing a race with the task's current executor) must
+	// not replace a later snapshot — migration always resumes from the
+	// furthest state.
+	if old, ok := p.task.Checkpoints[key]; ok && cycle < old.Cycle {
+		f.mu.Unlock()
+		return nil
+	}
+	p.task.Checkpoints[key] = Blob{Cycle: cycle, Data: blob}
+	persist := f.opts.Persist
+	f.mu.Unlock()
+	if persist != nil {
+		_ = persist.Save(key, blob, cycle) // best effort; the in-memory blob is authoritative
+	}
+	return nil
+}
+
+// DropCheckpoint discards the migration blob for a completed run —
+// from the in-memory task state and from the persistent tier, or a
+// long-lived checkpointing coordinator would accrete one stale blob
+// per completed remote run.
+func (f *Fleet) DropCheckpoint(workerID, taskID, key string) error {
+	f.mu.Lock()
+	p, err := f.taskFor(workerID, taskID)
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	delete(p.task.Checkpoints, key)
+	persist := f.opts.Persist
+	f.mu.Unlock()
+	if persist != nil {
+		persist.Remove(key)
+	}
+	return nil
+}
+
+// PushResult completes the task: the worker's document (or failure)
+// becomes the Execute return value, and the worker's slots free up.
+func (f *Fleet) PushResult(workerID, taskID string, res ResultPush) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w, ok := f.workers[workerID]
+	if !ok {
+		return ErrUnknownWorker
+	}
+	w.lastSeen = time.Now()
+	p, ok := w.tasks[taskID]
+	if !ok {
+		return ErrGone
+	}
+	delete(w.tasks, taskID)
+	w.free += p.grant
+	p.worker, p.grant = "", 0
+	switch {
+	case res.Canceled || p.cancelled:
+		f.finishLocked(p, nil, 0, context.Canceled)
+	case res.Error != "":
+		f.finishLocked(p, nil, 0, errors.New(res.Error))
+	default:
+		f.finishLocked(p, res.Doc, res.RunErrs, nil)
+	}
+	f.wakeLocked()
+	return nil
+}
+
+// janitor expires workers whose lease lapsed: their tasks requeue (and
+// migrate), and an emptied fleet fails its queue over to the local
+// backend.
+func (f *Fleet) janitor() {
+	defer close(f.janitorDone)
+	period := f.opts.LeaseTTL / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			f.expire(time.Now().Add(-f.opts.LeaseTTL))
+		case <-f.janitorStop:
+			return
+		}
+	}
+}
+
+// expire evicts workers silent since before cutoff.
+func (f *Fleet) expire(cutoff time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, w := range f.workers {
+		if w.lastSeen.Before(cutoff) {
+			f.evictLocked(w)
+			f.workersLost++
+		}
+	}
+	f.resizeLocked()
+	f.failQueuedIfEmptyLocked()
+}
+
+// wakeLocked wakes every parked Poll.
+func (f *Fleet) wakeLocked() {
+	close(f.notify)
+	f.notify = make(chan struct{})
+}
+
+// Workers lists the registered workers for the ops endpoint.
+func (f *Fleet) WorkersInfo() []WorkerInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(f.workers))
+	for _, w := range f.workers {
+		info := WorkerInfo{
+			ID:       w.id,
+			Capacity: w.capacity,
+			Free:     w.free,
+			LastSeen: w.lastSeen,
+		}
+		for tid := range w.tasks {
+			info.Tasks = append(info.Tasks, tid)
+		}
+		sort.Strings(info.Tasks)
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats snapshots the fleet counters.
+func (f *Fleet) Stats() FleetStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	blobs := 0
+	for _, p := range f.queue {
+		blobs += len(p.task.Checkpoints)
+	}
+	for _, w := range f.workers {
+		for _, p := range w.tasks {
+			blobs += len(p.task.Checkpoints)
+		}
+	}
+	return FleetStats{
+		WorkersLive:     len(f.workers),
+		WorkersJoined:   f.workersJoined,
+		WorkersLost:     f.workersLost,
+		FleetCapacity:   f.agg.Cap(),
+		FleetInUse:      f.agg.InUse(),
+		FleetPeak:       f.agg.Peak(),
+		TasksQueued:     len(f.queue),
+		TasksDispatched: f.tasksDispatched,
+		TasksRequeued:   f.tasksRequeued,
+		TasksCompleted:  f.tasksCompleted,
+		CheckpointBlobs: blobs,
+		LeaseMisses:     f.leaseMisses,
+	}
+}

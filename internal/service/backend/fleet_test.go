@@ -1,0 +1,353 @@
+package backend
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordSink captures sink callbacks.
+type recordSink struct {
+	mu       sync.Mutex
+	resumed  int
+	progress int
+}
+
+func (r *recordSink) Progress(done, total int, key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.progress++
+}
+func (r *recordSink) Resumed(key string, cycle uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resumed++
+}
+func (r *recordSink) Checkpoint(key string, cycle uint64) {}
+
+func newTestFleet(t *testing.T) *Fleet {
+	t.Helper()
+	f := NewFleet(FleetOptions{LeaseTTL: time.Minute})
+	t.Cleanup(f.Close)
+	return f
+}
+
+func task(name string, weight int) *Task {
+	return &Task{Name: name, Hash: "feedface", Kind: "config", Weight: weight,
+		Request: json.RawMessage(`{}`), RunsTotal: 1}
+}
+
+func TestFleetRegisterValidation(t *testing.T) {
+	f := newTestFleet(t)
+	if _, err := f.Register(RegisterRequest{Capacity: 0}); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	resp, err := f.Register(RegisterRequest{Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID == "" || resp.LeaseTTL != time.Minute || resp.HeartbeatEvery != time.Minute/3 {
+		t.Fatalf("register response %+v", resp)
+	}
+	if f.Live() != 1 {
+		t.Fatalf("Live = %d", f.Live())
+	}
+	st := f.Stats()
+	if st.FleetCapacity != 2 || st.WorkersJoined != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := f.Deregister(resp.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().FleetCapacity; got != 0 {
+		t.Fatalf("capacity after deregister = %d", got)
+	}
+	if err := f.Deregister("nobody"); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("deregister unknown: %v", err)
+	}
+}
+
+func TestFleetExecuteNoWorkers(t *testing.T) {
+	f := newTestFleet(t)
+	_, _, err := f.Execute(context.Background(), task("t", 1), &recordSink{})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+func TestFleetDispatchAndResult(t *testing.T) {
+	f := newTestFleet(t)
+	w, _ := f.Register(RegisterRequest{ID: "w1", Capacity: 2})
+
+	type out struct {
+		doc []byte
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		doc, _, err := f.Execute(context.Background(), task("job", 5), &recordSink{})
+		done <- out{doc, err}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	a, err := f.Poll(ctx, w.ID, 5*time.Second)
+	if err != nil || a == nil {
+		t.Fatalf("poll: %v, %v", a, err)
+	}
+	if a.Workers != 2 {
+		t.Fatalf("weight 5 on capacity-2 worker granted %d slots, want clamp to 2", a.Workers)
+	}
+	if st := f.Stats(); st.FleetInUse != 2 || st.FleetPeak != 2 {
+		t.Fatalf("lease accounting %+v", st)
+	}
+	if err := f.PushResult(w.ID, a.TaskID, ResultPush{Doc: []byte("doc"), RunErrs: 0}); err != nil {
+		t.Fatal(err)
+	}
+	res := <-done
+	if res.err != nil || string(res.doc) != "doc" {
+		t.Fatalf("execute returned %q, %v", res.doc, res.err)
+	}
+	st := f.Stats()
+	if st.FleetInUse != 0 || st.TasksCompleted != 1 || st.TasksDispatched != 1 {
+		t.Fatalf("post-completion stats %+v", st)
+	}
+	// A second result push for the same task is a stale duplicate.
+	if err := f.PushResult(w.ID, a.TaskID, ResultPush{Doc: []byte("dup")}); !errors.Is(err, ErrGone) {
+		t.Fatalf("duplicate result push: %v", err)
+	}
+}
+
+func TestFleetExpiryRequeuesWithCheckpoints(t *testing.T) {
+	f := newTestFleet(t)
+	w1, _ := f.Register(RegisterRequest{ID: "w1", Capacity: 1})
+
+	sink := &recordSink{}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := f.Execute(context.Background(), task("job", 1), sink)
+		done <- err
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	a, err := f.Poll(ctx, w1.ID, 5*time.Second)
+	if err != nil || a == nil {
+		t.Fatalf("poll: %v, %v", a, err)
+	}
+	if len(a.Checkpoints) != 0 {
+		t.Fatalf("first dispatch carries %d checkpoints", len(a.Checkpoints))
+	}
+	key := "job-feedface-job"
+	if err := f.PushCheckpoint(w1.ID, a.TaskID, key, 4_000, []byte("blob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PushEvent(w1.ID, a.TaskID, TaskEvent{Type: "checkpoint", Key: "job", Cycle: 4_000}); err != nil {
+		t.Fatal(err)
+	}
+
+	// w2 joins; w1 "dies" (manual expiry keeps the test clock-free).
+	w2, _ := f.Register(RegisterRequest{ID: "w2", Capacity: 1})
+	f.mu.Lock()
+	f.workers[w1.ID].lastSeen = time.Now().Add(-time.Hour)
+	f.mu.Unlock()
+	f.expire(time.Now().Add(-f.opts.LeaseTTL))
+
+	st := f.Stats()
+	if st.WorkersLost != 1 || st.TasksRequeued != 1 || st.FleetCapacity != 1 {
+		t.Fatalf("post-expiry stats %+v", st)
+	}
+	a2, err := f.Poll(ctx, w2.ID, 5*time.Second)
+	if err != nil || a2 == nil {
+		t.Fatalf("survivor poll: %v, %v", a2, err)
+	}
+	if a2.TaskID != a.TaskID {
+		t.Fatalf("survivor got task %s, want migrated %s", a2.TaskID, a.TaskID)
+	}
+	blob, ok := a2.Checkpoints[key]
+	if !ok || string(blob.Data) != "blob" || blob.Cycle != 4_000 {
+		t.Fatalf("migrated assignment checkpoints = %+v", a2.Checkpoints)
+	}
+	// The dead worker wakes up and pushes: it must learn the task moved.
+	if err := f.PushEvent(w1.ID, a.TaskID, TaskEvent{Type: "progress"}); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("stale worker push: %v", err)
+	}
+	if err := f.PushEvent(w2.ID, a2.TaskID, TaskEvent{Type: "resumed", Key: "job", Cycle: 4_000}); err != nil {
+		t.Fatal(err)
+	}
+	if sink.resumed != 1 {
+		t.Fatalf("sink.resumed = %d", sink.resumed)
+	}
+	if err := f.PushResult(w2.ID, a2.TaskID, ResultPush{Doc: []byte("doc")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+}
+
+// fakeBlobStore records persistence calls.
+type fakeBlobStore struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+func (s *fakeBlobStore) Save(key string, blob []byte, cycle uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs[key] = blob
+	return nil
+}
+
+func (s *fakeBlobStore) Remove(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, key)
+}
+
+// TestFleetPersistLifecycle: uploaded blobs reach the persistent tier,
+// and both drop paths — the worker's end-of-run DropCheckpoint and task
+// completion — clean it up, so a checkpointing coordinator never
+// accretes stale blobs for completed runs.
+func TestFleetPersistLifecycle(t *testing.T) {
+	store := &fakeBlobStore{blobs: map[string][]byte{}}
+	f := NewFleet(FleetOptions{LeaseTTL: time.Minute, Persist: store})
+	t.Cleanup(f.Close)
+	w, _ := f.Register(RegisterRequest{ID: "w1", Capacity: 1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.Execute(context.Background(), task("job", 1), &recordSink{})
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	a, err := f.Poll(ctx, w.ID, 5*time.Second)
+	if err != nil || a == nil {
+		t.Fatalf("poll: %v, %v", a, err)
+	}
+	const key = "job-feedface-job"
+	if err := f.PushCheckpoint(w.ID, a.TaskID, key, 100, []byte("b1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.blobs[key]; !ok {
+		t.Fatal("uploaded blob never reached the persistent tier")
+	}
+	if err := f.DropCheckpoint(w.ID, a.TaskID, key); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.blobs[key]; ok {
+		t.Fatal("DropCheckpoint left the persisted blob behind")
+	}
+	// Second blob with no explicit drop: completion must clean it.
+	if err := f.PushCheckpoint(w.ID, a.TaskID, key, 200, []byte("b2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PushResult(w.ID, a.TaskID, ResultPush{Doc: []byte("doc")}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if _, ok := store.blobs[key]; ok {
+		t.Fatal("task completion left the persisted blob behind")
+	}
+}
+
+func TestFleetExpiryOfLastWorkerFailsOver(t *testing.T) {
+	f := newTestFleet(t)
+	w1, _ := f.Register(RegisterRequest{ID: "w1", Capacity: 1})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := f.Execute(context.Background(), task("job", 1), &recordSink{})
+		done <- err
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if a, err := f.Poll(ctx, w1.ID, 5*time.Second); err != nil || a == nil {
+		t.Fatalf("poll: %v, %v", a, err)
+	}
+	f.mu.Lock()
+	f.workers[w1.ID].lastSeen = time.Now().Add(-time.Hour)
+	f.mu.Unlock()
+	f.expire(time.Now().Add(-f.opts.LeaseTTL))
+	if err := <-done; !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("execute after fleet emptied: %v, want ErrNoWorkers (local fallback)", err)
+	}
+}
+
+func TestFleetCancelQueuedTask(t *testing.T) {
+	f := newTestFleet(t)
+	w, _ := f.Register(RegisterRequest{ID: "busy", Capacity: 1})
+	_ = w
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := f.Execute(ctx, task("job", 1), &recordSink{})
+		done <- err
+	}()
+	// The task is queued (nobody polls). Cancelling the job must
+	// terminate Execute without a worker in the loop.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled queued execute: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled queued execute never returned")
+	}
+	if got := f.Stats().TasksQueued; got != 0 {
+		t.Fatalf("queue still holds %d tasks after cancel", got)
+	}
+}
+
+// TestFleetCancelAssignedTask: a cancelled assigned task is delivered
+// to the worker via heartbeat, and its cancel acknowledgment completes
+// the pending.
+func TestFleetCancelAssignedTask(t *testing.T) {
+	f := newTestFleet(t)
+	w, _ := f.Register(RegisterRequest{ID: "w1", Capacity: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := f.Execute(ctx, task("job", 1), &recordSink{})
+		done <- err
+	}()
+	pctx, pcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer pcancel()
+	a, err := f.Poll(pctx, w.ID, 5*time.Second)
+	if err != nil || a == nil {
+		t.Fatalf("poll: %v, %v", a, err)
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hb, err := f.Heartbeat(w.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hb.CancelTasks) == 1 && hb.CancelTasks[0] == a.TaskID {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("heartbeat never delivered the cancellation: %+v", hb)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Worker-side pushes for a cancelled task report gone…
+	if err := f.PushEvent(w.ID, a.TaskID, TaskEvent{Type: "progress"}); !errors.Is(err, ErrGone) {
+		t.Fatalf("push on cancelled task: %v", err)
+	}
+	// …and the cancel acknowledgment resolves the pending.
+	if err := f.PushResult(w.ID, a.TaskID, ResultPush{Canceled: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("execute: %v", err)
+	}
+	if st := f.Stats(); st.FleetInUse != 0 {
+		t.Fatalf("slots leak after cancel: %+v", st)
+	}
+}

@@ -6,32 +6,119 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"hornet/internal/core"
+	"hornet/internal/fsatomic"
 	"hornet/internal/mips"
 	"hornet/internal/noc"
+	"hornet/internal/service/backend"
 	"hornet/internal/snapshot"
 	"hornet/internal/sweep"
 )
 
-// execEnv is the scheduler's execution environment for config/batch
-// runs: the warmup snapshot cache (warmup-once/fork-many) and the
-// checkpoint settings (periodic autosave + resume). One env is shared
-// by every job the scheduler runs.
+// CheckpointStore persists autosaved run snapshots, addressed by a
+// content-based key ("<name>-<hash>-<runkey>"). The daemon's default
+// store is a directory (DirCheckpointStore); workers use an HTTP store
+// that uploads blobs to their coordinator so a dead worker's job can
+// migrate, checkpoint included, to a surviving one.
+type CheckpointStore interface {
+	// Save persists the encoded snapshot blob for key, replacing any
+	// previous blob. cycle is the snapshot's simulation clock
+	// (observability; stores may ignore it).
+	Save(key string, blob []byte, cycle uint64) error
+	// Load returns the latest blob for key, if one exists.
+	Load(key string) ([]byte, bool)
+	// Remove discards the blob for key (the run completed).
+	Remove(key string)
+}
+
+// DirCheckpointStore is the on-disk store: ckpt-<key>.snap files in one
+// directory, written atomically (the PR 3 layout).
+type DirCheckpointStore struct{ Dir string }
+
+func (d DirCheckpointStore) path(key string) string {
+	return filepath.Join(d.Dir, "ckpt-"+key+".snap")
+}
+
+func (d DirCheckpointStore) Save(key string, blob []byte, cycle uint64) error {
+	return fsatomic.WriteFile(d.path(key), blob)
+}
+
+func (d DirCheckpointStore) Load(key string) ([]byte, bool) {
+	b, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+func (d DirCheckpointStore) Remove(key string) { os.Remove(d.path(key)) }
+
+// MemCheckpointStore keeps blobs in memory: the store a migrated task's
+// blobs are seeded into when the coordinator has no checkpoint
+// directory, and the load-side cache of the worker's remote store.
+type MemCheckpointStore struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+func NewMemCheckpointStore() *MemCheckpointStore {
+	return &MemCheckpointStore{blobs: map[string][]byte{}}
+}
+
+func (m *MemCheckpointStore) Save(key string, blob []byte, cycle uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blobs[key] = append([]byte(nil), blob...)
+	return nil
+}
+
+func (m *MemCheckpointStore) Load(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.blobs[key]
+	return b, ok
+}
+
+func (m *MemCheckpointStore) Remove(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.blobs, key)
+}
+
+// execEnv is the execution environment for config/batch/mips runs: the
+// warmup snapshot cache (warmup-once/fork-many) and the checkpoint
+// settings (periodic autosave + resume). The scheduler shares one env
+// across every job it runs; a worker builds one per process.
 type execEnv struct {
 	// warm dedupes warmup prefixes across runs, jobs, and — with a
 	// checkpoint directory configured — daemon restarts.
 	warm *sweep.SnapshotCache
-	// ckptDir enables measured/warmup-phase autosave; every run writes
-	// its snapshot under ckpt-<name>-<hash>-<key>.snap. Empty disables.
-	ckptDir string
+	// store enables measured/warmup-phase autosave; nil disables.
+	store CheckpointStore
 	// ckptEvery is the autosave period in simulated cycles.
 	ckptEvery uint64
+	// counters are shared across derived envs (withStore), so per-job
+	// store overrides still feed the daemon's stats.
+	counters *envCounters
+}
 
+// envCounters aggregates checkpoint observability across an env and
+// everything derived from it.
+type envCounters struct {
 	checkpointsWritten atomic.Uint64
 	checkpointWriteErr atomic.Uint64
 	runsResumed        atomic.Uint64
+}
+
+// withStore derives an env that autosaves into a different checkpoint
+// store but shares the warmup cache and counters — how a migrated
+// task's uploaded blobs become resumable on a daemon that has no
+// checkpoint directory of its own.
+func (e *execEnv) withStore(store CheckpointStore) *execEnv {
+	return &execEnv{warm: e.warm, store: store, ckptEvery: e.ckptEvery, counters: e.counters}
 }
 
 // warmCacheEntries bounds the daemon's in-memory warmup snapshots:
@@ -44,11 +131,15 @@ const warmCacheEntries = 32
 func newExecEnv(checkpointDir string, checkpointEvery uint64) *execEnv {
 	warm := sweep.NewSnapshotCache(checkpointDir)
 	warm.SetMaxEntries(warmCacheEntries)
-	return &execEnv{
+	env := &execEnv{
 		warm:      warm,
-		ckptDir:   checkpointDir,
 		ckptEvery: checkpointEvery,
+		counters:  &envCounters{},
 	}
+	if checkpointDir != "" {
+		env.store = DirCheckpointStore{Dir: checkpointDir}
+	}
+	return env
 }
 
 // ckptMeta is the driver-level progress record riding in the snapshot's
@@ -71,14 +162,14 @@ type ckptMeta struct {
 
 const serveMetaSection = "serve-meta"
 
-// ckptPath returns the checkpoint file for one run of one scenario.
-// The address is content-based — scenario hash, not job ID — so a
-// resubmitted scenario finds the checkpoints a killed daemon left.
-func (e *execEnv) ckptPath(sc *scenario, key string) string {
-	return filepath.Join(e.ckptDir, fmt.Sprintf("ckpt-%s-%s-%s.snap", sc.name, sc.hash, key))
+// CheckpointKey is the content-based store address for one run of one
+// scenario — scenario hash, not job ID — so a resubmitted (or migrated)
+// scenario finds the checkpoints an earlier executor left.
+func CheckpointKey(name, hash, runKey string) string {
+	return fmt.Sprintf("%s-%s-%s", name, hash, runKey)
 }
 
-// saveCheckpoint snapshots the system plus progress meta, atomically.
+// saveCheckpoint snapshots the system plus progress meta into the store.
 func (e *execEnv) saveCheckpoint(sys *core.System, sc *scenario, meta ckptMeta) error {
 	snap, err := sys.Snapshot()
 	if err != nil {
@@ -89,21 +180,29 @@ func (e *execEnv) saveCheckpoint(sys *core.System, sc *scenario, meta ckptMeta) 
 		return err
 	}
 	snap.Section(serveMetaSection).Bytes(mb)
-	if err := snap.WriteFile(e.ckptPath(sc, meta.Key)); err != nil {
+	blob, err := snap.Bytes()
+	if err != nil {
 		return err
 	}
-	e.checkpointsWritten.Add(1)
+	if err := e.store.Save(CheckpointKey(sc.name, sc.hash, meta.Key), blob, sys.Clock()); err != nil {
+		return err
+	}
+	e.counters.checkpointsWritten.Add(1)
 	return nil
 }
 
-// loadCheckpoint tries to resume one run from disk. It returns ok=false
-// — silently, the run just starts from cycle 0 — when there is no
-// usable checkpoint: missing file, corrupt or version-skewed container,
-// a different scenario's state, or a snapshot the freshly built system
-// refuses (config-hash guard).
+// loadCheckpoint tries to resume one run from the store. It returns
+// ok=false — silently, the run just starts from cycle 0 — when there is
+// no usable checkpoint: missing blob, corrupt or version-skewed
+// container, a different scenario's state, or a snapshot the freshly
+// built system refuses (config-hash guard).
 func (e *execEnv) loadCheckpoint(sc *scenario, key string, seed uint64, build func() (*core.System, error)) (*core.System, ckptMeta, bool) {
 	var meta ckptMeta
-	snap, err := snapshot.ReadFile(e.ckptPath(sc, key))
+	blob, ok := e.store.Load(CheckpointKey(sc.name, sc.hash, key))
+	if !ok {
+		return nil, meta, false
+	}
+	snap, err := snapshot.DecodeBytes(blob)
 	if err != nil {
 		return nil, meta, false
 	}
@@ -130,17 +229,17 @@ func (e *execEnv) loadCheckpoint(sc *scenario, key string, seed uint64, build fu
 // removeCheckpoint discards a consumed checkpoint once its run has
 // completed (the result document now carries the state).
 func (e *execEnv) removeCheckpoint(sc *scenario, key string) {
-	os.Remove(e.ckptPath(sc, key))
+	e.store.Remove(CheckpointKey(sc.name, sc.hash, key))
 }
 
 // runFor compiles one runSpec into its sweep run function, dispatching
 // on the spec's kind: synthetic-traffic window runs (runConfig) or
 // application-workload runs (runMips).
-func (e *execEnv) runFor(sc *scenario, j *job, spec runSpec) func(sweep.Ctx) (any, error) {
+func (e *execEnv) runFor(sc *scenario, sink backend.Sink, spec runSpec) func(sweep.Ctx) (any, error) {
 	if spec.mips != nil {
-		return e.runMips(sc, j, spec)
+		return e.runMips(sc, sink, spec)
 	}
-	return e.runConfig(sc, j, spec)
+	return e.runConfig(sc, sink, spec)
 }
 
 // chunkedRun drives one checkpointable simulation: it advances the
@@ -155,7 +254,7 @@ type chunkedRun struct {
 	env    *execEnv
 	sys    *core.System
 	sc     *scenario
-	j      *job
+	sink   backend.Sink
 	meta   *ckptMeta
 	ckptOn bool
 	stop   func(cycle uint64) bool // sweep-cancellation probe
@@ -170,9 +269,9 @@ func (cr *chunkedRun) checkpoint() {
 		return
 	}
 	if err := cr.env.saveCheckpoint(cr.sys, cr.sc, *cr.meta); err == nil {
-		cr.j.noteCheckpoint(cr.meta.Key, cr.sys.Clock())
+		cr.sink.Checkpoint(cr.meta.Key, cr.sys.Clock())
 	} else {
-		cr.env.checkpointWriteErr.Add(1)
+		cr.env.counters.checkpointWriteErr.Add(1)
 	}
 }
 
@@ -221,7 +320,7 @@ func (cr *chunkedRun) advance(ctx context.Context, target uint64, measured bool,
 // autosaves every ckptEvery simulated cycles — the full core/RAM/fabric
 // state rides in the snapshot — and resumes from the latest autosave
 // instead of instruction zero.
-func (e *execEnv) runMips(sc *scenario, j *job, spec runSpec) func(sweep.Ctx) (any, error) {
+func (e *execEnv) runMips(sc *scenario, sink backend.Sink, spec runSpec) func(sweep.Ctx) (any, error) {
 	return func(c sweep.Ctx) (any, error) {
 		seed := c.Seed
 		m := spec.mips
@@ -253,15 +352,15 @@ func (e *execEnv) runMips(sc *scenario, j *job, spec runSpec) func(sweep.Ctx) (a
 			return sys, nil
 		}
 		stop := cancelStop(c.Context)
-		ckptOn := e.ckptDir != "" && !rc.Engine.FastForward
+		ckptOn := e.store != nil && !rc.Engine.FastForward
 
 		var sys *core.System
 		meta := ckptMeta{Name: sc.name, Hash: sc.hash, Key: spec.key, Seed: seed, Phase: "measured"}
 		if ckptOn {
 			if restored, rm, ok := e.loadCheckpoint(sc, spec.key, seed, build); ok {
 				sys, meta = restored, rm
-				e.runsResumed.Add(1)
-				j.noteResumed(spec.key, restored.Clock())
+				e.counters.runsResumed.Add(1)
+				sink.Resumed(spec.key, restored.Clock())
 			}
 		}
 		if sys == nil {
@@ -272,7 +371,7 @@ func (e *execEnv) runMips(sc *scenario, j *job, spec runSpec) func(sweep.Ctx) (a
 		// Advance in autosave chunks until the application halts or the
 		// cycle cap is reached (fast-forwarding runs are exempt from
 		// chunking entirely).
-		cr := &chunkedRun{env: e, sys: sys, sc: sc, j: j, meta: &meta, ckptOn: ckptOn, stop: stop}
+		cr := &chunkedRun{env: e, sys: sys, sc: sc, sink: sink, meta: &meta, ckptOn: ckptOn, stop: stop}
 		if ok, err := cr.advance(c.Context, m.MaxCycles, true, sys.CoresHalted(sys.MIPSCores())); !ok {
 			return nil, err
 		}
@@ -294,7 +393,7 @@ func (e *execEnv) runMips(sc *scenario, j *job, spec runSpec) func(sweep.Ctx) (a
 // cancelled job drains quickly even mid-simulation; a cancelled run
 // saves a final checkpoint (checkpointing daemons) so a retry resumes
 // where it stopped.
-func (e *execEnv) runConfig(sc *scenario, j *job, spec runSpec) func(sweep.Ctx) (any, error) {
+func (e *execEnv) runConfig(sc *scenario, sink backend.Sink, spec runSpec) func(sweep.Ctx) (any, error) {
 	return func(c sweep.Ctx) (any, error) {
 		// c.Seed is the run's effective seed: the scenario builder set
 		// the item's explicit warmup-group seed for share_warmup jobs,
@@ -327,15 +426,15 @@ func (e *execEnv) runConfig(sc *scenario, j *job, spec runSpec) func(sweep.Ctx) 
 		// nothing of daemon checkpoint settings). Such runs keep warmup
 		// sharing — the warmup/measure boundary is inherent — but forgo
 		// autosave/resume.
-		ckptOn := e.ckptDir != "" && !rc.Engine.FastForward
+		ckptOn := e.store != nil && !rc.Engine.FastForward
 
 		var sys *core.System
 		meta := ckptMeta{Name: sc.name, Hash: sc.hash, Key: spec.key, Seed: seed, Phase: "warmup"}
 		if ckptOn {
 			if restored, m, ok := e.loadCheckpoint(sc, spec.key, seed, build); ok {
 				sys, meta = restored, m
-				e.runsResumed.Add(1)
-				j.noteResumed(spec.key, restored.Clock())
+				e.counters.runsResumed.Add(1)
+				sink.Resumed(spec.key, restored.Clock())
 			}
 		}
 		if sys == nil {
@@ -357,7 +456,7 @@ func (e *execEnv) runConfig(sc *scenario, j *job, spec runSpec) func(sweep.Ctx) 
 			}
 		}
 
-		cr := &chunkedRun{env: e, sys: sys, sc: sc, j: j, meta: &meta, ckptOn: ckptOn, stop: stop}
+		cr := &chunkedRun{env: e, sys: sys, sc: sc, sink: sink, meta: &meta, ckptOn: ckptOn, stop: stop}
 		if meta.Phase == "warmup" {
 			if ok, err := cr.advance(c.Context, warmup, false, nil); !ok {
 				return nil, err

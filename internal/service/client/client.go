@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"hornet/internal/service"
+	"hornet/internal/service/backend"
 	"hornet/internal/sweep"
 )
 
@@ -170,6 +171,14 @@ func (c *Client) Stats(ctx context.Context) (service.ServerStats, error) {
 	var st service.ServerStats
 	err := c.do(ctx, http.MethodGet, "/api/v1/stats", nil, &st)
 	return st, err
+}
+
+// Workers lists the daemon's registered worker fleet (distributed
+// mode): capacity, free slots, assigned tasks, last heartbeat.
+func (c *Client) Workers(ctx context.Context) ([]backend.WorkerInfo, error) {
+	var ws []backend.WorkerInfo
+	err := c.do(ctx, http.MethodGet, "/api/v1/workers", nil, &ws)
+	return ws, err
 }
 
 // Events subscribes to the job's SSE stream and invokes fn for every

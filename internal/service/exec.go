@@ -1,0 +1,185 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"hornet/internal/service/backend"
+	"hornet/internal/sweep"
+)
+
+// executeScenario runs one compiled scenario against an execution
+// environment and returns the canonical document bytes plus the number
+// of per-run errors recorded inside the document. It is the single
+// execution path shared by the scheduler's in-process backend and the
+// standalone Execute entry point hornet-worker uses — sharing it is
+// what makes a document byte-identical no matter which process produced
+// it. A panic anywhere in scenario execution (the experiments package
+// treats bad runs as programming errors and panics) becomes an error,
+// never a dead process.
+func executeScenario(ctx context.Context, sc *scenario, env *execEnv, pool *sweep.Budget, sink backend.Sink) (b []byte, runErrs int, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			b, runErrs, err = nil, 0, fmt.Errorf("job panicked: %v", p)
+		}
+	}()
+	switch sc.kind {
+	case KindFigure:
+		o := sc.figOpts
+		o.Context = ctx
+		o.Pool = pool
+		o.Progress = sink.Progress
+		// Figures with shared warmup prefixes draw on the env-wide
+		// warmup snapshot cache (reuse cannot change output bytes).
+		o.Warmups = env.warm
+		_, doc, runErr := sc.fig.Document(o)
+		if runErr != nil {
+			return nil, 0, runErr // cancelled mid-figure
+		}
+		for _, r := range doc.Runs {
+			if r.Err != "" {
+				runErrs++
+			}
+		}
+		b, err = encodeDocument(doc)
+		return b, runErrs, err
+	default: // KindConfig, KindBatch, KindMips
+		items := make([]sweep.Item, len(sc.runs))
+		for i, spec := range sc.runs {
+			items[i] = sweep.Item{Key: spec.key, Weight: spec.weight, Seed: spec.seed,
+				Run: env.runFor(sc, sink, spec)}
+		}
+		cfg := sweep.Config{
+			// In-flight runs within the job: bounded by the shared pool
+			// anyway, so let the sweep try to dispatch as wide as the pool.
+			Workers: pool.Cap(),
+			Pool:    pool,
+			Seed:    sc.seed,
+			OnProgress: func(done, total int, r sweep.Result) {
+				sink.Progress(done, total, r.Key)
+			},
+		}
+		results := sweep.Run(ctx, items, cfg)
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				runErrs++
+			}
+		}
+		doc := sweep.NewDocument(sc.name, sc.hash, sc.seed, results)
+		b, err = encodeDocument(doc)
+		return b, runErrs, err
+	}
+}
+
+// ExecOptions configures standalone execution of one submit request —
+// the path hornet-worker uses to run a task its coordinator dispatched.
+type ExecOptions struct {
+	// Workers is the CPU-slot budget of this execution; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Checkpoints, if non-nil, enables autosave/resume: runs restore
+	// from the store's blobs and save back into it every
+	// CheckpointEvery cycles. Workers pass an HTTP store that uploads
+	// to the coordinator.
+	Checkpoints CheckpointStore
+	// CheckpointEvery is the autosave period in simulated cycles;
+	// 0 means 100000. Migrated runs only re-align their chunk cadence —
+	// and therefore reproduce an uninterrupted run byte-for-byte — when
+	// every executor of a scenario uses the same value, so workers take
+	// it from their coordinator, never from local configuration.
+	CheckpointEvery uint64
+
+	// Warmups, if non-nil, is a warmup snapshot cache shared across
+	// calls — a worker passes one per process so back-to-back tasks
+	// with the same warmup prefix fork from one snapshot, exactly like
+	// jobs sharing the daemon's execution environment. Nil builds a
+	// fresh per-call cache.
+	Warmups *sweep.SnapshotCache
+
+	// Progress/Resumed/Checkpoint observe the execution; any may be nil.
+	OnProgress   func(done, total int, key string)
+	OnResumed    func(key string, cycle uint64)
+	OnCheckpoint func(key string, cycle uint64)
+}
+
+// ExecResult is the outcome of a standalone Execute.
+type ExecResult struct {
+	// Doc is the canonical result document (byte-identical to what any
+	// other executor of the same request produces).
+	Doc []byte
+	// RunErrs is the number of per-run errors recorded in the document.
+	RunErrs int
+	// Name/Hash/Seed are the scenario's content address.
+	Name string
+	Hash string
+	Seed uint64
+}
+
+// ErrInvalidRequest wraps a request that failed scenario validation —
+// the remote-execution analogue of the API's 4xx responses.
+var ErrInvalidRequest = errors.New("service: invalid request")
+
+// Execute validates req and runs it to completion in this process. It
+// is the worker-side twin of the daemon's job execution: same
+// validation, same execution environment, same document encoding, so a
+// coordinator can hand the request to any worker and cache the returned
+// bytes under the scenario's content address.
+func Execute(ctx context.Context, req SubmitRequest, opts ExecOptions) (*ExecResult, error) {
+	sc, apiErr := buildScenario(req)
+	if apiErr != nil {
+		return nil, fmt.Errorf("%w: %s", ErrInvalidRequest, apiErr.Message)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	every := opts.CheckpointEvery
+	if every == 0 {
+		every = 100_000
+	}
+	warm := opts.Warmups
+	if warm == nil {
+		warm = sweep.NewSnapshotCache("")
+		warm.SetMaxEntries(warmCacheEntries)
+	}
+	env := &execEnv{
+		warm:      warm,
+		store:     opts.Checkpoints,
+		ckptEvery: every,
+		counters:  &envCounters{},
+	}
+	pool := sweep.NewBudget(workers)
+	sink := callbackSink{opts}
+	doc, runErrs, err := executeScenario(ctx, sc, env, pool, sink)
+	if err != nil {
+		return nil, err
+	}
+	return &ExecResult{Doc: doc, RunErrs: runErrs, Name: sc.name, Hash: sc.hash, Seed: sc.seed}, nil
+}
+
+// callbackSink adapts ExecOptions callbacks to the backend.Sink the
+// execution layer drives.
+type callbackSink struct{ o ExecOptions }
+
+func (c callbackSink) Progress(done, total int, key string) {
+	if c.o.OnProgress != nil {
+		c.o.OnProgress(done, total, key)
+	}
+}
+
+func (c callbackSink) Resumed(key string, cycle uint64) {
+	if c.o.OnResumed != nil {
+		c.o.OnResumed(key, cycle)
+	}
+}
+
+func (c callbackSink) Checkpoint(key string, cycle uint64) {
+	if c.o.OnCheckpoint != nil {
+		c.o.OnCheckpoint(key, cycle)
+	}
+}

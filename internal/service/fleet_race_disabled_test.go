@@ -1,0 +1,5 @@
+//go:build !race
+
+package service_test
+
+const fleetRaceDetector = false

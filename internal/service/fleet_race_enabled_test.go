@@ -1,0 +1,7 @@
+//go:build race
+
+package service_test
+
+// fleetRaceDetector scales the fleet e2e workloads down under the race
+// detector (~10-30x slowdown on small hosts).
+const fleetRaceDetector = true

@@ -2,10 +2,13 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
+
+	"hornet/internal/service/backend"
 )
 
 // job is the server-side job record: client-visible info, the compiled
@@ -44,6 +47,30 @@ func newJob(id string, req SubmitRequest, sc *scenario, parent context.Context, 
 		done:   make(chan struct{}),
 		subs:   map[int]chan Event{},
 	}
+}
+
+// task projects the job onto the backend layer's unit of work: the
+// compiled identity plus the original request bytes a remote worker
+// revalidates and executes.
+func (j *job) task() *backend.Task {
+	reqJSON, _ := json.Marshal(j.req)
+	return &backend.Task{
+		Name:      j.sc.name,
+		Hash:      j.sc.hash,
+		Seed:      j.sc.seed,
+		Kind:      j.sc.kind,
+		Weight:    j.req.Workers,
+		RunsTotal: len(j.sc.runs),
+		Request:   reqJSON,
+		Compiled:  j.sc,
+	}
+}
+
+// setBackend records which execution backend is running the job.
+func (j *job) setBackend(name string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.info.Backend = name
 }
 
 // Info returns a snapshot of the client-visible state.

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hornet/internal/service/backend"
 	"hornet/internal/sweep"
 )
 
@@ -28,6 +29,14 @@ type scheduler struct {
 	queue   chan *job
 	wg      sync.WaitGroup
 
+	// local always exists; fleet is the remote backend, consulted first
+	// for fleet-eligible jobs whenever live workers are registered.
+	local backend.Backend
+	fleet *backend.Fleet
+
+	remoteJobs   atomic.Uint64
+	fallbackJobs atomic.Uint64
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
@@ -46,7 +55,7 @@ type scheduler struct {
 // are rejected with 503 queue_full rather than growing without bound.
 const queueDepth = 1024
 
-func newScheduler(maxJobs, budget int, results *resultStore, env *execEnv) *scheduler {
+func newScheduler(maxJobs, budget int, results *resultStore, env *execEnv, fleet *backend.Fleet) *scheduler {
 	if maxJobs < 1 {
 		maxJobs = 1
 	}
@@ -55,11 +64,13 @@ func newScheduler(maxJobs, budget int, results *resultStore, env *execEnv) *sche
 		pool:       sweep.NewBudget(budget),
 		results:    results,
 		env:        env,
+		fleet:      fleet,
 		sf:         map[string]*job{},
 		queue:      make(chan *job, queueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	s.local = &localBackend{s: s}
 	for i := 0; i < maxJobs; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -87,6 +98,15 @@ func (s *scheduler) submit(j *job) *APIError {
 		return &APIError{CodeQueueFull,
 			fmt.Sprintf("job queue is full (%d pending)", queueDepth)}
 	}
+}
+
+// cancelJobs cancels the base context every job derives from without
+// draining the workers. Shutdown calls it before closing the fleet, so
+// remote tasks the fleet hands back with ErrNoWorkers find their job
+// already cancelled instead of failing over into a doomed local
+// re-execution.
+func (s *scheduler) cancelJobs() {
+	s.baseCancel()
 }
 
 // stop cancels every in-flight job and waits for the workers to drain.
@@ -159,7 +179,7 @@ func (s *scheduler) runJob(j *job) {
 		}
 	}
 
-	bytes, runErrs, err := s.execute(j)
+	bytes, runErrs, err := s.run(j)
 	switch {
 	case errors.Is(err, context.Canceled) || j.ctx.Err() != nil:
 		j.markCanceled(time.Now())
@@ -183,67 +203,81 @@ func (s *scheduler) runJob(j *job) {
 	}
 }
 
-// execute runs the scenario and returns the canonical document bytes
-// plus the number of per-run errors recorded inside the document. A
-// panic anywhere in scenario execution (the experiments package treats
-// bad runs as programming errors and panics) becomes a failed job, never
-// a dead daemon.
-func (s *scheduler) execute(j *job) (b []byte, runErrs int, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			b, runErrs, err = nil, 0, fmt.Errorf("job panicked: %v", p)
-		}
-	}()
-	sc := j.sc
-	switch sc.kind {
-	case KindFigure:
-		o := sc.figOpts
-		o.Context = j.ctx
-		o.Pool = s.pool
-		o.Progress = j.progress
-		// Figures with shared warmup prefixes draw on the daemon-wide
-		// warmup snapshot cache (reuse cannot change output bytes).
-		o.Warmups = s.env.warm
-		_, doc, runErr := sc.fig.Document(o)
-		if runErr != nil {
-			return nil, 0, runErr // cancelled mid-figure
-		}
-		for _, r := range doc.Runs {
-			if r.Err != "" {
-				runErrs++
+// run executes one job through an execution backend. Fleet-eligible
+// jobs (config/batch/mips — the kinds whose requests serialize into a
+// self-contained task) go to the remote backend whenever live workers
+// are registered; everything else, and any task the fleet hands back
+// with ErrNoWorkers (the fleet emptied while the task waited), runs on
+// the in-process backend. The fallback resumes from whatever
+// checkpoint blobs dead workers uploaded before the fleet died.
+func (s *scheduler) run(j *job) ([]byte, int, error) {
+	t := j.task()
+	if s.fleet != nil && fleetEligible(j.sc) && s.fleet.Live() > 0 {
+		j.setBackend(s.fleet.Name())
+		b, runErrs, err := s.fleet.Execute(j.ctx, t, jobSink{j})
+		if !errors.Is(err, backend.ErrNoWorkers) {
+			if err == nil {
+				s.remoteJobs.Add(1)
 			}
+			return b, runErrs, err
 		}
-		b, err = encodeDocument(doc)
-		return b, runErrs, err
-	default: // KindConfig, KindBatch
-		items := make([]sweep.Item, len(sc.runs))
-		for i, spec := range sc.runs {
-			items[i] = sweep.Item{Key: spec.key, Weight: spec.weight, Seed: spec.seed,
-				Run: s.env.runFor(sc, j, spec)}
-		}
-		cfg := sweep.Config{
-			// In-flight runs within the job: bounded by the shared pool
-			// anyway, so let the sweep try to dispatch as wide as the pool.
-			Workers: s.pool.Cap(),
-			Pool:    s.pool,
-			Seed:    sc.seed,
-			OnProgress: func(done, total int, r sweep.Result) {
-				j.progress(done, total, r.Key)
-			},
-		}
-		results := sweep.Run(j.ctx, items, cfg)
+		// A cancelled job gains nothing from a local fallback; this is
+		// also the shutdown path (Close cancels jobs, then closes the
+		// fleet, which fails in-flight tasks with ErrNoWorkers).
 		if err := j.ctx.Err(); err != nil {
 			return nil, 0, err
 		}
-		for _, r := range results {
-			if r.Err != nil {
-				runErrs++
-			}
-		}
-		doc := sweep.NewDocument(sc.name, sc.hash, sc.seed, results)
-		b, err = encodeDocument(doc)
-		return b, runErrs, err
+		s.fallbackJobs.Add(1)
 	}
+	j.setBackend(s.local.Name())
+	return s.local.Execute(j.ctx, t, jobSink{j})
+}
+
+// fleetEligible reports whether a scenario can execute on a remote
+// worker. Figure scenarios stay local: serial (wall-clock) figures are
+// timing experiments of *this* host, and figure documents draw on the
+// registry identity rather than a serializable request.
+func fleetEligible(sc *scenario) bool {
+	switch sc.kind {
+	case KindConfig, KindBatch, KindMips:
+		return true
+	}
+	return false
+}
+
+// jobSink adapts a job to the backend.Sink the execution backends
+// drive.
+type jobSink struct{ j *job }
+
+func (s jobSink) Progress(done, total int, key string) { s.j.progress(done, total, key) }
+func (s jobSink) Resumed(key string, cycle uint64)     { s.j.noteResumed(key, cycle) }
+func (s jobSink) Checkpoint(key string, cycle uint64)  { s.j.noteCheckpoint(key, cycle) }
+
+// localBackend is the in-process execution backend: the scheduler's
+// shared execution environment (warmup cache, checkpoint store, CPU
+// pool) wrapped in the Backend interface.
+type localBackend struct{ s *scheduler }
+
+func (lb *localBackend) Name() string { return "local" }
+
+func (lb *localBackend) Execute(ctx context.Context, t *backend.Task, sink backend.Sink) ([]byte, int, error) {
+	sc := t.Compiled.(*scenario)
+	env := lb.s.env
+	if len(t.Checkpoints) > 0 {
+		// A migrated task: seed the uploaded blobs into a checkpoint
+		// store so the runs resume instead of restarting. Without a
+		// daemon checkpoint directory the blobs live in a job-scoped
+		// memory store.
+		store := env.store
+		if store == nil {
+			store = NewMemCheckpointStore()
+			env = env.withStore(store)
+		}
+		for key, blob := range t.Checkpoints {
+			_ = store.Save(key, blob.Data, blob.Cycle)
+		}
+	}
+	return executeScenario(ctx, sc, env, lb.s.pool, sink)
 }
 
 // firstRunError digs the run error out of an encoded single-run document

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hornet/internal/experiments"
+	"hornet/internal/service/backend"
 )
 
 // Options configures a Server.
@@ -35,6 +36,12 @@ type Options struct {
 	// warmup sharing but always run their measured phase unchunked.
 	CheckpointEvery uint64
 
+	// WorkerTTL is how long a silent hornet-worker stays registered
+	// before the fleet declares it dead and migrates its tasks to the
+	// survivors (checkpoints included); 0 means 15s. Workers heartbeat
+	// at a third of this.
+	WorkerTTL time.Duration
+
 	// JobTTL, if positive, expires finished job records that many
 	// wall-clock units after completion (GET then returns 404); cached
 	// result documents are retained and keep serving resubmissions.
@@ -54,6 +61,7 @@ type Server struct {
 	results *resultStore
 	sched   *scheduler
 	env     *execEnv
+	fleet   *backend.Fleet
 
 	jobsExpired atomic.Uint64
 	closeOnce   sync.Once
@@ -74,12 +82,21 @@ func New(opts Options) *Server {
 	results := newResultStore(opts.CacheDir)
 	results.setBounds(opts.CacheMaxEntries, opts.CacheMaxBytes)
 	env := newExecEnv(opts.CheckpointDir, every)
+	fleet := backend.NewFleet(backend.FleetOptions{
+		LeaseTTL:        opts.WorkerTTL,
+		CheckpointEvery: every,
+		// With a checkpoint directory, migration blobs also persist on
+		// disk under the same content address the local backend reads,
+		// so jobs survive a worker death plus a coordinator restart.
+		Persist: env.store,
+	})
 	s := &Server{
 		mux:         http.NewServeMux(),
 		jobs:        newJobStore(),
 		results:     results,
 		env:         env,
-		sched:       newScheduler(maxJobs, opts.Budget, results, env),
+		fleet:       fleet,
+		sched:       newScheduler(maxJobs, opts.Budget, results, env, fleet),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
@@ -93,6 +110,18 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+
+	// Worker-fleet protocol (see internal/service/backend): registration,
+	// long-poll dispatch, heartbeats, progress/checkpoint/result pushes.
+	s.mux.HandleFunc("GET /api/v1/workers", s.handleWorkers)
+	s.mux.HandleFunc("POST /api/v1/workers", s.handleWorkerRegister)
+	s.mux.HandleFunc("DELETE /api/v1/workers/{id}", s.handleWorkerDeregister)
+	s.mux.HandleFunc("POST /api/v1/workers/{id}/heartbeat", s.handleWorkerHeartbeat)
+	s.mux.HandleFunc("POST /api/v1/workers/{id}/poll", s.handleWorkerPoll)
+	s.mux.HandleFunc("POST /api/v1/workers/{id}/tasks/{task}/events", s.handleWorkerEvent)
+	s.mux.HandleFunc("PUT /api/v1/workers/{id}/tasks/{task}/checkpoints/{key}", s.handleWorkerCheckpoint)
+	s.mux.HandleFunc("DELETE /api/v1/workers/{id}/tasks/{task}/checkpoints/{key}", s.handleWorkerCheckpointDrop)
+	s.mux.HandleFunc("POST /api/v1/workers/{id}/tasks/{task}/result", s.handleWorkerResult)
 	return s
 }
 
@@ -108,6 +137,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.janitorStop) })
 	<-s.janitorDone
+	// Cancel jobs before closing the fleet: remote tasks the closing
+	// fleet hands back then see their cancelled context and terminate,
+	// instead of failing over into a doomed local re-execution. The
+	// fleet closes before the scheduler drains so no drain waits on a
+	// dead worker.
+	s.sched.cancelJobs()
+	s.fleet.Close()
 	s.sched.stop()
 	now := time.Now()
 	for _, j := range s.jobs.all() {
@@ -170,9 +206,13 @@ func (s *Server) Stats() ServerStats {
 		WarmupHits:   s.env.warm.Hits(),
 		WarmupMisses: s.env.warm.Misses(),
 
-		CheckpointsWritten:  s.env.checkpointsWritten.Load(),
-		CheckpointWriteErrs: s.env.checkpointWriteErr.Load(),
-		RunsResumed:         s.env.runsResumed.Load(),
+		CheckpointsWritten:  s.env.counters.checkpointsWritten.Load(),
+		CheckpointWriteErrs: s.env.counters.checkpointWriteErr.Load(),
+		RunsResumed:         s.env.counters.runsResumed.Load(),
+
+		RemoteJobs:   s.sched.remoteJobs.Load(),
+		FallbackJobs: s.sched.fallbackJobs.Load(),
+		Fleet:        s.fleet.Stats(),
 	}
 }
 

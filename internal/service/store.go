@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hornet/internal/fsatomic"
 	"hornet/internal/lru"
 )
 
@@ -94,23 +95,7 @@ func (s *resultStore) Put(name, hash string, b []byte) error {
 }
 
 func (s *resultStore) persist(name, hash string, b []byte) error {
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
-		return err
-	}
-	f, err := os.CreateTemp(s.dir, s.key(name, hash)+"-*.tmp")
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(b); err != nil {
-		f.Close()
-		os.Remove(f.Name())
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(f.Name())
-		return err
-	}
-	return os.Rename(f.Name(), s.path(name, hash))
+	return fsatomic.WriteFile(s.path(name, hash), b)
 }
 
 // Len reports the in-memory entry count.

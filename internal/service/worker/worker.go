@@ -1,0 +1,504 @@
+// Package worker implements the hornet-worker side of the fleet
+// protocol: register with a hornet-serve coordinator, long-poll for
+// task assignments, execute them with the exact same validation and
+// execution path the daemon itself uses (service.Execute), stream
+// progress back, and upload checkpoint snapshots so the coordinator
+// can migrate the task to another worker if this process dies.
+//
+// Workers are diskless: checkpoints live in memory and on the
+// coordinator, never on the worker's filesystem, so a worker can be a
+// throwaway container. Cancellation of Run's context is crash-stop —
+// nothing is flushed or deregistered, exactly what kill -9 would do —
+// and graceful drains go through Deregister, which requeues the
+// worker's tasks (checkpoints included) onto the surviving fleet.
+package worker
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"hornet/internal/service"
+	"hornet/internal/service/backend"
+	"hornet/internal/sweep"
+)
+
+// Options configures a Worker.
+type Options struct {
+	// Coordinator is the hornet-serve base URL, e.g. "http://host:8080".
+	Coordinator string
+	// ID is the worker's stable identity; empty lets the coordinator
+	// mint one.
+	ID string
+	// Capacity is the number of CPU slots offered; 0 means GOMAXPROCS.
+	Capacity int
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Logf, if non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Worker is one fleet member. Create with New, drive with Run.
+type Worker struct {
+	opts Options
+
+	mu      sync.Mutex
+	idle    *sync.Cond // signalled when busy slots free up
+	id      string
+	ckEvery uint64
+	hbEvery time.Duration
+	// busy is the number of capacity slots held by in-flight
+	// executions; the worker keeps polling while busy < Capacity, so a
+	// capacity-4 worker really runs up to four weight-1 tasks at once
+	// (matching the coordinator's free-slot placement) instead of
+	// stranding advertised slots.
+	busy int
+	// running maps task ID → cancel for the in-flight execution, so a
+	// heartbeat-delivered cancellation (or a 410 push response) aborts
+	// the right run.
+	running map[string]context.CancelFunc
+	wg      sync.WaitGroup
+
+	// warm is the process-wide warmup snapshot cache: tasks sharing a
+	// warmup prefix fork from one snapshot instead of each
+	// re-simulating it, matching the coordinator's local backend.
+	warm *sweep.SnapshotCache
+}
+
+// New returns an unregistered worker.
+func New(opts Options) *Worker {
+	if opts.Capacity < 1 {
+		opts.Capacity = runtime.GOMAXPROCS(0)
+	}
+	w := &Worker{opts: opts, id: opts.ID, running: map[string]context.CancelFunc{}}
+	w.idle = sync.NewCond(&w.mu)
+	w.warm = sweep.NewSnapshotCache("")
+	w.warm.SetMaxEntries(32)
+	return w
+}
+
+// ID returns the coordinator-assigned identity (after registration).
+func (w *Worker) ID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.opts.Logf != nil {
+		w.opts.Logf(format, args...)
+	}
+}
+
+func (w *Worker) httpClient() *http.Client {
+	if w.opts.HTTP != nil {
+		return w.opts.HTTP
+	}
+	return http.DefaultClient
+}
+
+// errGone mirrors the coordinator's 410: the task is no longer this
+// worker's (cancelled or migrated); abandon the run.
+var errGone = errors.New("worker: task gone")
+
+// errUnknown mirrors the coordinator's 404 worker_unknown: the lease
+// expired; re-register.
+var errUnknown = errors.New("worker: not registered")
+
+// doJSON issues one request and decodes the response (or its error
+// envelope, mapping the protocol statuses onto errGone/errUnknown).
+func (w *Worker) doJSON(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.opts.Coordinator+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := w.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	if out == nil || resp.StatusCode == http.StatusNoContent {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func decodeError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var env struct {
+		Err service.APIError `json:"error"`
+	}
+	if err := json.Unmarshal(b, &env); err == nil && env.Err.Code != "" {
+		switch env.Err.Code {
+		case service.CodeTaskGone:
+			return errGone
+		case service.CodeWorkerUnknown:
+			return errUnknown
+		}
+		return &env.Err
+	}
+	return fmt.Errorf("http %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+}
+
+// Run registers and serves assignments until ctx is cancelled.
+// Executions run concurrently up to the worker's capacity: the loop
+// keeps polling while free slots remain, and each assignment's slot
+// grant (Assignment.Workers, sized by the coordinator to this worker's
+// free capacity) occupies that many slots for its duration.
+// Cancellation is crash-stop: in-flight work is abandoned mid-push and
+// the coordinator discovers the death by lease expiry. Use Deregister
+// for a graceful exit.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	defer hbCancel()
+	go w.heartbeatLoop(hbCtx)
+	// Wake the slot wait below when ctx dies, or a full worker would
+	// block in Wait() past cancellation.
+	stopWake := context.AfterFunc(ctx, func() {
+		w.mu.Lock()
+		w.idle.Broadcast()
+		w.mu.Unlock()
+	})
+	defer stopWake()
+	defer w.wg.Wait() // crash-stop still joins its goroutines
+
+	for {
+		w.mu.Lock()
+		for w.busy >= w.opts.Capacity && ctx.Err() == nil {
+			w.idle.Wait()
+		}
+		w.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		a, err := w.poll(ctx)
+		switch {
+		case err == nil && a == nil:
+			continue // long-poll timeout: poll again
+		case errors.Is(err, errUnknown):
+			// Lease expired (long pause, coordinator restart). Abandon
+			// every in-flight run BEFORE rejoining: the expiry already
+			// migrated those tasks, and re-registering first would let a
+			// stale execution's pushes authenticate again under the new
+			// incarnation — two executors interleaving on one task.
+			w.cancelAll("lease expired")
+			if err := w.register(ctx); err != nil {
+				return err
+			}
+			continue
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("hornet-worker: poll: %v (retrying)", err)
+			select {
+			case <-time.After(time.Second):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		slots := a.Workers
+		if slots < 1 {
+			slots = 1
+		}
+		if slots > w.opts.Capacity {
+			slots = w.opts.Capacity
+		}
+		w.mu.Lock()
+		w.busy += slots
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go func(a *backend.Assignment, slots int) {
+			defer w.wg.Done()
+			defer func() {
+				w.mu.Lock()
+				w.busy -= slots
+				w.idle.Broadcast()
+				w.mu.Unlock()
+			}()
+			w.execute(ctx, a)
+		}(a, slots)
+	}
+}
+
+// register joins the fleet, retrying while the coordinator is
+// unreachable.
+func (w *Worker) register(ctx context.Context) error {
+	req := backend.RegisterRequest{ID: w.ID(), Capacity: w.opts.Capacity}
+	for {
+		var resp backend.RegisterResponse
+		err := w.doJSON(ctx, http.MethodPost, "/api/v1/workers", req, &resp)
+		if err == nil {
+			w.mu.Lock()
+			w.id = resp.ID
+			w.ckEvery = resp.CheckpointEvery
+			w.hbEvery = resp.HeartbeatEvery
+			w.mu.Unlock()
+			w.logf("hornet-worker: registered as %s (capacity=%d, checkpoint-every=%d)",
+				resp.ID, w.opts.Capacity, resp.CheckpointEvery)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.logf("hornet-worker: register: %v (retrying)", err)
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Deregister leaves the fleet gracefully: assigned tasks requeue (with
+// their uploaded checkpoints) onto the surviving workers.
+func (w *Worker) Deregister(ctx context.Context) error {
+	id := w.ID()
+	if id == "" {
+		return nil
+	}
+	return w.doJSON(ctx, http.MethodDelete, "/api/v1/workers/"+url.PathEscape(id), nil, nil)
+}
+
+// heartbeatEvery returns the current heartbeat period (re-read every
+// beat: a re-registration against a coordinator with a different
+// -worker-ttl must retune the cadence, or a now-shorter lease would
+// keep expiring this worker mid-task).
+func (w *Worker) heartbeatEvery() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.hbEvery > 0 {
+		return w.hbEvery
+	}
+	return 5 * time.Second
+}
+
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	timer := time.NewTimer(w.heartbeatEvery())
+	defer timer.Stop()
+	for {
+		select {
+		case <-timer.C:
+			var resp backend.HeartbeatResponse
+			err := w.doJSON(ctx, http.MethodPost,
+				"/api/v1/workers/"+url.PathEscape(w.ID())+"/heartbeat", struct{}{}, &resp)
+			switch {
+			case errors.Is(err, errUnknown):
+				// The lease expired: any task this worker still runs has
+				// been migrated away — stop burning CPU on it. The poll
+				// loop re-registers once the execution drains.
+				w.cancelAll("lease expired")
+			case err == nil:
+				for _, tid := range resp.CancelTasks {
+					w.cancelTask(tid)
+				}
+			}
+			timer.Reset(w.heartbeatEvery())
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (w *Worker) cancelTask(taskID string) {
+	w.mu.Lock()
+	cancel := w.running[taskID]
+	w.mu.Unlock()
+	if cancel != nil {
+		w.logf("hornet-worker: coordinator cancelled task %s", taskID)
+		cancel()
+	}
+}
+
+// cancelAll aborts every in-flight execution (coordinator no longer
+// recognizes this worker: the tasks are not ours anymore).
+func (w *Worker) cancelAll(why string) {
+	w.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(w.running))
+	for _, c := range w.running {
+		cancels = append(cancels, c)
+	}
+	w.mu.Unlock()
+	if len(cancels) > 0 {
+		w.logf("hornet-worker: abandoning %d task(s): %s", len(cancels), why)
+	}
+	for _, c := range cancels {
+		c()
+	}
+}
+
+func (w *Worker) poll(ctx context.Context) (*backend.Assignment, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.opts.Coordinator+"/api/v1/workers/"+url.PathEscape(w.ID())+"/poll?wait=25s", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNoContent:
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil
+	case resp.StatusCode >= 400:
+		return nil, decodeError(resp)
+	}
+	var a backend.Assignment
+	if err := json.NewDecoder(resp.Body).Decode(&a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// execute runs one assignment end to end and pushes the terminal
+// result. Every push is best-effort: a dead coordinator just means the
+// lease expires and the task migrates.
+func (w *Worker) execute(ctx context.Context, a *backend.Assignment) {
+	w.logf("hornet-worker: executing %s (%s, workers=%d, seeded checkpoints=%d)",
+		a.TaskID, a.Name, a.Workers, len(a.Checkpoints))
+	taskCtx, cancel := context.WithCancel(ctx)
+	w.mu.Lock()
+	w.running[a.TaskID] = cancel
+	w.mu.Unlock()
+	defer func() {
+		cancel()
+		w.mu.Lock()
+		delete(w.running, a.TaskID)
+		w.mu.Unlock()
+	}()
+
+	var req service.SubmitRequest
+	if err := json.Unmarshal(a.Request, &req); err != nil {
+		w.pushResult(ctx, a.TaskID, backend.ResultPush{Error: "malformed task request: " + err.Error()})
+		return
+	}
+
+	store := &remoteStore{w: w, ctx: taskCtx, taskID: a.TaskID, cancelRun: cancel,
+		mem: service.NewMemCheckpointStore()}
+	for key, blob := range a.Checkpoints {
+		_ = store.mem.Save(key, blob.Data, blob.Cycle)
+	}
+	event := func(ev backend.TaskEvent) {
+		err := w.doJSON(taskCtx, http.MethodPost,
+			"/api/v1/workers/"+url.PathEscape(w.ID())+"/tasks/"+url.PathEscape(a.TaskID)+"/events",
+			ev, nil)
+		if errors.Is(err, errGone) || errors.Is(err, errUnknown) {
+			// Cancelled, migrated away, or this worker was expired from
+			// the fleet: either way the task is not ours — stop simulating.
+			cancel()
+		}
+	}
+	res, err := service.Execute(taskCtx, req, service.ExecOptions{
+		Workers:         a.Workers,
+		Checkpoints:     store,
+		CheckpointEvery: a.CheckpointEvery,
+		Warmups:         w.warm,
+		OnProgress: func(done, total int, key string) {
+			event(backend.TaskEvent{Type: "progress", Done: done, Total: total, Key: key})
+		},
+		OnResumed: func(key string, cycle uint64) {
+			event(backend.TaskEvent{Type: "resumed", Key: key, Cycle: cycle})
+		},
+		OnCheckpoint: func(key string, cycle uint64) {
+			event(backend.TaskEvent{Type: "checkpoint", Key: key, Cycle: cycle})
+		},
+	})
+	switch {
+	case ctx.Err() != nil:
+		return // crash-stop: push nothing, the lease expiry migrates the task
+	case taskCtx.Err() != nil:
+		w.pushResult(ctx, a.TaskID, backend.ResultPush{Canceled: true})
+	case err != nil:
+		w.pushResult(ctx, a.TaskID, backend.ResultPush{Error: err.Error()})
+	default:
+		w.pushResult(ctx, a.TaskID, backend.ResultPush{Doc: res.Doc, RunErrs: res.RunErrs})
+	}
+}
+
+func (w *Worker) pushResult(ctx context.Context, taskID string, res backend.ResultPush) {
+	err := w.doJSON(ctx, http.MethodPost,
+		"/api/v1/workers/"+url.PathEscape(w.ID())+"/tasks/"+url.PathEscape(taskID)+"/result",
+		res, nil)
+	if err != nil && ctx.Err() == nil {
+		w.logf("hornet-worker: pushing result for %s: %v", taskID, err)
+	}
+}
+
+// remoteStore is the worker's CheckpointStore: loads are served from
+// the in-memory copy (seeded by the assignment), saves upload the blob
+// to the coordinator — the fleet's migration state — and keep the
+// memory copy for local resume.
+type remoteStore struct {
+	w         *Worker
+	ctx       context.Context
+	taskID    string
+	cancelRun context.CancelFunc
+	mem       *service.MemCheckpointStore
+}
+
+func (r *remoteStore) Save(key string, blob []byte, cycle uint64) error {
+	_ = r.mem.Save(key, blob, cycle)
+	path := "/api/v1/workers/" + url.PathEscape(r.w.ID()) + "/tasks/" + url.PathEscape(r.taskID) +
+		"/checkpoints/" + url.PathEscape(key) + "?cycle=" + strconv.FormatUint(cycle, 10)
+	req, err := http.NewRequestWithContext(r.ctx, http.MethodPut,
+		r.w.opts.Coordinator+path, bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := r.w.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		err := decodeError(resp)
+		if errors.Is(err, errGone) || errors.Is(err, errUnknown) {
+			r.cancelRun() // the task is no longer ours: stop simulating
+		}
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func (r *remoteStore) Load(key string) ([]byte, bool) { return r.mem.Load(key) }
+
+func (r *remoteStore) Remove(key string) {
+	r.mem.Remove(key)
+	// Best effort: the run finished, so the coordinator can drop the
+	// migration blob; the result push supersedes it anyway.
+	_ = r.w.doJSON(r.ctx, http.MethodDelete,
+		"/api/v1/workers/"+url.PathEscape(r.w.ID())+"/tasks/"+url.PathEscape(r.taskID)+
+			"/checkpoints/"+url.PathEscape(key), nil, nil)
+}

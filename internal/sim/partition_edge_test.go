@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// Edge cases the fleet scheduler now leans on: worker counts above the
+// tile count arrive routinely (a worker's slot grant is independent of
+// the submitted topology), single-tile systems degenerate to one-party
+// barriers, and checkpoint chunking depends on stops landing exactly at
+// synchronization points.
+
+// TestEngineCapsWorkersAboveTiles: a worker request larger than the
+// tile count caps to one worker per tile, every partition is non-empty,
+// and the run is identical to the exactly-matching worker count.
+func TestEngineCapsWorkersAboveTiles(t *testing.T) {
+	for _, tileCount := range []int{1, 2, 3, 5} {
+		mk := func() []Tile {
+			tiles := make([]Tile, tileCount)
+			for i := range tiles {
+				tiles[i] = &countTile{}
+			}
+			return tiles
+		}
+		capped := mk()
+		e := NewEngine(capped, tileCount+7, 1, false, nil)
+		if got := e.Workers(); got != tileCount {
+			t.Fatalf("tiles=%d: workers=%d after capping, want %d", tileCount, got, tileCount)
+		}
+		for w := 0; w < e.Workers(); w++ {
+			lo, hi := e.partition(w)
+			if hi-lo != 1 {
+				t.Fatalf("tiles=%d worker %d owns [%d,%d), want exactly one tile", tileCount, w, lo, hi)
+			}
+		}
+		res := e.Run(0, 50, nil)
+		if res.Cycles != 50 || res.Workers != tileCount {
+			t.Fatalf("tiles=%d: run %+v", tileCount, res)
+		}
+
+		ref := mk()
+		NewEngine(ref, tileCount, 1, false, nil).Run(0, 50, nil)
+		for i := range capped {
+			got, want := capped[i].(*countTile), ref[i].(*countTile)
+			if len(got.transfers) != len(want.transfers) || len(got.commits) != len(want.commits) {
+				t.Fatalf("tiles=%d tile %d: capped run saw %d/%d phases, exact run %d/%d",
+					tileCount, i, len(got.transfers), len(got.commits),
+					len(want.transfers), len(want.commits))
+			}
+		}
+	}
+}
+
+// TestEnginePartitionBalance: the equal-division mapping never leaves a
+// worker more than one tile ahead of another, and the spans are
+// contiguous and ordered (neighbouring mesh tiles stay on one worker).
+func TestEnginePartitionBalance(t *testing.T) {
+	for tiles := 1; tiles <= 24; tiles++ {
+		for workers := 1; workers <= tiles; workers++ {
+			e := &Engine{tiles: make([]Tile, tiles), workers: workers}
+			prevHi, minSpan, maxSpan := 0, tiles, 0
+			for w := 0; w < workers; w++ {
+				lo, hi := e.partition(w)
+				if lo != prevHi {
+					t.Fatalf("tiles=%d workers=%d: worker %d starts at %d, want %d (contiguous)",
+						tiles, workers, w, lo, prevHi)
+				}
+				span := hi - lo
+				if span < 1 {
+					t.Fatalf("tiles=%d workers=%d: worker %d owns empty span", tiles, workers, w)
+				}
+				if span < minSpan {
+					minSpan = span
+				}
+				if span > maxSpan {
+					maxSpan = span
+				}
+				prevHi = hi
+			}
+			if prevHi != tiles {
+				t.Fatalf("tiles=%d workers=%d: last span ends at %d", tiles, workers, prevHi)
+			}
+			if maxSpan-minSpan > 1 {
+				t.Fatalf("tiles=%d workers=%d: span imbalance %d vs %d", tiles, workers, minSpan, maxSpan)
+			}
+		}
+	}
+}
+
+// TestBarrierSinglePartyGenerations: a one-party barrier (single-tile
+// system) must run the leader action every generation, never block, and
+// stay reusable across many generations — including interleaved
+// action-less arrivals.
+func TestBarrierSinglePartyGenerations(t *testing.T) {
+	b := NewBarrier(1)
+	if b.Parties() != 1 {
+		t.Fatalf("Parties() = %d, want 1", b.Parties())
+	}
+	gen := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 10_000; i++ {
+			b.Await(func() { gen++ })
+			b.Await(nil)
+		}
+	}()
+	<-done
+	if gen != 10_000 {
+		t.Fatalf("leader action ran %d times, want 10000", gen)
+	}
+}
+
+// TestEngineStopAtSyncPoint: with periodic synchronization the stop
+// function is only consulted at sync points, so a stop that triggers
+// mid-chunk must halt the run at the *end* of that chunk — executed
+// cycles are always a whole number of chunks. Checkpoint autosave
+// relies on this: chunk boundaries are the only cycles at which a
+// consistent snapshot exists.
+func TestEngineStopAtSyncPoint(t *testing.T) {
+	for _, tc := range []struct {
+		syncPeriod int
+		stopAt     uint64
+		want       uint64 // cycles executed
+	}{
+		{1, 9, 10},  // cycle-accurate: halts right after the stop cycle
+		{7, 9, 14},  // stop cycle 9 is inside chunk [7,14): halts at 14
+		{7, 13, 14}, // stop at the last cycle of the chunk: still 14
+		{7, 14, 21}, // stop at a chunk start: consulted after chunk [14,21)
+		{5, 0, 5},   // stop true from the first consultation: one chunk
+	} {
+		var tiles []Tile
+		for i := 0; i < 3; i++ {
+			tiles = append(tiles, &countTile{})
+		}
+		e := NewEngine(tiles, 2, tc.syncPeriod, false, nil)
+		res := e.Run(0, 1_000, func(cycle uint64) bool { return cycle >= tc.stopAt })
+		if res.Cycles != tc.want {
+			t.Errorf("syncPeriod=%d stopAt=%d: ran %d cycles, want %d",
+				tc.syncPeriod, tc.stopAt, res.Cycles, tc.want)
+		}
+		for i, tl := range tiles {
+			ct := tl.(*countTile)
+			if uint64(len(ct.transfers)) != tc.want || uint64(len(ct.commits)) != tc.want {
+				t.Errorf("syncPeriod=%d stopAt=%d tile %d: %d transfers / %d commits, want %d",
+					tc.syncPeriod, tc.stopAt, i, len(ct.transfers), len(ct.commits), tc.want)
+			}
+		}
+	}
+}
+
+// TestEngineStopConcurrentWorkersQuiesce: the stop decision is made by
+// the barrier leader while every other worker is blocked, so all
+// workers observe the same final cycle — no tile runs past the halt.
+func TestEngineStopConcurrentWorkersQuiesce(t *testing.T) {
+	const tiles, stopAt = 8, 63
+	var mu sync.Mutex
+	mk := make([]Tile, tiles)
+	for i := range mk {
+		mk[i] = &countTile{}
+	}
+	e := NewEngine(mk, 4, 1, false, nil)
+	var stops int
+	res := e.Run(0, 10_000, func(cycle uint64) bool {
+		mu.Lock()
+		stops++
+		mu.Unlock()
+		return cycle >= stopAt
+	})
+	if res.Cycles != stopAt+1 {
+		t.Fatalf("ran %d cycles, want %d", res.Cycles, stopAt+1)
+	}
+	for i, tl := range mk {
+		ct := tl.(*countTile)
+		if uint64(len(ct.commits)) != res.Cycles {
+			t.Fatalf("tile %d committed %d cycles, engine reports %d", i, len(ct.commits), res.Cycles)
+		}
+	}
+	if uint64(stops) != res.Cycles {
+		t.Fatalf("stop consulted %d times for %d cycles (leader-only contract)", stops, res.Cycles)
+	}
+}

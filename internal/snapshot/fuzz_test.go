@@ -101,6 +101,37 @@ func FuzzReaderPayload(f *testing.F) {
 	})
 }
 
+// FuzzVerify is the transport-admission contract: Verify never panics
+// on arbitrary bytes, returns only structured errors, and never rejects
+// a container DecodeBytes would accept (a worker's uploaded checkpoint
+// must not be refused at the coordinator's door and then resume fine
+// locally — or vice versa at the envelope level).
+func FuzzVerify(f *testing.F) {
+	valid, err := corpusSnapshot().Bytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)-1])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x01
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		verr := Verify(data)
+		if verr != nil {
+			var ce *CorruptError
+			var ve *VersionError
+			if !errors.As(verr, &ce) && !errors.As(verr, &ve) {
+				t.Fatalf("Verify returned unstructured error %T: %v", verr, verr)
+			}
+		}
+		if _, derr := DecodeBytes(data); derr == nil && verr != nil {
+			t.Fatalf("Verify rejected a container DecodeBytes accepts: %v", verr)
+		}
+	})
+}
+
 // TestPayloadCodecRoundTrip covers the registry basics the fuzzers skim:
 // nil, empty and non-empty byte payloads round-trip; unregistered types
 // are refused with an UnsupportedError naming the type.

@@ -29,8 +29,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
 	"sort"
+
+	"hornet/internal/fsatomic"
 )
 
 // FormatVersion is the current snapshot layout version. Bump whenever
@@ -192,6 +193,29 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	return DecodeBytes(b)
 }
 
+// Verify checks the container envelope — magic, format version and the
+// trailing CRC — without decoding or materializing sections. It is the
+// cheap admission check for snapshot blobs arriving over a network
+// transport (worker checkpoint uploads): a blob that passes Verify will
+// also pass DecodeBytes's envelope checks, so corruption is rejected at
+// the transport boundary instead of being discovered mid-resume.
+func Verify(b []byte) error {
+	if len(b) < len(magic)+2+4 {
+		return corruptf("truncated: %d bytes", len(b))
+	}
+	if !bytes.Equal(b[:len(magic)], magic) {
+		return corruptf("bad magic %q", b[:len(magic)])
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), crc32.ChecksumIEEE(body); got != want {
+		return corruptf("checksum mismatch: stored %08x, computed %08x", got, want)
+	}
+	if version := binary.LittleEndian.Uint16(b[len(magic):]); version != FormatVersion {
+		return &VersionError{Got: version, Want: FormatVersion}
+	}
+	return nil
+}
+
 // DecodeBytes parses and verifies an in-memory container.
 func DecodeBytes(b []byte) (*Snapshot, error) {
 	if len(b) < len(magic)+2+4 {
@@ -244,24 +268,7 @@ func (s *Snapshot) CheckConfigHash(want string) error {
 // directory, then rename, so a killed process never leaves a partial
 // snapshot under the final name.
 func (s *Snapshot) WriteFile(path string) error {
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	f, err := os.CreateTemp(dir, filepath.Base(path)+"-*.tmp")
-	if err != nil {
-		return err
-	}
-	if err := s.Encode(f); err != nil {
-		f.Close()
-		os.Remove(f.Name())
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(f.Name())
-		return err
-	}
-	return os.Rename(f.Name(), path)
+	return fsatomic.Write(path, s.Encode)
 }
 
 // ReadFile loads and verifies a snapshot file.

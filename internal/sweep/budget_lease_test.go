@@ -1,0 +1,127 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBudgetTryAcquire(t *testing.T) {
+	b := NewBudget(3)
+	if got, ok := b.TryAcquire(2); !ok || got != 2 {
+		t.Fatalf("TryAcquire(2) = %d, %v; want 2, true", got, ok)
+	}
+	// Requests are clamped to the capacity, not rejected for exceeding it.
+	if got, ok := b.TryAcquire(5); ok || got != 0 {
+		t.Fatalf("TryAcquire(5) with 1 free = %d, %v; want 0, false", got, ok)
+	}
+	if got, ok := b.TryAcquire(1); !ok || got != 1 {
+		t.Fatalf("TryAcquire(1) = %d, %v; want 1, true", got, ok)
+	}
+	if _, ok := b.TryAcquire(1); ok {
+		t.Fatal("TryAcquire succeeded on a full budget")
+	}
+	b.Release(3)
+	if got, ok := b.TryAcquire(99); !ok || got != 3 {
+		t.Fatalf("TryAcquire(99) on empty budget = %d, %v; want clamp to 3", got, ok)
+	}
+}
+
+func TestBudgetLeaseReleaseIdempotent(t *testing.T) {
+	b := NewBudget(2)
+	l := b.TryLease(2)
+	if l == nil || l.Slots() != 2 {
+		t.Fatalf("TryLease(2) = %v", l)
+	}
+	if b.TryLease(1) != nil {
+		t.Fatal("second lease granted on a full budget")
+	}
+	// Racing release paths (task completion vs worker-death requeue) must
+	// return the slots exactly once.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); l.Release() }()
+	}
+	wg.Wait()
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("after racing releases InUse = %d, want 0", got)
+	}
+	var nilLease *Lease
+	nilLease.Release() // nil-safe
+	if nilLease.Slots() != 0 {
+		t.Fatal("nil lease reports slots")
+	}
+}
+
+func TestBudgetResize(t *testing.T) {
+	b := NewBudget(1)
+	if got, _ := b.TryAcquire(1); got != 1 {
+		t.Fatal("seed acquire failed")
+	}
+
+	// A waiter blocked on a full budget is released by growth.
+	done := make(chan int, 1)
+	go func() {
+		got, _ := b.AcquireCtx(context.Background(), 1)
+		done <- got
+	}()
+	select {
+	case got := <-done:
+		t.Fatalf("acquire on full budget returned %d before resize", got)
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Resize(2)
+	select {
+	case got := <-done:
+		if got != 1 {
+			t.Fatalf("post-grow acquire = %d, want 1", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("grow did not wake the waiter")
+	}
+
+	// Shrinking below the in-use count strands no one: holders release,
+	// and a request wider than the new capacity clamps down to it.
+	b.Resize(1) // used == 2 > cap == 1
+	if b.Cap() != 1 {
+		t.Fatalf("Cap after shrink = %d", b.Cap())
+	}
+	if _, ok := b.TryAcquire(1); ok {
+		t.Fatal("TryAcquire granted slots while used > cap")
+	}
+	b.Release(2)
+	if got, ok := b.TryAcquire(4); !ok || got != 1 {
+		t.Fatalf("TryAcquire(4) after shrink = %d, %v; want 1, true", got, ok)
+	}
+	b.Release(1)
+
+	// A waiter whose request exceeds a capacity shrunk mid-wait re-clamps
+	// instead of waiting forever.
+	if got, _ := b.TryAcquire(1); got != 1 {
+		t.Fatal("seed acquire failed")
+	}
+	got2 := make(chan int, 1)
+	go func() {
+		n, _ := b.AcquireCtx(context.Background(), 1)
+		got2 <- n
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Resize(0) // empty fleet: grantable slots vanish
+	b.Release(1)
+	select {
+	case n := <-got2:
+		t.Fatalf("acquire on zero-cap budget returned %d", n)
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Resize(2)
+	select {
+	case n := <-got2:
+		if n != 1 {
+			t.Fatalf("acquire after regrow = %d, want 1", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("regrow did not wake the waiter")
+	}
+}

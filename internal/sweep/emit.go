@@ -8,6 +8,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"hornet/internal/fsatomic"
 )
 
 // ConfigHash returns a stable 16-hex-digit hash of the canonical JSON
@@ -122,21 +124,7 @@ func (c Cache) Load(name, hash string) (Document, bool, error) {
 // needed. The write goes through a temp file and rename so an
 // interrupted run never leaves a half-written entry behind.
 func (c Cache) Store(doc Document) error {
-	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
-		return err
-	}
-	f, err := os.CreateTemp(c.Dir, doc.Name+"-*.tmp")
-	if err != nil {
-		return err
-	}
-	if err := doc.WriteJSON(f); err != nil {
-		f.Close()
-		os.Remove(f.Name())
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(f.Name())
-		return err
-	}
-	return os.Rename(f.Name(), c.Path(doc.Name, doc.ConfigHash))
+	return fsatomic.Write(c.Path(doc.Name, doc.ConfigHash), func(w io.Writer) error {
+		return doc.WriteJSON(w)
+	})
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"hornet/internal/fsatomic"
 	"hornet/internal/lru"
 	"hornet/internal/snapshot"
 )
@@ -146,23 +147,7 @@ func (c *SnapshotCache) Get(ctx context.Context, key string, produce func() ([]b
 
 // persist writes a blob atomically (temp + rename).
 func (c *SnapshotCache) persist(key string, b []byte) error {
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
-		return err
-	}
-	f, err := os.CreateTemp(c.dir, "warmup-"+key+"-*.tmp")
-	if err != nil {
-		return err
-	}
-	if _, err := f.Write(b); err != nil {
-		f.Close()
-		os.Remove(f.Name())
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(f.Name())
-		return err
-	}
-	return os.Rename(f.Name(), c.Path(key))
+	return fsatomic.WriteFile(c.Path(key), b)
 }
 
 // Drop purges a key from memory and disk. Callers use it when a cached
