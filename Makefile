@@ -1,7 +1,8 @@
 GO ?= go
 
 .PHONY: build test test-race test-race-rest test-full test-snapshot bench bench-json bench-gate \
-	e2e-distributed fuzz-smoke fmt-check serve worker vet
+	bench-sharded-json bench-sharded-gate e2e-distributed e2e-sharded fuzz-smoke fmt-check \
+	serve worker vet
 
 build:
 	$(GO) build ./...
@@ -62,12 +63,34 @@ BENCH_FLOOR ?= 0.35
 bench-gate:
 	$(GO) run ./cmd/hornet-bench -gate BENCH_PR5.json -floor $(BENCH_FLOOR)
 
+# Sharded-simulation data point (PR 6): ONE simulation single-engine vs
+# space-parallel across 2 workers, written to BENCH_PR6.json. Members
+# barrier through the coordinator every cycle, so the speedup is a
+# liveness canary, not a wall-time win; byte-identity is the contract.
+bench-sharded-json:
+	$(GO) run ./cmd/hornet-bench -sharded $(BENCH_SCALE) -out BENCH_PR6.json
+
+# Sharded bench gate (blocking in CI): byte-identity across sharded vs
+# single execution, the job must actually have shipped to the fleet,
+# and throughput must stay above a floor set low enough to pass HTTP
+# barrier overhead but catch a deadlocked/serialized shard group.
+SHARD_FLOOR ?= 0.01
+bench-sharded-gate:
+	$(GO) run ./cmd/hornet-bench -gate BENCH_PR6.json -floor $(SHARD_FLOOR)
+
 # Process-level distributed drill: build the real binaries, boot a
 # coordinator plus 2 workers, SIGKILL the one executing the job, and
 # require checkpoint migration (resumed_runs > 0) plus a byte-identical
 # document. Opt-in via HORNET_E2E so the hermetic suite stays fast.
 e2e-distributed:
 	HORNET_E2E=1 $(GO) test -count=1 -timeout 15m -v -run TestDistributedFleetE2E ./e2e
+
+# Process-level sharded drill: one simulation space-parallel across 2
+# worker processes (a third idle as the spare), SIGKILL a member's
+# worker mid-run, and require group rollback + checkpoint-seeded
+# re-dispatch plus a document byte-identical to the single-engine run.
+e2e-sharded:
+	HORNET_E2E=1 $(GO) test -count=1 -timeout 15m -v -run TestShardedFleetE2E ./e2e
 
 # Fuzz smoke over the snapshot container's seed corpora (one target per
 # invocation — `go test -fuzz` accepts a single target).

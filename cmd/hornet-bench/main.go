@@ -6,6 +6,7 @@
 //	hornet-bench                      # distributed-fleet bench → BENCH_PR5.json
 //	hornet-bench -tiny                # CI smoke scale
 //	hornet-bench -warmup              # PR 3 warmup-reuse bench → BENCH_PR3.json
+//	hornet-bench -sharded             # PR 6 sharded-vs-single bench → BENCH_PR6.json
 //	hornet-bench -gate BENCH_PR5.json -floor 0.35
 //	                                  # regression gate: exit 1 unless
 //	                                  # docs_identical && speedup >= floor
@@ -56,6 +57,11 @@ type report struct {
 	JobsPerSecFleet float64 `json:"jobs_per_sec_fleet,omitempty"`
 	RemoteJobs      uint64  `json:"remote_jobs,omitempty"`
 
+	// Sharded-simulation bench (BENCH_PR6.json): ONE simulation run
+	// single-engine and space-parallel across fleet workers. The wall
+	// times reuse the local/fleet fields; Shards records the span count.
+	Shards int `json:"shards,omitempty"`
+
 	// Warmup-reuse bench (BENCH_PR3.json).
 	Items           int     `json:"items,omitempty"`
 	WarmupSimulated uint64  `json:"warmups_simulated,omitempty"`
@@ -80,7 +86,8 @@ func main() {
 	tiny := flag.Bool("tiny", false, "smoke-test scale")
 	full := flag.Bool("full", false, "paper scale")
 	warmup := flag.Bool("warmup", false, "run the PR 3 warmup-reuse bench instead of the distributed bench")
-	out := flag.String("out", "", `output path ("-" = stdout only; default BENCH_PR5.json, or BENCH_PR3.json with -warmup)`)
+	sharded := flag.Bool("sharded", false, "run the PR 6 sharded-vs-single bench instead of the distributed bench")
+	out := flag.String("out", "", `output path ("-" = stdout only; default BENCH_PR5.json, BENCH_PR3.json with -warmup, or BENCH_PR6.json with -sharded)`)
 	gate := flag.String("gate", "", "gate mode: check this report file instead of benchmarking")
 	floor := flag.Float64("floor", 0.35, "minimum acceptable speedup in gate mode")
 	flag.Parse()
@@ -97,12 +104,18 @@ func main() {
 		scale = "full"
 	}
 	var r report
-	if *warmup {
+	switch {
+	case *warmup:
 		if *out == "" {
 			*out = "BENCH_PR3.json"
 		}
 		r = warmupBench(*tiny, *full, scale)
-	} else {
+	case *sharded:
+		if *out == "" {
+			*out = "BENCH_PR6.json"
+		}
+		r = shardedBench(scale)
+	default:
 		if *out == "" {
 			*out = "BENCH_PR5.json"
 		}
@@ -137,7 +150,7 @@ func runGate(path string, floor float64) {
 	if !r.DocsIdentical {
 		fatalf("gate: %s: docs_identical=false — the cross-backend byte-identity contract is broken", path)
 	}
-	if r.Bench == "distributed-fleet" && r.RemoteJobs == 0 {
+	if (r.Bench == "distributed-fleet" || r.Bench == "sharded-simulation") && r.RemoteJobs == 0 {
 		fatalf("gate: %s: remote_jobs=0 — the fleet never executed anything, the comparison is vacuous", path)
 	}
 	if r.Speedup < floor {
@@ -278,6 +291,97 @@ func distributedBench(scale string) report {
 		RemoteJobs:      st.RemoteJobs,
 		Speedup:         float64(localWall) / float64(fleetWall),
 		DocsIdentical:   identical,
+	}
+}
+
+// shardedBench is the PR 6 data point: ONE simulation executed
+// single-engine on the local backend, then space-parallel (shards=2)
+// across two attached workers over HTTP. Members synchronize every
+// cycle (sync_period 1) through the coordinator, so wall-clock is
+// dominated by barrier round-trips — the speedup here is trajectory
+// data and a liveness canary (a deadlocked or serialized group shows up
+// as a collapse), while the byte-identity verdict is the blocking
+// contract: sharding must be invisible in the document.
+func shardedBench(scale string) report {
+	analyzed := 20_000
+	switch scale {
+	case "tiny":
+		analyzed = 2_000
+	case "full":
+		analyzed = 120_000
+	}
+	cfg := config.Default()
+	cfg.Topology.Width, cfg.Topology.Height = 4, 4
+	cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternTranspose, InjectionRate: 0.08}}
+	cfg.WarmupCycles = 400
+	cfg.AnalyzedCycles = analyzed
+	req := service.SubmitRequest{Name: "bench-sharded", Config: &cfg, Seed: 0x5EED0A11}
+
+	budget := runtime.GOMAXPROCS(0)
+
+	// Pass 1: single-engine on the bare coordinator's local backend.
+	singleSrv := service.New(service.Options{MaxJobs: 1, Budget: budget})
+	singleHTTP := httptest.NewServer(singleSrv)
+	singleDocs, singleWall := runAll(client.New(singleHTTP.URL), []service.SubmitRequest{req})
+	singleHTTP.Close()
+	singleSrv.Close()
+
+	// Pass 2: the same simulation sharded 2-way across two workers.
+	fleetSrv := service.New(service.Options{MaxJobs: 1, Budget: budget})
+	fleetHTTP := httptest.NewServer(fleetSrv)
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	const shards = 2
+	capacity := (budget + 1) / shards
+	if capacity < 1 {
+		capacity = 1
+	}
+	for i := 0; i < shards; i++ {
+		w := worker.New(worker.Options{
+			Coordinator: fleetHTTP.URL,
+			ID:          fmt.Sprintf("shard-w%d", i+1),
+			Capacity:    capacity,
+		})
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Run(ctx) }()
+	}
+	cl := client.New(fleetHTTP.URL)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := cl.Stats(context.Background())
+		if err == nil && st.Fleet.WorkersLive == shards {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatalf("workers never registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sreq := req
+	sreq.Shards = shards
+	shardDocs, shardWall := runAll(cl, []service.SubmitRequest{sreq})
+	st, err := cl.Stats(context.Background())
+	if err != nil {
+		fatalf("stats: %v", err)
+	}
+	cancel()
+	wg.Wait()
+	fleetHTTP.Close()
+	fleetSrv.Close()
+
+	return report{
+		Bench:           "sharded-simulation",
+		Scale:           scale,
+		Jobs:            1,
+		Workers:         shards,
+		Shards:          shards,
+		WallLocalMS:     float64(singleWall.Microseconds()) / 1000,
+		WallFleetMS:     float64(shardWall.Microseconds()) / 1000,
+		JobsPerSecLocal: 1 / singleWall.Seconds(),
+		JobsPerSecFleet: 1 / shardWall.Seconds(),
+		RemoteJobs:      st.RemoteJobs,
+		Speedup:         float64(singleWall) / float64(shardWall),
+		DocsIdentical:   bytes.Equal(singleDocs[req.Name], shardDocs[req.Name]),
 	}
 }
 

@@ -1,0 +1,204 @@
+package e2e
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hornet/internal/config"
+	"hornet/internal/service"
+	"hornet/internal/service/client"
+)
+
+// TestShardedFleetE2E is the space-parallel drill against real
+// processes: one simulation sharded across two hornet-worker processes
+// in cycle-lockstep, with spare workers idle. Mid-run — after the group
+// has promoted a stable checkpoint set — the test SIGKILLs one member's
+// worker. The group must roll back to the stable cycle (survivor
+// included), the dead member must be re-dispatched to a spare seeded
+// from the coordinator's stable blob, and the finished document must be
+// byte-identical to an uninterrupted single-engine in-process execution
+// of the same request. The drill runs twice, once per payload class:
+// synthetic traffic and a MIPS application workload.
+func TestShardedFleetE2E(t *testing.T) {
+	if os.Getenv("HORNET_E2E") == "" {
+		t.Skip("set HORNET_E2E=1 to run the process-level sharded drill")
+	}
+
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin,
+		"hornet/cmd/hornet-serve", "hornet/cmd/hornet-worker")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building binaries: %v", err)
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	base := "http://" + addr
+
+	start := func(name string, args ...string) *exec.Cmd {
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+				cmd.Wait()
+			}
+		})
+		return cmd
+	}
+
+	start("hornet-serve",
+		"-addr", addr, "-jobs", "1", "-budget", "2",
+		"-checkpoint-every", "500", "-worker-ttl", "2s")
+	waitHealthy(t, base)
+
+	// Four workers: two drills each SIGKILL one, and a sharded group
+	// needs two live members plus a spare for the migration to land on.
+	workers := make(map[string]*exec.Cmd, 4)
+	for i := 1; i <= 4; i++ {
+		id := fmt.Sprintf("e2e-s%d", i)
+		workers[id] = start("hornet-worker", "-coordinator", base, "-id", id, "-capacity", "1")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	c := client.New(base)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ws, err := c.Workers(ctx)
+		if err == nil && len(ws) == len(workers) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d workers never registered (last: %v, %v)", len(workers), ws, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	synthCfg := config.Default()
+	synthCfg.Topology.Width, synthCfg.Topology.Height = 4, 4
+	synthCfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternTranspose, InjectionRate: 0.08}}
+	synthCfg.WarmupCycles = 400
+	synthCfg.AnalyzedCycles = 60_000
+
+	mipsCfg := config.Default()
+	mipsCfg.Topology.Width, mipsCfg.Topology.Height = 4, 4
+
+	drills := []service.SubmitRequest{
+		{Name: "e2e-sharded-synth", Config: &synthCfg, Seed: 17, Shards: 2},
+		{Name: "e2e-sharded-mips", Seed: 9, Shards: 2,
+			Mips: &service.MipsSpec{Workload: "pingpong", Rounds: 400, Config: mipsCfg}},
+	}
+	for _, req := range drills {
+		runShardedKillDrill(t, ctx, c, workers, req)
+	}
+}
+
+// runShardedKillDrill submits one sharded request, SIGKILLs a member's
+// worker after the group has checkpointed, and requires migration plus
+// byte-identity against the unsharded in-process reference.
+func runShardedKillDrill(t *testing.T, ctx context.Context, c *client.Client,
+	workers map[string]*exec.Cmd, req service.SubmitRequest) {
+	t.Helper()
+
+	info, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("%s: submit: %v", req.Name, err)
+	}
+
+	// Stable promotion needs BOTH members' blobs at the same cycle; the
+	// job's checkpoint counter only sees the root member's uploads, so
+	// wait for its second one — by then the first cadence's set is
+	// complete (members run in cycle-lockstep).
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		ji, err := c.Job(ctx, info.ID)
+		if err != nil {
+			t.Fatalf("%s: job poll: %v", req.Name, err)
+		}
+		if ji.Terminal() {
+			t.Fatalf("%s: job finished before the kill; state %+v (grow the workload)", req.Name, ji)
+		}
+		if ji.Checkpoints >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: no checkpointed progress; job %+v", req.Name, ji)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// SIGKILL whichever live worker executes a member shard.
+	ws, err := c.Workers(ctx)
+	if err != nil {
+		t.Fatalf("%s: workers: %v", req.Name, err)
+	}
+	victim := ""
+	for _, w := range ws {
+		for _, task := range w.Tasks {
+			if strings.Contains(task, "-s") {
+				victim = w.ID
+			}
+		}
+	}
+	if victim == "" {
+		t.Fatalf("%s: no worker holds a member shard despite checkpoint progress", req.Name)
+	}
+	t.Logf("%s: SIGKILLing %s mid-run (member shard holder)", req.Name, victim)
+	if err := workers[victim].Process.Kill(); err != nil {
+		t.Fatalf("%s: kill %s: %v", req.Name, victim, err)
+	}
+	workers[victim].Wait()
+	delete(workers, victim)
+
+	final, err := c.Wait(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("%s: wait: %v", req.Name, err)
+	}
+	if final.State != service.StateDone {
+		t.Fatalf("%s: sharded job state after migration = %s (%s)", req.Name, final.State, final.Error)
+	}
+	_, sharded, err := c.Result(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("%s: result: %v", req.Name, err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("%s: stats: %v", req.Name, err)
+	}
+	if st.Fleet.TasksRequeued < 1 || st.Fleet.WorkersLost < 1 {
+		t.Errorf("%s: fleet stats show no shard migration: %+v", req.Name, st.Fleet)
+	}
+
+	// The golden contract: one simulation, sharded across processes,
+	// killed and migrated mid-run — and the served bytes still match an
+	// uninterrupted single-engine in-process execution.
+	unsharded := req
+	unsharded.Shards = 0
+	ref, err := service.Execute(ctx, unsharded, service.ExecOptions{Workers: 1})
+	if err != nil {
+		t.Fatalf("%s: reference execute: %v", req.Name, err)
+	}
+	if !bytes.Equal(sharded, ref.Doc) {
+		t.Errorf("%s: sharded+migrated document differs from single-engine run:\nsharded: %s\nref:     %s",
+			req.Name, sharded, ref.Doc)
+	}
+	fmt.Printf("e2e: %s survived killing %s; requeued=%d, lost=%d, doc bytes identical\n",
+		req.Name, victim, st.Fleet.TasksRequeued, st.Fleet.WorkersLost)
+}

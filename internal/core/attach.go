@@ -209,6 +209,7 @@ func (s *System) AttachMIPS(nodes []noc.NodeID, img *mips.Image) []*mips.Core {
 		cores = append(cores, c)
 	}
 	s.mipsCores = append(s.mipsCores, cores...)
+	s.mipsNodes = append(s.mipsNodes, nodes...)
 	return cores
 }
 
@@ -226,6 +227,7 @@ func (s *System) AttachMIPSShared(nodes []noc.NodeID, img *mips.Image, f *memory
 		cores = append(cores, c)
 	}
 	s.mipsCores = append(s.mipsCores, cores...)
+	s.mipsNodes = append(s.mipsNodes, nodes...)
 	return cores
 }
 

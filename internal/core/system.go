@@ -36,7 +36,14 @@ type System struct {
 	// system. Snapshot/Restore serialize their state alongside the NoC.
 	memFab    *memoryFabric
 	mipsCores []*mips.Core
+	mipsNodes []noc.NodeID // node of mipsCores[i], same order
 	traceMCs  []*mem.TraceController
+
+	// Sharding context (EnableSharding); nil for single-process runs.
+	shard *shardState
+	// restoredShard records the shard identity a restored snapshot was
+	// taken under, for EnableSharding to cross-check.
+	restoredShard *shardState
 
 	// unsnapshottable names the first attached component whose state
 	// cannot be serialized (live goroutines); empty means
@@ -245,6 +252,17 @@ func (s *System) Run(cycles uint64) sim.RunResult {
 // points) or maxCycles elapse.
 func (s *System) RunUntil(maxCycles uint64, stop func(cycle uint64) bool) sim.RunResult {
 	r := s.engine.Run(s.clock, maxCycles, stop)
+	s.clock += r.Cycles + r.SkippedCycles
+	return r
+}
+
+// RunUntilResumed is RunUntil for the continuation of an earlier chunk
+// of the same run (checkpoint-autosave cadence, restored snapshots): a
+// fast-forwarding engine may jump over leading idle cycles before
+// executing anything, keeping chunked execution byte-identical to an
+// uninterrupted run.
+func (s *System) RunUntilResumed(maxCycles uint64, stop func(cycle uint64) bool) sim.RunResult {
+	r := s.engine.RunResumed(s.clock, maxCycles, stop)
 	s.clock += r.Cycles + r.SkippedCycles
 	return r
 }

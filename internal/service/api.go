@@ -93,6 +93,16 @@ type SubmitRequest struct {
 	// submission always runs its own simulation.
 	NoCache bool `json:"no_cache,omitempty"`
 
+	// Shards, when >= 2, runs the simulation space-parallel: the tile
+	// grid is split into that many contiguous spans, each executed by
+	// one fleet member (or one in-process member when no workers are
+	// registered), exchanging boundary flits at every synchronization
+	// point. The result document is byte-identical to the single-process
+	// run, so Shards — like Workers — is NOT part of the cache identity.
+	// Only single-run scenarios shard (config, mips), they must use
+	// sync_period 1 (the default), and share_warmup is rejected.
+	Shards int `json:"shards,omitempty"`
+
 	// ShareWarmup (config/batch jobs) derives every run's engine seed
 	// from its warmup-prefix group instead of its item key, so runs whose
 	// configurations agree on everything but measured-phase knobs

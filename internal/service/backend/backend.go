@@ -19,6 +19,8 @@ import (
 	"encoding/json"
 	"errors"
 	"time"
+
+	"hornet/internal/sim"
 )
 
 // Task is one unit of executable work: the job's compiled identity plus
@@ -39,6 +41,10 @@ type Task struct {
 	Weight int
 	// RunsTotal sizes progress reporting.
 	RunsTotal int
+	// Shards, when >= 2, marks a space-parallel task: the fleet fans it
+	// out as Shards member tasks (one tile span each) coordinated through
+	// a ShardGroup; the local backend runs the members in-process.
+	Shards int
 	// Request is the client's original SubmitRequest JSON. Remote
 	// workers re-run full validation on it — a coordinator must never be
 	// able to make a worker execute an unvalidated configuration.
@@ -140,6 +146,14 @@ type Assignment struct {
 	// Checkpoints seeds the worker's checkpoint store for resume after a
 	// migration (run key → latest blob).
 	Checkpoints map[string]Blob `json:"checkpoints,omitempty"`
+	// Shard/ShardCount mark a space-parallel member assignment: this
+	// execution steps tile span Shard of ShardCount and coordinates with
+	// its siblings through the coordinator's shard endpoints. ShardEpoch
+	// is the group restart epoch the member joins at (incremented each
+	// time a member is lost and the group rolls back).
+	Shard      int `json:"shard,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
+	ShardEpoch int `json:"shard_epoch,omitempty"`
 }
 
 // TaskEvent is one progress push (POST .../tasks/{id}/events).
@@ -162,6 +176,56 @@ type ResultPush struct {
 	Error string `json:"error,omitempty"`
 	// Canceled acknowledges a coordinator-initiated cancellation.
 	Canceled bool `json:"canceled,omitempty"`
+}
+
+// Wire types of the shard-coordination endpoints. A space-parallel
+// member calls POST .../tasks/{id}/shardsync every synchronization
+// point and POST .../tasks/{id}/shardgather once at the end; both may
+// answer with a Restart instead, telling the member the group rolled
+// back to a stable checkpoint (a sibling died) and it must rejoin at
+// the new epoch from that cycle.
+
+// ShardRestart is the group-rollback notice: rejoin at Epoch from the
+// stable checkpoint taken at Cycle (0 = rebuild from scratch).
+type ShardRestart struct {
+	Epoch int    `json:"epoch"`
+	Cycle uint64 `json:"cycle"`
+}
+
+// ShardSyncRequest carries one member's vote and boundary payload for
+// the current synchronization point.
+type ShardSyncRequest struct {
+	Epoch    int           `json:"epoch"`
+	Vote     sim.ShardVote `json:"vote"`
+	Boundary []byte        `json:"boundary,omitempty"`
+}
+
+// ShardSyncResponse is the group decision plus every member's boundary
+// payload (the caller's own included; applying it is a no-op).
+type ShardSyncResponse struct {
+	Decision sim.ShardDecision `json:"decision"`
+	Payloads [][]byte          `json:"payloads,omitempty"`
+	Restart  *ShardRestart     `json:"restart,omitempty"`
+}
+
+// ShardGatherRequest carries one member's per-span statistics payload
+// for the final exchange that gives every member the full statistics.
+type ShardGatherRequest struct {
+	Epoch   int    `json:"epoch"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// ShardGatherResponse returns every member's statistics payload.
+type ShardGatherResponse struct {
+	Payloads [][]byte      `json:"payloads,omitempty"`
+	Restart  *ShardRestart `json:"restart,omitempty"`
+}
+
+// ShardCheckpointResponse carries the calling member's blob of the
+// group's stable checkpoint (nil: the group has no complete set — the
+// member rebuilds from cycle 0).
+type ShardCheckpointResponse struct {
+	Blob *Blob `json:"blob,omitempty"`
 }
 
 // HeartbeatResponse piggybacks coordinator→worker control on the

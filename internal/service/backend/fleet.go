@@ -81,6 +81,12 @@ type pending struct {
 	task *Task
 	sink Sink
 
+	// shard/group are set on space-parallel member tasks: shard is the
+	// member's tile-span index and group the rendezvous shared by all
+	// members of the original task.
+	shard int
+	group *ShardGroup
+
 	worker    string // assigned worker ID; "" while queued
 	grant     int    // slots granted on the assigned worker
 	lease     *sweep.Lease
@@ -91,6 +97,14 @@ type pending struct {
 	runErrs int
 	err     error
 }
+
+// discardSink drops progress from non-root shard members: every member
+// reports the same run, so only the root's events reach the job.
+type discardSink struct{}
+
+func (discardSink) Progress(int, int, string) {}
+func (discardSink) Resumed(string, uint64)    {}
+func (discardSink) Checkpoint(string, uint64) {}
 
 // NewFleet builds an empty fleet and starts its lease janitor.
 func NewFleet(opts FleetOptions) *Fleet {
@@ -160,6 +174,9 @@ func (f *Fleet) Live() int {
 // fast with ErrNoWorkers when the fleet is empty — the scheduler then
 // runs the task on the local backend instead.
 func (f *Fleet) Execute(ctx context.Context, t *Task, sink Sink) ([]byte, int, error) {
+	if t.Shards >= 2 {
+		return f.executeSharded(ctx, t, sink)
+	}
 	f.mu.Lock()
 	if f.closed || len(f.workers) == 0 {
 		f.mu.Unlock()
@@ -185,6 +202,103 @@ func (f *Fleet) Execute(ctx context.Context, t *Task, sink Sink) ([]byte, int, e
 		return nil, 0, ctx.Err()
 	}
 	return p.doc, p.runErrs, p.err
+}
+
+// errShardGroupDone is the Cancel reason after a sharded task's root
+// result arrived: any straggler member (e.g. a ghost re-dispatched
+// after a post-gather death) fails out of its barriers instead of
+// waiting for siblings that already finished.
+var errShardGroupDone = errors.New("backend: shard group completed")
+
+// executeSharded fans one space-parallel task out as Shards member
+// tasks through the ordinary queue/lease machinery, coordinated by a
+// ShardGroup. Every member executes the FULL simulation config but
+// steps only its tile span, exchanging boundary traffic at each
+// synchronization point via the coordinator's shard endpoints. The root
+// member's document — byte-identical to what any member (or a
+// single-process run) produces — is the task result.
+func (f *Fleet) executeSharded(ctx context.Context, t *Task, sink Sink) ([]byte, int, error) {
+	n := t.Shards
+	f.mu.Lock()
+	if f.closed || len(f.workers) == 0 {
+		f.mu.Unlock()
+		return nil, 0, ErrNoWorkers
+	}
+	// Refuse groups the fleet cannot co-schedule: members rendezvous
+	// every cycle, so all of them must hold a worker slot concurrently.
+	// A fleet with fewer total slots than members would park the early
+	// members at the join barrier forever while the rest starve in the
+	// queue.
+	total := 0
+	for _, w := range f.workers {
+		total += w.capacity
+	}
+	if total < n {
+		f.mu.Unlock()
+		return nil, 0, ErrNoWorkers
+	}
+	if t.Checkpoints == nil {
+		t.Checkpoints = map[string]Blob{}
+	}
+	f.seq++
+	base := fmt.Sprintf("task-%06d", f.seq)
+	group := NewShardGroup(n)
+	members := make([]*pending, n)
+	for i := 0; i < n; i++ {
+		mt := *t
+		mt.ID = fmt.Sprintf("%s-s%d", base, i)
+		// Each member loads only its own per-shard key from the seeded
+		// set, so every member can carry the full map.
+		mt.Checkpoints = make(map[string]Blob, len(t.Checkpoints))
+		for k, b := range t.Checkpoints {
+			mt.Checkpoints[k] = b
+		}
+		var ms Sink = discardSink{}
+		if i == 0 {
+			ms = sink
+		}
+		members[i] = &pending{task: &mt, sink: ms, shard: i, group: group, done: make(chan struct{})}
+	}
+	f.queue = append(f.queue, members...)
+	f.wakeLocked()
+	f.mu.Unlock()
+
+	// The root member's terminal state decides the task: the gather
+	// barrier guarantees it cannot produce a document before every
+	// member finished its simulation, and waiting on the root alone
+	// avoids deadlocking on a straggler that died after the gather.
+	root := members[0]
+	select {
+	case <-root.done:
+	case <-ctx.Done():
+		group.Cancel(ctx.Err())
+		for _, p := range members {
+			f.abort(p)
+		}
+		<-root.done
+	}
+	if root.err != nil {
+		group.Cancel(root.err)
+	} else {
+		group.Cancel(errShardGroupDone)
+	}
+	for _, p := range members[1:] {
+		f.abort(p)
+	}
+	if errors.Is(root.err, ErrNoWorkers) {
+		// Hand the group's stable checkpoint set back on the task: the
+		// scheduler's local fallback resumes the sharded run in-process
+		// from exactly this state.
+		for i := 0; i < n; i++ {
+			if key, blob, ok := group.StableBlob(i); ok {
+				t.Checkpoints[key] = blob
+			}
+		}
+	}
+	if root.err == nil && ctx.Err() != nil {
+		return nil, 0, ctx.Err()
+	}
+	return root.doc, root.runErrs, root.err
 }
 
 // abort cancels an in-flight task: a queued task terminates right away;
@@ -213,6 +327,11 @@ func (f *Fleet) finishLocked(p *pending, doc []byte, runErrs int, err error) {
 	default:
 	}
 	p.doc, p.runErrs, p.err = doc, runErrs, err
+	if p.group != nil && err != nil {
+		// A member failing terminally dooms the whole group: release its
+		// siblings from the barriers they are parked in.
+		p.group.Cancel(err)
+	}
 	p.lease.Release()
 	if err == nil {
 		f.tasksCompleted++
@@ -295,6 +414,18 @@ func (f *Fleet) evictLocked(w *workerState) {
 		if p.cancelled {
 			f.finishLocked(p, nil, 0, context.Canceled)
 			continue
+		}
+		if p.group != nil {
+			// Losing a member rolls the whole group back: bump the epoch
+			// (survivors restart from the stable cycle at their next
+			// barrier call) and seed the re-dispatch with the member's
+			// stable blob — NOT its latest upload, which may be ahead of
+			// the cycle the survivors roll back to.
+			p.group.MemberLost()
+			p.task.Checkpoints = map[string]Blob{}
+			if key, blob, ok := p.group.StableBlob(p.shard); ok {
+				p.task.Checkpoints[key] = blob
+			}
 		}
 		requeue = append(requeue, p)
 		f.tasksRequeued++
@@ -412,7 +543,7 @@ func (f *Fleet) assignLocked(w *workerState) *Assignment {
 		for k, b := range p.task.Checkpoints {
 			ckpts[k] = b
 		}
-		return &Assignment{
+		a := &Assignment{
 			TaskID:          p.task.ID,
 			Name:            p.task.Name,
 			Hash:            p.task.Hash,
@@ -423,6 +554,12 @@ func (f *Fleet) assignLocked(w *workerState) *Assignment {
 			Request:         p.task.Request,
 			Checkpoints:     ckpts,
 		}
+		if p.group != nil {
+			a.Shard = p.shard
+			a.ShardCount = p.group.Members()
+			a.ShardEpoch = p.group.Epoch()
+		}
+		return a
 	}
 	return nil
 }
@@ -480,6 +617,22 @@ func (f *Fleet) PushCheckpoint(workerID, taskID, key string, cycle uint64, blob 
 	if err != nil {
 		f.mu.Unlock()
 		return err
+	}
+	if p.group != nil {
+		// Shard members bypass the monotone guard below: after a group
+		// rollback a member legitimately re-uploads cycles BELOW its own
+		// previous latest (re-executing the same trajectory, the blobs are
+		// byte-identical), and each of those must reach the group's
+		// staged→stable promotion or the group would never advance its
+		// stable point again.
+		p.task.Checkpoints[key] = Blob{Cycle: cycle, Data: blob}
+		p.group.Stage(p.shard, key, cycle, blob)
+		persist := f.opts.Persist
+		f.mu.Unlock()
+		if persist != nil {
+			_ = persist.Save(key, blob, cycle)
+		}
+		return nil
 	}
 	// Checkpoints only move forward: a lagging upload (a stale worker
 	// incarnation losing a race with the task's current executor) must
@@ -545,6 +698,63 @@ func (f *Fleet) PushResult(workerID, taskID string, res ResultPush) error {
 	}
 	f.wakeLocked()
 	return nil
+}
+
+// memberGroup resolves a shard-coordination push to its group, also
+// refreshing the worker's lease (barrier calls can block for a while,
+// but the push itself proves the worker is alive).
+func (f *Fleet) memberGroup(workerID, taskID string) (*ShardGroup, int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p, err := f.taskFor(workerID, taskID)
+	if err != nil {
+		return nil, 0, err
+	}
+	if p.group == nil {
+		return nil, 0, fmt.Errorf("backend: task %s is not sharded", taskID)
+	}
+	return p.group, p.shard, nil
+}
+
+// ShardSync is one member's synchronization-point rendezvous: it blocks
+// until every member of the group arrives (or the group restarts or is
+// cancelled) and returns the collective decision plus all boundary
+// payloads.
+func (f *Fleet) ShardSync(ctx context.Context, workerID, taskID string, req ShardSyncRequest) (ShardSyncResponse, error) {
+	g, _, err := f.memberGroup(workerID, taskID)
+	if err != nil {
+		return ShardSyncResponse{}, err
+	}
+	dec, payloads, restart, err := g.Sync(ctx, req.Epoch, req.Vote, req.Boundary)
+	if err != nil {
+		return ShardSyncResponse{}, err
+	}
+	return ShardSyncResponse{Decision: dec, Payloads: payloads, Restart: restart}, nil
+}
+
+// ShardGather is the end-of-run statistics exchange.
+func (f *Fleet) ShardGather(ctx context.Context, workerID, taskID string, req ShardGatherRequest) (ShardGatherResponse, error) {
+	g, _, err := f.memberGroup(workerID, taskID)
+	if err != nil {
+		return ShardGatherResponse{}, err
+	}
+	payloads, restart, err := g.Gather(ctx, req.Epoch, req.Payload)
+	if err != nil {
+		return ShardGatherResponse{}, err
+	}
+	return ShardGatherResponse{Payloads: payloads, Restart: restart}, nil
+}
+
+// ShardStableBlob returns the calling member's blob of the group's
+// stable checkpoint — what a survivor restores after a group rollback
+// (its own store may hold a NEWER blob, which is exactly the problem).
+func (f *Fleet) ShardStableBlob(workerID, taskID string) (Blob, bool, error) {
+	g, shard, err := f.memberGroup(workerID, taskID)
+	if err != nil {
+		return Blob{}, false, err
+	}
+	_, blob, ok := g.StableBlob(shard)
+	return blob, ok, nil
 }
 
 // janitor expires workers whose lease lapsed: their tasks requeue (and

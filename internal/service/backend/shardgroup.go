@@ -1,0 +1,256 @@
+package backend
+
+import (
+	"context"
+	"sync"
+
+	"hornet/internal/sim"
+)
+
+// ShardGroup is the coordinator-side rendezvous of one space-parallel
+// task's members: a vote barrier for synchronization points (Sync), a
+// statistics barrier for the final exchange (Gather), and the
+// staged→stable promotion of member checkpoints that makes losing a
+// member survivable.
+//
+// Checkpoint promotion: members autosave at group-global cycle
+// boundaries (the chunk cadence is pinned to absolute multiples of
+// CheckpointEvery, and the members run in cycle lockstep), so every
+// member uploads a blob for the same cycles. A cycle becomes the
+// group's stable restart point only once ALL members' blobs for it have
+// arrived — a partial set is useless, because restarting some members
+// at cycle C and others at C' would violate the lockstep the boundary
+// exchange depends on.
+//
+// Member loss: MemberLost bumps the group epoch. Every blocked or
+// subsequent Sync/Gather call carrying the old epoch gets a
+// ShardRestart answer — roll back to the stable cycle (0 = rebuild
+// from scratch) and rejoin at the new epoch. Determinism makes the
+// rollback cheap to reason about: re-executed chunks re-produce
+// byte-identical state, so survivors that were AHEAD of the stable
+// cycle converge to exactly the trajectory they already ran.
+type ShardGroup struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+
+	epoch     int
+	cancelled error
+
+	// Sync-barrier state for the current round within the epoch.
+	syncRound  int
+	votes      []sim.ShardVote
+	boundaries [][]byte
+	decision   sim.ShardDecision
+	decErr     error
+	syncOut    [][]byte
+
+	// Gather-barrier state.
+	gatherRound int
+	gatherIn    [][]byte
+	gatherOut   [][]byte
+
+	// staged[cycle][member] holds uploaded-but-not-yet-promoted blobs;
+	// stable is the latest complete set.
+	staged      map[uint64][]*stagedBlob
+	stable      []*stagedBlob
+	stableCycle uint64
+}
+
+// stagedBlob is one member's uploaded checkpoint: the store key it was
+// saved under (needed to seed a re-dispatched member's assignment) plus
+// the blob itself.
+type stagedBlob struct {
+	Key   string
+	Cycle uint64
+	Data  []byte
+}
+
+// NewShardGroup builds the rendezvous for n members.
+func NewShardGroup(n int) *ShardGroup {
+	g := &ShardGroup{n: n, staged: map[uint64][]*stagedBlob{}}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Members returns the group size.
+func (g *ShardGroup) Members() int { return g.n }
+
+// Epoch returns the current restart epoch.
+func (g *ShardGroup) Epoch() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
+}
+
+// restartLocked snapshots the rollback notice for the current epoch.
+func (g *ShardGroup) restartLocked() *ShardRestart {
+	return &ShardRestart{Epoch: g.epoch, Cycle: g.stableCycle}
+}
+
+// wakeOnDone broadcasts the group condition when ctx is cancelled so
+// barrier waiters can observe the cancellation.
+func (g *ShardGroup) wakeOnDone(ctx context.Context) func() bool {
+	return context.AfterFunc(ctx, func() {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	})
+}
+
+// Sync is one member's arrival at a synchronization point: its vote and
+// boundary payload join the round; the call blocks until all n members
+// have arrived, then every caller receives the group decision and all
+// payloads. A non-nil ShardRestart (with nil error) tells the member
+// the group rolled back — rejoin at the returned epoch from the stable
+// cycle.
+func (g *ShardGroup) Sync(ctx context.Context, epoch int, vote sim.ShardVote, boundary []byte) (sim.ShardDecision, [][]byte, *ShardRestart, error) {
+	defer g.wakeOnDone(ctx)()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cancelled != nil {
+		return sim.ShardDecision{}, nil, nil, g.cancelled
+	}
+	if epoch != g.epoch {
+		return sim.ShardDecision{}, nil, g.restartLocked(), nil
+	}
+	myRound := g.syncRound
+	g.votes = append(g.votes, vote)
+	g.boundaries = append(g.boundaries, boundary)
+	if len(g.votes) == g.n {
+		g.decision, g.decErr = sim.DecideShardSync(g.votes)
+		g.syncOut = g.boundaries
+		g.votes, g.boundaries = nil, nil
+		g.syncRound++
+		g.cond.Broadcast()
+		return g.decision, g.syncOut, nil, g.decErr
+	}
+	for g.syncRound == myRound && g.epoch == epoch && g.cancelled == nil && ctx.Err() == nil {
+		g.cond.Wait()
+	}
+	switch {
+	case g.cancelled != nil:
+		return sim.ShardDecision{}, nil, nil, g.cancelled
+	case g.epoch != epoch:
+		// The round was torn down by MemberLost; this member's vote was
+		// discarded with it.
+		return sim.ShardDecision{}, nil, g.restartLocked(), nil
+	case g.syncRound != myRound:
+		return g.decision, g.syncOut, nil, g.decErr
+	default:
+		return sim.ShardDecision{}, nil, nil, ctx.Err()
+	}
+}
+
+// Gather is the end-of-run statistics exchange: each member contributes
+// its per-span payload and receives everyone's, so every member can
+// reconstruct the full per-tile statistics.
+func (g *ShardGroup) Gather(ctx context.Context, epoch int, payload []byte) ([][]byte, *ShardRestart, error) {
+	defer g.wakeOnDone(ctx)()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cancelled != nil {
+		return nil, nil, g.cancelled
+	}
+	if epoch != g.epoch {
+		return nil, g.restartLocked(), nil
+	}
+	myRound := g.gatherRound
+	g.gatherIn = append(g.gatherIn, payload)
+	if len(g.gatherIn) == g.n {
+		g.gatherOut = g.gatherIn
+		g.gatherIn = nil
+		g.gatherRound++
+		g.cond.Broadcast()
+		return g.gatherOut, nil, nil
+	}
+	for g.gatherRound == myRound && g.epoch == epoch && g.cancelled == nil && ctx.Err() == nil {
+		g.cond.Wait()
+	}
+	switch {
+	case g.cancelled != nil:
+		return nil, nil, g.cancelled
+	case g.epoch != epoch:
+		return nil, g.restartLocked(), nil
+	case g.gatherRound != myRound:
+		return g.gatherOut, nil, nil
+	default:
+		return nil, nil, ctx.Err()
+	}
+}
+
+// Stage records one member's uploaded checkpoint blob and promotes the
+// cycle to stable once all n members' blobs for it have arrived.
+func (g *ShardGroup) Stage(member int, key string, cycle uint64, data []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if member < 0 || member >= g.n {
+		return
+	}
+	if g.stable != nil && cycle <= g.stableCycle {
+		return // already promoted past this point
+	}
+	set := g.staged[cycle]
+	if set == nil {
+		set = make([]*stagedBlob, g.n)
+		g.staged[cycle] = set
+	}
+	set[member] = &stagedBlob{Key: key, Cycle: cycle, Data: data}
+	for _, b := range set {
+		if b == nil {
+			return
+		}
+	}
+	g.stable, g.stableCycle = set, cycle
+	for c := range g.staged {
+		if c <= cycle {
+			delete(g.staged, c)
+		}
+	}
+}
+
+// StableBlob returns the stable checkpoint of one member (ok=false when
+// the group has no complete checkpoint set yet — restart from scratch).
+func (g *ShardGroup) StableBlob(member int) (key string, blob Blob, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.stable == nil || member < 0 || member >= g.n {
+		return "", Blob{}, false
+	}
+	b := g.stable[member]
+	return b.Key, Blob{Cycle: b.Cycle, Data: b.Data}, true
+}
+
+// MemberLost rolls the group back: the epoch advances, the current
+// barrier rounds are torn down (waiters observe the epoch change and
+// receive a ShardRestart), and un-promoted staged blobs are discarded —
+// after the rollback the members re-execute and re-upload them
+// byte-identically anyway.
+func (g *ShardGroup) MemberLost() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cancelled != nil {
+		return
+	}
+	g.epoch++
+	g.syncRound, g.gatherRound = 0, 0
+	g.votes, g.boundaries = nil, nil
+	g.gatherIn = nil
+	g.staged = map[uint64][]*stagedBlob{}
+	g.cond.Broadcast()
+}
+
+// Cancel aborts the group: every current and future barrier call
+// returns err. Without this, cancelling a sharded task would leave its
+// surviving members parked forever in a barrier no one else will reach.
+func (g *ShardGroup) Cancel(err error) {
+	if err == nil {
+		err = context.Canceled
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cancelled == nil {
+		g.cancelled = err
+	}
+	g.cond.Broadcast()
+}

@@ -14,6 +14,7 @@ import (
 	"hornet/internal/mips"
 	"hornet/internal/noc"
 	"hornet/internal/service/backend"
+	"hornet/internal/sim"
 	"hornet/internal/snapshot"
 	"hornet/internal/sweep"
 )
@@ -103,6 +104,11 @@ type execEnv struct {
 	// counters are shared across derived envs (withStore), so per-job
 	// store overrides still feed the daemon's stats.
 	counters *envCounters
+	// ckptSuffix distinguishes per-shard checkpoint blobs of one run
+	// ("-s0", "-s1", ...); empty for single-process runs. It is part of
+	// the store key only — meta.Key stays the runKey, so the identity
+	// guard is shard-agnostic and a migrated shard finds its blob.
+	ckptSuffix string
 }
 
 // envCounters aggregates checkpoint observability across an env and
@@ -118,7 +124,7 @@ type envCounters struct {
 // task's uploaded blobs become resumable on a daemon that has no
 // checkpoint directory of its own.
 func (e *execEnv) withStore(store CheckpointStore) *execEnv {
-	return &execEnv{warm: e.warm, store: store, ckptEvery: e.ckptEvery, counters: e.counters}
+	return &execEnv{warm: e.warm, store: store, ckptEvery: e.ckptEvery, counters: e.counters, ckptSuffix: e.ckptSuffix}
 }
 
 // warmCacheEntries bounds the daemon's in-memory warmup snapshots:
@@ -184,7 +190,7 @@ func (e *execEnv) saveCheckpoint(sys *core.System, sc *scenario, meta ckptMeta) 
 	if err != nil {
 		return err
 	}
-	if err := e.store.Save(CheckpointKey(sc.name, sc.hash, meta.Key), blob, sys.Clock()); err != nil {
+	if err := e.store.Save(CheckpointKey(sc.name, sc.hash, meta.Key)+e.ckptSuffix, blob, sys.Clock()); err != nil {
 		return err
 	}
 	e.counters.checkpointsWritten.Add(1)
@@ -197,11 +203,20 @@ func (e *execEnv) saveCheckpoint(sys *core.System, sc *scenario, meta ckptMeta) 
 // container, a different scenario's state, or a snapshot the freshly
 // built system refuses (config-hash guard).
 func (e *execEnv) loadCheckpoint(sc *scenario, key string, seed uint64, build func() (*core.System, error)) (*core.System, ckptMeta, bool) {
-	var meta ckptMeta
-	blob, ok := e.store.Load(CheckpointKey(sc.name, sc.hash, key))
+	blob, ok := e.store.Load(CheckpointKey(sc.name, sc.hash, key) + e.ckptSuffix)
 	if !ok {
-		return nil, meta, false
+		return nil, ckptMeta{}, false
 	}
+	return e.decodeCheckpoint(sc, key, seed, blob, build)
+}
+
+// decodeCheckpoint restores a run from an in-hand checkpoint blob with
+// the same identity guards as loadCheckpoint. Shard members use it
+// directly on the group's stable blob after a rollback — their own
+// store may hold a newer snapshot than the cycle the group restarts
+// from.
+func (e *execEnv) decodeCheckpoint(sc *scenario, key string, seed uint64, blob []byte, build func() (*core.System, error)) (*core.System, ckptMeta, bool) {
+	var meta ckptMeta
 	snap, err := snapshot.DecodeBytes(blob)
 	if err != nil {
 		return nil, meta, false
@@ -229,7 +244,7 @@ func (e *execEnv) loadCheckpoint(sc *scenario, key string, seed uint64, build fu
 // removeCheckpoint discards a consumed checkpoint once its run has
 // completed (the result document now carries the state).
 func (e *execEnv) removeCheckpoint(sc *scenario, key string) {
-	e.store.Remove(CheckpointKey(sc.name, sc.hash, key))
+	e.store.Remove(CheckpointKey(sc.name, sc.hash, key) + e.ckptSuffix)
 }
 
 // runFor compiles one runSpec into its sweep run function, dispatching
@@ -281,7 +296,10 @@ func (cr *chunkedRun) checkpoint() {
 // cancelled (after saving a final checkpoint so a retry resumes here).
 // Chunk boundaries are pinned to absolute multiples of ckptEvery so a
 // resume after a mid-chunk cancel re-aligns with the cadence an
-// uninterrupted run would have used.
+// uninterrupted run would have used; continuation chunks (meta.Done > 0)
+// run as RunUntilResumed so a fast-forwarding engine re-derives the jump
+// a chunk boundary interrupted, keeping chunked execution byte-identical
+// to an uninterrupted run.
 func (cr *chunkedRun) advance(ctx context.Context, target uint64, measured bool, done func(cycle uint64) bool) (bool, error) {
 	stopOrDone := cr.stop
 	if done != nil {
@@ -296,15 +314,29 @@ func (cr *chunkedRun) advance(ctx context.Context, target uint64, measured bool,
 				chunk = next - cr.meta.Done
 			}
 		}
-		res := cr.sys.RunUntil(chunk, stopOrDone)
+		var res sim.RunResult
+		if cr.meta.Done > 0 {
+			res = cr.sys.RunUntilResumed(chunk, stopOrDone)
+		} else {
+			res = cr.sys.RunUntil(chunk, stopOrDone)
+		}
 		cr.meta.Done += res.Cycles + res.SkippedCycles
 		if measured {
 			cr.meta.Exec += res.Cycles
 			cr.meta.Skip += res.SkippedCycles
 		}
+		if res.Err != nil {
+			return false, res.Err
+		}
 		if err := ctx.Err(); err != nil {
 			cr.checkpoint()
 			return false, err
+		}
+		if res.Stopped {
+			// A sharded run's group decision halts every member here;
+			// single-process runs land here via their done predicate,
+			// which the loop condition re-checks.
+			break
 		}
 		if cr.meta.Done < target && !finished() {
 			cr.checkpoint()
@@ -352,7 +384,7 @@ func (e *execEnv) runMips(sc *scenario, sink backend.Sink, spec runSpec) func(sw
 			return sys, nil
 		}
 		stop := cancelStop(c.Context)
-		ckptOn := e.store != nil && !rc.Engine.FastForward
+		ckptOn := e.store != nil
 
 		var sys *core.System
 		meta := ckptMeta{Name: sc.name, Hash: sc.hash, Key: spec.key, Seed: seed, Phase: "measured"}
@@ -369,8 +401,7 @@ func (e *execEnv) runMips(sc *scenario, sink backend.Sink, spec runSpec) func(sw
 			}
 		}
 		// Advance in autosave chunks until the application halts or the
-		// cycle cap is reached (fast-forwarding runs are exempt from
-		// chunking entirely).
+		// cycle cap is reached.
 		cr := &chunkedRun{env: e, sys: sys, sc: sc, sink: sink, meta: &meta, ckptOn: ckptOn, stop: stop}
 		if ok, err := cr.advance(c.Context, m.MaxCycles, true, sys.CoresHalted(sys.MIPSCores())); !ok {
 			return nil, err
@@ -419,14 +450,12 @@ func (e *execEnv) runConfig(sc *scenario, sink backend.Sink, spec runSpec) func(
 			return sys, nil
 		}
 		stop := cancelStop(c.Context)
-		// Fast-forwarding runs are never chunked: a chunk boundary makes
-		// the engine execute cycles a skip would have jumped, so the
-		// autosave cadence would leak into result bytes and break the
-		// cache's byte-identity contract (the scenario hash knows
-		// nothing of daemon checkpoint settings). Such runs keep warmup
-		// sharing — the warmup/measure boundary is inherent — but forgo
-		// autosave/resume.
-		ckptOn := e.store != nil && !rc.Engine.FastForward
+		// Fast-forwarding runs chunk like everything else: continuation
+		// chunks run resumed, so the engine re-derives any jump a chunk
+		// boundary interrupted and the autosave cadence cannot leak into
+		// result bytes (the scenario hash knows nothing of daemon
+		// checkpoint settings).
+		ckptOn := e.store != nil
 
 		var sys *core.System
 		meta := ckptMeta{Name: sc.name, Hash: sc.hash, Key: spec.key, Seed: seed, Phase: "warmup"}

@@ -61,6 +61,7 @@ func (j *job) task() *backend.Task {
 		Kind:      j.sc.kind,
 		Weight:    j.req.Workers,
 		RunsTotal: len(j.sc.runs),
+		Shards:    j.sc.shards,
 		Request:   reqJSON,
 		Compiled:  j.sc,
 	}

@@ -43,6 +43,10 @@ type scenario struct {
 	// agreeing on everything but measured-phase knobs fork from one
 	// warmup snapshot.
 	shareWarmup bool
+	// shards is the space-parallel member count of a sharded submission
+	// (>= 2), 0 for ordinary scenarios. Like Workers it never enters the
+	// scenario hash: sharding cannot change result bytes.
+	shards int
 
 	// figure scenarios: the registry entry and its scale options.
 	fig     experiments.Figure
@@ -104,16 +108,61 @@ func buildScenario(req SubmitRequest) (*scenario, *APIError) {
 	if seed == 0 {
 		seed = defaultSeed
 	}
+	var (
+		sc     *scenario
+		apiErr *APIError
+	)
 	switch {
 	case req.Config != nil:
-		return buildConfigScenario(req, seed)
+		sc, apiErr = buildConfigScenario(req, seed)
 	case req.Figure != "":
-		return buildFigureScenario(req, seed)
+		sc, apiErr = buildFigureScenario(req, seed)
 	case req.Mips != nil:
-		return buildMipsScenario(req, seed)
+		sc, apiErr = buildMipsScenario(req, seed)
 	default:
-		return buildBatchScenario(req, seed)
+		sc, apiErr = buildBatchScenario(req, seed)
 	}
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	if apiErr := applyShards(sc, req.Shards); apiErr != nil {
+		return nil, apiErr
+	}
+	return sc, nil
+}
+
+// applyShards validates a space-parallel request against the compiled
+// scenario. Sharding splits ONE simulation's tile grid across members,
+// so only single-run kinds qualify, the engine must sync every cycle
+// (boundary flits are exchanged at sync points; a coarser cadence would
+// let a flit cross a shard boundary unobserved), and warmup sharing is
+// meaningless for a single run.
+func applyShards(sc *scenario, shards int) *APIError {
+	if shards == 0 {
+		return nil
+	}
+	if shards < 2 {
+		return &APIError{CodeInvalidRequest, "shards must be 0 (off) or >= 2"}
+	}
+	if sc.kind != KindConfig && sc.kind != KindMips {
+		return &APIError{CodeInvalidRequest,
+			"shards applies to config and mips jobs (one simulation split across members)"}
+	}
+	if sc.shareWarmup {
+		return &APIError{CodeInvalidRequest,
+			"shards and share_warmup are mutually exclusive"}
+	}
+	cfg := sc.runs[0].cfg
+	if cfg.Engine.SyncPeriod > 1 {
+		return &APIError{CodeInvalidRequest,
+			"shards requires sync_period 1 (boundary traffic is exchanged every cycle)"}
+	}
+	if nodes := cfg.Topology.Nodes(); shards > nodes {
+		return &APIError{CodeInvalidRequest, fmt.Sprintf(
+			"shards (%d) must not exceed the topology's %d nodes", shards, nodes)}
+	}
+	sc.shards = shards
+	return nil
 }
 
 // mipsWorkloadSource generates the assembly for a validated spec.

@@ -277,7 +277,85 @@ func (lb *localBackend) Execute(ctx context.Context, t *backend.Task, sink backe
 			_ = store.Save(key, blob.Data, blob.Cycle)
 		}
 	}
+	if sc.shards >= 2 {
+		return lb.executeShardedLocal(ctx, sc, t, env, sink)
+	}
 	return executeScenario(ctx, sc, env, lb.s.pool, sink)
+}
+
+// executeShardedLocal runs every member of a space-parallel task inside
+// the daemon process — the fallback when no fleet worker can take the
+// job (and the reference path proving sharding changes no result
+// bytes). Members coordinate through an in-process ShardGroup; the CPU
+// slots for the whole group are acquired from the shared pool up front,
+// because members rendezvous every cycle and therefore must all run
+// concurrently — leasing them one by one could deadlock against another
+// job.
+func (lb *localBackend) executeShardedLocal(ctx context.Context, sc *scenario, t *backend.Task, env *execEnv, sink backend.Sink) ([]byte, int, error) {
+	n := sc.shards
+	group := backend.NewShardGroup(n)
+	// Release barrier waiters if the job dies: no member may park forever
+	// in a rendezvous its cancelled siblings will never reach.
+	stopWatch := context.AfterFunc(ctx, func() { group.Cancel(ctx.Err()) })
+	defer stopWatch()
+	per := lb.s.pool.Cap() / n
+	if per < 1 {
+		per = 1
+	}
+	granted, err := lb.s.pool.AcquireCtx(ctx, per*n)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer lb.s.pool.Release(granted)
+	if per = granted / n; per < 1 {
+		// A pool narrower than the member count still runs all members
+		// concurrently (the lockstep demands it); the engines just drop to
+		// one worker thread each.
+		per = 1
+	}
+
+	var req SubmitRequest
+	if err := json.Unmarshal(t.Request, &req); err != nil {
+		return nil, 0, fmt.Errorf("service: sharded task request: %w", err)
+	}
+	results := make([]*ExecResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := ShardExecOptions{
+				Shard:           i,
+				ShardCount:      n,
+				Transport:       NewLocalShardTransport(ctx, group, i),
+				Workers:         per,
+				Checkpoints:     env.store,
+				CheckpointEvery: env.ckptEvery,
+			}
+			if i == 0 {
+				opts.OnProgress = sink.Progress
+				opts.OnResumed = sink.Resumed
+				opts.OnCheckpoint = sink.Checkpoint
+			}
+			res, err := ExecuteShard(ctx, req, opts)
+			results[i], errs[i] = res, err
+			if err != nil {
+				// Doom the group so siblings fail out of their barriers
+				// instead of waiting for a member that already gave up.
+				group.Cancel(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// A failing member cancels the group with its error, so every member
+	// typically reports the same failure; any non-nil error fails the job.
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return results[0].Doc, results[0].RunErrs, nil
 }
 
 // firstRunError digs the run error out of an encoded single-run document

@@ -30,10 +30,9 @@ type Options struct {
 	// job from its last snapshot instead of cycle 0.
 	CheckpointDir string
 	// CheckpointEvery is the autosave period in simulated cycles;
-	// 0 means 100000. Fast-forwarding configurations are exempt from
-	// autosave (a chunk boundary executes cycles a skip would have
-	// jumped, so the cadence would leak into result bytes); they keep
-	// warmup sharing but always run their measured phase unchunked.
+	// 0 means 100000. Fast-forwarding configurations autosave too: a
+	// resumed chunk re-derives any skip the boundary interrupted, so
+	// the cadence never leaks into result bytes.
 	CheckpointEvery uint64
 
 	// WorkerTTL is how long a silent hornet-worker stays registered
@@ -122,6 +121,12 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("PUT /api/v1/workers/{id}/tasks/{task}/checkpoints/{key}", s.handleWorkerCheckpoint)
 	s.mux.HandleFunc("DELETE /api/v1/workers/{id}/tasks/{task}/checkpoints/{key}", s.handleWorkerCheckpointDrop)
 	s.mux.HandleFunc("POST /api/v1/workers/{id}/tasks/{task}/result", s.handleWorkerResult)
+	// Shard-group coordination (space-parallel tasks): per-sync-point
+	// barrier exchange, final statistics gather, stable-checkpoint fetch
+	// after a group rollback.
+	s.mux.HandleFunc("POST /api/v1/workers/{id}/tasks/{task}/shardsync", s.handleWorkerShardSync)
+	s.mux.HandleFunc("POST /api/v1/workers/{id}/tasks/{task}/shardgather", s.handleWorkerShardGather)
+	s.mux.HandleFunc("GET /api/v1/workers/{id}/tasks/{task}/shardcheckpoint", s.handleWorkerShardCheckpoint)
 	return s
 }
 

@@ -1,0 +1,172 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"hornet/internal/config"
+)
+
+// Service-level contracts of space-parallel execution: a job submitted
+// with shards >= 2 to a daemon with no registered workers runs all
+// members in-process through the local backend, and its result document
+// must be byte-identical to the ordinary single-engine run of the same
+// request. These drive the daemon internals directly (resume_test.go
+// style); the cross-process version lives in e2e.
+
+// shardConfig is a synthetic scenario small enough to co-run N member
+// engines in one test process.
+func shardConfig() *config.Config {
+	cfg := config.Default()
+	cfg.Topology.Width, cfg.Topology.Height = 4, 4
+	cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternTranspose, InjectionRate: 0.10}}
+	cfg.WarmupCycles = 300
+	cfg.AnalyzedCycles = 4_000
+	return &cfg
+}
+
+// runToDoc submits req on a fresh daemon built from opts and returns
+// the finished job's raw document bytes plus its config hash.
+func runToDoc(t *testing.T, opts Options, req SubmitRequest) ([]byte, string) {
+	t.Helper()
+	srv := New(opts)
+	defer srv.Close()
+	j := submitDirect(t, srv, req)
+	info := waitDone(t, j, 120*time.Second)
+	if info.State != StateDone {
+		t.Fatalf("job state = %s (%s)", info.State, info.Error)
+	}
+	b, ok := j.Result()
+	if !ok {
+		t.Fatal("finished job has no result")
+	}
+	return b, info.ConfigHash
+}
+
+// TestShardedLocalSyntheticByteIdentity: the same synthetic scenario
+// run unsharded and sharded 2-way must hash identically (shards is an
+// execution knob, not document identity) and produce byte-identical
+// result documents through the local in-process member group.
+func TestShardedLocalSyntheticByteIdentity(t *testing.T) {
+	base := SubmitRequest{Name: "shard-synth", Config: shardConfig(), Seed: 21}
+
+	single, hashSingle := runToDoc(t, Options{MaxJobs: 1, Budget: 2}, base)
+
+	sharded := base
+	sharded.Shards = 2
+	doc2, hash2 := runToDoc(t, Options{MaxJobs: 1, Budget: 2}, sharded)
+
+	if hash2 != hashSingle {
+		t.Fatalf("sharded run hashed differently: %s vs %s", hash2, hashSingle)
+	}
+	if !bytes.Equal(doc2, single) {
+		t.Fatalf("2-way sharded document differs from single-engine run:\n single: %s\n sharded: %s", single, doc2)
+	}
+}
+
+// TestShardedLocalMIPSByteIdentity: an application workload (MIPS
+// ping-pong, fast-forward on) sharded 2-way completes by the group
+// decision — per-span halt conditions ANDed, in-flight flits summed —
+// and still emits the single-engine document bytes.
+func TestShardedLocalMIPSByteIdentity(t *testing.T) {
+	cfg := config.Default()
+	cfg.Topology.Width, cfg.Topology.Height = 4, 4
+	cfg.Engine.FastForward = true
+	base := SubmitRequest{
+		Name: "shard-mips",
+		Seed: 9,
+		Mips: &MipsSpec{Workload: "pingpong", Rounds: 40, Config: cfg},
+	}
+
+	single, hashSingle := runToDoc(t, Options{MaxJobs: 1, Budget: 2}, base)
+
+	sharded := base
+	sharded.Shards = 2
+	doc2, hash2 := runToDoc(t, Options{MaxJobs: 1, Budget: 2}, sharded)
+
+	if hash2 != hashSingle {
+		t.Fatalf("sharded run hashed differently: %s vs %s", hash2, hashSingle)
+	}
+	if !bytes.Equal(doc2, single) {
+		t.Fatalf("2-way sharded MIPS document differs from single-engine run")
+	}
+}
+
+// TestShardedLocalCheckpointedByteIdentity: member checkpointing (per
+// -s{i} store keys) must not perturb results — a sharded run autosaving
+// on a tiny cadence emits the same bytes as the unsharded, uncheck-
+// pointed run.
+func TestShardedLocalCheckpointedByteIdentity(t *testing.T) {
+	base := SubmitRequest{Name: "shard-ckpt", Config: shardConfig(), Seed: 33}
+
+	single, _ := runToDoc(t, Options{MaxJobs: 1, Budget: 2}, base)
+
+	sharded := base
+	sharded.Shards = 2
+	doc2, _ := runToDoc(t, Options{
+		MaxJobs: 1, Budget: 2,
+		CheckpointDir: t.TempDir(), CheckpointEvery: 700,
+	}, sharded)
+
+	if !bytes.Equal(doc2, single) {
+		t.Fatalf("checkpointed sharded document differs from clean single-engine run")
+	}
+}
+
+// TestFastForwardAutosaveCadenceByteIdentity is the regression test for
+// the fast-forward/checkpoint interaction: autosave chunk boundaries
+// interrupt fast-forward jumps, and a resumed chunk must re-derive the
+// interrupted jump (RunUntilResumed) so the autosave cadence never
+// leaks into result bytes. Before the fix, fast-forwarding runs were
+// simply exempted from autosave; now they checkpoint like everything
+// else and must still match the uncheckpointed run byte for byte.
+func TestFastForwardAutosaveCadenceByteIdentity(t *testing.T) {
+	cfg := config.Default()
+	cfg.Topology.Width, cfg.Topology.Height = 2, 2
+	cfg.Engine.FastForward = true
+	// The H.264 CBR profile injects one packet every 1/rate cycles with
+	// a predictable NextEvent, so the engine genuinely jumps the idle
+	// stretches between packets — a 1000-cycle chunk boundary then lands
+	// mid-jump with certainty (period 200 >> network drain time).
+	cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternH264, InjectionRate: 0.005}}
+	cfg.WarmupCycles = 0
+	cfg.AnalyzedCycles = 50_000
+	req := SubmitRequest{Name: "ff-cadence", Config: &cfg, Seed: 5}
+
+	clean, _ := runToDoc(t, Options{MaxJobs: 1, Budget: 1}, req)
+
+	srv := New(Options{MaxJobs: 1, Budget: 1, CheckpointDir: t.TempDir(), CheckpointEvery: 1_000})
+	defer srv.Close()
+	j := submitDirect(t, srv, req)
+	info := waitDone(t, j, 120*time.Second)
+	if info.State != StateDone {
+		t.Fatalf("checkpointed job state = %s (%s)", info.State, info.Error)
+	}
+	ckpt, ok := j.Result()
+	if !ok {
+		t.Fatal("finished job has no result")
+	}
+
+	// The scenario must actually fast-forward and actually checkpoint,
+	// or the test proves nothing.
+	var doc struct {
+		Runs []struct {
+			Value RunStats `json:"value"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(clean, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 1 || doc.Runs[0].Value.SkippedCycles == 0 {
+		t.Fatalf("scenario did not fast-forward (skipped=0); it cannot regress the cadence leak")
+	}
+	if st := srv.Stats(); st.CheckpointsWritten == 0 {
+		t.Fatalf("fast-forwarding run wrote no checkpoints — the autosave exemption is back?")
+	}
+
+	if !bytes.Equal(ckpt, clean) {
+		t.Fatalf("autosave cadence leaked into fast-forwarded result bytes:\n clean: %s\n ckpt:  %s", clean, ckpt)
+	}
+}

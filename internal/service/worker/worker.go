@@ -27,8 +27,10 @@ import (
 	"sync"
 	"time"
 
+	"hornet/internal/core"
 	"hornet/internal/service"
 	"hornet/internal/service/backend"
+	"hornet/internal/sim"
 	"hornet/internal/sweep"
 )
 
@@ -418,21 +420,44 @@ func (w *Worker) execute(ctx context.Context, a *backend.Assignment) {
 			cancel()
 		}
 	}
-	res, err := service.Execute(taskCtx, req, service.ExecOptions{
-		Workers:         a.Workers,
-		Checkpoints:     store,
-		CheckpointEvery: a.CheckpointEvery,
-		Warmups:         w.warm,
-		OnProgress: func(done, total int, key string) {
-			event(backend.TaskEvent{Type: "progress", Done: done, Total: total, Key: key})
-		},
-		OnResumed: func(key string, cycle uint64) {
-			event(backend.TaskEvent{Type: "resumed", Key: key, Cycle: cycle})
-		},
-		OnCheckpoint: func(key string, cycle uint64) {
-			event(backend.TaskEvent{Type: "checkpoint", Key: key, Cycle: cycle})
-		},
-	})
+	onProgress := func(done, total int, key string) {
+		event(backend.TaskEvent{Type: "progress", Done: done, Total: total, Key: key})
+	}
+	onResumed := func(key string, cycle uint64) {
+		event(backend.TaskEvent{Type: "resumed", Key: key, Cycle: cycle})
+	}
+	onCheckpoint := func(key string, cycle uint64) {
+		event(backend.TaskEvent{Type: "checkpoint", Key: key, Cycle: cycle})
+	}
+	var res *service.ExecResult
+	var err error
+	if a.ShardCount >= 2 {
+		// A space-parallel member assignment: run this worker's tile span
+		// of the simulation, rendezvousing with the sibling members
+		// through the coordinator's shard endpoints.
+		res, err = service.ExecuteShard(taskCtx, req, service.ShardExecOptions{
+			Shard:      a.Shard,
+			ShardCount: a.ShardCount,
+			Transport: &shardTransport{w: w, ctx: taskCtx, taskID: a.TaskID,
+				cancelRun: cancel, epoch: a.ShardEpoch},
+			Workers:         a.Workers,
+			Checkpoints:     store,
+			CheckpointEvery: a.CheckpointEvery,
+			OnProgress:      onProgress,
+			OnResumed:       onResumed,
+			OnCheckpoint:    onCheckpoint,
+		})
+	} else {
+		res, err = service.Execute(taskCtx, req, service.ExecOptions{
+			Workers:         a.Workers,
+			Checkpoints:     store,
+			CheckpointEvery: a.CheckpointEvery,
+			Warmups:         w.warm,
+			OnProgress:      onProgress,
+			OnResumed:       onResumed,
+			OnCheckpoint:    onCheckpoint,
+		})
+	}
 	switch {
 	case ctx.Err() != nil:
 		return // crash-stop: push nothing, the lease expiry migrates the task
@@ -452,6 +477,74 @@ func (w *Worker) pushResult(ctx context.Context, taskID string, res backend.Resu
 	if err != nil && ctx.Err() == nil {
 		w.logf("hornet-worker: pushing result for %s: %v", taskID, err)
 	}
+}
+
+// shardTransport is the worker-side service.ShardTransport: every
+// synchronization point of the member's engine becomes one blocking
+// POST against the coordinator's shard endpoints (the coordinator's
+// ShardGroup is the barrier). A restart notice — the group lost a
+// member and rolled back to its stable checkpoint — surfaces as
+// *core.ShardRestartError after the transport adopts the new epoch.
+type shardTransport struct {
+	w         *Worker
+	ctx       context.Context
+	taskID    string
+	cancelRun context.CancelFunc
+	epoch     int
+}
+
+func (t *shardTransport) path(suffix string) string {
+	return "/api/v1/workers/" + url.PathEscape(t.w.ID()) +
+		"/tasks/" + url.PathEscape(t.taskID) + "/" + suffix
+}
+
+// fatal maps protocol statuses that mean "this task is no longer ours"
+// onto a run cancellation, like every other push path.
+func (t *shardTransport) fatal(err error) error {
+	if errors.Is(err, errGone) || errors.Is(err, errUnknown) {
+		t.cancelRun()
+	}
+	return err
+}
+
+func (t *shardTransport) Sync(v sim.ShardVote, boundary []byte) (sim.ShardDecision, [][]byte, error) {
+	var resp backend.ShardSyncResponse
+	err := t.w.doJSON(t.ctx, http.MethodPost, t.path("shardsync"),
+		backend.ShardSyncRequest{Epoch: t.epoch, Vote: v, Boundary: boundary}, &resp)
+	if err != nil {
+		return sim.ShardDecision{}, nil, t.fatal(err)
+	}
+	if r := resp.Restart; r != nil {
+		t.epoch = r.Epoch
+		return sim.ShardDecision{}, nil, &core.ShardRestartError{Epoch: uint64(r.Epoch), Cycle: r.Cycle}
+	}
+	return resp.Decision, resp.Payloads, nil
+}
+
+func (t *shardTransport) Gather(payload []byte) ([][]byte, error) {
+	var resp backend.ShardGatherResponse
+	err := t.w.doJSON(t.ctx, http.MethodPost, t.path("shardgather"),
+		backend.ShardGatherRequest{Epoch: t.epoch, Payload: payload}, &resp)
+	if err != nil {
+		return nil, t.fatal(err)
+	}
+	if r := resp.Restart; r != nil {
+		t.epoch = r.Epoch
+		return nil, &core.ShardRestartError{Epoch: uint64(r.Epoch), Cycle: r.Cycle}
+	}
+	return resp.Payloads, nil
+}
+
+func (t *shardTransport) StableCheckpoint() ([]byte, bool, error) {
+	var resp backend.ShardCheckpointResponse
+	err := t.w.doJSON(t.ctx, http.MethodGet, t.path("shardcheckpoint"), nil, &resp)
+	if err != nil {
+		return nil, false, t.fatal(err)
+	}
+	if resp.Blob == nil {
+		return nil, false, nil
+	}
+	return resp.Blob.Data, true, nil
 }
 
 // remoteStore is the worker's CheckpointStore: loads are served from

@@ -41,6 +41,15 @@ type RunResult struct {
 	SkippedCycles uint64        // cycles jumped over by fast-forwarding
 	Wall          time.Duration // host wall-clock time
 	Workers       int
+	// Stopped reports that the run ended because the stop predicate (or,
+	// for sharded runs, the group decision) fired rather than because the
+	// cycle bound was reached. Callers resuming a run in chunks use it to
+	// distinguish "workload finished" from "chunk finished".
+	Stopped bool
+	// Err is non-nil when a sharded run aborted because the shard coupler
+	// failed; the executed/skipped counts reflect progress made before the
+	// failure.
+	Err error
 }
 
 func (r RunResult) String() string {
@@ -55,14 +64,29 @@ type Engine struct {
 	syncPeriod  int
 	fastForward bool
 
+	// The engine owns tiles [lo,hi). In single-process runs that is every
+	// tile; a sharded engine builds the full tile set (so boundary wiring
+	// and node numbering match the unsharded system) but steps only its
+	// span, delegating cross-shard agreement to the coupler.
+	lo, hi  int
+	coupler ShardCoupler
+	// done is the shard's local completion predicate (AND-combined across
+	// shards by the coupler's decision); nil when the run has none.
+	done func() bool
+
 	// inflight counts flits resident anywhere in the simulated network
 	// (VC buffers and ejection queues). Tiles update it via InFlight().
+	// Under sharding each process observes only its local injections and
+	// deliveries, so the counter can go negative; only the cross-shard sum
+	// is meaningful and only the coupler's decision consumes it.
 	inflight *atomic.Int64
 
 	// cross-barrier control written by the barrier leader.
 	nextCycle atomic.Uint64
 	halted    atomic.Bool
+	stopped   atomic.Bool
 	skipped   atomic.Uint64
+	runErr    error
 }
 
 // NewEngine creates an engine stepping tiles with the given worker count
@@ -91,7 +115,41 @@ func NewEngine(tiles []Tile, workers, syncPeriod int, fastForward bool, inflight
 		syncPeriod:  syncPeriod,
 		fastForward: fastForward,
 		inflight:    inflight,
+		lo:          0,
+		hi:          len(tiles),
 	}
+}
+
+// SetShard restricts the engine to the tile span owned by shard index out
+// of count (the same contiguous equal-division used for workers) and
+// installs the coupler consulted at every synchronization point plus the
+// shard's local completion predicate (may be nil). Sharding requires
+// cycle-accurate synchronization: boundary state is exchanged at sync
+// points, so coarser periods would let stale remote flits leak.
+func (e *Engine) SetShard(index, count int, coupler ShardCoupler, done func() bool) error {
+	if coupler == nil {
+		return fmt.Errorf("sim: sharded engine needs a coupler")
+	}
+	if e.syncPeriod != 1 {
+		return fmt.Errorf("sim: sharding requires sync period 1, have %d", e.syncPeriod)
+	}
+	lo, hi := ShardSpan(len(e.tiles), count, index)
+	e.lo, e.hi = lo, hi
+	e.coupler = coupler
+	e.done = done
+	if e.workers > hi-lo {
+		e.workers = hi - lo
+	}
+	return nil
+}
+
+// Span returns the tile span [lo,hi) this engine steps. A zero-value
+// span (an engine built without NewEngine) means every tile.
+func (e *Engine) Span() (lo, hi int) {
+	if e.hi == 0 {
+		return 0, len(e.tiles)
+	}
+	return e.lo, e.hi
 }
 
 // InFlight exposes the global in-network flit counter that tiles maintain.
@@ -100,13 +158,15 @@ func (e *Engine) InFlight() *atomic.Int64 { return e.inflight }
 // Workers returns the effective worker count.
 func (e *Engine) Workers() int { return e.workers }
 
-// partition returns the contiguous tile span [lo,hi) owned by worker w.
-// Contiguous blocks keep neighbouring mesh tiles on the same worker, which
-// is what HORNET's equal-division mapping does.
+// partition returns the contiguous tile span [lo,hi) owned by worker w
+// within the engine's own span. Contiguous blocks keep neighbouring mesh
+// tiles on the same worker, which is what HORNET's equal-division mapping
+// does.
 func (e *Engine) partition(w int) (lo, hi int) {
-	n := len(e.tiles)
+	slo, shi := e.Span()
+	n := shi - slo
 	base, rem := n/e.workers, n%e.workers
-	lo = w*base + min(w, rem)
+	lo = slo + w*base + min(w, rem)
 	hi = lo + base
 	if w < rem {
 		hi++
@@ -115,22 +175,113 @@ func (e *Engine) partition(w int) (lo, hi int) {
 }
 
 // Run simulates up to maxCycles cycles starting at cycle start. If stop is
-// non-nil it is evaluated at every synchronization point (by the barrier
-// leader, so it needs no internal locking) and ends the run early when it
-// returns true. Run returns once all workers have finished.
+// non-nil it is evaluated exactly once at every synchronization point (by
+// the barrier leader, so it needs no internal locking) — including the
+// final one — and ends the run early when it returns true. The stop check
+// happens before fast-forward target election, so a stopping run never
+// jumps past its stop point. Run returns once all workers have finished.
 func (e *Engine) Run(start, maxCycles uint64, stop func(cycle uint64) bool) RunResult {
+	return e.run(start, maxCycles, stop, false)
+}
+
+// RunResumed is Run for the continuation of an earlier chunk of the same
+// simulation (checkpoint autosave cadence, restored snapshots). The only
+// difference: a fast-forwarding engine whose network is idle may jump over
+// leading cycles before executing anything, exactly as the uninterrupted
+// run would have jumped from within its previous chunk. This is what makes
+// chunked execution byte-identical to unchunked execution.
+func (e *Engine) RunResumed(start, maxCycles uint64, stop func(cycle uint64) bool) RunResult {
+	return e.run(start, maxCycles, stop, true)
+}
+
+func (e *Engine) run(start, maxCycles uint64, stop func(cycle uint64) bool, resume bool) RunResult {
 	end := start + maxCycles
 	e.nextCycle.Store(start)
 	e.halted.Store(false)
+	e.stopped.Store(false)
 	e.skipped.Store(0)
+	e.runErr = nil
 
-	barrier := NewBarrier(e.workers)
 	began := time.Now()
 	var executed atomic.Uint64
 
+	if e.coupler != nil {
+		// Join synchronization: every shard announces the chunk it is about
+		// to run; the group aligns (all shards must agree on start and end)
+		// and may pre-jump a resumed fast-forwarding run past idle leading
+		// cycles before anything executes.
+		vote := ShardVote{Join: true, Cycle: start, End: end,
+			Inflight: e.inflight.Load(), Earliest: start}
+		if resume && e.fastForward && start > 0 {
+			vote.Earliest = e.earliestEvent(start - 1)
+		}
+		dec, err := e.coupler.Sync(vote)
+		if err != nil {
+			return RunResult{Wall: time.Since(began), Workers: e.workers, Err: err}
+		}
+		e.skipped.Add(dec.Skipped)
+		start = dec.Next
+		e.nextCycle.Store(start)
+		if dec.Halt {
+			return RunResult{
+				SkippedCycles: e.skipped.Load(),
+				Wall:          time.Since(began),
+				Workers:       e.workers,
+				Stopped:       dec.Stopped,
+			}
+		}
+	} else if resume && e.fastForward && start > 0 && e.inflight.Load() == 0 {
+		// Resumed single-process run: jump from the cycle just before this
+		// chunk, mirroring the skip the previous chunk's leader would have
+		// taken had the run not been split here.
+		if t := e.earliestEvent(start - 1); t > start {
+			if t > end {
+				t = end
+			}
+			e.skipped.Add(t - start)
+			start = t
+			e.nextCycle.Store(start)
+		}
+	}
+
+	barrier := NewBarrier(e.workers)
+
 	leader := func(cycleJustFinished uint64) {
+		if e.coupler != nil {
+			vote := ShardVote{
+				Cycle:    cycleJustFinished,
+				End:      end,
+				Inflight: e.inflight.Load(),
+				Earliest: cycleJustFinished + 1,
+				Stop:     stop != nil && stop(cycleJustFinished),
+				Done:     e.done != nil && e.done(),
+			}
+			if e.fastForward {
+				vote.Earliest = e.earliestEvent(cycleJustFinished)
+			}
+			dec, err := e.coupler.Sync(vote)
+			if err != nil {
+				e.runErr = err
+				e.halted.Store(true)
+				return
+			}
+			e.skipped.Add(dec.Skipped)
+			if dec.Stopped {
+				e.stopped.Store(true)
+			}
+			if dec.Halt {
+				e.halted.Store(true)
+			}
+			e.nextCycle.Store(dec.Next)
+			return
+		}
+		// The stop predicate is consulted first — exactly once per
+		// synchronization point, even when the run is about to end — so a
+		// stop request can never be outrun by a fast-forward jump and the
+		// serve layer's final-cycle side effects always fire.
+		stopped := stop != nil && stop(cycleJustFinished)
 		next := cycleJustFinished + 1
-		if e.fastForward && e.inflight.Load() == 0 {
+		if !stopped && e.fastForward && e.inflight.Load() == 0 {
 			if t := e.earliestEvent(cycleJustFinished); t > next && t != NoEvent {
 				if t > end {
 					t = end
@@ -142,7 +293,10 @@ func (e *Engine) Run(start, maxCycles uint64, stop func(cycle uint64) bool) RunR
 				next = end
 			}
 		}
-		if next >= end || (stop != nil && stop(cycleJustFinished)) {
+		if stopped {
+			e.stopped.Store(true)
+		}
+		if next >= end || stopped {
 			e.halted.Store(true)
 		}
 		e.nextCycle.Store(next)
@@ -213,15 +367,18 @@ func (e *Engine) Run(start, maxCycles uint64, stop func(cycle uint64) bool) RunR
 		SkippedCycles: e.skipped.Load(),
 		Wall:          time.Since(began),
 		Workers:       e.workers,
+		Stopped:       e.stopped.Load(),
+		Err:           e.runErr,
 	}
 }
 
-// earliestEvent scans all tiles for the soonest self-initiated activity.
-// Called only by the barrier leader while all workers are blocked, so the
-// tiles are quiescent and safe to query.
+// earliestEvent scans the engine's tile span for the soonest
+// self-initiated activity. Called only by the barrier leader while all
+// workers are blocked, so the tiles are quiescent and safe to query.
 func (e *Engine) earliestEvent(now uint64) uint64 {
 	earliest := uint64(NoEvent)
-	for _, t := range e.tiles {
+	lo, hi := e.Span()
+	for _, t := range e.tiles[lo:hi] {
 		if ev := t.NextEvent(now); ev < earliest {
 			earliest = ev
 		}

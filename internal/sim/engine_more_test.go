@@ -52,6 +52,57 @@ func TestBarrierReuseUnderContention(t *testing.T) {
 	}
 }
 
+// TestBarrierOversubscribedGenerationReentry drives the spin=0 path an
+// oversubscribed host takes (every party falls straight into the
+// mutex+cond sleep): one deliberately slow party lags into cond.Wait
+// while the fast parties are released and re-enter the *next* generation.
+// Sense reversal must keep the generations apart — a re-entering party
+// must never steal a straggler's wakeup or observe a stale sense — and
+// the leader of each generation must see exactly one arrival per party.
+func TestBarrierOversubscribedGenerationReentry(t *testing.T) {
+	const parties = 4
+	rounds := 3000
+	if testing.Short() {
+		rounds = 500
+	}
+	b := NewBarrier(parties)
+	// Force the sleep path regardless of the host's core count: this is
+	// exactly what NewBarrier does when GOMAXPROCS < parties.
+	b.spin = 0
+	var arrivals atomic.Int64
+	var generations atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < parties; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if p == 0 && r%16 == 0 {
+					// The straggler: sleep long enough that the other
+					// parties' fast path has them blocked in the next
+					// generation's cond.Wait before this one arrives.
+					time.Sleep(20 * time.Microsecond)
+				}
+				arrivals.Add(1)
+				b.Await(func() {
+					g := generations.Add(1)
+					if got := arrivals.Load(); got != g*parties {
+						t.Errorf("generation %d: %d arrivals at decision time, want %d",
+							g, got, g*parties)
+					}
+				})
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := generations.Load(); got != int64(rounds) {
+		t.Fatalf("completed %d generations, want %d", got, rounds)
+	}
+	if got := arrivals.Load(); got != int64(parties*rounds) {
+		t.Fatalf("total arrivals %d, want %d", got, parties*rounds)
+	}
+}
+
 func TestBarrierSinglePartyRunsAction(t *testing.T) {
 	b := NewBarrier(1)
 	runs := 0

@@ -150,6 +150,114 @@ func TestEngineStopAtSyncPoint(t *testing.T) {
 	}
 }
 
+// TestEngineStopEvaluatedAtFinalSyncPoint: Run documents that stop is
+// evaluated at every synchronization point. That includes the last one —
+// the leader must not short-circuit the check when the run is about to
+// hit its cycle bound, because the serve layer hangs side effects
+// (cancellation probes, completion detection) on every consultation.
+func TestEngineStopEvaluatedAtFinalSyncPoint(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		tiles := []Tile{&countTile{}, &countTile{}, &countTile{}}
+		var calls int
+		e := NewEngine(tiles, workers, 1, false, nil)
+		res := e.Run(0, 10, func(cycle uint64) bool { calls++; return false })
+		if res.Cycles != 10 {
+			t.Fatalf("workers=%d: ran %d cycles, want 10", workers, res.Cycles)
+		}
+		if calls != 10 {
+			t.Fatalf("workers=%d: stop consulted %d times for 10 sync points", workers, calls)
+		}
+		if res.Stopped {
+			t.Fatalf("workers=%d: Stopped set though stop never fired", workers)
+		}
+
+		// A stop that fires exactly at the final synchronization point must
+		// still be observed and reported.
+		calls = 0
+		tiles = []Tile{&countTile{}, &countTile{}, &countTile{}}
+		e = NewEngine(tiles, workers, 1, false, nil)
+		res = e.Run(0, 10, func(cycle uint64) bool { calls++; return cycle == 9 })
+		if res.Cycles != 10 || calls != 10 {
+			t.Fatalf("workers=%d: %d cycles, stop consulted %d times, want 10/10", workers, res.Cycles, calls)
+		}
+		if !res.Stopped {
+			t.Fatalf("workers=%d: final-cycle stop not reported in RunResult.Stopped", workers)
+		}
+	}
+}
+
+// TestEngineStopBlocksFastForwardSkip: the stop predicate is consulted
+// before fast-forward target election, so a run that stops at a sync
+// point must not account a jump past it — previously an idle network
+// would book a skip to the end of the window and only then notice the
+// stop, inflating SkippedCycles into the results.
+func TestEngineStopBlocksFastForwardSkip(t *testing.T) {
+	tiles := []Tile{&countTile{}, &countTile{}}
+	e := NewEngine(tiles, 2, 1, true, nil)
+	res := e.Run(0, 1_000, func(cycle uint64) bool { return true })
+	if res.Cycles != 1 {
+		t.Fatalf("ran %d cycles, want 1", res.Cycles)
+	}
+	if res.SkippedCycles != 0 {
+		t.Fatalf("stopping run accounted %d skipped cycles past its stop point", res.SkippedCycles)
+	}
+	if !res.Stopped {
+		t.Fatal("RunResult.Stopped not set")
+	}
+}
+
+// TestEngineChunkedFastForwardMatchesUnchunked: splitting a
+// fast-forwarding run at checkpoint-autosave cadence and resuming with
+// RunResumed must execute exactly the same cycles as the uninterrupted
+// run — the resumed chunk re-evaluates the jump the previous chunk's
+// clamp cut short, instead of executing the chunk's first cycle. This is
+// the engine-level contract that lets autosave stay enabled for
+// fast-forward configs without leaking cadence into result bytes.
+func TestEngineChunkedFastForwardMatchesUnchunked(t *testing.T) {
+	const total = 1000
+	mk := func() []Tile {
+		return []Tile{&countTile{next: 700}, &countTile{}}
+	}
+
+	ref := mk()
+	refRes := NewEngine(ref, 1, 1, true, nil).Run(0, total, nil)
+
+	for _, chunk := range []uint64{250, 333, 700} {
+		tiles := mk()
+		e := NewEngine(tiles, 1, 1, true, nil)
+		var cycles, skipped uint64
+		for at := uint64(0); at < total; {
+			n := chunk
+			if at+n > total {
+				n = total - at
+			}
+			var res RunResult
+			if at == 0 {
+				res = e.Run(at, n, nil)
+			} else {
+				res = e.RunResumed(at, n, nil)
+			}
+			cycles += res.Cycles
+			skipped += res.SkippedCycles
+			at += res.Cycles + res.SkippedCycles
+		}
+		if cycles != refRes.Cycles || skipped != refRes.SkippedCycles {
+			t.Fatalf("chunk=%d: cycles=%d skipped=%d, unchunked %d/%d",
+				chunk, cycles, skipped, refRes.Cycles, refRes.SkippedCycles)
+		}
+		got, want := tiles[0].(*countTile), ref[0].(*countTile)
+		if len(got.transfers) != len(want.transfers) {
+			t.Fatalf("chunk=%d: %d transfers, unchunked %d", chunk, len(got.transfers), len(want.transfers))
+		}
+		for k := range got.transfers {
+			if got.transfers[k] != want.transfers[k] {
+				t.Fatalf("chunk=%d: transfer %d at cycle %d, unchunked %d",
+					chunk, k, got.transfers[k], want.transfers[k])
+			}
+		}
+	}
+}
+
 // TestEngineStopConcurrentWorkersQuiesce: the stop decision is made by
 // the barrier leader while every other worker is blocked, so all
 // workers observe the same final cycle — no tile runs past the halt.

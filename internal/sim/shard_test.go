@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestShardSpanMatchesPartition: the shard-to-tile mapping must be the
+// exact equal-division mapping the engine uses for workers, so sharding a
+// system across N processes partitions tiles identically to running it
+// single-process with N workers.
+func TestShardSpanMatchesPartition(t *testing.T) {
+	for tiles := 1; tiles <= 24; tiles++ {
+		for count := 1; count <= tiles; count++ {
+			e := &Engine{tiles: make([]Tile, tiles), workers: count}
+			for idx := 0; idx < count; idx++ {
+				wlo, whi := e.partition(idx)
+				slo, shi := ShardSpan(tiles, count, idx)
+				if slo != wlo || shi != whi {
+					t.Fatalf("tiles=%d count=%d shard %d: span [%d,%d) != worker span [%d,%d)",
+						tiles, count, idx, slo, shi, wlo, whi)
+				}
+			}
+		}
+	}
+}
+
+// TestDecideShardSync: the pure group decision must reproduce the
+// single-process leader — stop first, completion = every span done AND a
+// drained network, fast-forward to the minimum earliest event clamped to
+// the end bound.
+func TestDecideShardSync(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		votes []ShardVote
+		want  ShardDecision
+	}{
+		{
+			name: "plain advance",
+			votes: []ShardVote{
+				{Cycle: 5, End: 100, Earliest: 6},
+				{Cycle: 5, End: 100, Earliest: 6},
+			},
+			want: ShardDecision{Next: 6},
+		},
+		{
+			name: "ff skip to min earliest",
+			votes: []ShardVote{
+				{Cycle: 5, End: 100, Earliest: 70},
+				{Cycle: 5, End: 100, Earliest: 40},
+			},
+			want: ShardDecision{Next: 40, Skipped: 34},
+		},
+		{
+			name: "ff clamped to end",
+			votes: []ShardVote{
+				{Cycle: 5, End: 100, Earliest: 400},
+				{Cycle: 5, End: 100, Earliest: NoEvent},
+			},
+			want: ShardDecision{Next: 100, Skipped: 94, Halt: true},
+		},
+		{
+			name: "all idle forever",
+			votes: []ShardVote{
+				{Cycle: 5, End: 100, Earliest: NoEvent},
+				{Cycle: 5, End: 100, Earliest: NoEvent},
+			},
+			want: ShardDecision{Next: 100, Skipped: 94, Halt: true},
+		},
+		{
+			name: "inflight sum vetoes skip even when per-shard counters drift",
+			votes: []ShardVote{
+				{Cycle: 5, End: 100, Earliest: 70, Inflight: -3},
+				{Cycle: 5, End: 100, Earliest: 70, Inflight: 4},
+			},
+			want: ShardDecision{Next: 6},
+		},
+		{
+			name: "drifted counters summing to zero allow skip",
+			votes: []ShardVote{
+				{Cycle: 5, End: 100, Earliest: 70, Inflight: -3},
+				{Cycle: 5, End: 100, Earliest: 70, Inflight: 3},
+			},
+			want: ShardDecision{Next: 70, Skipped: 64},
+		},
+		{
+			name: "stop on any shard wins over fast-forward",
+			votes: []ShardVote{
+				{Cycle: 5, End: 100, Earliest: NoEvent, Stop: true},
+				{Cycle: 5, End: 100, Earliest: NoEvent},
+			},
+			want: ShardDecision{Next: 6, Halt: true, Stopped: true},
+		},
+		{
+			name: "done requires every shard",
+			votes: []ShardVote{
+				{Cycle: 5, End: 100, Earliest: 6, Done: true},
+				{Cycle: 5, End: 100, Earliest: 6},
+			},
+			want: ShardDecision{Next: 6},
+		},
+		{
+			name: "done everywhere but flits in flight keeps running",
+			votes: []ShardVote{
+				{Cycle: 5, End: 100, Earliest: 6, Done: true, Inflight: 2},
+				{Cycle: 5, End: 100, Earliest: 6, Done: true, Inflight: -1},
+			},
+			want: ShardDecision{Next: 6},
+		},
+		{
+			name: "done everywhere and drained stops",
+			votes: []ShardVote{
+				{Cycle: 5, End: 100, Earliest: 6, Done: true},
+				{Cycle: 5, End: 100, Earliest: 6, Done: true},
+			},
+			want: ShardDecision{Next: 6, Halt: true, Stopped: true},
+		},
+		{
+			name: "final cycle halts",
+			votes: []ShardVote{
+				{Cycle: 99, End: 100, Earliest: 100},
+				{Cycle: 99, End: 100, Earliest: 100},
+			},
+			want: ShardDecision{Next: 100, Halt: true},
+		},
+		{
+			name: "join aligns without stop evaluation",
+			votes: []ShardVote{
+				{Join: true, Cycle: 10, End: 100, Earliest: 10, Stop: true},
+				{Join: true, Cycle: 10, End: 100, Earliest: 10},
+			},
+			want: ShardDecision{Next: 10},
+		},
+		{
+			name: "join pre-jumps a resumed idle run",
+			votes: []ShardVote{
+				{Join: true, Cycle: 10, End: 100, Earliest: 50},
+				{Join: true, Cycle: 10, End: 100, Earliest: NoEvent},
+			},
+			want: ShardDecision{Next: 50, Skipped: 40},
+		},
+		{
+			name: "join pre-jump clamps to end",
+			votes: []ShardVote{
+				{Join: true, Cycle: 10, End: 100, Earliest: NoEvent},
+				{Join: true, Cycle: 10, End: 100, Earliest: NoEvent},
+			},
+			want: ShardDecision{Next: 100, Skipped: 90, Halt: true},
+		},
+	} {
+		got, err := DecideShardSync(tc.votes)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+	if _, err := DecideShardSync(nil); err == nil {
+		t.Error("no votes: want error")
+	}
+	if _, err := DecideShardSync([]ShardVote{{Cycle: 1, End: 9}, {Cycle: 2, End: 9}}); err == nil {
+		t.Error("disagreeing cycles: want error")
+	}
+}
+
+// localShardGroup is an in-process coupler for engine-level tests: it
+// gathers every shard's vote, folds them with DecideShardSync and
+// releases all shards with the shared decision — the same contract the
+// serve coordinator implements over HTTP.
+type localShardGroup struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	votes []ShardVote
+	dec   ShardDecision
+	err   error
+	gen   int
+}
+
+func newLocalShardGroup(n int) *localShardGroup {
+	g := &localShardGroup{n: n}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+func (g *localShardGroup) Sync(v ShardVote) (ShardDecision, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	gen := g.gen
+	g.votes = append(g.votes, v)
+	if len(g.votes) == g.n {
+		g.dec, g.err = DecideShardSync(g.votes)
+		g.votes = g.votes[:0]
+		g.gen++
+		g.cond.Broadcast()
+	} else {
+		for g.gen == gen {
+			g.cond.Wait()
+		}
+	}
+	return g.dec, g.err
+}
+
+// TestShardedEngineMatchesSingleProcess: two engines sharding a tile set
+// (with an event far into an idle stretch on one side only) must execute
+// exactly the cycles the single-process run executes, with identical
+// fast-forward accounting — including when the sharded run is split into
+// resumed chunks at checkpoint-autosave cadence.
+func TestShardedEngineMatchesSingleProcess(t *testing.T) {
+	const n, total = 8, 1000
+	mk := func() []Tile {
+		tiles := make([]Tile, n)
+		for i := range tiles {
+			tiles[i] = &countTile{}
+		}
+		tiles[2] = &countTile{next: 700}
+		return tiles
+	}
+
+	ref := mk()
+	refRes := NewEngine(ref, 2, 1, true, nil).Run(0, total, nil)
+
+	for _, chunk := range []uint64{total, 250} {
+		tilesA, tilesB := mk(), mk()
+		group := newLocalShardGroup(2)
+		engines := make([]*Engine, 2)
+		for i, tiles := range [][]Tile{tilesA, tilesB} {
+			e := NewEngine(tiles, 2, 1, true, nil)
+			if err := e.SetShard(i, 2, group, nil); err != nil {
+				t.Fatal(err)
+			}
+			engines[i] = e
+		}
+		var wg sync.WaitGroup
+		results := make([][]RunResult, 2)
+		for i, e := range engines {
+			wg.Add(1)
+			go func(i int, e *Engine) {
+				defer wg.Done()
+				for at := uint64(0); at < total; {
+					var res RunResult
+					if at == 0 {
+						res = e.Run(at, min(chunk, total-at), nil)
+					} else {
+						res = e.RunResumed(at, min(chunk, total-at), nil)
+					}
+					if res.Err != nil {
+						t.Errorf("shard %d: %v", i, res.Err)
+						return
+					}
+					results[i] = append(results[i], res)
+					at += res.Cycles + res.SkippedCycles
+				}
+			}(i, e)
+		}
+		wg.Wait()
+		for i := range engines {
+			var cycles, skipped uint64
+			for _, r := range results[i] {
+				cycles += r.Cycles
+				skipped += r.SkippedCycles
+			}
+			if cycles != refRes.Cycles || skipped != refRes.SkippedCycles {
+				t.Fatalf("chunk=%d shard %d: cycles=%d skipped=%d, single-process %d/%d",
+					chunk, i, cycles, skipped, refRes.Cycles, refRes.SkippedCycles)
+			}
+		}
+		// Every in-span tile must have seen exactly the reference phase
+		// schedule; out-of-span tiles must never have been stepped.
+		for i, tiles := range [][]Tile{tilesA, tilesB} {
+			lo, hi := engines[i].Span()
+			for j, tl := range tiles {
+				ct, want := tl.(*countTile), ref[j].(*countTile)
+				if j >= lo && j < hi {
+					if len(ct.transfers) != len(want.transfers) {
+						t.Fatalf("chunk=%d shard %d tile %d: %d transfers, single-process %d",
+							chunk, i, j, len(ct.transfers), len(want.transfers))
+					}
+					for k := range ct.transfers {
+						if ct.transfers[k] != want.transfers[k] {
+							t.Fatalf("chunk=%d shard %d tile %d: transfer %d at cycle %d, want %d",
+								chunk, i, j, k, ct.transfers[k], want.transfers[k])
+						}
+					}
+				} else if len(ct.transfers) != 0 {
+					t.Fatalf("chunk=%d shard %d stepped out-of-span tile %d", chunk, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestSetShardValidation: sharding demands cycle-accurate sync and a
+// coupler; the worker count shrinks to the span.
+func TestSetShardValidation(t *testing.T) {
+	tiles := make([]Tile, 8)
+	for i := range tiles {
+		tiles[i] = &countTile{}
+	}
+	if err := NewEngine(tiles, 8, 4, false, nil).SetShard(0, 2, newLocalShardGroup(2), nil); err == nil {
+		t.Error("sync period 4: want error")
+	}
+	if err := NewEngine(tiles, 8, 1, false, nil).SetShard(0, 2, nil, nil); err == nil {
+		t.Error("nil coupler: want error")
+	}
+	e := NewEngine(tiles, 8, 1, false, nil)
+	if err := e.SetShard(1, 2, newLocalShardGroup(2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := e.Span(); lo != 4 || hi != 8 {
+		t.Fatalf("span [%d,%d), want [4,8)", lo, hi)
+	}
+	if e.Workers() != 4 {
+		t.Fatalf("workers %d, want clamped to 4", e.Workers())
+	}
+}

@@ -46,8 +46,13 @@ func (b *Budget) InUse() int {
 }
 
 // Peak returns the high-water mark of concurrently held slots since the
-// budget was created. By construction it never exceeds Cap; tests and
-// monitoring use it to show the cap actually bound the workload.
+// budget was created. Acquisitions never push the in-use count past the
+// capacity, so on a fixed-size budget Peak never exceeds Cap — tests
+// and monitoring use it to show the cap actually bound the workload.
+// On a resizable budget (the fleet's), Peak can legitimately exceed the
+// CURRENT Cap after a shrink: holders keep their slots (Resize never
+// revokes), so compare Peak against the capacity in effect at the time,
+// not against Cap() now.
 func (b *Budget) Peak() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -55,6 +55,64 @@ func TestBudgetLeaseReleaseIdempotent(t *testing.T) {
 	}
 }
 
+// TestBudgetShrinkBelowLeases audits the worker-loss sequence: the
+// fleet shrinks its aggregate budget below what outstanding task leases
+// hold (survivors keep running). The shrink must not revoke or corrupt
+// the leases — InUse stays put, each lease still releases exactly its
+// grant without panicking, new acquisitions wait until the books
+// balance — and Peak may legitimately read above the shrunken Cap (it
+// records the high-water mark against the capacity in effect then).
+func TestBudgetShrinkBelowLeases(t *testing.T) {
+	b := NewBudget(4)
+	l1 := b.TryLease(2)
+	l2 := b.TryLease(2)
+	if l1 == nil || l2 == nil {
+		t.Fatal("seed leases failed")
+	}
+
+	b.Resize(1) // two workers died: capacity 4 -> 1 with 4 slots leased
+	if got := b.InUse(); got != 4 {
+		t.Fatalf("InUse after shrink = %d, want 4 (shrink must not revoke leases)", got)
+	}
+	if got := b.Peak(); got != 4 {
+		t.Fatalf("Peak after shrink = %d, want 4 — the high-water mark predates the shrink", got)
+	}
+	if b.Peak() <= b.Cap() {
+		t.Fatal("test lost its premise: Peak should exceed the shrunken Cap here")
+	}
+
+	// New work must wait: nothing is grantable while used > cap.
+	if _, ok := b.TryAcquire(1); ok {
+		t.Fatal("TryAcquire granted slots while used exceeds the shrunken cap")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if n, err := b.AcquireCtx(ctx, 1); err == nil {
+		t.Fatalf("AcquireCtx granted %d slots while used exceeds the shrunken cap", n)
+	}
+
+	// Outstanding leases release cleanly (no panic, exact accounting),
+	// and only once the books balance do new acquisitions proceed.
+	l1.Release()
+	if got := b.InUse(); got != 2 {
+		t.Fatalf("InUse after first release = %d, want 2", got)
+	}
+	if _, ok := b.TryAcquire(1); ok {
+		t.Fatal("TryAcquire granted slots while still over capacity")
+	}
+	l2.Release()
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse after both releases = %d, want 0", got)
+	}
+	if got, ok := b.TryAcquire(3); !ok || got != 1 {
+		t.Fatalf("TryAcquire(3) after drain = %d, %v; want clamp to the new cap 1", got, ok)
+	}
+	if got := b.Peak(); got != 4 {
+		t.Fatalf("Peak after drain = %d, want 4 (it is a lifetime high-water mark)", got)
+	}
+	b.Release(1)
+}
+
 func TestBudgetResize(t *testing.T) {
 	b := NewBudget(1)
 	if got, _ := b.TryAcquire(1); got != 1 {
