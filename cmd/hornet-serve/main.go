@@ -32,13 +32,19 @@
 //	GET    /api/v1/jobs/{id}         job state (?wait=30s long-polls)
 //	GET    /api/v1/jobs/{id}/result  result document (cached: byte-identical)
 //	GET    /api/v1/jobs/{id}/events  SSE progress stream
+//	GET    /api/v1/jobs/{id}/trace   Chrome trace_event timeline (Perfetto)
 //	DELETE /api/v1/jobs/{id}         cancel
 //	GET    /api/v1/figures           runnable experiments
 //	GET    /api/v1/stats             scheduler + cache + fleet counters
 //	GET    /api/v1/workers           registered worker fleet
 //	POST   /api/v1/workers           (workers) register
 //	POST   /api/v1/workers/{id}/...  (workers) poll/heartbeat/push protocol
+//	GET    /metrics                  Prometheus text exposition
 //	GET    /healthz                  liveness
+//
+// Observability: -log-level/-log-format tune the structured log stream
+// on stderr; -debug-addr serves net/http/pprof on a separate listener
+// (keep it off the public address).
 package main
 
 import (
@@ -46,17 +52,35 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"hornet/internal/obs"
 	"hornet/internal/service"
 	"hornet/internal/snapshotcli"
 )
+
+// servePprof mounts the pprof handlers on their own listener. The
+// profiling surface stays off the public API address on purpose.
+func servePprof(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			logger.Warn("debug listener failed", obs.Err(err))
+		}
+	}()
+}
 
 func main() {
 	// Subcommand form: `hornet-serve snapshot <file>` inspects a
@@ -82,7 +106,20 @@ func main() {
 		"LRU bound on in-memory result documents (0 = unbounded)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0,
 		"LRU bound on in-memory result bytes (0 = unbounded)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof on this address (\"\" = disabled)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hornet-serve: %v\n", err)
+		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		servePprof(*debugAddr, logger)
+	}
 
 	srv := service.New(service.Options{
 		MaxJobs:         *jobs,
@@ -94,6 +131,7 @@ func main() {
 		JobTTL:          *jobTTL,
 		CacheMaxEntries: *cacheMaxEntries,
 		CacheMaxBytes:   *cacheMaxBytes,
+		Logger:          logger,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -106,8 +144,10 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("hornet-serve: listening on %s (jobs=%d budget=%d cache=%q checkpoint=%q every=%d job-ttl=%v)",
-		*addr, *jobs, *budget, *cacheDir, *ckptDir, *ckptEvery, *jobTTL)
+	logger.Info("listening", slog.String("addr", *addr), slog.Int("jobs", *jobs),
+		slog.Int("budget", *budget), slog.String("cache", *cacheDir),
+		slog.String("checkpoint_dir", *ckptDir), slog.Uint64("checkpoint_every", *ckptEvery),
+		slog.Duration("job_ttl", *jobTTL))
 
 	select {
 	case <-ctx.Done():
@@ -115,7 +155,7 @@ func main() {
 		// SIGINT/SIGTERM during the drain kills the process instead of
 		// being swallowed by the (now-cancelled) NotifyContext.
 		stop()
-		log.Printf("hornet-serve: shutting down (interrupt again to force quit)")
+		logger.Info("shutting down (interrupt again to force quit)")
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "hornet-serve: %v\n", err)
 		os.Exit(1)
@@ -126,7 +166,7 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("hornet-serve: shutdown: %v", err)
+		logger.Warn("shutdown", obs.Err(err))
 	}
 	srv.Close()
 }

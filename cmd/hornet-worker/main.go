@@ -15,6 +15,8 @@
 //	hornet-worker -coordinator http://host:8080    # join a remote daemon
 //	hornet-worker -capacity 4                      # offer 4 CPU slots
 //	hornet-worker -id worker-blue                  # stable identity
+//	hornet-worker -metrics-addr :9091              # GET /metrics + /healthz
+//	hornet-worker -debug-addr :6061                # net/http/pprof
 //
 // SIGINT/SIGTERM drains gracefully: the worker deregisters and its
 // in-flight tasks requeue (with their uploaded checkpoints) onto the
@@ -25,13 +27,17 @@ package main
 import (
 	"context"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
+	"hornet/internal/obs"
 	"hornet/internal/service/worker"
 )
 
@@ -41,19 +47,60 @@ func main() {
 	id := flag.String("id", "", "stable worker identity (\"\" = coordinator-assigned)")
 	capacity := flag.Int("capacity", runtime.GOMAXPROCS(0),
 		"CPU slots offered to the fleet")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log format: text or json")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve GET /metrics and /healthz on this address (\"\" = disabled)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof on this address (\"\" = disabled)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(*logLevel, *logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hornet-worker: %v\n", err)
+		os.Exit(2)
+	}
+
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				logger.Warn("metrics listener failed", obs.Err(err))
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				logger.Warn("debug listener failed", obs.Err(err))
+			}
+		}()
+	}
 
 	w := worker.New(worker.Options{
 		Coordinator: *coordinator,
 		ID:          *id,
 		Capacity:    *capacity,
-		Logf:        log.Printf,
+		Logger:      logger,
+		Metrics:     reg,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := w.Run(ctx)
+	err = w.Run(ctx)
 	if ctx.Err() != nil {
 		// Graceful drain: deregister so assigned tasks migrate now
 		// instead of after the lease TTL.
@@ -61,12 +108,13 @@ func main() {
 		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := w.Deregister(dctx); err != nil {
-			log.Printf("hornet-worker: deregister: %v", err)
+			logger.Warn("deregister failed", obs.Err(err))
 		}
-		log.Printf("hornet-worker: %s drained", w.ID())
+		logger.Info("drained", slog.String("worker", w.ID()))
 		return
 	}
 	if err != nil {
-		log.Fatalf("hornet-worker: %v", err)
+		fmt.Fprintf(os.Stderr, "hornet-worker: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -5,6 +5,7 @@
 package e2e
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"fmt"
@@ -13,6 +14,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -41,14 +44,7 @@ func TestDistributedFleetE2E(t *testing.T) {
 		t.Fatalf("building binaries: %v", err)
 	}
 
-	// A freshly freed port: racy in principle, fine for a dedicated CI
-	// step.
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	addr := l.Addr().String()
-	l.Close()
+	addr := freePort(t)
 	base := "http://" + addr
 
 	start := func(name string, args ...string) *exec.Cmd {
@@ -71,9 +67,16 @@ func TestDistributedFleetE2E(t *testing.T) {
 		"-checkpoint-every", "500", "-worker-ttl", "2s")
 	waitHealthy(t, base)
 
-	workers := map[string]*exec.Cmd{
-		"e2e-w1": start("hornet-worker", "-coordinator", base, "-id", "e2e-w1", "-capacity", "1"),
-		"e2e-w2": start("hornet-worker", "-coordinator", base, "-id", "e2e-w2", "-capacity", "1"),
+	// Each worker exposes its own /metrics so the drill can scrape the
+	// survivor after the migration.
+	workerMetrics := map[string]string{
+		"e2e-w1": "http://" + freePort(t),
+		"e2e-w2": "http://" + freePort(t),
+	}
+	workers := map[string]*exec.Cmd{}
+	for _, id := range []string{"e2e-w1", "e2e-w2"} {
+		workers[id] = start("hornet-worker", "-coordinator", base, "-id", id, "-capacity", "1",
+			"-metrics-addr", workerMetrics[id][len("http://"):])
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
@@ -122,6 +125,28 @@ func TestDistributedFleetE2E(t *testing.T) {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
+	// Mid-run flight-recorder check: with the job executing on the fleet,
+	// the coordinator's exposition must already carry the key series. A
+	// missing series here means the registry wiring regressed — fail the
+	// pipeline rather than ship a blind daemon.
+	mid := scrape(t, base+"/metrics")
+	for _, s := range []string{
+		`hornet_jobs{state="running"}`,
+		`hornet_budget_capacity`,
+		`hornet_fleet_lease_expiries_total`,
+		`hornet_fleet_workers_live`,
+	} {
+		if _, ok := mid[s]; !ok {
+			t.Errorf("mid-run coordinator /metrics missing %s", s)
+		}
+	}
+	if mid[`hornet_jobs{state="running"}`] < 1 {
+		t.Errorf("hornet_jobs{state=\"running\"} = %v mid-run, want >= 1", mid[`hornet_jobs{state="running"}`])
+	}
+	if !hasSeriesPrefix(mid, "hornet_engine_barrier_wait_seconds_bucket") {
+		t.Error("mid-run coordinator /metrics missing the barrier-wait histogram")
+	}
+
 	ws, err := c.Workers(ctx)
 	if err != nil {
 		t.Fatalf("workers: %v", err)
@@ -164,6 +189,67 @@ func TestDistributedFleetE2E(t *testing.T) {
 		t.Errorf("fleet stats show no migration: %+v", st.Fleet)
 	}
 
+	// Post-migration flight-recorder check: the kill must be visible in
+	// the coordinator's exposition.
+	post := scrape(t, base+"/metrics")
+	if post[`hornet_fleet_lease_expiries_total`] < 1 {
+		t.Errorf("hornet_fleet_lease_expiries_total = %v after the kill, want >= 1",
+			post[`hornet_fleet_lease_expiries_total`])
+	}
+	if post[`hornet_fleet_tasks_requeued_total`] < 1 {
+		t.Errorf("hornet_fleet_tasks_requeued_total = %v after the kill, want >= 1",
+			post[`hornet_fleet_tasks_requeued_total`])
+	}
+	if post[`hornet_engine_cycles_total`] == 0 {
+		t.Error("coordinator recorded no engine cycles from the fleet's probe snapshots")
+	}
+
+	// The survivor's own /metrics: it resumed the migrated task, so it
+	// must have executed cycles and uploaded checkpoints of its own.
+	survivor := "e2e-w1"
+	if victim == survivor {
+		survivor = "e2e-w2"
+	}
+	wm := scrape(t, workerMetrics[survivor]+"/metrics")
+	if wm[`hornet_worker_checkpoint_uploads_total`] < 1 {
+		t.Errorf("survivor %s uploaded no checkpoints: %v", survivor, wm[`hornet_worker_checkpoint_uploads_total`])
+	}
+	if wm[`hornet_engine_cycles_total`] == 0 {
+		t.Errorf("survivor %s recorded no engine cycles", survivor)
+	}
+	if !hasSeriesPrefix(wm, "hornet_engine_barrier_wait_seconds_bucket") {
+		t.Errorf("survivor %s /metrics missing the barrier-wait histogram", survivor)
+	}
+
+	// The migrated job's trace timeline must record the migration as a
+	// span; archive the raw document so a human can load the timeline of
+	// every CI drill into Perfetto.
+	traceDoc, traceRaw, err := c.Trace(ctx, info.ID)
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	migrateSeen := false
+	for _, ev := range traceDoc.TraceEvents {
+		if ev.Name == "migrate" {
+			migrateSeen = true
+		}
+	}
+	if !migrateSeen {
+		t.Errorf("trace timeline has no migrate span; events: %d", len(traceDoc.TraceEvents))
+	}
+	artifacts := os.Getenv("HORNET_E2E_ARTIFACTS")
+	if artifacts == "" {
+		artifacts = t.TempDir()
+	}
+	if err := os.MkdirAll(artifacts, 0o755); err != nil {
+		t.Fatalf("artifacts dir: %v", err)
+	}
+	tracePath := filepath.Join(artifacts, "migrated-job-trace.json")
+	if err := os.WriteFile(tracePath, traceRaw, 0o644); err != nil {
+		t.Fatalf("writing trace artifact: %v", err)
+	}
+	t.Logf("trace timeline archived at %s (%d events)", tracePath, len(traceDoc.TraceEvents))
+
 	// The golden contract across process boundaries: an uninterrupted
 	// in-process execution of the same request must produce the exact
 	// bytes the twice-executed, once-killed fleet run served.
@@ -177,6 +263,74 @@ func TestDistributedFleetE2E(t *testing.T) {
 	}
 	fmt.Printf("e2e: migrated after killing %s; resumed_runs=%d, requeued=%d, doc bytes identical\n",
 		victim, final.ResumedRuns, st.Fleet.TasksRequeued)
+}
+
+// freePort returns a freshly freed 127.0.0.1 address: racy in
+// principle, fine for a dedicated CI step.
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// scrape fetches a Prometheus text exposition and parses it into
+// series → value. The endpoint may take a moment to come up on a
+// freshly started worker, so connection errors retry briefly.
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	var resp *http.Response
+	var err error
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = http.Get(url)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	series := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed exposition line from %s: %q", url, line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		series[line[:i]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return series
+}
+
+func hasSeriesPrefix(series map[string]float64, prefix string) bool {
+	for k := range series {
+		if strings.HasPrefix(k, prefix) {
+			return true
+		}
+	}
+	return false
 }
 
 func waitHealthy(t *testing.T, base string) {

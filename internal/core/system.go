@@ -8,6 +8,7 @@ import (
 	"hornet/internal/mem"
 	"hornet/internal/mips"
 	"hornet/internal/noc"
+	"hornet/internal/obs"
 	"hornet/internal/power"
 	"hornet/internal/routing"
 	"hornet/internal/sim"
@@ -240,6 +241,10 @@ func (s *System) InFlight() int64 { return s.engine.InFlight().Load() }
 
 // Workers returns the engine's effective worker count.
 func (s *System) Workers() int { return s.engine.Workers() }
+
+// SetProbe attaches an observability probe to the engine (nil
+// detaches); see sim.Engine.SetProbe.
+func (s *System) SetProbe(p *obs.SimProbe) { s.engine.SetProbe(p) }
 
 // Run simulates the given number of cycles and returns the engine result.
 func (s *System) Run(cycles uint64) sim.RunResult {

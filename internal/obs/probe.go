@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SimProbe collects engine-level timing: total cycles and wall time
+// (cycles/sec), per-partition compute vs. barrier-wait time, and the
+// round-trip latency of shard coupler syncs. A probe is attached to an
+// engine with Engine.SetProbe; a nil probe costs the engine exactly
+// one predictable branch per phase and zero allocations.
+//
+// All counters are cumulative across runs so chunked (checkpointing)
+// executions aggregate naturally; Snapshot renders a consistent-enough
+// view for live reporting (fields are individually atomic).
+type SimProbe struct {
+	runs    atomic.Uint64
+	cycles  atomic.Uint64
+	skipped atomic.Uint64
+	wallNS  atomic.Int64
+
+	syncCalls atomic.Uint64
+	syncNS    atomic.Int64
+
+	mu    sync.Mutex
+	parts []*PartitionProbe
+}
+
+// PartitionProbe accumulates one engine worker's timing split. The
+// engine holds the pointer for a whole run, so per-cycle updates are
+// two atomic adds, no map lookups and no allocation.
+type PartitionProbe struct {
+	lo, hi    int
+	cycles    atomic.Uint64
+	computeNS atomic.Int64
+	barrierNS atomic.Int64
+}
+
+// AddCompute, AddBarrier and AddCycles are the engine-side recording
+// hooks.
+func (p *PartitionProbe) AddCompute(d time.Duration) { p.computeNS.Add(int64(d)) }
+func (p *PartitionProbe) AddBarrier(d time.Duration) { p.barrierNS.Add(int64(d)) }
+func (p *PartitionProbe) AddCycles(n uint64)         { p.cycles.Add(n) }
+
+// NewSimProbe returns an empty probe.
+func NewSimProbe() *SimProbe { return &SimProbe{} }
+
+// Partition returns the accumulator for engine worker w of n, owning
+// tiles [lo,hi). Called once per worker per Run (not per cycle); the
+// slice grows lazily and accumulators persist across runs.
+func (p *SimProbe) Partition(w, n, lo, hi int) *PartitionProbe {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.parts) < n {
+		p.parts = append(p.parts, &PartitionProbe{})
+	}
+	pp := p.parts[w]
+	pp.lo, pp.hi = lo, hi
+	return pp
+}
+
+// RunDone folds one Engine.Run result into the probe.
+func (p *SimProbe) RunDone(cycles, skipped uint64, wall time.Duration) {
+	p.runs.Add(1)
+	p.cycles.Add(cycles)
+	p.skipped.Add(skipped)
+	p.wallNS.Add(int64(wall))
+}
+
+// ShardSync records one shard coupler round-trip.
+func (p *SimProbe) ShardSync(d time.Duration) {
+	p.syncCalls.Add(1)
+	p.syncNS.Add(int64(d))
+}
+
+// ProbeSnapshot is a point-in-time rendering of a SimProbe, embedded
+// in JobInfo and SSE "engine" events and pushed over the fleet wire.
+type ProbeSnapshot struct {
+	Runs          uint64  `json:"runs"`
+	Cycles        uint64  `json:"cycles"`
+	SkippedCycles uint64  `json:"skipped_cycles,omitempty"`
+	WallMS        float64 `json:"wall_ms"`
+	CyclesPerSec  float64 `json:"cycles_per_sec"`
+
+	ShardSyncs      uint64  `json:"shard_syncs,omitempty"`
+	ShardSyncWallMS float64 `json:"shard_sync_wall_ms,omitempty"`
+
+	Partitions []PartitionSnapshot `json:"partitions,omitempty"`
+}
+
+// PartitionSnapshot is one worker's share of a ProbeSnapshot.
+type PartitionSnapshot struct {
+	Worker    int     `json:"worker"`
+	TileLo    int     `json:"tile_lo"`
+	TileHi    int     `json:"tile_hi"`
+	Cycles    uint64  `json:"cycles"`
+	ComputeMS float64 `json:"compute_ms"`
+	BarrierMS float64 `json:"barrier_ms"`
+}
+
+// Snapshot renders the probe's current totals.
+func (p *SimProbe) Snapshot() ProbeSnapshot {
+	s := ProbeSnapshot{
+		Runs:          p.runs.Load(),
+		Cycles:        p.cycles.Load(),
+		SkippedCycles: p.skipped.Load(),
+		WallMS:        float64(p.wallNS.Load()) / 1e6,
+		ShardSyncs:    p.syncCalls.Load(),
+	}
+	s.ShardSyncWallMS = float64(p.syncNS.Load()) / 1e6
+	if wall := p.wallNS.Load(); wall > 0 {
+		s.CyclesPerSec = float64(s.Cycles) / (float64(wall) / 1e9)
+	}
+	// Hold mu across the iteration: pp.lo/hi are plain ints written by
+	// Partition under the same lock.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for w, pp := range p.parts {
+		s.Partitions = append(s.Partitions, PartitionSnapshot{
+			Worker:    w,
+			TileLo:    pp.lo,
+			TileHi:    pp.hi,
+			Cycles:    pp.cycles.Load(),
+			ComputeMS: float64(pp.computeNS.Load()) / 1e6,
+			BarrierMS: float64(pp.barrierNS.Load()) / 1e6,
+		})
+	}
+	return s
+}
+
+// BarrierWallMS sums barrier-wait time across partitions; ComputeWallMS
+// likewise for compute. Convenient for histogram deltas.
+func (s ProbeSnapshot) BarrierWallMS() float64 {
+	var t float64
+	for _, p := range s.Partitions {
+		t += p.BarrierMS
+	}
+	return t
+}
+
+// ComputeWallMS sums compute time across partitions.
+func (s ProbeSnapshot) ComputeWallMS() float64 {
+	var t float64
+	for _, p := range s.Partitions {
+		t += p.ComputeMS
+	}
+	return t
+}

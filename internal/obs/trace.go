@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Timeline accumulates span and instant events for one job's lifetime
+// (queued → dispatched → running → checkpoint → migrated/rollback →
+// done) and renders them as Chrome trace_event JSON, loadable directly
+// in Perfetto or chrome://tracing.
+//
+// Timeline has its own mutex and never calls out while holding it, so
+// it is safe to record events from under any component lock (the fleet
+// notes dispatch/requeue while holding its own mutex).
+type Timeline struct {
+	mu      sync.Mutex
+	name    string
+	base    time.Time
+	events  []TraceEvent
+	open    map[string]int // span name -> index of pending "X" event
+	max     int
+	dropped int
+}
+
+// TraceEvent is one Chrome trace_event entry. Phase "X" is a complete
+// span (Ts + Dur), "B" an unfinished span begin, "i" an instant, "M"
+// metadata. Timestamps are microseconds from the timeline base.
+type TraceEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	Ts    int64             `json:"ts"`
+	Dur   int64             `json:"dur,omitempty"`
+	Pid   int               `json:"pid"`
+	Tid   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// TraceDocument is the JSON object served by GET /api/v1/jobs/{id}/trace.
+type TraceDocument struct {
+	TraceEvents     []TraceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+const defaultTimelineCap = 512
+
+// NewTimeline starts a timeline named name (the Perfetto process
+// label) with its zero timestamp at start.
+func NewTimeline(name string, start time.Time) *Timeline {
+	return &Timeline{
+		name: name,
+		base: start,
+		open: make(map[string]int),
+		max:  defaultTimelineCap,
+	}
+}
+
+func (t *Timeline) ts(at time.Time) int64 { return at.Sub(t.base).Microseconds() }
+
+// Begin opens a span. A span already open under the same name is left
+// as is (Begin is idempotent until End).
+func (t *Timeline) Begin(name string, args map[string]string) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.open[name]; ok {
+		return
+	}
+	if !t.roomLocked() {
+		return
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Phase: "B", Ts: t.ts(now), Pid: 1, Tid: 1, Args: args,
+	})
+	t.open[name] = len(t.events) - 1
+}
+
+// End closes the span opened by Begin(name), converting it to a
+// complete ("X") event; extra args are merged in. No-op when the span
+// is not open.
+func (t *Timeline) End(name string, args map[string]string) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.open[name]
+	if !ok {
+		return
+	}
+	delete(t.open, name)
+	ev := &t.events[i]
+	ev.Phase = "X"
+	ev.Dur = t.ts(now) - ev.Ts
+	if ev.Dur < 0 {
+		ev.Dur = 0
+	}
+	if len(args) > 0 {
+		if ev.Args == nil {
+			ev.Args = make(map[string]string, len(args))
+		}
+		for k, v := range args {
+			ev.Args[k] = v
+		}
+	}
+}
+
+// Instant records a point event.
+func (t *Timeline) Instant(name string, args map[string]string) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.roomLocked() {
+		return
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Phase: "i", Ts: t.ts(now), Pid: 1, Tid: 1, Scope: "p", Args: args,
+	})
+}
+
+// roomLocked enforces the event cap so a pathological job (checkpoint
+// storm, rollback loop) cannot grow the timeline without bound.
+func (t *Timeline) roomLocked() bool {
+	if len(t.events) >= t.max {
+		t.dropped++
+		return false
+	}
+	return true
+}
+
+// Document renders the timeline. Spans still open are emitted as "B"
+// events, which Perfetto draws as unfinished; the trace is therefore
+// valid at any point in the job's life.
+func (t *Timeline) Document() TraceDocument {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	events := make([]TraceEvent, 0, len(t.events)+1)
+	events = append(events, TraceEvent{
+		Name: "process_name", Phase: "M", Pid: 1, Tid: 1,
+		Args: map[string]string{"name": t.name},
+	})
+	events = append(events, t.events...)
+	doc := TraceDocument{TraceEvents: events, DisplayTimeUnit: "ms"}
+	if t.dropped > 0 {
+		doc.OtherData = map[string]string{"dropped_events": strconv.Itoa(t.dropped)}
+	}
+	return doc
+}

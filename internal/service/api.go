@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"hornet/internal/config"
+	"hornet/internal/obs"
 	"hornet/internal/service/backend"
 )
 
@@ -171,6 +172,10 @@ type JobInfo struct {
 	Created     time.Time `json:"created"`
 	Started     time.Time `json:"started,omitzero"`
 	Finished    time.Time `json:"finished,omitzero"`
+	// Engine is the latest engine-probe snapshot for a running job:
+	// cycles/sec plus the per-partition compute vs. barrier-wait split
+	// (and shard sync totals for space-parallel jobs).
+	Engine *obs.ProbeSnapshot `json:"engine,omitempty"`
 }
 
 // Terminal reports whether the job has reached a final state.
@@ -184,7 +189,7 @@ func (j JobInfo) Terminal() bool {
 
 // Event is one progress notification on a job's SSE stream.
 type Event struct {
-	Type  string `json:"type"` // "state", "progress", "checkpoint" or "resumed"
+	Type  string `json:"type"` // "state", "progress", "checkpoint", "resumed" or "engine"
 	Job   string `json:"job"`
 	State string `json:"state,omitempty"`
 	Done  int    `json:"done,omitempty"`
@@ -192,6 +197,8 @@ type Event struct {
 	Key   string `json:"key,omitempty"` // run key (progress/checkpoint/resumed events)
 	// Cycle is the simulation clock of a checkpoint or resume point.
 	Cycle uint64 `json:"cycle,omitempty"`
+	// Engine carries the probe snapshot of an "engine" event.
+	Engine *obs.ProbeSnapshot `json:"engine,omitempty"`
 }
 
 // FigureInfo describes one registry experiment (GET /api/v1/figures).

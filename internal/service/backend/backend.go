@@ -20,6 +20,7 @@ import (
 	"errors"
 	"time"
 
+	"hornet/internal/obs"
 	"hornet/internal/sim"
 )
 
@@ -75,6 +76,37 @@ type Sink interface {
 	Resumed(key string, cycle uint64)
 	// Checkpoint reports one autosaved snapshot at cycle.
 	Checkpoint(key string, cycle uint64)
+}
+
+// EngineSink is an optional Sink extension: backends that instrument
+// the simulation engine push probe snapshots (cycles/sec, barrier-wait
+// vs. compute split) through it. Checked by type assertion so existing
+// Sink implementations keep working unchanged.
+type EngineSink interface {
+	Engine(s obs.ProbeSnapshot)
+}
+
+// NoteSink is an optional Sink extension for lifecycle annotations
+// ("dispatched", "requeued", "rollback", ...) feeding per-job trace
+// timelines. Implementations must be non-blocking and must not call
+// back into the fleet: notes are emitted while backend locks are held.
+type NoteSink interface {
+	Note(event string, fields map[string]string)
+}
+
+// SinkEngine forwards a probe snapshot to s if it implements
+// EngineSink.
+func SinkEngine(s Sink, snap obs.ProbeSnapshot) {
+	if es, ok := s.(EngineSink); ok {
+		es.Engine(snap)
+	}
+}
+
+// SinkNote forwards a lifecycle note to s if it implements NoteSink.
+func SinkNote(s Sink, event string, fields map[string]string) {
+	if ns, ok := s.(NoteSink); ok {
+		ns.Note(event, fields)
+	}
 }
 
 // Backend executes tasks.
@@ -158,12 +190,15 @@ type Assignment struct {
 
 // TaskEvent is one progress push (POST .../tasks/{id}/events).
 type TaskEvent struct {
-	// Type is "progress", "resumed" or "checkpoint".
+	// Type is "progress", "resumed", "checkpoint" or "engine".
 	Type  string `json:"type"`
 	Done  int    `json:"done,omitempty"`
 	Total int    `json:"total,omitempty"`
 	Key   string `json:"key,omitempty"`
 	Cycle uint64 `json:"cycle,omitempty"`
+	// Engine carries the executing worker's probe snapshot for "engine"
+	// events (live cycles/sec and barrier-wait split per running job).
+	Engine *obs.ProbeSnapshot `json:"engine,omitempty"`
 }
 
 // ResultPush is the terminal push (POST .../tasks/{id}/result).
@@ -270,4 +305,10 @@ type FleetStats struct {
 	// shrink raced an assignment).
 	CheckpointBlobs int    `json:"checkpoint_blobs"`
 	LeaseMisses     uint64 `json:"lease_misses"`
+	// ShardRollbacks counts shard-group epoch rollbacks (a member died
+	// and the group restarted from its stable checkpoint).
+	ShardRollbacks uint64 `json:"shard_rollbacks"`
+	// CheckpointBytes is the total size of checkpoint blobs accepted
+	// from workers (migration uploads).
+	CheckpointBytes uint64 `json:"checkpoint_bytes"`
 }

@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"hornet/internal/obs"
 	"hornet/internal/sweep"
 )
 
@@ -33,6 +36,9 @@ type FleetOptions struct {
 	// Persist, if non-nil, additionally stores uploaded checkpoint blobs
 	// under their content key.
 	Persist BlobStore
+	// Logger receives fleet lifecycle logs (registration, lease expiry,
+	// task requeue, shard rollback); nil discards them.
+	Logger *slog.Logger
 }
 
 // Fleet is the remote execution backend: a registry of hornet-worker
@@ -42,6 +48,7 @@ type FleetOptions struct {
 // calls Execute, the HTTP layer calls the worker-protocol methods.
 type Fleet struct {
 	opts FleetOptions
+	log  *slog.Logger
 	// agg is the fleet-wide CPU budget: capacity tracks the sum of live
 	// workers' capacities (Resize on join/leave), and every assignment
 	// holds a lease for its slot grant, so Peak proves the coordinator
@@ -62,6 +69,8 @@ type Fleet struct {
 	tasksRequeued   uint64
 	tasksCompleted  uint64
 	leaseMisses     uint64
+	shardRollbacks  uint64
+	checkpointBytes uint64
 
 	closeOnce   sync.Once
 	janitorStop chan struct{}
@@ -80,6 +89,12 @@ type workerState struct {
 type pending struct {
 	task *Task
 	sink Sink
+	// note receives lifecycle annotations (dispatch/requeue/rollback)
+	// for the job's trace timeline. For shard members it is the ROOT
+	// member's sink, so group-level events reach the job even when a
+	// non-root member triggers them; progress still flows through sink
+	// (discarded for non-root members).
+	note Sink
 
 	// shard/group are set on space-parallel member tasks: shard is the
 	// member's tile-span index and group the rendezvous shared by all
@@ -106,6 +121,15 @@ func (discardSink) Progress(int, int, string) {}
 func (discardSink) Resumed(string, uint64)    {}
 func (discardSink) Checkpoint(string, uint64) {}
 
+// shardAttrs labels a log record with a member task's identity.
+func shardAttrs(p *pending) []any {
+	attrs := []any{obs.Task(p.task.ID), slog.String("name", p.task.Name)}
+	if p.group != nil {
+		attrs = append(attrs, obs.Shard(p.shard))
+	}
+	return attrs
+}
+
 // NewFleet builds an empty fleet and starts its lease janitor.
 func NewFleet(opts FleetOptions) *Fleet {
 	if opts.LeaseTTL <= 0 {
@@ -114,8 +138,13 @@ func NewFleet(opts FleetOptions) *Fleet {
 	if opts.CheckpointEvery == 0 {
 		opts.CheckpointEvery = 100_000
 	}
+	log := opts.Logger
+	if log == nil {
+		log = obs.Nop()
+	}
 	f := &Fleet{
 		opts:        opts,
+		log:         log,
 		agg:         sweep.NewBudget(1), // resized to 0 below; NewBudget clamps
 		workers:     map[string]*workerState{},
 		notify:      make(chan struct{}),
@@ -187,7 +216,7 @@ func (f *Fleet) Execute(ctx context.Context, t *Task, sink Sink) ([]byte, int, e
 	if t.Checkpoints == nil {
 		t.Checkpoints = map[string]Blob{}
 	}
-	p := &pending{task: t, sink: sink, done: make(chan struct{})}
+	p := &pending{task: t, sink: sink, note: sink, done: make(chan struct{})}
 	f.queue = append(f.queue, p)
 	f.wakeLocked()
 	f.mu.Unlock()
@@ -257,7 +286,7 @@ func (f *Fleet) executeSharded(ctx context.Context, t *Task, sink Sink) ([]byte,
 		if i == 0 {
 			ms = sink
 		}
-		members[i] = &pending{task: &mt, sink: ms, shard: i, group: group, done: make(chan struct{})}
+		members[i] = &pending{task: &mt, sink: ms, note: sink, shard: i, group: group, done: make(chan struct{})}
 	}
 	f.queue = append(f.queue, members...)
 	f.wakeLocked()
@@ -367,7 +396,7 @@ func (f *Fleet) Register(req RegisterRequest) (RegisterResponse, error) {
 		id = fmt.Sprintf("worker-%03d", f.nextID)
 	}
 	if old, ok := f.workers[id]; ok {
-		f.evictLocked(old)
+		f.evictLocked(old, "replaced by re-registration")
 	}
 	f.workers[id] = &workerState{
 		id:       id,
@@ -379,6 +408,8 @@ func (f *Fleet) Register(req RegisterRequest) (RegisterResponse, error) {
 	f.workersJoined++
 	f.resizeLocked()
 	f.wakeLocked()
+	f.log.Info("worker registered", obs.Worker(id),
+		slog.Int("capacity", req.Capacity), slog.Int("fleet_capacity", f.agg.Cap()))
 	return RegisterResponse{
 		ID:              id,
 		LeaseTTL:        f.opts.LeaseTTL,
@@ -396,7 +427,8 @@ func (f *Fleet) Deregister(id string) error {
 	if !ok {
 		return ErrUnknownWorker
 	}
-	f.evictLocked(w)
+	f.log.Info("worker deregistered", obs.Worker(id))
+	f.evictLocked(w, "worker deregistered")
 	f.resizeLocked()
 	f.failQueuedIfEmptyLocked()
 	return nil
@@ -404,7 +436,8 @@ func (f *Fleet) Deregister(id string) error {
 
 // evictLocked removes a worker and requeues its assigned tasks at the
 // front of the queue (migrated work resumes before new work starts).
-func (f *Fleet) evictLocked(w *workerState) {
+// reason labels the eviction in logs ("lease expired", ...).
+func (f *Fleet) evictLocked(w *workerState, reason string) {
 	delete(f.workers, w.id)
 	var requeue []*pending
 	for _, p := range w.tasks {
@@ -422,11 +455,27 @@ func (f *Fleet) evictLocked(w *workerState) {
 			// stable blob — NOT its latest upload, which may be ahead of
 			// the cycle the survivors roll back to.
 			p.group.MemberLost()
+			f.shardRollbacks++
 			p.task.Checkpoints = map[string]Blob{}
 			if key, blob, ok := p.group.StableBlob(p.shard); ok {
 				p.task.Checkpoints[key] = blob
 			}
+			f.log.Warn("shard member lost; group rolled back",
+				append(shardAttrs(p), obs.Worker(w.id),
+					slog.Int("epoch", p.group.Epoch()), slog.String("reason", reason))...)
+			// NoteSink implementations touch only their own locks, so the
+			// calls are safe under f.mu (documented on NoteSink).
+			SinkNote(p.note, "rollback", map[string]string{
+				"worker": w.id,
+				"shard":  strconv.Itoa(p.shard),
+				"epoch":  strconv.Itoa(p.group.Epoch()),
+			})
+		} else {
+			f.log.Warn("task requeued for migration",
+				append(shardAttrs(p), obs.Worker(w.id), slog.String("reason", reason),
+					slog.Int("checkpoints", len(p.task.Checkpoints)))...)
 		}
+		SinkNote(p.note, "requeued", map[string]string{"worker": w.id, "task": p.task.ID})
 		requeue = append(requeue, p)
 		f.tasksRequeued++
 	}
@@ -539,6 +588,9 @@ func (f *Fleet) assignLocked(w *workerState) *Assignment {
 			f.leaseMisses++ // shrink raced the assignment; placement still bounds usage
 		}
 		f.tasksDispatched++
+		f.log.Debug("task dispatched",
+			append(shardAttrs(p), obs.Worker(w.id), slog.Int("slots", weight))...)
+		SinkNote(p.note, "dispatched", map[string]string{"worker": w.id, "task": p.task.ID})
 		ckpts := make(map[string]Blob, len(p.task.Checkpoints))
 		for k, b := range p.task.Checkpoints {
 			ckpts[k] = b
@@ -599,6 +651,10 @@ func (f *Fleet) PushEvent(workerID, taskID string, ev TaskEvent) error {
 		p.sink.Resumed(ev.Key, ev.Cycle)
 	case "checkpoint":
 		p.sink.Checkpoint(ev.Key, ev.Cycle)
+	case "engine":
+		if ev.Engine != nil {
+			SinkEngine(p.sink, *ev.Engine)
+		}
 	default:
 		return fmt.Errorf("backend: unknown event type %q", ev.Type)
 	}
@@ -618,6 +674,7 @@ func (f *Fleet) PushCheckpoint(workerID, taskID, key string, cycle uint64, blob 
 		f.mu.Unlock()
 		return err
 	}
+	f.checkpointBytes += uint64(len(blob))
 	if p.group != nil {
 		// Shard members bypass the monotone guard below: after a group
 		// rollback a member legitimately re-uploads cycles BELOW its own
@@ -721,26 +778,30 @@ func (f *Fleet) memberGroup(workerID, taskID string) (*ShardGroup, int, error) {
 // cancelled) and returns the collective decision plus all boundary
 // payloads.
 func (f *Fleet) ShardSync(ctx context.Context, workerID, taskID string, req ShardSyncRequest) (ShardSyncResponse, error) {
-	g, _, err := f.memberGroup(workerID, taskID)
+	g, shard, err := f.memberGroup(workerID, taskID)
 	if err != nil {
 		return ShardSyncResponse{}, err
 	}
 	dec, payloads, restart, err := g.Sync(ctx, req.Epoch, req.Vote, req.Boundary)
 	if err != nil {
-		return ShardSyncResponse{}, err
+		// Name the offending member: an epoch-rollback log line must
+		// identify worker and shard without cross-referencing.
+		return ShardSyncResponse{}, fmt.Errorf("shard sync (worker %s, shard %d, task %s): %w",
+			workerID, shard, taskID, err)
 	}
 	return ShardSyncResponse{Decision: dec, Payloads: payloads, Restart: restart}, nil
 }
 
 // ShardGather is the end-of-run statistics exchange.
 func (f *Fleet) ShardGather(ctx context.Context, workerID, taskID string, req ShardGatherRequest) (ShardGatherResponse, error) {
-	g, _, err := f.memberGroup(workerID, taskID)
+	g, shard, err := f.memberGroup(workerID, taskID)
 	if err != nil {
 		return ShardGatherResponse{}, err
 	}
 	payloads, restart, err := g.Gather(ctx, req.Epoch, req.Payload)
 	if err != nil {
-		return ShardGatherResponse{}, err
+		return ShardGatherResponse{}, fmt.Errorf("shard gather (worker %s, shard %d, task %s): %w",
+			workerID, shard, taskID, err)
 	}
 	return ShardGatherResponse{Payloads: payloads, Restart: restart}, nil
 }
@@ -784,7 +845,9 @@ func (f *Fleet) expire(cutoff time.Time) {
 	defer f.mu.Unlock()
 	for _, w := range f.workers {
 		if w.lastSeen.Before(cutoff) {
-			f.evictLocked(w)
+			f.log.Warn("worker lease expired", obs.Worker(w.id),
+				slog.Time("last_seen", w.lastSeen), slog.Int("tasks", len(w.tasks)))
+			f.evictLocked(w, "lease expired")
 			f.workersLost++
 		}
 	}
@@ -846,5 +909,7 @@ func (f *Fleet) Stats() FleetStats {
 		TasksCompleted:  f.tasksCompleted,
 		CheckpointBlobs: blobs,
 		LeaseMisses:     f.leaseMisses,
+		ShardRollbacks:  f.shardRollbacks,
+		CheckpointBytes: f.checkpointBytes,
 	}
 }

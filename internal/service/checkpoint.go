@@ -4,15 +4,18 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hornet/internal/core"
 	"hornet/internal/fsatomic"
 	"hornet/internal/mips"
 	"hornet/internal/noc"
+	"hornet/internal/obs"
 	"hornet/internal/service/backend"
 	"hornet/internal/sim"
 	"hornet/internal/snapshot"
@@ -109,6 +112,13 @@ type execEnv struct {
 	// the store key only — meta.Key stays the runKey, so the identity
 	// guard is shard-agnostic and a migrated shard finds its blob.
 	ckptSuffix string
+	// probe, when non-nil, is attached to every engine this env builds
+	// or restores; chunk boundaries surface its snapshots through the
+	// sink (per-job engine telemetry). Nil keeps the engine hot path
+	// probe-free.
+	probe *obs.SimProbe
+	// log receives checkpoint-layer diagnostics; nil means discard.
+	log *slog.Logger
 }
 
 // envCounters aggregates checkpoint observability across an env and
@@ -117,6 +127,11 @@ type envCounters struct {
 	checkpointsWritten atomic.Uint64
 	checkpointWriteErr atomic.Uint64
 	runsResumed        atomic.Uint64
+	// checkpointBytes / encodeNS / saveNS account the encoded snapshot
+	// volume and where the time went (serialization vs store I/O).
+	checkpointBytes atomic.Uint64
+	encodeNS        atomic.Int64
+	saveNS          atomic.Int64
 }
 
 // withStore derives an env that autosaves into a different checkpoint
@@ -124,7 +139,25 @@ type envCounters struct {
 // task's uploaded blobs become resumable on a daemon that has no
 // checkpoint directory of its own.
 func (e *execEnv) withStore(store CheckpointStore) *execEnv {
-	return &execEnv{warm: e.warm, store: store, ckptEvery: e.ckptEvery, counters: e.counters, ckptSuffix: e.ckptSuffix}
+	d := *e
+	d.store = store
+	return &d
+}
+
+// withProbe derives an env whose engines report into p (per-task
+// telemetry); everything else, counters included, is shared.
+func (e *execEnv) withProbe(p *obs.SimProbe) *execEnv {
+	d := *e
+	d.probe = p
+	return &d
+}
+
+// logger returns the env's diagnostic logger, never nil.
+func (e *execEnv) logger() *slog.Logger {
+	if e.log == nil {
+		return obs.Nop()
+	}
+	return e.log
 }
 
 // warmCacheEntries bounds the daemon's in-memory warmup snapshots:
@@ -177,6 +210,7 @@ func CheckpointKey(name, hash, runKey string) string {
 
 // saveCheckpoint snapshots the system plus progress meta into the store.
 func (e *execEnv) saveCheckpoint(sys *core.System, sc *scenario, meta ckptMeta) error {
+	encStart := time.Now()
 	snap, err := sys.Snapshot()
 	if err != nil {
 		return err
@@ -190,9 +224,13 @@ func (e *execEnv) saveCheckpoint(sys *core.System, sc *scenario, meta ckptMeta) 
 	if err != nil {
 		return err
 	}
+	e.counters.encodeNS.Add(time.Since(encStart).Nanoseconds())
+	saveStart := time.Now()
 	if err := e.store.Save(CheckpointKey(sc.name, sc.hash, meta.Key)+e.ckptSuffix, blob, sys.Clock()); err != nil {
 		return err
 	}
+	e.counters.saveNS.Add(time.Since(saveStart).Nanoseconds())
+	e.counters.checkpointBytes.Add(uint64(len(blob)))
 	e.counters.checkpointsWritten.Add(1)
 	return nil
 }
@@ -287,6 +325,9 @@ func (cr *chunkedRun) checkpoint() {
 		cr.sink.Checkpoint(cr.meta.Key, cr.sys.Clock())
 	} else {
 		cr.env.counters.checkpointWriteErr.Add(1)
+		cr.env.logger().Warn("checkpoint write failed",
+			slog.String("key", CheckpointKey(cr.sc.name, cr.sc.hash, cr.meta.Key)+cr.env.ckptSuffix),
+			slog.Uint64("cycle", cr.sys.Clock()), obs.Err(err))
 	}
 }
 
@@ -324,6 +365,11 @@ func (cr *chunkedRun) advance(ctx context.Context, target uint64, measured bool,
 		if measured {
 			cr.meta.Exec += res.Cycles
 			cr.meta.Skip += res.SkippedCycles
+		}
+		if cr.env.probe != nil {
+			// Chunk boundaries are the engine-telemetry cadence: each
+			// snapshot rides the sink to the job (SSE, /metrics).
+			backend.SinkEngine(cr.sink, cr.env.probe.Snapshot())
 		}
 		if res.Err != nil {
 			return false, res.Err
@@ -399,6 +445,9 @@ func (e *execEnv) runMips(sc *scenario, sink backend.Sink, spec runSpec) func(sw
 			if sys, err = build(); err != nil {
 				return nil, err
 			}
+		}
+		if e.probe != nil {
+			sys.SetProbe(e.probe)
 		}
 		// Advance in autosave chunks until the application halts or the
 		// cycle cap is reached.
@@ -485,6 +534,9 @@ func (e *execEnv) runConfig(sc *scenario, sink backend.Sink, spec runSpec) func(
 			}
 		}
 
+		if e.probe != nil {
+			sys.SetProbe(e.probe)
+		}
 		cr := &chunkedRun{env: e, sys: sys, sc: sc, sink: sink, meta: &meta, ckptOn: ckptOn, stop: stop}
 		if meta.Phase == "warmup" {
 			if ok, err := cr.advance(c.Context, warmup, false, nil); !ok {

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"hornet/internal/obs"
 	"hornet/internal/service"
 	"hornet/internal/service/backend"
 	"hornet/internal/sweep"
@@ -155,6 +156,33 @@ func (c *Client) Result(ctx context.Context, id string) (sweep.Document, []byte,
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		return doc, raw, fmt.Errorf("client: malformed result document: %w", err)
+	}
+	return doc, raw, nil
+}
+
+// Trace fetches the job's span timeline as Chrome trace_event JSON:
+// parsed, plus the exact bytes served (save them to a file and load it
+// in Perfetto or chrome://tracing).
+func (c *Client) Trace(ctx context.Context, id string) (obs.TraceDocument, []byte, error) {
+	var doc obs.TraceDocument
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/api/v1/jobs/"+id+"/trace", nil)
+	if err != nil {
+		return doc, nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return doc, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return doc, nil, decodeError(resp)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return doc, nil, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, raw, fmt.Errorf("client: malformed trace document: %w", err)
 	}
 	return doc, raw, nil
 }

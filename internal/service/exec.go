@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"hornet/internal/obs"
 	"hornet/internal/service/backend"
 	"hornet/internal/sweep"
 )
@@ -105,6 +106,12 @@ type ExecOptions struct {
 	OnProgress   func(done, total int, key string)
 	OnResumed    func(key string, cycle uint64)
 	OnCheckpoint func(key string, cycle uint64)
+	// OnEngine, if non-nil, attaches an engine probe to the execution
+	// and receives cumulative probe snapshots at every autosave-chunk
+	// boundary (cycles/sec, per-partition compute vs barrier time, shard
+	// sync latency). Leaving it nil keeps the engine hot path
+	// instrumentation-free.
+	OnEngine func(s obs.ProbeSnapshot)
 }
 
 // ExecResult is the outcome of a standalone Execute.
@@ -153,6 +160,9 @@ func Execute(ctx context.Context, req SubmitRequest, opts ExecOptions) (*ExecRes
 		ckptEvery: every,
 		counters:  &envCounters{},
 	}
+	if opts.OnEngine != nil {
+		env.probe = obs.NewSimProbe()
+	}
 	pool := sweep.NewBudget(workers)
 	sink := callbackSink{opts}
 	doc, runErrs, err := executeScenario(ctx, sc, env, pool, sink)
@@ -181,5 +191,13 @@ func (c callbackSink) Resumed(key string, cycle uint64) {
 func (c callbackSink) Checkpoint(key string, cycle uint64) {
 	if c.o.OnCheckpoint != nil {
 		c.o.OnCheckpoint(key, cycle)
+	}
+}
+
+// Engine implements backend.EngineSink so probe snapshots emitted at
+// chunk boundaries reach the OnEngine callback.
+func (c callbackSink) Engine(s obs.ProbeSnapshot) {
+	if c.o.OnEngine != nil {
+		c.o.OnEngine(s)
 	}
 }

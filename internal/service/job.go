@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"hornet/internal/obs"
 	"hornet/internal/service/backend"
 )
 
@@ -24,12 +26,20 @@ type job struct {
 	subs   map[int]chan Event
 	nextID int
 	result []byte // canonical document bytes, set on StateDone
+
+	// trace is the job's span timeline (queued → dispatched → running →
+	// checkpoint → migrate/rollback → done), served as Chrome
+	// trace_event JSON. It has its own lock; see obs.Timeline.
+	trace *obs.Timeline
+	// prevEngine is the last probe snapshot folded into the server's
+	// engine histograms, kept to compute deltas (guarded by mu).
+	prevEngine obs.ProbeSnapshot
 }
 
 func newJob(id string, req SubmitRequest, sc *scenario, parent context.Context, now time.Time) *job {
 	ctx, cancel := context.WithCancel(parent)
 	total := len(sc.runs) // figure jobs learn their total from progress
-	return &job{
+	j := &job{
 		info: JobInfo{
 			ID:         id,
 			Name:       sc.name,
@@ -46,7 +56,10 @@ func newJob(id string, req SubmitRequest, sc *scenario, parent context.Context, 
 		cancel: cancel,
 		done:   make(chan struct{}),
 		subs:   map[int]chan Event{},
+		trace:  obs.NewTimeline(id+" "+sc.name, now),
 	}
+	j.trace.Begin("queued", nil)
+	return j
 }
 
 // task projects the job onto the backend layer's unit of work: the
@@ -102,6 +115,8 @@ func (j *job) start(now time.Time) bool {
 	j.info.State = StateRunning
 	j.info.Started = now
 	j.broadcastLocked(Event{Type: "state", Job: j.info.ID, State: StateRunning})
+	j.trace.End("queued", nil)
+	j.trace.Begin("running", map[string]string{"backend": j.info.Backend})
 	return true
 }
 
@@ -121,6 +136,7 @@ func (j *job) noteResumed(key string, cycle uint64) {
 	defer j.mu.Unlock()
 	j.info.ResumedRuns++
 	j.broadcastLocked(Event{Type: "resumed", Job: j.info.ID, Key: key, Cycle: cycle})
+	j.trace.Instant("resumed", map[string]string{"key": key, "cycle": strconv.FormatUint(cycle, 10)})
 }
 
 // noteCheckpoint records one autosaved snapshot.
@@ -129,6 +145,62 @@ func (j *job) noteCheckpoint(key string, cycle uint64) {
 	defer j.mu.Unlock()
 	j.info.Checkpoints++
 	j.broadcastLocked(Event{Type: "checkpoint", Job: j.info.ID, Key: key, Cycle: cycle})
+	j.trace.Instant("checkpoint", map[string]string{"key": key, "cycle": strconv.FormatUint(cycle, 10)})
+}
+
+// note maps backend lifecycle annotations onto the trace timeline. It
+// is called from under the fleet's lock (via backend.SinkNote), so it
+// must only touch the timeline's own lock.
+func (j *job) note(event string, fields map[string]string) {
+	switch event {
+	case "dispatched":
+		// A dispatch closes an open migration span (re-dispatch after a
+		// worker died) and is a point event otherwise.
+		j.trace.End("migrate", fields)
+		j.trace.Instant("dispatched", fields)
+	case "requeued":
+		j.trace.Begin("migrate", fields)
+	default:
+		j.trace.Instant(event, fields)
+	}
+}
+
+// engineDelta is the increment between two probe snapshots, folded
+// into the server's engine histograms.
+type engineDelta struct {
+	cycles                    uint64
+	computeS, barrierS, syncS float64
+	syncCalls                 uint64
+}
+
+// setEngine records the latest engine probe snapshot, surfaces it to
+// SSE subscribers, and returns the delta since the previous snapshot.
+// A snapshot smaller than its predecessor means the job migrated to a
+// fresh executor (new probe); the whole snapshot is then the delta.
+func (j *job) setEngine(snap obs.ProbeSnapshot) engineDelta {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	prev := j.prevEngine
+	d := engineDelta{
+		computeS:  (snap.ComputeWallMS() - prev.ComputeWallMS()) / 1e3,
+		barrierS:  (snap.BarrierWallMS() - prev.BarrierWallMS()) / 1e3,
+		syncS:     (snap.ShardSyncWallMS - prev.ShardSyncWallMS) / 1e3,
+		cycles:    snap.Cycles - prev.Cycles,
+		syncCalls: snap.ShardSyncs - prev.ShardSyncs,
+	}
+	if snap.Cycles < prev.Cycles || d.computeS < 0 || d.barrierS < 0 {
+		d = engineDelta{
+			computeS:  snap.ComputeWallMS() / 1e3,
+			barrierS:  snap.BarrierWallMS() / 1e3,
+			syncS:     snap.ShardSyncWallMS / 1e3,
+			cycles:    snap.Cycles,
+			syncCalls: snap.ShardSyncs,
+		}
+	}
+	j.prevEngine = snap
+	j.info.Engine = &snap
+	j.broadcastLocked(Event{Type: "engine", Job: j.info.ID, Engine: &snap})
+	return d
 }
 
 // finish marks the job done with its canonical result bytes.
@@ -175,6 +247,10 @@ func (j *job) finalize(state, msg string, now time.Time, fill func()) {
 	if fill != nil {
 		fill()
 	}
+	j.trace.End("queued", nil)
+	j.trace.End("migrate", nil)
+	j.trace.End("running", nil)
+	j.trace.Instant(state, nil)
 	// No terminal broadcast: closing the subscriber channels makes every
 	// SSE handler emit one final full snapshot, so broadcasting here
 	// would duplicate the terminal frame (and without done/total counts).

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"hornet/internal/obs"
+)
+
+// serveMetrics is the daemon's Prometheus-text metric surface
+// (GET /metrics). Everything the JSON stats endpoint reports is backed
+// by the same underlying sources — Func instruments read the live
+// scheduler/cache/fleet state at scrape time, so the two views can
+// never drift — plus engine histograms and HTTP middleware series the
+// JSON view does not carry.
+type serveMetrics struct {
+	reg *obs.Registry
+
+	// Engine telemetry, fed by jobSink.Engine deltas: one observation
+	// per autosave chunk of one running job.
+	engineCycles    *obs.Counter
+	engineCompute   *obs.Histogram
+	engineBarrier   *obs.Histogram
+	engineShardSync *obs.Histogram
+	engineSyncCalls *obs.Counter
+}
+
+// newServeMetrics builds the daemon registry over a server's live
+// state. It must be called after the scheduler, stores and fleet
+// exist; the Func closures hold references, not snapshots.
+func newServeMetrics(s *Server) *serveMetrics {
+	reg := obs.NewRegistry()
+	m := &serveMetrics{reg: reg}
+
+	// Jobs by state (the queue-depth gauge is the channel backlog: jobs
+	// accepted but not yet popped by a scheduler worker).
+	for _, state := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		state := state
+		reg.GaugeFunc("hornet_jobs", "Jobs by state.",
+			func() float64 { return float64(s.jobs.countByState()[state]) },
+			obs.L("state", state))
+	}
+	reg.GaugeFunc("hornet_queue_depth", "Accepted jobs waiting for a scheduler worker.",
+		func() float64 { return float64(len(s.sched.queue)) })
+
+	// Shared CPU-slot budget.
+	reg.GaugeFunc("hornet_budget_capacity", "CPU-slot pool capacity shared by all in-flight jobs.",
+		func() float64 { return float64(s.sched.pool.Cap()) })
+	reg.GaugeFunc("hornet_budget_in_use", "CPU slots currently leased.",
+		func() float64 { return float64(s.sched.pool.InUse()) })
+	reg.GaugeFunc("hornet_budget_peak", "Peak concurrent CPU-slot leases.",
+		func() float64 { return float64(s.sched.pool.Peak()) })
+
+	// Result cache.
+	reg.GaugeFunc("hornet_result_cache_entries", "Result documents held in memory.",
+		func() float64 { return float64(s.results.Len()) })
+	reg.CounterFunc("hornet_result_cache_hits_total", "Result cache hits.", s.results.Hits)
+	reg.CounterFunc("hornet_result_cache_misses_total", "Result cache misses.", s.results.Misses)
+	reg.CounterFunc("hornet_result_cache_write_errors_total", "Failed disk-tier result writes.", s.results.WriteErrs)
+	reg.CounterFunc("hornet_result_cache_evictions_total", "In-memory result entries evicted.", s.results.Evictions)
+
+	// Job lifecycle counters.
+	reg.CounterFunc("hornet_jobs_expired_total", "Finished job records removed by the retention TTL.", s.jobsExpired.Load)
+	reg.CounterFunc("hornet_jobs_coalesced_total", "Submissions served by attaching to an identical in-flight job.", s.sched.coalesced.Load)
+	reg.CounterFunc("hornet_jobs_remote_total", "Jobs completed on the worker fleet.", s.sched.remoteJobs.Load)
+	reg.CounterFunc("hornet_jobs_fallback_total", "Fleet jobs handed back and run locally.", s.sched.fallbackJobs.Load)
+
+	// Warmup-snapshot cache.
+	reg.CounterFunc("hornet_warmup_cache_hits_total", "Warmups restored from a snapshot.", s.env.warm.Hits)
+	reg.CounterFunc("hornet_warmup_cache_misses_total", "Warmups actually simulated.", s.env.warm.Misses)
+
+	// Checkpoint subsystem. The write-error counter reads the same
+	// envCounters cell ServerStats reports, so the metric and the JSON
+	// stats agree by construction.
+	c := s.env.counters
+	reg.CounterFunc("hornet_checkpoints_written_total", "Autosaved snapshots written.", c.checkpointsWritten.Load)
+	reg.CounterFunc("hornet_checkpoint_write_errors_total", "Failed autosave writes (resume protection degraded).", c.checkpointWriteErr.Load)
+	reg.CounterFunc("hornet_runs_resumed_total", "Runs resumed from a snapshot instead of cycle 0.", c.runsResumed.Load)
+	reg.CounterFunc("hornet_checkpoint_encode_bytes_total", "Encoded checkpoint snapshot bytes.", c.checkpointBytes.Load)
+	reg.GaugeFunc("hornet_checkpoint_encode_seconds_total", "Wall time spent encoding checkpoint snapshots.",
+		func() float64 { return float64(c.encodeNS.Load()) / 1e9 })
+	reg.GaugeFunc("hornet_checkpoint_save_seconds_total", "Wall time spent writing checkpoint blobs to the store.",
+		func() float64 { return float64(c.saveNS.Load()) / 1e9 })
+
+	// Worker fleet.
+	reg.GaugeFunc("hornet_fleet_workers_live", "Registered, lease-current workers.",
+		func() float64 { return float64(s.fleet.Stats().WorkersLive) })
+	reg.CounterFunc("hornet_fleet_workers_joined_total", "Worker registrations.",
+		func() uint64 { return s.fleet.Stats().WorkersJoined })
+	reg.CounterFunc("hornet_fleet_lease_expiries_total", "Workers declared dead (lease expiry, deregistration or replacement).",
+		func() uint64 { return s.fleet.Stats().WorkersLost })
+	reg.GaugeFunc("hornet_fleet_capacity", "Aggregate fleet CPU-slot capacity.",
+		func() float64 { return float64(s.fleet.Stats().FleetCapacity) })
+	reg.GaugeFunc("hornet_fleet_in_use", "Fleet CPU slots currently leased.",
+		func() float64 { return float64(s.fleet.Stats().FleetInUse) })
+	reg.GaugeFunc("hornet_fleet_tasks_queued", "Tasks waiting for a worker.",
+		func() float64 { return float64(s.fleet.Stats().TasksQueued) })
+	reg.CounterFunc("hornet_fleet_tasks_dispatched_total", "Task assignments, re-dispatches included.",
+		func() uint64 { return s.fleet.Stats().TasksDispatched })
+	reg.CounterFunc("hornet_fleet_tasks_requeued_total", "Tasks migrated back to the queue after a worker died.",
+		func() uint64 { return s.fleet.Stats().TasksRequeued })
+	reg.CounterFunc("hornet_fleet_tasks_completed_total", "Tasks completed by workers.",
+		func() uint64 { return s.fleet.Stats().TasksCompleted })
+	reg.CounterFunc("hornet_fleet_shard_rollbacks_total", "Shard-group epoch rollbacks.",
+		func() uint64 { return s.fleet.Stats().ShardRollbacks })
+	reg.CounterFunc("hornet_fleet_checkpoint_bytes_total", "Checkpoint blob bytes accepted from workers.",
+		func() uint64 { return s.fleet.Stats().CheckpointBytes })
+
+	// Engine instrumentation (per-chunk deltas from running jobs).
+	m.engineCycles = reg.Counter("hornet_engine_cycles_total", "Simulated cycles executed across all jobs.")
+	m.engineCompute = reg.Histogram("hornet_engine_compute_seconds", "Per-chunk engine compute time (summed across worker threads).", nil)
+	m.engineBarrier = reg.Histogram("hornet_engine_barrier_wait_seconds", "Per-chunk barrier wait time (summed across worker threads).", nil)
+	m.engineShardSync = reg.Histogram("hornet_engine_shard_sync_seconds", "Per-chunk shard synchronization round-trip time.", nil)
+	m.engineSyncCalls = reg.Counter("hornet_engine_shard_syncs_total", "Shard synchronization exchanges.")
+
+	return m
+}
+
+// observeEngine folds one job's probe-snapshot delta into the engine
+// series. Deltas are per autosave chunk; a migrated job's first
+// snapshot on the new executor counts whole (the job layer already
+// re-based it).
+func (m *serveMetrics) observeEngine(d engineDelta) {
+	if d.cycles > 0 {
+		m.engineCycles.Add(d.cycles)
+	}
+	if d.computeS > 0 {
+		m.engineCompute.Observe(d.computeS)
+	}
+	if d.barrierS > 0 {
+		m.engineBarrier.Observe(d.barrierS)
+	}
+	if d.syncS > 0 {
+		m.engineShardSync.Observe(d.syncS)
+	}
+	if d.syncCalls > 0 {
+		m.engineSyncCalls.Add(d.syncCalls)
+	}
+}
+
+// observeHTTP records one served request under its route pattern.
+func (m *serveMetrics) observeHTTP(route string, code int, dur time.Duration) {
+	m.reg.Counter("hornet_http_requests_total", "HTTP requests by route pattern and status code.",
+		obs.L("route", route), obs.L("code", strconv.Itoa(code))).Inc()
+	m.reg.Histogram("hornet_http_request_seconds", "HTTP request latency by route pattern.", nil,
+		obs.L("route", route)).ObserveDuration(dur)
+}
+
+// statusWriter captures the response status for the metrics middleware
+// while staying transparent to streaming handlers (SSE needs Flush).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hornet/internal/obs"
 	"hornet/internal/service/backend"
 	"hornet/internal/sweep"
 )
@@ -49,6 +51,19 @@ type scheduler struct {
 
 	mu      sync.Mutex
 	stopped bool
+
+	// log and metrics are optional observability hooks the server wires
+	// in after construction; tests leave them nil.
+	log     *slog.Logger
+	metrics *serveMetrics
+}
+
+// logger returns the scheduler's diagnostic logger, never nil.
+func (s *scheduler) logger() *slog.Logger {
+	if s.log == nil {
+		return obs.Nop()
+	}
+	return s.log
 }
 
 // queueDepth bounds accepted-but-unstarted jobs; beyond it submissions
@@ -134,11 +149,26 @@ func (s *scheduler) runJob(j *job) {
 	// context once it is terminal, or every served job would leak a
 	// cancel-child for the daemon's lifetime.
 	defer j.cancel()
+	// One terminal log line per job, whatever path it took; failures are
+	// warnings so a default-Info fleet surfaces them.
+	defer func() {
+		info := j.Info()
+		lvl := slog.LevelInfo
+		if info.State == StateFailed {
+			lvl = slog.LevelWarn
+		}
+		s.logger().Log(context.Background(), lvl, "job finished",
+			obs.Job(info.ID), slog.String("state", info.State),
+			slog.String("backend", info.Backend), slog.Bool("cache_hit", info.CacheHit),
+			slog.Int("runs_done", info.RunsDone), slog.String("error", info.Error))
+	}()
 	sc := j.sc
 	if j.ctx.Err() != nil || !j.start(time.Now()) {
 		j.markCanceled(time.Now())
 		return
 	}
+	s.logger().Debug("job started", obs.Job(j.Info().ID),
+		slog.String("name", sc.name), slog.String("kind", sc.kind))
 	if sc.cacheable && !j.req.NoCache {
 		// Cache, then single-flight: attach to an identical in-flight
 		// job rather than missing the cache twice. The loop re-checks
@@ -212,9 +242,10 @@ func (s *scheduler) runJob(j *job) {
 // checkpoint blobs dead workers uploaded before the fleet died.
 func (s *scheduler) run(j *job) ([]byte, int, error) {
 	t := j.task()
+	sink := jobSink{j: j, m: s.metrics}
 	if s.fleet != nil && fleetEligible(j.sc) && s.fleet.Live() > 0 {
 		j.setBackend(s.fleet.Name())
-		b, runErrs, err := s.fleet.Execute(j.ctx, t, jobSink{j})
+		b, runErrs, err := s.fleet.Execute(j.ctx, t, sink)
 		if !errors.Is(err, backend.ErrNoWorkers) {
 			if err == nil {
 				s.remoteJobs.Add(1)
@@ -228,9 +259,10 @@ func (s *scheduler) run(j *job) ([]byte, int, error) {
 			return nil, 0, err
 		}
 		s.fallbackJobs.Add(1)
+		s.logger().Info("fleet emptied mid-job; falling back to local execution", obs.Job(j.Info().ID))
 	}
 	j.setBackend(s.local.Name())
-	return s.local.Execute(j.ctx, t, jobSink{j})
+	return s.local.Execute(j.ctx, t, sink)
 }
 
 // fleetEligible reports whether a scenario can execute on a remote
@@ -246,12 +278,27 @@ func fleetEligible(sc *scenario) bool {
 }
 
 // jobSink adapts a job to the backend.Sink the execution backends
-// drive.
-type jobSink struct{ j *job }
+// drive. It also implements the optional EngineSink/NoteSink
+// extensions: engine snapshots update the job (and the server's engine
+// histograms when metrics are wired), lifecycle notes land on the
+// job's trace timeline.
+type jobSink struct {
+	j *job
+	m *serveMetrics
+}
 
 func (s jobSink) Progress(done, total int, key string) { s.j.progress(done, total, key) }
 func (s jobSink) Resumed(key string, cycle uint64)     { s.j.noteResumed(key, cycle) }
 func (s jobSink) Checkpoint(key string, cycle uint64)  { s.j.noteCheckpoint(key, cycle) }
+
+func (s jobSink) Engine(snap obs.ProbeSnapshot) {
+	d := s.j.setEngine(snap)
+	if s.m != nil {
+		s.m.observeEngine(d)
+	}
+}
+
+func (s jobSink) Note(event string, fields map[string]string) { s.j.note(event, fields) }
 
 // localBackend is the in-process execution backend: the scheduler's
 // shared execution environment (warmup cache, checkpoint store, CPU
@@ -280,7 +327,9 @@ func (lb *localBackend) Execute(ctx context.Context, t *backend.Task, sink backe
 	if sc.shards >= 2 {
 		return lb.executeShardedLocal(ctx, sc, t, env, sink)
 	}
-	return executeScenario(ctx, sc, env, lb.s.pool, sink)
+	// Every locally executed job gets a fresh engine probe so the daemon
+	// can report cycles/sec and barrier-vs-compute time per running job.
+	return executeScenario(ctx, sc, env.withProbe(obs.NewSimProbe()), lb.s.pool, sink)
 }
 
 // executeShardedLocal runs every member of a space-parallel task inside
@@ -337,6 +386,7 @@ func (lb *localBackend) executeShardedLocal(ctx context.Context, sc *scenario, t
 				opts.OnProgress = sink.Progress
 				opts.OnResumed = sink.Resumed
 				opts.OnCheckpoint = sink.Checkpoint
+				opts.OnEngine = func(snap obs.ProbeSnapshot) { backend.SinkEngine(sink, snap) }
 			}
 			res, err := ExecuteShard(ctx, req, opts)
 			results[i], errs[i] = res, err

@@ -3,12 +3,14 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hornet/internal/experiments"
+	"hornet/internal/obs"
 	"hornet/internal/service/backend"
 )
 
@@ -50,6 +52,10 @@ type Options struct {
 	// eviction and refault on demand.
 	CacheMaxEntries int
 	CacheMaxBytes   int64
+
+	// Logger receives structured diagnostics from every server
+	// component (scheduler, fleet, checkpoint layer); nil discards them.
+	Logger *slog.Logger
 }
 
 // Server is the hornet-serve HTTP handler plus its scheduler and stores.
@@ -61,6 +67,8 @@ type Server struct {
 	sched   *scheduler
 	env     *execEnv
 	fleet   *backend.Fleet
+	log     *slog.Logger
+	metrics *serveMetrics
 
 	jobsExpired atomic.Uint64
 	closeOnce   sync.Once
@@ -78,9 +86,14 @@ func New(opts Options) *Server {
 	if every == 0 {
 		every = 100_000
 	}
+	log := opts.Logger
+	if log == nil {
+		log = obs.Nop()
+	}
 	results := newResultStore(opts.CacheDir)
 	results.setBounds(opts.CacheMaxEntries, opts.CacheMaxBytes)
 	env := newExecEnv(opts.CheckpointDir, every)
+	env.log = obs.Component(log, "checkpoint")
 	fleet := backend.NewFleet(backend.FleetOptions{
 		LeaseTTL:        opts.WorkerTTL,
 		CheckpointEvery: every,
@@ -88,6 +101,7 @@ func New(opts Options) *Server {
 		// disk under the same content address the local backend reads,
 		// so jobs survive a worker death plus a coordinator restart.
 		Persist: env.store,
+		Logger:  obs.Component(log, "fleet"),
 	})
 	s := &Server{
 		mux:         http.NewServeMux(),
@@ -95,11 +109,16 @@ func New(opts Options) *Server {
 		results:     results,
 		env:         env,
 		fleet:       fleet,
+		log:         log,
 		sched:       newScheduler(maxJobs, opts.Budget, results, env, fleet),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
 	}
+	s.metrics = newServeMetrics(s)
+	s.sched.log = obs.Component(log, "scheduler")
+	s.sched.metrics = s.metrics
 	go s.janitor(opts.JobTTL)
+	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /api/v1/figures", s.handleFigures)
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
@@ -109,6 +128,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 
 	// Worker-fleet protocol (see internal/service/backend): registration,
 	// long-poll dispatch, heartbeats, progress/checkpoint/result pushes.
@@ -130,9 +150,20 @@ func New(opts Options) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. It resolves the route through the
+// mux itself so every request is measured under its route pattern (not
+// its raw path — unbounded label cardinality would bloat the registry).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	// Handler only resolves the pattern; dispatch still goes through the
+	// mux's own ServeHTTP, which is what binds the path values.
+	_, pattern := s.mux.Handler(r)
+	if pattern == "" {
+		pattern = "unmatched"
+	}
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	s.metrics.observeHTTP(pattern, sw.code, time.Since(start))
 }
 
 // Close cancels all in-flight jobs and stops the scheduler workers.
@@ -179,6 +210,7 @@ func (s *Server) janitor(ttl time.Duration) {
 		case <-tick.C:
 			if n := s.jobs.expire(time.Now().Add(-ttl)); n > 0 {
 				s.jobsExpired.Add(uint64(n))
+				s.log.Debug("expired finished jobs", slog.String(obs.KeyComponent, "janitor"), slog.Int("count", n))
 			}
 		case <-s.janitorStop:
 			return
@@ -386,6 +418,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleTrace serves the job's span timeline as Chrome trace_event
+// JSON — load the body in Perfetto (ui.perfetto.dev) or chrome://tracing
+// to see queued/running/checkpoint/migration spans on a timeline.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, &APIError{CodeNotFound, "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.trace.Document())
 }
 
 // writeSSE emits one SSE frame: "event: <type>\ndata: <json>\n\n".

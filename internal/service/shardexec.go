@@ -9,6 +9,7 @@ import (
 	"hornet/internal/core"
 	"hornet/internal/mips"
 	"hornet/internal/noc"
+	"hornet/internal/obs"
 	"hornet/internal/service/backend"
 	"hornet/internal/sim"
 	"hornet/internal/sweep"
@@ -43,6 +44,7 @@ type ShardExecOptions struct {
 	OnProgress      func(done, total int, key string)
 	OnResumed       func(key string, cycle uint64)
 	OnCheckpoint    func(key string, cycle uint64)
+	OnEngine        func(s obs.ProbeSnapshot)
 }
 
 // ExecuteShard validates req and runs ONE member of its space-parallel
@@ -94,9 +96,13 @@ func ExecuteShard(ctx context.Context, req SubmitRequest, opts ShardExecOptions)
 		// checkpoint concurrently and must never clobber each other.
 		ckptSuffix: fmt.Sprintf("-s%d", opts.Shard),
 	}
+	if opts.OnEngine != nil {
+		env.probe = obs.NewSimProbe()
+	}
 	pool := sweep.NewBudget(workers)
 	sink := callbackSink{ExecOptions{
 		OnProgress: opts.OnProgress, OnResumed: opts.OnResumed, OnCheckpoint: opts.OnCheckpoint,
+		OnEngine: opts.OnEngine,
 	}}
 	spec := sc.runs[0]
 	items := []sweep.Item{{
@@ -262,6 +268,11 @@ func (e *execEnv) runShard(sc *scenario, sink backend.Sink, spec runSpec, shard 
 				if sys, err = build(); err != nil {
 					return nil, err
 				}
+			}
+			if e.probe != nil {
+				// The probe spans rollback attempts: re-executed cycles are
+				// real engine work and should show up as such.
+				sys.SetProbe(e.probe)
 			}
 			if err := sys.EnableSharding(shard, sc.shards, transport); err != nil {
 				return nil, err

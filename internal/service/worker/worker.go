@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"runtime"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"hornet/internal/core"
+	"hornet/internal/obs"
 	"hornet/internal/service"
 	"hornet/internal/service/backend"
 	"hornet/internal/sim"
@@ -45,13 +47,20 @@ type Options struct {
 	Capacity int
 	// HTTP is the underlying client; nil means http.DefaultClient.
 	HTTP *http.Client
-	// Logf, if non-nil, receives one line per lifecycle event.
-	Logf func(format string, args ...any)
+	// Logger receives structured lifecycle logs (registration, task
+	// start/finish, lease loss); nil discards them.
+	Logger *slog.Logger
+	// Metrics, if non-nil, is the registry this worker registers its
+	// series in (busy slots, task outcomes, checkpoint uploads, engine
+	// telemetry); the caller mounts it at GET /metrics.
+	Metrics *obs.Registry
 }
 
 // Worker is one fleet member. Create with New, drive with Run.
 type Worker struct {
-	opts Options
+	opts    Options
+	log     *slog.Logger
+	metrics *workerMetrics
 
 	mu      sync.Mutex
 	idle    *sync.Cond // signalled when busy slots free up
@@ -82,9 +91,15 @@ func New(opts Options) *Worker {
 		opts.Capacity = runtime.GOMAXPROCS(0)
 	}
 	w := &Worker{opts: opts, id: opts.ID, running: map[string]context.CancelFunc{}}
+	w.log = opts.Logger
+	if w.log == nil {
+		w.log = obs.Nop()
+	}
+	w.log = obs.Component(w.log, "worker")
 	w.idle = sync.NewCond(&w.mu)
 	w.warm = sweep.NewSnapshotCache("")
 	w.warm.SetMaxEntries(32)
+	w.metrics = newWorkerMetrics(w, opts.Metrics)
 	return w
 }
 
@@ -93,12 +108,6 @@ func (w *Worker) ID() string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.id
-}
-
-func (w *Worker) logf(format string, args ...any) {
-	if w.opts.Logf != nil {
-		w.opts.Logf(format, args...)
-	}
 }
 
 func (w *Worker) httpClient() *http.Client {
@@ -219,7 +228,8 @@ func (w *Worker) Run(ctx context.Context) error {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			w.logf("hornet-worker: poll: %v (retrying)", err)
+			w.metrics.pollErr()
+			w.log.Warn("poll failed; retrying", obs.Worker(w.ID()), obs.Err(err))
 			select {
 			case <-time.After(time.Second):
 			case <-ctx.Done():
@@ -264,14 +274,16 @@ func (w *Worker) register(ctx context.Context) error {
 			w.ckEvery = resp.CheckpointEvery
 			w.hbEvery = resp.HeartbeatEvery
 			w.mu.Unlock()
-			w.logf("hornet-worker: registered as %s (capacity=%d, checkpoint-every=%d)",
-				resp.ID, w.opts.Capacity, resp.CheckpointEvery)
+			w.metrics.registered()
+			w.log.Info("registered with coordinator", obs.Worker(resp.ID),
+				slog.Int("capacity", w.opts.Capacity),
+				slog.Uint64("checkpoint_every", resp.CheckpointEvery))
 			return nil
 		}
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		w.logf("hornet-worker: register: %v (retrying)", err)
+		w.log.Warn("registration failed; retrying", obs.Worker(w.ID()), obs.Err(err))
 		select {
 		case <-time.After(time.Second):
 		case <-ctx.Done():
@@ -335,7 +347,7 @@ func (w *Worker) cancelTask(taskID string) {
 	cancel := w.running[taskID]
 	w.mu.Unlock()
 	if cancel != nil {
-		w.logf("hornet-worker: coordinator cancelled task %s", taskID)
+		w.log.Info("coordinator cancelled task", obs.Worker(w.ID()), obs.Task(taskID))
 		cancel()
 	}
 }
@@ -350,7 +362,8 @@ func (w *Worker) cancelAll(why string) {
 	}
 	w.mu.Unlock()
 	if len(cancels) > 0 {
-		w.logf("hornet-worker: abandoning %d task(s): %s", len(cancels), why)
+		w.log.Warn("abandoning in-flight tasks", obs.Worker(w.ID()),
+			slog.Int("count", len(cancels)), slog.String("reason", why))
 	}
 	for _, c := range cancels {
 		c()
@@ -386,8 +399,9 @@ func (w *Worker) poll(ctx context.Context) (*backend.Assignment, error) {
 // result. Every push is best-effort: a dead coordinator just means the
 // lease expires and the task migrates.
 func (w *Worker) execute(ctx context.Context, a *backend.Assignment) {
-	w.logf("hornet-worker: executing %s (%s, workers=%d, seeded checkpoints=%d)",
-		a.TaskID, a.Name, a.Workers, len(a.Checkpoints))
+	w.log.Info("task started", obs.Worker(w.ID()), obs.Task(a.TaskID),
+		slog.String("name", a.Name), slog.Int("workers", a.Workers),
+		slog.Int("seeded_checkpoints", len(a.Checkpoints)))
 	taskCtx, cancel := context.WithCancel(ctx)
 	w.mu.Lock()
 	w.running[a.TaskID] = cancel
@@ -429,6 +443,20 @@ func (w *Worker) execute(ctx context.Context, a *backend.Assignment) {
 	onCheckpoint := func(key string, cycle uint64) {
 		event(backend.TaskEvent{Type: "checkpoint", Key: key, Cycle: cycle})
 	}
+	// Engine probe snapshots: pushed upstream (the coordinator surfaces
+	// them per job) and folded into this worker's own engine histograms.
+	// Runs of one task may hit chunk boundaries concurrently, so the
+	// previous-snapshot delta base is mutex-guarded.
+	var engMu sync.Mutex
+	var engPrev obs.ProbeSnapshot
+	onEngine := func(snap obs.ProbeSnapshot) {
+		engMu.Lock()
+		prev := engPrev
+		engPrev = snap
+		engMu.Unlock()
+		w.metrics.observeEngine(prev, snap)
+		event(backend.TaskEvent{Type: "engine", Engine: &snap})
+	}
 	var res *service.ExecResult
 	var err error
 	if a.ShardCount >= 2 {
@@ -446,6 +474,7 @@ func (w *Worker) execute(ctx context.Context, a *backend.Assignment) {
 			OnProgress:      onProgress,
 			OnResumed:       onResumed,
 			OnCheckpoint:    onCheckpoint,
+			OnEngine:        onEngine,
 		})
 	} else {
 		res, err = service.Execute(taskCtx, req, service.ExecOptions{
@@ -456,18 +485,35 @@ func (w *Worker) execute(ctx context.Context, a *backend.Assignment) {
 			OnProgress:      onProgress,
 			OnResumed:       onResumed,
 			OnCheckpoint:    onCheckpoint,
+			OnEngine:        onEngine,
 		})
 	}
 	switch {
 	case ctx.Err() != nil:
-		return // crash-stop: push nothing, the lease expiry migrates the task
+		// Crash-stop: push nothing, the lease expiry migrates the task.
+		w.finishTask(a.TaskID, "abandoned", nil)
+		return
 	case taskCtx.Err() != nil:
+		w.finishTask(a.TaskID, "canceled", nil)
 		w.pushResult(ctx, a.TaskID, backend.ResultPush{Canceled: true})
 	case err != nil:
+		w.finishTask(a.TaskID, "failed", err)
 		w.pushResult(ctx, a.TaskID, backend.ResultPush{Error: err.Error()})
 	default:
+		w.finishTask(a.TaskID, "done", nil)
 		w.pushResult(ctx, a.TaskID, backend.ResultPush{Doc: res.Doc, RunErrs: res.RunErrs})
 	}
+}
+
+// finishTask records one terminal task outcome in the log and metrics.
+func (w *Worker) finishTask(taskID, outcome string, err error) {
+	w.metrics.taskDone(outcome)
+	attrs := []any{obs.Worker(w.ID()), obs.Task(taskID), slog.String("outcome", outcome)}
+	if err != nil {
+		w.log.Warn("task finished", append(attrs, obs.Err(err))...)
+		return
+	}
+	w.log.Info("task finished", attrs...)
 }
 
 func (w *Worker) pushResult(ctx context.Context, taskID string, res backend.ResultPush) {
@@ -475,7 +521,7 @@ func (w *Worker) pushResult(ctx context.Context, taskID string, res backend.Resu
 		"/api/v1/workers/"+url.PathEscape(w.ID())+"/tasks/"+url.PathEscape(taskID)+"/result",
 		res, nil)
 	if err != nil && ctx.Err() == nil {
-		w.logf("hornet-worker: pushing result for %s: %v", taskID, err)
+		w.log.Warn("result push failed", obs.Worker(w.ID()), obs.Task(taskID), obs.Err(err))
 	}
 }
 
@@ -569,6 +615,7 @@ func (r *remoteStore) Save(key string, blob []byte, cycle uint64) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	start := time.Now()
 	resp, err := r.w.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -582,6 +629,7 @@ func (r *remoteStore) Save(key string, blob []byte, cycle uint64) error {
 		return err
 	}
 	io.Copy(io.Discard, resp.Body)
+	r.w.metrics.uploadDone(len(blob), time.Since(start))
 	return nil
 }
 

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hornet/internal/obs"
 )
 
 // NoEvent is returned by Tile.NextEvent when the tile will never act again
@@ -87,7 +89,17 @@ type Engine struct {
 	stopped   atomic.Bool
 	skipped   atomic.Uint64
 	runErr    error
+
+	// probe, when non-nil, records cycles/sec, per-partition compute vs.
+	// barrier-wait time and shard sync round-trips. The nil case costs
+	// one predictable branch per phase and zero allocations (guarded by
+	// TestEngineHotPathAllocFree).
+	probe *obs.SimProbe
 }
+
+// SetProbe attaches (or, with nil, detaches) an engine probe. Call
+// between runs, not while one is in flight.
+func (e *Engine) SetProbe(p *obs.SimProbe) { e.probe = p }
 
 // NewEngine creates an engine stepping tiles with the given worker count
 // (0 means GOMAXPROCS, capped at the tile count), synchronization period
@@ -215,7 +227,14 @@ func (e *Engine) run(start, maxCycles uint64, stop func(cycle uint64) bool, resu
 		if resume && e.fastForward && start > 0 {
 			vote.Earliest = e.earliestEvent(start - 1)
 		}
+		var syncStart time.Time
+		if e.probe != nil {
+			syncStart = time.Now()
+		}
 		dec, err := e.coupler.Sync(vote)
+		if e.probe != nil {
+			e.probe.ShardSync(time.Since(syncStart))
+		}
 		if err != nil {
 			return RunResult{Wall: time.Since(began), Workers: e.workers, Err: err}
 		}
@@ -259,7 +278,14 @@ func (e *Engine) run(start, maxCycles uint64, stop func(cycle uint64) bool, resu
 			if e.fastForward {
 				vote.Earliest = e.earliestEvent(cycleJustFinished)
 			}
+			var syncStart time.Time
+			if e.probe != nil {
+				syncStart = time.Now()
+			}
 			dec, err := e.coupler.Sync(vote)
+			if e.probe != nil {
+				e.probe.ShardSync(time.Since(syncStart))
+			}
 			if err != nil {
 				e.runErr = err
 				e.halted.Store(true)
@@ -309,6 +335,14 @@ func (e *Engine) run(start, maxCycles uint64, stop func(cycle uint64) bool, resu
 			defer wg.Done()
 			lo, hi := e.partition(w)
 			mine := e.tiles[lo:hi]
+			// The partition accumulator is fetched once per Run (it may
+			// allocate on first use); the per-cycle hot path below only
+			// branches on `part != nil` and does atomic adds.
+			var part *obs.PartitionProbe
+			if e.probe != nil {
+				part = e.probe.Partition(w, e.workers, lo, hi)
+			}
+			var t0, t1 time.Time
 			for {
 				cycle := e.nextCycle.Load()
 				if cycle >= end || e.halted.Load() {
@@ -323,18 +357,40 @@ func (e *Engine) run(start, maxCycles uint64, stop func(cycle uint64) bool, resu
 				if e.syncPeriod == 1 {
 					// Cycle-accurate: barrier after each phase (twice per
 					// cycle), so every tile sees identical committed state.
+					if part != nil {
+						t0 = time.Now()
+					}
 					for _, t := range mine {
 						t.PhaseTransfer(cycle)
 					}
+					if part != nil {
+						t1 = time.Now()
+						part.AddCompute(t1.Sub(t0))
+					}
 					barrier.Await(nil)
+					if part != nil {
+						t0 = time.Now()
+						part.AddBarrier(t0.Sub(t1))
+					}
 					for _, t := range mine {
 						t.PhaseCommit(cycle)
+					}
+					if part != nil {
+						t1 = time.Now()
+						part.AddCompute(t1.Sub(t0))
 					}
 					if w == 0 {
 						executed.Add(1)
 					}
 					barrier.Await(func() { leader(cycle) })
+					if part != nil {
+						part.AddBarrier(time.Since(t1))
+						part.AddCycles(1)
+					}
 				} else {
+					if part != nil {
+						t0 = time.Now()
+					}
 					c := cycle
 					for ; c < chunkEnd && !e.halted.Load(); c++ {
 						for _, t := range mine {
@@ -354,15 +410,23 @@ func (e *Engine) run(start, maxCycles uint64, stop func(cycle uint64) bool, resu
 					if w == 0 {
 						executed.Add(c - cycle)
 					}
+					if part != nil {
+						t1 = time.Now()
+						part.AddCompute(t1.Sub(t0))
+						part.AddCycles(c - cycle)
+					}
 					last := c - 1
 					barrier.Await(func() { leader(last) })
+					if part != nil {
+						part.AddBarrier(time.Since(t1))
+					}
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	return RunResult{
+	res := RunResult{
 		Cycles:        executed.Load(),
 		SkippedCycles: e.skipped.Load(),
 		Wall:          time.Since(began),
@@ -370,6 +434,10 @@ func (e *Engine) run(start, maxCycles uint64, stop func(cycle uint64) bool, resu
 		Stopped:       e.stopped.Load(),
 		Err:           e.runErr,
 	}
+	if e.probe != nil {
+		e.probe.RunDone(res.Cycles, res.SkippedCycles, res.Wall)
+	}
+	return res
 }
 
 // earliestEvent scans the engine's tile span for the soonest
