@@ -1,8 +1,8 @@
 GO ?= go
 
 .PHONY: build test test-race test-race-rest test-full test-snapshot bench bench-json bench-gate \
-	bench-sharded-json bench-sharded-gate e2e-distributed e2e-sharded fuzz-smoke fmt-check \
-	serve worker vet
+	bench-sharded-json bench-sharded-gate bench-telemetry-json bench-telemetry-gate \
+	e2e-distributed e2e-sharded fuzz-smoke fmt-check serve worker vet vulncheck
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,20 @@ SHARD_FLOOR ?= 0.01
 bench-sharded-gate:
 	$(GO) run ./cmd/hornet-bench -gate BENCH_PR6.json -floor $(SHARD_FLOOR)
 
+# Telemetry-overhead data point (PR 8): the same job with the NoC
+# telemetry pipeline detached and attached (fast cadence + live SSE
+# subscriber), written to BENCH_PR8.json. Byte-identity across the two
+# passes is the contract; the wall-time ratio is the observability tax.
+bench-telemetry-json:
+	$(GO) run ./cmd/hornet-bench -telemetry $(BENCH_SCALE) -out BENCH_PR8.json
+
+# Telemetry bench gate: attached wall time must stay within ~5% of
+# detached (floor 0.95). Non-blocking in CI — timing-sensitive on noisy
+# shared runners — but a hard local check for perf work on the sampler.
+TELEMETRY_FLOOR ?= 0.95
+bench-telemetry-gate:
+	$(GO) run ./cmd/hornet-bench -gate BENCH_PR8.json -floor $(TELEMETRY_FLOOR)
+
 # Process-level distributed drill: build the real binaries, boot a
 # coordinator plus 2 workers, SIGKILL the one executing the job, and
 # require checkpoint migration (resumed_runs > 0) plus a byte-identical
@@ -116,3 +130,9 @@ worker:
 
 vet:
 	$(GO) vet ./...
+
+# Known-vulnerability scan over the module graph and the reachable call
+# graph. Network-dependent (downloads the vuln DB), so CI runs it in its
+# own step; locally it needs internet access.
+vulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...

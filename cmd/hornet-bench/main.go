@@ -62,6 +62,15 @@ type report struct {
 	// times reuse the local/fleet fields; Shards records the span count.
 	Shards int `json:"shards,omitempty"`
 
+	// Telemetry-overhead bench (BENCH_PR8.json): ONE job run with the
+	// NoC telemetry sampler detached and again with it attached and a
+	// live SSE subscriber draining the stream. Speedup is detached wall
+	// over attached wall, so the committed floor bounds the observability
+	// tax; byte-identity across the two passes is the blocking contract.
+	TelemetryFrames int     `json:"telemetry_frames,omitempty"`
+	WallDetachedMS  float64 `json:"wall_detached_ms,omitempty"`
+	WallTelemetryMS float64 `json:"wall_telemetry_ms,omitempty"`
+
 	// Warmup-reuse bench (BENCH_PR3.json).
 	Items           int     `json:"items,omitempty"`
 	WarmupSimulated uint64  `json:"warmups_simulated,omitempty"`
@@ -87,7 +96,8 @@ func main() {
 	full := flag.Bool("full", false, "paper scale")
 	warmup := flag.Bool("warmup", false, "run the PR 3 warmup-reuse bench instead of the distributed bench")
 	sharded := flag.Bool("sharded", false, "run the PR 6 sharded-vs-single bench instead of the distributed bench")
-	out := flag.String("out", "", `output path ("-" = stdout only; default BENCH_PR5.json, BENCH_PR3.json with -warmup, or BENCH_PR6.json with -sharded)`)
+	telemetry := flag.Bool("telemetry", false, "run the PR 8 telemetry-overhead bench instead of the distributed bench")
+	out := flag.String("out", "", `output path ("-" = stdout only; default BENCH_PR5.json, BENCH_PR3.json with -warmup, BENCH_PR6.json with -sharded, or BENCH_PR8.json with -telemetry)`)
 	gate := flag.String("gate", "", "gate mode: check this report file instead of benchmarking")
 	floor := flag.Float64("floor", 0.35, "minimum acceptable speedup in gate mode")
 	flag.Parse()
@@ -115,6 +125,11 @@ func main() {
 			*out = "BENCH_PR6.json"
 		}
 		r = shardedBench(scale)
+	case *telemetry:
+		if *out == "" {
+			*out = "BENCH_PR8.json"
+		}
+		r = telemetryBench(scale)
 	default:
 		if *out == "" {
 			*out = "BENCH_PR5.json"
@@ -382,6 +397,89 @@ func shardedBench(scale string) report {
 		RemoteJobs:      st.RemoteJobs,
 		Speedup:         float64(singleWall) / float64(shardWall),
 		DocsIdentical:   bytes.Equal(singleDocs[req.Name], shardDocs[req.Name]),
+	}
+}
+
+// telemetryBench is the PR 8 data point: the observability tax of the
+// NoC telemetry path. ONE job runs on a bare coordinator with telemetry
+// disabled, then on a fresh coordinator (no cache carry-over) with a
+// fast sampling cadence and a live SSE subscriber draining the merged
+// stream — sampler, collector, pump, merge, counter tracks and the HTTP
+// fan-out all engaged. The floor gate bounds the slowdown; the blocking
+// contract is that telemetry never changes a result byte.
+func telemetryBench(scale string) report {
+	analyzed := 20_000
+	switch scale {
+	case "tiny":
+		analyzed = 4_000
+	case "full":
+		analyzed = 120_000
+	}
+	cfg := config.Default()
+	cfg.Topology.Width, cfg.Topology.Height = 8, 8
+	cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternTranspose, InjectionRate: 0.08}}
+	cfg.WarmupCycles = 400
+	cfg.AnalyzedCycles = analyzed
+	req := service.SubmitRequest{Name: "bench-telemetry", Config: &cfg, Seed: 0x5EED0A11}
+
+	budget := runtime.GOMAXPROCS(0)
+
+	// Pass 1: telemetry detached (negative period = off), the zero-cost
+	// baseline.
+	offSrv := service.New(service.Options{MaxJobs: 1, Budget: budget, TelemetryEvery: -1})
+	offHTTP := httptest.NewServer(offSrv)
+	offDocs, offWall := runAll(client.New(offHTTP.URL), []service.SubmitRequest{req})
+	offHTTP.Close()
+	offSrv.Close()
+
+	// Pass 2: telemetry attached at an aggressive cadence, with a
+	// subscriber counting frames so the whole pipeline is exercised.
+	onSrv := service.New(service.Options{MaxJobs: 1, Budget: budget, TelemetryEvery: 25 * time.Millisecond})
+	onHTTP := httptest.NewServer(onSrv)
+	cl := client.New(onHTTP.URL)
+	ctx, cancel := context.WithCancel(context.Background())
+	frames := 0
+	subDone := make(chan struct{})
+	began := time.Now()
+	info, err := cl.Submit(ctx, req)
+	if err != nil {
+		fatalf("submit: %v", err)
+	}
+	go func() {
+		defer close(subDone)
+		cl.Telemetry(ctx, info.ID, func(ev service.Event) bool {
+			if ev.Type == "telemetry" {
+				frames++
+			}
+			return true
+		})
+	}()
+	final, err := cl.Wait(ctx, info.ID)
+	if err != nil || final.State != service.StateDone {
+		fatalf("telemetry pass: %v (state %s, %s)", err, final.State, final.Error)
+	}
+	onWall := time.Since(began)
+	_, onDoc, err := cl.Result(ctx, info.ID)
+	if err != nil {
+		fatalf("result: %v", err)
+	}
+	<-subDone
+	cancel()
+	onHTTP.Close()
+	onSrv.Close()
+
+	if frames == 0 {
+		fatalf("telemetry pass produced no telemetry frames — the bench measured nothing")
+	}
+	return report{
+		Bench:           "telemetry-overhead",
+		Scale:           scale,
+		Jobs:            1,
+		TelemetryFrames: frames,
+		WallDetachedMS:  float64(offWall.Microseconds()) / 1000,
+		WallTelemetryMS: float64(onWall.Microseconds()) / 1000,
+		Speedup:         float64(offWall) / float64(onWall),
+		DocsIdentical:   bytes.Equal(offDocs[req.Name], onDoc),
 	}
 }
 

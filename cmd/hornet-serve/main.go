@@ -32,6 +32,7 @@
 //	GET    /api/v1/jobs/{id}         job state (?wait=30s long-polls)
 //	GET    /api/v1/jobs/{id}/result  result document (cached: byte-identical)
 //	GET    /api/v1/jobs/{id}/events  SSE progress stream
+//	GET    /api/v1/jobs/{id}/telemetry  SSE NoC telemetry stream (merged)
 //	GET    /api/v1/jobs/{id}/trace   Chrome trace_event timeline (Perfetto)
 //	DELETE /api/v1/jobs/{id}         cancel
 //	GET    /api/v1/figures           runnable experiments
@@ -106,6 +107,12 @@ func main() {
 		"LRU bound on in-memory result documents (0 = unbounded)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0,
 		"LRU bound on in-memory result bytes (0 = unbounded)")
+	telemetryEvery := flag.Duration("telemetry-every", 500*time.Millisecond,
+		"NoC telemetry sampling period for locally executed jobs (negative = disabled)")
+	stallAfter := flag.Duration("stall-after", 2*time.Minute,
+		"flag a running job as stalled after this long without cycle progress (0 = disabled)")
+	traceEvents := flag.Int("trace-events", 0,
+		"per-job trace-timeline event cap (0 = default 512)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	debugAddr := flag.String("debug-addr", "",
@@ -131,6 +138,9 @@ func main() {
 		JobTTL:          *jobTTL,
 		CacheMaxEntries: *cacheMaxEntries,
 		CacheMaxBytes:   *cacheMaxBytes,
+		TelemetryEvery:  *telemetryEvery,
+		StallAfter:      *stallAfter,
+		TraceEventCap:   *traceEvents,
 		Logger:          logger,
 	})
 	httpSrv := &http.Server{

@@ -47,6 +47,8 @@ func main() {
 	id := flag.String("id", "", "stable worker identity (\"\" = coordinator-assigned)")
 	capacity := flag.Int("capacity", runtime.GOMAXPROCS(0),
 		"CPU slots offered to the fleet")
+	telemetryEvery := flag.Duration("telemetry-every", 500*time.Millisecond,
+		"NoC telemetry push period for executing tasks (negative = disabled)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
 	logFormat := flag.String("log-format", "text", "log format: text or json")
 	metricsAddr := flag.String("metrics-addr", "",
@@ -90,11 +92,12 @@ func main() {
 	}
 
 	w := worker.New(worker.Options{
-		Coordinator: *coordinator,
-		ID:          *id,
-		Capacity:    *capacity,
-		Logger:      logger,
-		Metrics:     reg,
+		Coordinator:    *coordinator,
+		ID:             *id,
+		Capacity:       *capacity,
+		TelemetryEvery: *telemetryEvery,
+		Logger:         logger,
+		Metrics:        reg,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

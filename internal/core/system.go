@@ -40,6 +40,11 @@ type System struct {
 	mipsNodes []noc.NodeID // node of mipsCores[i], same order
 	traceMCs  []*mem.TraceController
 
+	// telemetry is the machine-telemetry collector (EnableTelemetry);
+	// nil until enabled, in which case the engine's sampler hook is a
+	// single nil check.
+	telemetry *telemetryCollector
+
 	// Sharding context (EnableSharding); nil for single-process runs.
 	shard *shardState
 	// restoredShard records the shard identity a restored snapshot was

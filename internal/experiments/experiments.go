@@ -23,6 +23,7 @@ import (
 	"hornet/internal/core"
 	"hornet/internal/mips"
 	"hornet/internal/noc"
+	"hornet/internal/obs"
 	"hornet/internal/splash"
 	"hornet/internal/stats"
 	"hornet/internal/sweep"
@@ -70,6 +71,10 @@ type Options struct {
 	// re-simulates its warmup). Results are byte-identical either way;
 	// the flag exists for benchmarking the reuse win and for debugging.
 	NoWarmupReuse bool
+	// Probe, if non-nil, is attached to every system the figure builds,
+	// accumulating engine timing across sweep runs. Like Progress, it must
+	// not change a single output byte, so it is excluded from config hashes.
+	Probe *obs.SimProbe
 }
 
 // FullFromEnv reports whether HORNET_FULL requests paper-scale runs:
@@ -292,7 +297,7 @@ func runShuffleOnce(o Options, workers, period int, seed uint64) time.Duration {
 	cfg.Engine.SyncPeriod = period
 	cfg.Engine.Seed = seed
 	cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternShuffle, InjectionRate: 0.02}}
-	sys := mustSystem(cfg)
+	sys := o.system(cfg)
 	must(sys.AttachSyntheticTraffic())
 	res := sys.Run(o.synthCycles())
 	return res.Wall
@@ -312,7 +317,7 @@ func runBlackScholesOnce(o Options, workers, period int, seed uint64) time.Durat
 	cfg.Engine.SyncPeriod = period
 	cfg.Engine.Seed = seed
 	img := mustImage(workloads.BlackScholesSource(opts, 16))
-	sys := mustSystem(cfg)
+	sys := o.system(cfg)
 	nodes := allNodes(side * side)
 	cores := sys.AttachMIPS(nodes, img)
 	res := sys.RunUntil(50_000_000, sys.CoresHalted(cores))
@@ -360,7 +365,7 @@ func fig6b(o Options) ([]Fig6bRow, []sweep.Result) {
 				// reference on an identical workload.
 				cfg.Engine.Seed = sweep.PairSeed(o.Seed, "fig6b")
 				cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternTranspose, InjectionRate: 0.05}}
-				sys := mustSystem(cfg)
+				sys := o.system(cfg)
 				must(sys.AttachSyntheticTraffic())
 				sys.Run(o.warmup())
 				sys.ResetStats()
@@ -426,7 +431,7 @@ func fig7(o Options) ([]Fig7Row, []sweep.Result) {
 						cfg.Engine.FastForward = ff
 						cfg.Engine.Seed = sweep.PairSeed(o.Seed, "fig7", tc.Pattern, w)
 						cfg.Traffic = []config.TrafficConfig{tc}
-						sys := mustSystem(cfg)
+						sys := o.system(cfg)
 						must(sys.AttachSyntheticTraffic())
 						res := sys.Run(o.synthCycles() * 4)
 						return Fig7Row{
@@ -513,7 +518,7 @@ func fig12(o Options) (Fig12Result, []sweep.Result) {
 				cfg.Topology.Width, cfg.Topology.Height = q, q
 				cfg.Engine.Workers = ctx.Workers
 				cfg.Engine.Seed = pairSeed
-				sys := mustSystem(cfg)
+				sys := o.system(cfg)
 				sys.AttachTrace(ideal.Trace)
 				res := sys.RunUntil(500_000_000, func(uint64) bool { return sys.TraceDone() })
 				return res.Cycles + res.SkippedCycles, nil
@@ -527,7 +532,7 @@ func fig12(o Options) (Fig12Result, []sweep.Result) {
 				cfg.Topology.Width, cfg.Topology.Height = q, q
 				cfg.Engine.Workers = ctx.Workers
 				cfg.Engine.Seed = pairSeed
-				sys := mustSystem(cfg)
+				sys := o.system(cfg)
 				cores := sys.AttachMIPS(allNodes(q*q), img)
 				res := sys.RunUntil(500_000_000, sys.CoresHalted(cores))
 				return res.Cycles + res.SkippedCycles, nil
@@ -563,6 +568,17 @@ func mustSystem(cfg config.Config) *core.System {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
 	return s
+}
+
+// system builds a run's simulation system, attaching the options probe
+// when one is set. Every figure run goes through here so that a single
+// probe observes the whole figure.
+func (o *Options) system(cfg config.Config) *core.System {
+	sys := mustSystem(cfg)
+	if o.Probe != nil {
+		sys.SetProbe(o.Probe)
+	}
+	return sys
 }
 
 func must(err error) {

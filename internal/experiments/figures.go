@@ -474,7 +474,7 @@ func sec4a(o Options) (Sec4aResult, []sweep.Result) {
 				cfg.Engine.Workers = ctx.Workers
 				cfg.Engine.Seed = ctx.Seed
 				cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternUniform, InjectionRate: 0.35}}
-				sys := mustSystem(cfg)
+				sys := o.system(cfg)
 				must(sys.AttachSyntheticTraffic())
 				sys.Run(o.synthCycles() * 2)
 				sum := sys.Summary()
@@ -599,7 +599,7 @@ func tableI(o Options) ([]string, []sweep.Result) {
 				cfg.Engine.Workers = ctx.Workers
 				cfg.Engine.Seed = ctx.Seed
 				cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternTranspose, InjectionRate: 0.02}}
-				sys := mustSystem(cfg)
+				sys := o.system(cfg)
 				must(sys.AttachSyntheticTraffic())
 				sys.Run(2_000)
 				return sprintCombo(c.topoW, c.topoH, c.alg, c.vca, c.vcs, c.buf), nil
@@ -634,5 +634,5 @@ func splashSystemFF(o Options, alg, vcaPolicy string, vcs, buf int, ff bool, ctx
 	cfg.Engine.Seed = ctx.Seed
 	cfg.Engine.FastForward = ff
 	cfg.Power.EpochCycles = 5_000
-	return mustSystem(cfg)
+	return o.system(cfg)
 }

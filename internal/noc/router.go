@@ -109,6 +109,18 @@ type Port struct {
 	Side int // this router's side index on Link
 }
 
+// InOccupancy sums the instantaneous flit occupancy and total capacity
+// of the port's ingress VC buffers. Occupancy reads are atomic (see
+// VCBuffer.Len) but only coherent when the simulation is quiescent —
+// telemetry samples them from the engine's barrier leader.
+func (p *Port) InOccupancy() (used, capacity int) {
+	for _, b := range p.In {
+		used += b.Len()
+		capacity += b.Capacity()
+	}
+	return used, capacity
+}
+
 // pendingPacket wraps a queued injection packet.
 type pendingPacket struct {
 	pkt Packet

@@ -155,6 +155,36 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Lab
 	r.register(name, help, "gauge", labels, func() instrument { return gaugeFunc{fn} })
 }
 
+// GaugeSample is one series emitted by a GaugeSetFunc at scrape time.
+type GaugeSample struct {
+	Labels []Label
+	Value  float64
+}
+
+type gaugeSetFunc struct{ fn func() []GaugeSample }
+
+func (g gaugeSetFunc) write(w *bufio.Writer, name, labels string) {
+	samples := g.fn()
+	rows := make([]string, 0, len(samples))
+	for _, s := range samples {
+		rows = append(rows, renderLabels(s.Labels)+" "+formatFloat(s.Value))
+	}
+	sort.Strings(rows)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%s%s\n", name, row)
+	}
+}
+
+// GaugeSetFunc registers a gauge family whose entire series set is
+// produced fresh at each scrape: fn returns one sample per series, and
+// series may come and go between scrapes. The fixed instruments never
+// forget a label set once registered; this variant exists for
+// inherently dynamic sets (e.g. the hottest links of currently running
+// jobs). fn must not return duplicate label sets.
+func (r *Registry) GaugeSetFunc(name, help string, fn func() []GaugeSample) {
+	r.register(name, help, "gauge", nil, func() instrument { return gaugeSetFunc{fn} })
+}
+
 // Histogram counts observations into cumulative buckets, Prometheus
 // style. Observe is lock-free (atomics only) so it is safe on warmish
 // paths; the bucket search is a linear scan over a small ladder.

@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheusText strictly parses a text-format (0.0.4) exposition
+// and returns an error describing the first violation found: malformed
+// metric or label names, bad escaping inside label values, unparsable
+// sample values, duplicate series, samples appearing before their
+// family's TYPE line, interleaved or repeated families, HELP after
+// TYPE, histogram sample names outside the _bucket/_sum/_count scheme,
+// or non-cumulative bucket counts. It exists so CI can hold both the
+// coordinator's and the workers' hand-rolled expositions to the rules
+// a real Prometheus scraper enforces.
+func LintPrometheusText(r io.Reader) error {
+	var (
+		nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+		labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	)
+	type familyState struct {
+		typ     string
+		hasHelp bool
+		done    bool // a different family started after this one
+	}
+	families := map[string]*familyState{}
+	seen := map[string]bool{} // name + rendered labels -> sample seen
+	var current string        // family owning the samples being read
+	var lastBucket float64    // previous cumulative bucket count
+	var lastBucketKey string  // series identity of that bucket run
+
+	// sampleFamily maps a sample name to its family, folding histogram
+	// suffixes onto the base name when that base is a histogram.
+	sampleFamily := func(name string) (string, string) {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name {
+				if f, ok := families[base]; ok && f.typ == "histogram" {
+					return base, suf
+				}
+			}
+		}
+		return name, ""
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("promlint: line %d: %s: %q", lineNo, fmt.Sprintf(format, args...), line)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := fields[2]
+			if !nameRe.MatchString(name) {
+				return fail("bad metric name %q", name)
+			}
+			f := families[name]
+			switch fields[1] {
+			case "HELP":
+				if f != nil {
+					return fail("HELP for %s after its TYPE or samples", name)
+				}
+				families[name] = &familyState{hasHelp: true}
+				// HELP opens the family: remember it so TYPE follows.
+				if current != "" && current != name {
+					families[current].done = true
+				}
+				current = name
+			case "TYPE":
+				if len(fields) != 4 {
+					return fail("TYPE needs a type")
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fail("unknown type %q", fields[3])
+				}
+				if f == nil {
+					families[name] = &familyState{typ: fields[3]}
+				} else {
+					if f.typ != "" {
+						return fail("duplicate TYPE for %s", name)
+					}
+					if f.done {
+						return fail("family %s reopened", name)
+					}
+					f.typ = fields[3]
+				}
+				if current != "" && current != name {
+					families[current].done = true
+				}
+				current = name
+			}
+			continue
+		}
+
+		// Sample line: name[{labels}] value [timestamp]
+		name, rest := line, ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if !nameRe.MatchString(name) {
+			return fail("bad sample name %q", name)
+		}
+		labels := ""
+		if strings.HasPrefix(rest, "{") {
+			end, err := scanLabels(rest, labelRe)
+			if err != nil {
+				return fail("%v", err)
+			}
+			labels, rest = rest[:end], rest[end:]
+		}
+		value := strings.TrimSpace(rest)
+		if i := strings.IndexByte(value, ' '); i >= 0 {
+			// Optional timestamp after the value.
+			ts := strings.TrimSpace(value[i+1:])
+			value = value[:i]
+			if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+				return fail("bad timestamp %q", ts)
+			}
+		}
+		v, err := parseSampleValue(value)
+		if err != nil {
+			return fail("bad value %q", value)
+		}
+
+		fam, suffix := sampleFamily(name)
+		f, ok := families[fam]
+		if !ok || f.typ == "" {
+			return fail("sample without preceding TYPE (family %s)", fam)
+		}
+		if fam != current {
+			return fail("sample for %s interleaved into family %s", fam, current)
+		}
+		if f.done {
+			return fail("family %s reopened by sample", fam)
+		}
+		if f.typ == "histogram" && suffix == "" {
+			return fail("histogram %s sample must be _bucket, _sum or _count", fam)
+		}
+		key := name + labels
+		if seen[key] {
+			return fail("duplicate series %s", key)
+		}
+		seen[key] = true
+
+		// Bucket runs must be cumulative per series identity (labels
+		// minus le), in the order emitted.
+		if suffix == "_bucket" {
+			runKey := name + stripLE(labels)
+			if runKey != lastBucketKey {
+				lastBucketKey, lastBucket = runKey, 0
+			}
+			if v+1e-9 < lastBucket {
+				return fail("bucket counts not cumulative in %s", runKey)
+			}
+			lastBucket = v
+		} else {
+			lastBucketKey = ""
+		}
+	}
+	return sc.Err()
+}
+
+// scanLabels validates a rendered label set at the start of s and
+// returns the index just past the closing brace.
+func scanLabels(s string, labelRe *regexp.Regexp) (int, error) {
+	i := 1 // past '{'
+	names := map[string]bool{}
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			return 0, fmt.Errorf("label without '='")
+		}
+		name := s[i : i+j]
+		if !labelRe.MatchString(name) {
+			return 0, fmt.Errorf("bad label name %q", name)
+		}
+		if names[name] {
+			return 0, fmt.Errorf("duplicate label %q", name)
+		}
+		names[name] = true
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %s value not quoted", name)
+		}
+		i++
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("unterminated value for label %s", name)
+			}
+			switch s[i] {
+			case '\\':
+				if i+1 >= len(s) || !strings.ContainsRune(`\"n`, rune(s[i+1])) {
+					return 0, fmt.Errorf("bad escape in label %s", name)
+				}
+				i += 2
+				continue
+			case '"':
+			default:
+				i++
+				continue
+			}
+			break
+		}
+		i++ // past closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// stripLE removes the le="..." pair from a rendered label set so
+// bucket runs of one histogram series share an identity.
+func stripLE(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for _, part := range splitLabels(inner) {
+		if !strings.HasPrefix(part, `le="`) {
+			kept = append(kept, part)
+		}
+	}
+	sort.Strings(kept)
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+// splitLabels splits a rendered label-set body on commas outside
+// quoted values.
+func splitLabels(s string) []string {
+	var parts []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		parts = append(parts, s[start:])
+	}
+	return parts
+}
+
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,139 @@
+package obs
+
+import "sort"
+
+// TelemetrySnapshot is a point-in-time view of the *simulated machine*
+// — as opposed to SimProbe, which times the simulator. It is sampled at
+// engine sync points (all workers parked at the barrier, so plain
+// counter reads are race-free), carried over the fleet wire in
+// TaskEvents, merged across shard members into one full-machine view,
+// and served live over the job's telemetry SSE stream.
+//
+// Counters are cumulative over the measured window (stats reset at the
+// warmup boundary), so the final snapshot of a run agrees with the
+// result document's totals.
+type TelemetrySnapshot struct {
+	// Cycle is the simulated-cycle position of the sample; SkippedCycles
+	// counts cycles fast-forwarded past rather than simulated, so the
+	// pair locates the sample on the fast-forward vs measured axis.
+	Cycle         uint64 `json:"cycle"`
+	SkippedCycles uint64 `json:"skipped_cycles,omitempty"`
+
+	// Shard identity: which member produced the sample and which tile
+	// span [TileLo,TileHi) it covers. A merged full-machine snapshot has
+	// Shard == -1 and the full span.
+	Shard      int `json:"shard"`
+	ShardCount int `json:"shard_count"`
+	TileLo     int `json:"tile_lo"`
+	TileHi     int `json:"tile_hi"`
+
+	Tiles []TileTelemetry `json:"tiles,omitempty"`
+	Links []LinkTelemetry `json:"links,omitempty"`
+}
+
+// TileTelemetry is one tile's flit counters at the sample point.
+type TileTelemetry struct {
+	Tile           int     `json:"tile"`
+	FlitsInjected  uint64  `json:"flits_injected"`
+	FlitsDelivered uint64  `json:"flits_delivered"`
+	AvgFlitLatency float64 `json:"avg_flit_latency,omitempty"`
+}
+
+// LinkTelemetry is the instantaneous ingress VC-buffer occupancy of one
+// directed link (flits queued at To's input port facing From).
+type LinkTelemetry struct {
+	From      int `json:"from"`
+	To        int `json:"to"`
+	Occupancy int `json:"occupancy"`
+	Capacity  int `json:"capacity"`
+}
+
+// FlitsInjected sums the per-tile injection counters.
+func (s TelemetrySnapshot) FlitsInjected() uint64 {
+	var n uint64
+	for _, t := range s.Tiles {
+		n += t.FlitsInjected
+	}
+	return n
+}
+
+// FlitsDelivered sums the per-tile delivery counters.
+func (s TelemetrySnapshot) FlitsDelivered() uint64 {
+	var n uint64
+	for _, t := range s.Tiles {
+		n += t.FlitsDelivered
+	}
+	return n
+}
+
+// BufferedFlits sums link occupancy across the sampled span.
+func (s TelemetrySnapshot) BufferedFlits() int {
+	var n int
+	for _, l := range s.Links {
+		n += l.Occupancy
+	}
+	return n
+}
+
+// TopLinks returns the k links with the highest occupancy, ties broken
+// by (From, To) so the ordering is deterministic.
+func (s TelemetrySnapshot) TopLinks(k int) []LinkTelemetry {
+	links := append([]LinkTelemetry(nil), s.Links...)
+	sort.Slice(links, func(a, b int) bool {
+		if links[a].Occupancy != links[b].Occupancy {
+			return links[a].Occupancy > links[b].Occupancy
+		}
+		if links[a].From != links[b].From {
+			return links[a].From < links[b].From
+		}
+		return links[a].To < links[b].To
+	})
+	if k < len(links) {
+		links = links[:k]
+	}
+	return links
+}
+
+// MergeTelemetry folds per-shard snapshots into one full-machine view:
+// tiles and links concatenate (spans are disjoint), the cycle position
+// is the minimum across members (the machine has coherently reached at
+// least that cycle), and the span is the union. Order of parts does not
+// affect the result; tiles and links come out sorted.
+func MergeTelemetry(parts []TelemetrySnapshot) TelemetrySnapshot {
+	if len(parts) == 0 {
+		return TelemetrySnapshot{Shard: -1}
+	}
+	if len(parts) == 1 && parts[0].ShardCount <= 1 {
+		return parts[0]
+	}
+	out := TelemetrySnapshot{
+		Shard:         -1,
+		ShardCount:    parts[0].ShardCount,
+		Cycle:         parts[0].Cycle,
+		SkippedCycles: parts[0].SkippedCycles,
+		TileLo:        parts[0].TileLo,
+		TileHi:        parts[0].TileHi,
+	}
+	for _, p := range parts {
+		if p.Cycle < out.Cycle {
+			out.Cycle = p.Cycle
+			out.SkippedCycles = p.SkippedCycles
+		}
+		if p.TileLo < out.TileLo {
+			out.TileLo = p.TileLo
+		}
+		if p.TileHi > out.TileHi {
+			out.TileHi = p.TileHi
+		}
+		out.Tiles = append(out.Tiles, p.Tiles...)
+		out.Links = append(out.Links, p.Links...)
+	}
+	sort.Slice(out.Tiles, func(a, b int) bool { return out.Tiles[a].Tile < out.Tiles[b].Tile })
+	sort.Slice(out.Links, func(a, b int) bool {
+		if out.Links[a].From != out.Links[b].From {
+			return out.Links[a].From < out.Links[b].From
+		}
+		return out.Links[a].To < out.Links[b].To
+	})
+	return out
+}

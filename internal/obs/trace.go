@@ -25,17 +25,19 @@ type Timeline struct {
 }
 
 // TraceEvent is one Chrome trace_event entry. Phase "X" is a complete
-// span (Ts + Dur), "B" an unfinished span begin, "i" an instant, "M"
-// metadata. Timestamps are microseconds from the timeline base.
+// span (Ts + Dur), "B" an unfinished span begin, "i" an instant, "C" a
+// counter sample (Perfetto renders a counter track per arg key), "M"
+// metadata. Timestamps are microseconds from the timeline base. Args
+// values are strings on span/instant events and numbers on counters.
 type TraceEvent struct {
-	Name  string            `json:"name"`
-	Phase string            `json:"ph"`
-	Ts    int64             `json:"ts"`
-	Dur   int64             `json:"dur,omitempty"`
-	Pid   int               `json:"pid"`
-	Tid   int               `json:"tid"`
-	Scope string            `json:"s,omitempty"`
-	Args  map[string]string `json:"args,omitempty"`
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
 }
 
 // TraceDocument is the JSON object served by GET /api/v1/jobs/{id}/trace.
@@ -58,7 +60,37 @@ func NewTimeline(name string, start time.Time) *Timeline {
 	}
 }
 
+// SetCap overrides the event cap (<= 0 keeps the default). Events past
+// the cap are dropped and counted; see Dropped.
+func (t *Timeline) SetCap(n int) {
+	if n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.max = n
+}
+
+// Dropped reports how many events the cap has discarded so far.
+func (t *Timeline) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
 func (t *Timeline) ts(at time.Time) int64 { return at.Sub(t.base).Microseconds() }
+
+// stringArgs widens a span/instant arg map to the event's storage type.
+func stringArgs(args map[string]string) map[string]any {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(args))
+	for k, v := range args {
+		out[k] = v
+	}
+	return out
+}
 
 // Begin opens a span. A span already open under the same name is left
 // as is (Begin is idempotent until End).
@@ -73,7 +105,7 @@ func (t *Timeline) Begin(name string, args map[string]string) {
 		return
 	}
 	t.events = append(t.events, TraceEvent{
-		Name: name, Phase: "B", Ts: t.ts(now), Pid: 1, Tid: 1, Args: args,
+		Name: name, Phase: "B", Ts: t.ts(now), Pid: 1, Tid: 1, Args: stringArgs(args),
 	})
 	t.open[name] = len(t.events) - 1
 }
@@ -98,7 +130,7 @@ func (t *Timeline) End(name string, args map[string]string) {
 	}
 	if len(args) > 0 {
 		if ev.Args == nil {
-			ev.Args = make(map[string]string, len(args))
+			ev.Args = make(map[string]any, len(args))
 		}
 		for k, v := range args {
 			ev.Args[k] = v
@@ -115,7 +147,26 @@ func (t *Timeline) Instant(name string, args map[string]string) {
 		return
 	}
 	t.events = append(t.events, TraceEvent{
-		Name: name, Phase: "i", Ts: t.ts(now), Pid: 1, Tid: 1, Scope: "p", Args: args,
+		Name: name, Phase: "i", Ts: t.ts(now), Pid: 1, Tid: 1, Scope: "p", Args: stringArgs(args),
+	})
+}
+
+// Counter records a counter-track sample ("C" phase): Perfetto draws
+// one stacked track named name with a series per value key, next to
+// the job's spans. Values must be numbers, hence the separate arg type.
+func (t *Timeline) Counter(name string, values map[string]float64) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(values) == 0 || !t.roomLocked() {
+		return
+	}
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	t.events = append(t.events, TraceEvent{
+		Name: name, Phase: "C", Ts: t.ts(now), Pid: 1, Tid: 1, Args: args,
 	})
 }
 
@@ -138,7 +189,7 @@ func (t *Timeline) Document() TraceDocument {
 	events := make([]TraceEvent, 0, len(t.events)+1)
 	events = append(events, TraceEvent{
 		Name: "process_name", Phase: "M", Pid: 1, Tid: 1,
-		Args: map[string]string{"name": t.name},
+		Args: map[string]any{"name": t.name},
 	})
 	events = append(events, t.events...)
 	doc := TraceDocument{TraceEvents: events, DisplayTimeUnit: "ms"}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// Counter events are Perfetto "C" phase with numeric args — the value
+// types matter, Perfetto silently drops string-valued counter samples.
+func TestTimelineCounterTrack(t *testing.T) {
+	tl := NewTimeline("job-x", time.Now())
+	tl.Counter("injection_rate", map[string]float64{"flits_per_cycle": 0.25})
+	tl.Counter("injection_rate", nil) // empty sample: dropped, not emitted
+
+	doc := tl.Document()
+	var counters []TraceEvent
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "C" {
+			counters = append(counters, ev)
+		}
+	}
+	if len(counters) != 1 {
+		t.Fatalf("counter events = %d, want 1", len(counters))
+	}
+	if counters[0].Name != "injection_rate" {
+		t.Errorf("counter name = %q", counters[0].Name)
+	}
+	v, ok := counters[0].Args["flits_per_cycle"].(float64)
+	if !ok || v != 0.25 {
+		t.Errorf("counter arg = %#v, want float64 0.25", counters[0].Args["flits_per_cycle"])
+	}
+}
+
+// The configurable cap drops overflow events, counts them, and surfaces
+// the count in both Dropped() and the rendered document's otherData.
+func TestTimelineCapAndDropped(t *testing.T) {
+	tl := NewTimeline("job-y", time.Now())
+	tl.SetCap(3)
+	tl.SetCap(0) // <= 0 keeps the previous cap
+	for i := 0; i < 10; i++ {
+		tl.Instant("tick", nil)
+	}
+	tl.Counter("rate", map[string]float64{"v": 1}) // also subject to the cap
+
+	if got := tl.Dropped(); got != 8 {
+		t.Fatalf("dropped = %d, want 8 (10 instants + 1 counter - cap 3)", got)
+	}
+	doc := tl.Document()
+	// cap(3) events + the process_name metadata record.
+	if len(doc.TraceEvents) != 4 {
+		t.Errorf("rendered events = %d, want 4", len(doc.TraceEvents))
+	}
+	if doc.OtherData["dropped_events"] != "8" {
+		t.Errorf("otherData = %v, want dropped_events=8", doc.OtherData)
+	}
+}

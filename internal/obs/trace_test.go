@@ -28,7 +28,7 @@ func TestTimelineSpans(t *testing.T) {
 	if meta, ok := byName["process_name"]; !ok || meta.Phase != "M" || meta.Args["name"] != "job-000001 e2e" {
 		t.Errorf("missing/bad process_name metadata: %+v", meta)
 	}
-	if q := byName["queued"]; q.Phase != "X" || q.Args["worker"] != "w1" || q.Args["dup"] != "" {
+	if q := byName["queued"]; q.Phase != "X" || q.Args["worker"] != "w1" || q.Args["dup"] != nil {
 		t.Errorf("queued span wrong: %+v", q)
 	}
 	if r := byName["running"]; r.Phase != "B" {

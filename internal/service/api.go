@@ -176,6 +176,14 @@ type JobInfo struct {
 	// cycles/sec plus the per-partition compute vs. barrier-wait split
 	// (and shard sync totals for space-parallel jobs).
 	Engine *obs.ProbeSnapshot `json:"engine,omitempty"`
+	// Telemetry is the latest merged machine-telemetry snapshot for a
+	// running job: per-tile flit counters and per-link buffer occupancy
+	// across the whole machine (sharded jobs merge one sample per member
+	// tile span).
+	Telemetry *obs.TelemetrySnapshot `json:"telemetry,omitempty"`
+	// Stalls counts watchdog-detected stall episodes: windows in which a
+	// running job's executors reported no forward progress.
+	Stalls int `json:"stalls,omitempty"`
 }
 
 // Terminal reports whether the job has reached a final state.
@@ -189,7 +197,9 @@ func (j JobInfo) Terminal() bool {
 
 // Event is one progress notification on a job's SSE stream.
 type Event struct {
-	Type  string `json:"type"` // "state", "progress", "checkpoint", "resumed" or "engine"
+	// Type is "state", "progress", "checkpoint", "resumed", "engine",
+	// "telemetry" or "stalled".
+	Type  string `json:"type"`
 	Job   string `json:"job"`
 	State string `json:"state,omitempty"`
 	Done  int    `json:"done,omitempty"`
@@ -199,6 +209,9 @@ type Event struct {
 	Cycle uint64 `json:"cycle,omitempty"`
 	// Engine carries the probe snapshot of an "engine" event.
 	Engine *obs.ProbeSnapshot `json:"engine,omitempty"`
+	// Telemetry carries the merged full-machine snapshot of a
+	// "telemetry" event.
+	Telemetry *obs.TelemetrySnapshot `json:"telemetry,omitempty"`
 }
 
 // FigureInfo describes one registry experiment (GET /api/v1/figures).

@@ -86,6 +86,14 @@ type EngineSink interface {
 	Engine(s obs.ProbeSnapshot)
 }
 
+// TelemetrySink is an optional Sink extension: backends whose
+// executions sample machine telemetry (per-tile flit counters,
+// per-link buffer occupancy) push the latest snapshot through it at a
+// wall-clock cadence. Checked by type assertion like EngineSink.
+type TelemetrySink interface {
+	Telemetry(s obs.TelemetrySnapshot)
+}
+
 // NoteSink is an optional Sink extension for lifecycle annotations
 // ("dispatched", "requeued", "rollback", ...) feeding per-job trace
 // timelines. Implementations must be non-blocking and must not call
@@ -99,6 +107,14 @@ type NoteSink interface {
 func SinkEngine(s Sink, snap obs.ProbeSnapshot) {
 	if es, ok := s.(EngineSink); ok {
 		es.Engine(snap)
+	}
+}
+
+// SinkTelemetry forwards a telemetry snapshot to s if it implements
+// TelemetrySink.
+func SinkTelemetry(s Sink, snap obs.TelemetrySnapshot) {
+	if ts, ok := s.(TelemetrySink); ok {
+		ts.Telemetry(snap)
 	}
 }
 
@@ -190,7 +206,8 @@ type Assignment struct {
 
 // TaskEvent is one progress push (POST .../tasks/{id}/events).
 type TaskEvent struct {
-	// Type is "progress", "resumed", "checkpoint" or "engine".
+	// Type is "progress", "resumed", "checkpoint", "engine" or
+	// "telemetry".
 	Type  string `json:"type"`
 	Done  int    `json:"done,omitempty"`
 	Total int    `json:"total,omitempty"`
@@ -199,6 +216,10 @@ type TaskEvent struct {
 	// Engine carries the executing worker's probe snapshot for "engine"
 	// events (live cycles/sec and barrier-wait split per running job).
 	Engine *obs.ProbeSnapshot `json:"engine,omitempty"`
+	// Telemetry carries the executing worker's machine-telemetry sample
+	// for "telemetry" events (per-tile flit counters, per-link buffer
+	// occupancy of the member's tile span).
+	Telemetry *obs.TelemetrySnapshot `json:"telemetry,omitempty"`
 }
 
 // ResultPush is the terminal push (POST .../tasks/{id}/result).

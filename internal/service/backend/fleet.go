@@ -655,6 +655,10 @@ func (f *Fleet) PushEvent(workerID, taskID string, ev TaskEvent) error {
 		if ev.Engine != nil {
 			SinkEngine(p.sink, *ev.Engine)
 		}
+	case "telemetry":
+		if ev.Telemetry != nil {
+			SinkTelemetry(p.sink, *ev.Telemetry)
+		}
 	default:
 		return fmt.Errorf("backend: unknown event type %q", ev.Type)
 	}

@@ -117,6 +117,14 @@ type execEnv struct {
 	// sink (per-job engine telemetry). Nil keeps the engine hot path
 	// probe-free.
 	probe *obs.SimProbe
+	// telemetry, when non-nil, enables machine telemetry on every system
+	// this env runs: the engine samples per-tile/per-link state at sync
+	// points and a wall-clock pump forwards the freshest sample here
+	// every telEvery (0 means 500ms). Nil keeps the engine's nil-sampler
+	// fast path. A negative telEvery on the scheduler's shared env tells
+	// the local backend not to attach a telemetry callback at all.
+	telemetry func(s obs.TelemetrySnapshot)
+	telEvery  time.Duration
 	// log receives checkpoint-layer diagnostics; nil means discard.
 	log *slog.Logger
 }
@@ -150,6 +158,64 @@ func (e *execEnv) withProbe(p *obs.SimProbe) *execEnv {
 	d := *e
 	d.probe = p
 	return &d
+}
+
+// withTelemetry derives an env whose runs sample machine telemetry
+// into fn at the env's pump cadence; everything else is shared.
+func (e *execEnv) withTelemetry(fn func(obs.TelemetrySnapshot)) *execEnv {
+	d := *e
+	d.telemetry = fn
+	return &d
+}
+
+// telemetrySampleCycles is the engine-side sampling cadence: the
+// sampler fires at the first sync point at or past each multiple of
+// this many simulated cycles (plus once when a run halts). The
+// wall-clock pump decimates further, so the cadence only bounds how
+// stale a forwarded sample can be in simulation time.
+const telemetrySampleCycles = 256
+
+// startTelemetry enables machine telemetry on sys and starts the
+// wall-clock pump forwarding fresh samples into the env's telemetry
+// callback. The returned stop function ends the pump and flushes the
+// final sample — the one the engine takes at the run's last sync
+// point, which therefore agrees with the run's final statistics. A
+// no-op when the env has no telemetry callback.
+func (e *execEnv) startTelemetry(sys *core.System) func() {
+	if e.telemetry == nil {
+		return func() {}
+	}
+	sys.EnableTelemetry(telemetrySampleCycles)
+	every := e.telEvery
+	if every <= 0 {
+		every = 500 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		var lastSeq uint64
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if snap, seq := sys.Telemetry(); seq != lastSeq {
+					lastSeq = seq
+					e.telemetry(snap)
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+		if snap, seq := sys.Telemetry(); seq > 0 {
+			e.telemetry(snap)
+		}
+	}
 }
 
 // logger returns the env's diagnostic logger, never nil.
@@ -449,6 +515,8 @@ func (e *execEnv) runMips(sc *scenario, sink backend.Sink, spec runSpec) func(sw
 		if e.probe != nil {
 			sys.SetProbe(e.probe)
 		}
+		stopTel := e.startTelemetry(sys)
+		defer stopTel()
 		// Advance in autosave chunks until the application halts or the
 		// cycle cap is reached.
 		cr := &chunkedRun{env: e, sys: sys, sc: sc, sink: sink, meta: &meta, ckptOn: ckptOn, stop: stop}
@@ -537,6 +605,8 @@ func (e *execEnv) runConfig(sc *scenario, sink backend.Sink, spec runSpec) func(
 		if e.probe != nil {
 			sys.SetProbe(e.probe)
 		}
+		stopTel := e.startTelemetry(sys)
+		defer stopTel()
 		cr := &chunkedRun{env: e, sys: sys, sc: sc, sink: sink, meta: &meta, ckptOn: ckptOn, stop: stop}
 		if meta.Phase == "warmup" {
 			if ok, err := cr.advance(c.Context, warmup, false, nil); !ok {

@@ -247,6 +247,45 @@ func (c *Client) Events(ctx context.Context, id string, fn func(service.Event) b
 	return nil
 }
 
+// Telemetry subscribes to the job's machine-telemetry SSE stream —
+// merged full-machine per-tile/per-link snapshots plus "stalled"
+// watchdog notices — and invokes fn for every event until the stream
+// ends (terminal state), ctx is cancelled, or fn returns false.
+func (c *Client) Telemetry(ctx context.Context, id string, fn func(service.Event) bool) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/api/v1/jobs/"+id+"/telemetry", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		return decodeError(resp)
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // event: lines and keep-alive blanks
+		}
+		var ev service.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return fmt.Errorf("client: malformed telemetry event: %w", err)
+		}
+		if !fn(ev) {
+			return nil
+		}
+	}
+	if err := scanner.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}
+
 // SubmitAndWait is the common round trip: submit, wait for terminal,
 // return the final state.
 func (c *Client) SubmitAndWait(ctx context.Context, req service.SubmitRequest) (service.JobInfo, error) {

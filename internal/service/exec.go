@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"hornet/internal/obs"
 	"hornet/internal/service/backend"
@@ -35,7 +36,22 @@ func executeScenario(ctx context.Context, sc *scenario, env *execEnv, pool *swee
 		// Figures with shared warmup prefixes draw on the env-wide
 		// warmup snapshot cache (reuse cannot change output bytes).
 		o.Warmups = env.warm
+		if env.probe != nil {
+			// Figures bypass the chunked-run path, so the probe attaches
+			// through the experiment options and snapshots surface at
+			// run-completion boundaries (plus once at the end) — the same
+			// engine series sweep jobs feed, now for figure jobs too.
+			o.Probe = env.probe
+			progress := o.Progress
+			o.Progress = func(done, total int, key string) {
+				progress(done, total, key)
+				backend.SinkEngine(sink, env.probe.Snapshot())
+			}
+		}
 		_, doc, runErr := sc.fig.Document(o)
+		if env.probe != nil {
+			backend.SinkEngine(sink, env.probe.Snapshot())
+		}
 		if runErr != nil {
 			return nil, 0, runErr // cancelled mid-figure
 		}
@@ -112,6 +128,15 @@ type ExecOptions struct {
 	// sync latency). Leaving it nil keeps the engine hot path
 	// instrumentation-free.
 	OnEngine func(s obs.ProbeSnapshot)
+	// OnTelemetry, if non-nil, enables machine telemetry on config/mips
+	// runs: the engine samples per-tile flit counters and per-link
+	// buffer occupancy at sync points, and the freshest sample is
+	// forwarded every TelemetryEvery of wall time (plus once after each
+	// run). Leaving it nil keeps the engine's nil-sampler fast path.
+	OnTelemetry func(s obs.TelemetrySnapshot)
+	// TelemetryEvery is the wall-clock forwarding period of OnTelemetry;
+	// 0 means 500ms.
+	TelemetryEvery time.Duration
 }
 
 // ExecResult is the outcome of a standalone Execute.
@@ -165,6 +190,10 @@ func Execute(ctx context.Context, req SubmitRequest, opts ExecOptions) (*ExecRes
 	}
 	pool := sweep.NewBudget(workers)
 	sink := callbackSink{opts}
+	if opts.OnTelemetry != nil {
+		env.telemetry = func(s obs.TelemetrySnapshot) { backend.SinkTelemetry(sink, s) }
+		env.telEvery = opts.TelemetryEvery
+	}
 	doc, runErrs, err := executeScenario(ctx, sc, env, pool, sink)
 	if err != nil {
 		return nil, err
@@ -199,5 +228,13 @@ func (c callbackSink) Checkpoint(key string, cycle uint64) {
 func (c callbackSink) Engine(s obs.ProbeSnapshot) {
 	if c.o.OnEngine != nil {
 		c.o.OnEngine(s)
+	}
+}
+
+// Telemetry implements backend.TelemetrySink so machine-telemetry
+// samples emitted by the wall-clock pump reach the OnTelemetry callback.
+func (c callbackSink) Telemetry(s obs.TelemetrySnapshot) {
+	if c.o.OnTelemetry != nil {
+		c.o.OnTelemetry(s)
 	}
 }

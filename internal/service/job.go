@@ -34,6 +34,20 @@ type job struct {
 	// prevEngine is the last probe snapshot folded into the server's
 	// engine histograms, kept to compute deltas (guarded by mu).
 	prevEngine obs.ProbeSnapshot
+
+	// telemetry holds the latest machine-telemetry sample per shard
+	// index (one entry, index 0, for unsharded jobs); prevMerged is the
+	// previous merged view, kept to derive counter-track rates. Guarded
+	// by mu.
+	telemetry  map[int]obs.TelemetrySnapshot
+	prevMerged obs.TelemetrySnapshot
+
+	// lastActive is the wall time of the last observed forward progress
+	// (any progress, engine, telemetry, checkpoint or resume report);
+	// stalled marks an open stall episode, re-armed by the next progress
+	// observation. Both guarded by mu; read by the server's watchdog.
+	lastActive time.Time
+	stalled    bool
 }
 
 func newJob(id string, req SubmitRequest, sc *scenario, parent context.Context, now time.Time) *job {
@@ -114,16 +128,25 @@ func (j *job) start(now time.Time) bool {
 	}
 	j.info.State = StateRunning
 	j.info.Started = now
+	j.lastActive = now
 	j.broadcastLocked(Event{Type: "state", Job: j.info.ID, State: StateRunning})
 	j.trace.End("queued", nil)
 	j.trace.Begin("running", map[string]string{"backend": j.info.Backend})
 	return true
 }
 
+// touchLocked records forward progress for the stall watchdog and
+// closes any open stall episode.
+func (j *job) touchLocked() {
+	j.lastActive = time.Now()
+	j.stalled = false
+}
+
 // progress records one completed run and notifies subscribers.
 func (j *job) progress(done, total int, key string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.touchLocked()
 	j.info.RunsDone = done
 	j.info.RunsTotal = total
 	j.broadcastLocked(Event{Type: "progress", Job: j.info.ID, Done: done, Total: total, Key: key})
@@ -134,6 +157,7 @@ func (j *job) progress(done, total int, key string) {
 func (j *job) noteResumed(key string, cycle uint64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.touchLocked()
 	j.info.ResumedRuns++
 	j.broadcastLocked(Event{Type: "resumed", Job: j.info.ID, Key: key, Cycle: cycle})
 	j.trace.Instant("resumed", map[string]string{"key": key, "cycle": strconv.FormatUint(cycle, 10)})
@@ -143,6 +167,7 @@ func (j *job) noteResumed(key string, cycle uint64) {
 func (j *job) noteCheckpoint(key string, cycle uint64) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.touchLocked()
 	j.info.Checkpoints++
 	j.broadcastLocked(Event{Type: "checkpoint", Job: j.info.ID, Key: key, Cycle: cycle})
 	j.trace.Instant("checkpoint", map[string]string{"key": key, "cycle": strconv.FormatUint(cycle, 10)})
@@ -181,6 +206,9 @@ func (j *job) setEngine(snap obs.ProbeSnapshot) engineDelta {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	prev := j.prevEngine
+	if snap.Cycles != prev.Cycles {
+		j.touchLocked()
+	}
 	d := engineDelta{
 		computeS:  (snap.ComputeWallMS() - prev.ComputeWallMS()) / 1e3,
 		barrierS:  (snap.BarrierWallMS() - prev.BarrierWallMS()) / 1e3,
@@ -201,6 +229,69 @@ func (j *job) setEngine(snap obs.ProbeSnapshot) engineDelta {
 	j.info.Engine = &snap
 	j.broadcastLocked(Event{Type: "engine", Job: j.info.ID, Engine: &snap})
 	return d
+}
+
+// setTelemetry folds one executor's machine-telemetry sample into the
+// job's merged view and notifies subscribers. Sharded jobs report one
+// sample per member tile span; the merge presents them as a single
+// full-machine snapshot. The merged view also drives the trace
+// timeline's Perfetto counter tracks (injection rate, buffered flits).
+func (j *job) setTelemetry(snap obs.TelemetrySnapshot) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.telemetry == nil {
+		j.telemetry = map[int]obs.TelemetrySnapshot{}
+	}
+	j.telemetry[snap.Shard] = snap
+	parts := make([]obs.TelemetrySnapshot, 0, len(j.telemetry))
+	for _, p := range j.telemetry {
+		parts = append(parts, p)
+	}
+	merged := obs.MergeTelemetry(parts)
+	prev := j.prevMerged
+	j.prevMerged = merged
+	j.info.Telemetry = &merged
+	if merged.Cycle > prev.Cycle {
+		j.touchLocked()
+		// Counter tracks ride the trace timeline as Perfetto "C" events:
+		// the measured-window injection rate since the previous sample
+		// (guarded against the warmup-boundary stats reset, where the
+		// cumulative counters legitimately shrink) and the instantaneous
+		// network occupancy.
+		if inj := merged.FlitsInjected(); inj >= prev.FlitsInjected() {
+			rate := float64(inj-prev.FlitsInjected()) / float64(merged.Cycle-prev.Cycle)
+			j.trace.Counter("injection_rate", map[string]float64{"flits_per_cycle": rate})
+		}
+		j.trace.Counter("buffer_occupancy", map[string]float64{"flits": float64(merged.BufferedFlits())})
+	}
+	j.broadcastLocked(Event{Type: "telemetry", Job: j.info.ID, Telemetry: &merged})
+}
+
+// checkStall is the watchdog probe: it reports true exactly once per
+// stall episode — a running job whose executors have shown no forward
+// progress for at least window. The next progress observation re-arms
+// the episode. The trace instant and subscriber event fire here so the
+// caller only has to log and count.
+func (j *job) checkStall(now time.Time, window time.Duration) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.info.State != StateRunning || j.stalled {
+		return false
+	}
+	last := j.lastActive
+	if last.IsZero() {
+		last = j.info.Started
+	}
+	if now.Sub(last) < window {
+		return false
+	}
+	j.stalled = true
+	j.info.Stalls++
+	j.trace.Instant("stalled", map[string]string{
+		"idle": now.Sub(last).Round(time.Millisecond).String(),
+	})
+	j.broadcastLocked(Event{Type: "stalled", Job: j.info.ID})
+	return true
 }
 
 // finish marks the job done with its canonical result bytes.
@@ -343,24 +434,27 @@ func (s *jobStore) list() []JobInfo {
 }
 
 // expire removes terminal jobs that finished before cutoff (retention
-// TTL) and returns how many were dropped. Expired jobs 404 afterwards;
-// their cached result documents are unaffected.
-func (s *jobStore) expire(cutoff time.Time) int {
+// TTL) and returns how many were dropped, plus the sum of their trace
+// timelines' dropped-event counts (the server banks it so the
+// trace-dropped counter survives the records). Expired jobs 404
+// afterwards; their cached result documents are unaffected.
+func (s *jobStore) expire(cutoff time.Time) (int, int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	kept := make([]*job, 0, len(s.order))
-	dropped := 0
+	dropped, traceDropped := 0, 0
 	for _, j := range s.order {
 		info := j.Info()
 		if info.Terminal() && !info.Finished.IsZero() && info.Finished.Before(cutoff) {
 			delete(s.byID, info.ID)
 			dropped++
+			traceDropped += j.trace.Dropped()
 			continue
 		}
 		kept = append(kept, j)
 	}
 	s.order = kept
-	return dropped
+	return dropped, traceDropped
 }
 
 // all returns the jobs themselves (shutdown cancellation).

@@ -114,8 +114,51 @@ func newServeMetrics(s *Server) *serveMetrics {
 	m.engineShardSync = reg.Histogram("hornet_engine_shard_sync_seconds", "Per-chunk shard synchronization round-trip time.", nil)
 	m.engineSyncCalls = reg.Counter("hornet_engine_shard_syncs_total", "Shard synchronization exchanges.")
 
+	// Stall watchdog and trace-timeline accounting.
+	reg.CounterFunc("hornet_job_stalls_total", "Stall episodes: running jobs whose executors reported no forward progress for the watchdog window.", s.jobStalls.Load)
+	reg.CounterFunc("hornet_trace_dropped_events_total", "Trace-timeline events dropped by the per-job event cap.",
+		func() uint64 {
+			total := s.traceDroppedExpired.Load()
+			for _, j := range s.jobs.all() {
+				total += uint64(j.trace.Dropped())
+			}
+			return total
+		})
+
+	// Hottest NoC links across running jobs, from the latest merged
+	// telemetry snapshots. Rendered at scrape time (GaugeSetFunc), so
+	// finished jobs' series disappear instead of going stale.
+	reg.GaugeSetFunc("hornet_noc_link_occupancy_flits",
+		"Buffer occupancy of the busiest NoC links per running job (top "+strconv.Itoa(topLinkSeries)+" by flits queued).",
+		func() []obs.GaugeSample {
+			var out []obs.GaugeSample
+			for _, j := range s.jobs.all() {
+				info := j.Info()
+				if info.State != StateRunning || info.Telemetry == nil {
+					continue
+				}
+				for _, l := range info.Telemetry.TopLinks(topLinkSeries) {
+					out = append(out, obs.GaugeSample{
+						Labels: []obs.Label{
+							obs.L("job", info.ID),
+							obs.L("from", strconv.Itoa(l.From)),
+							obs.L("to", strconv.Itoa(l.To)),
+						},
+						Value: float64(l.Occupancy),
+					})
+				}
+			}
+			return out
+		})
+
 	return m
 }
+
+// topLinkSeries bounds the hottest-links exposition: per running job,
+// only the K busiest links become /metrics series — a 16x16 torus has
+// over a thousand directed links, and a scrape surface that large per
+// job helps nobody.
+const topLinkSeries = 8
 
 // observeEngine folds one job's probe-snapshot delta into the engine
 // series. Deltas are per autosave chunk; a migrated job's first

@@ -298,6 +298,11 @@ func (s jobSink) Engine(snap obs.ProbeSnapshot) {
 	}
 }
 
+// Telemetry folds one executor's machine-telemetry sample into the
+// job's merged full-machine view (sharded jobs contribute one tile
+// span per member).
+func (s jobSink) Telemetry(snap obs.TelemetrySnapshot) { s.j.setTelemetry(snap) }
+
 func (s jobSink) Note(event string, fields map[string]string) { s.j.note(event, fields) }
 
 // localBackend is the in-process execution backend: the scheduler's
@@ -328,8 +333,14 @@ func (lb *localBackend) Execute(ctx context.Context, t *backend.Task, sink backe
 		return lb.executeShardedLocal(ctx, sc, t, env, sink)
 	}
 	// Every locally executed job gets a fresh engine probe so the daemon
-	// can report cycles/sec and barrier-vs-compute time per running job.
-	return executeScenario(ctx, sc, env.withProbe(obs.NewSimProbe()), lb.s.pool, sink)
+	// can report cycles/sec and barrier-vs-compute time per running job,
+	// plus (when the server enabled it) a machine-telemetry pump feeding
+	// the job's live per-tile/per-link view.
+	env = env.withProbe(obs.NewSimProbe())
+	if env.telEvery >= 0 {
+		env = env.withTelemetry(func(s obs.TelemetrySnapshot) { backend.SinkTelemetry(sink, s) })
+	}
+	return executeScenario(ctx, sc, env, lb.s.pool, sink)
 }
 
 // executeShardedLocal runs every member of a space-parallel task inside
@@ -387,6 +398,13 @@ func (lb *localBackend) executeShardedLocal(ctx context.Context, sc *scenario, t
 				opts.OnResumed = sink.Resumed
 				opts.OnCheckpoint = sink.Checkpoint
 				opts.OnEngine = func(snap obs.ProbeSnapshot) { backend.SinkEngine(sink, snap) }
+			}
+			// Unlike the run-level callbacks above (member 0 speaks for the
+			// group), telemetry is per tile span: EVERY member reports, and
+			// the job merges the spans into one full-machine view.
+			if env.telEvery >= 0 {
+				opts.OnTelemetry = func(snap obs.TelemetrySnapshot) { backend.SinkTelemetry(sink, snap) }
+				opts.TelemetryEvery = env.telEvery
 			}
 			res, err := ExecuteShard(ctx, req, opts)
 			results[i], errs[i] = res, err

@@ -53,6 +53,24 @@ type Options struct {
 	CacheMaxEntries int
 	CacheMaxBytes   int64
 
+	// TelemetryEvery is the wall-clock cadence at which running jobs'
+	// machine telemetry (per-tile flit counters, per-link buffer
+	// occupancy) is forwarded from executors to the job's merged view;
+	// 0 means 500ms, negative disables telemetry entirely (locally
+	// executed jobs then keep the engine's nil-sampler fast path).
+	TelemetryEvery time.Duration
+
+	// StallAfter arms the stall watchdog: a running job whose executors
+	// report no forward progress for this long is flagged (Warn log,
+	// hornet_job_stalls_total, a "stalled" trace instant and SSE event).
+	// 0 disables the watchdog.
+	StallAfter time.Duration
+
+	// TraceEventCap bounds each job's trace timeline; 0 means the
+	// obs.Timeline default (512 events). Events beyond the cap are
+	// dropped and counted in hornet_trace_dropped_events_total.
+	TraceEventCap int
+
 	// Logger receives structured diagnostics from every server
 	// component (scheduler, fleet, checkpoint layer); nil discards them.
 	Logger *slog.Logger
@@ -71,9 +89,16 @@ type Server struct {
 	metrics *serveMetrics
 
 	jobsExpired atomic.Uint64
-	closeOnce   sync.Once
-	janitorStop chan struct{}
-	janitorDone chan struct{}
+	// traceCap is the per-job timeline bound (Options.TraceEventCap);
+	// traceDroppedExpired banks the dropped-event counts of expired jobs
+	// so hornet_trace_dropped_events_total stays monotone.
+	traceCap            int
+	traceDroppedExpired atomic.Uint64
+	jobStalls           atomic.Uint64
+	closeOnce           sync.Once
+	janitorStop         chan struct{}
+	janitorDone         chan struct{}
+	watchdogDone        chan struct{}
 }
 
 // New builds a serving stack: job store, result cache, scheduler workers.
@@ -94,6 +119,7 @@ func New(opts Options) *Server {
 	results.setBounds(opts.CacheMaxEntries, opts.CacheMaxBytes)
 	env := newExecEnv(opts.CheckpointDir, every)
 	env.log = obs.Component(log, "checkpoint")
+	env.telEvery = opts.TelemetryEvery
 	fleet := backend.NewFleet(backend.FleetOptions{
 		LeaseTTL:        opts.WorkerTTL,
 		CheckpointEvery: every,
@@ -104,20 +130,23 @@ func New(opts Options) *Server {
 		Logger:  obs.Component(log, "fleet"),
 	})
 	s := &Server{
-		mux:         http.NewServeMux(),
-		jobs:        newJobStore(),
-		results:     results,
-		env:         env,
-		fleet:       fleet,
-		log:         log,
-		sched:       newScheduler(maxJobs, opts.Budget, results, env, fleet),
-		janitorStop: make(chan struct{}),
-		janitorDone: make(chan struct{}),
+		mux:          http.NewServeMux(),
+		jobs:         newJobStore(),
+		results:      results,
+		env:          env,
+		fleet:        fleet,
+		log:          log,
+		traceCap:     opts.TraceEventCap,
+		sched:        newScheduler(maxJobs, opts.Budget, results, env, fleet),
+		janitorStop:  make(chan struct{}),
+		janitorDone:  make(chan struct{}),
+		watchdogDone: make(chan struct{}),
 	}
 	s.metrics = newServeMetrics(s)
 	s.sched.log = obs.Component(log, "scheduler")
 	s.sched.metrics = s.metrics
 	go s.janitor(opts.JobTTL)
+	go s.watchdog(opts.StallAfter)
 	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /api/v1/figures", s.handleFigures)
@@ -128,6 +157,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/v1/jobs/{id}/telemetry", s.handleTelemetry)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}/trace", s.handleTrace)
 
 	// Worker-fleet protocol (see internal/service/backend): registration,
@@ -173,6 +203,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.janitorStop) })
 	<-s.janitorDone
+	<-s.watchdogDone
 	// Cancel jobs before closing the fleet: remote tasks the closing
 	// fleet hands back then see their cancelled context and terminate,
 	// instead of failing over into a doomed local re-execution. The
@@ -208,9 +239,52 @@ func (s *Server) janitor(ttl time.Duration) {
 	for {
 		select {
 		case <-tick.C:
-			if n := s.jobs.expire(time.Now().Add(-ttl)); n > 0 {
+			if n, traceDropped := s.jobs.expire(time.Now().Add(-ttl)); n > 0 {
 				s.jobsExpired.Add(uint64(n))
+				// Bank the expired jobs' dropped-event counts so the
+				// trace-dropped counter never moves backwards.
+				s.traceDroppedExpired.Add(uint64(traceDropped))
 				s.log.Debug("expired finished jobs", slog.String(obs.KeyComponent, "janitor"), slog.Int("count", n))
+			}
+		case <-s.janitorStop:
+			return
+		}
+	}
+}
+
+// watchdog flags running jobs whose executors stop reporting forward
+// progress (simulation clock not advancing) for at least window: one
+// Warn log, one hornet_job_stalls_total increment, one "stalled" trace
+// instant and SSE event per episode. With no window it parks until
+// Close, like the janitor.
+func (s *Server) watchdog(window time.Duration) {
+	defer close(s.watchdogDone)
+	if window <= 0 {
+		<-s.janitorStop
+		return
+	}
+	period := window / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > time.Minute {
+		period = time.Minute
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			now := time.Now()
+			for _, j := range s.jobs.all() {
+				if j.checkStall(now, window) {
+					s.jobStalls.Add(1)
+					info := j.Info()
+					s.log.Warn("job stalled: no forward progress",
+						slog.String(obs.KeyComponent, "watchdog"), obs.Job(info.ID),
+						slog.String("backend", info.Backend),
+						slog.Duration("window", window))
+				}
 			}
 		case <-s.janitorStop:
 			return
@@ -284,6 +358,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := newJob(s.jobs.nextID(), req, sc, s.sched.baseCtx, time.Now())
+	j.trace.SetCap(s.traceCap)
 	s.jobs.add(j)
 	if apiErr := s.sched.submit(j); apiErr != nil {
 		j.fail(apiErr.Message, time.Now())
@@ -411,6 +486,65 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 					Done: info.RunsDone, Total: info.RunsTotal})
 				flusher.Flush()
 				return
+			}
+			writeSSE(w, ev)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleTelemetry streams the job's live machine telemetry as
+// Server-Sent Events: one "telemetry" frame with the current merged
+// full-machine snapshot on connect (if any sample has arrived), then
+// one frame per update, plus "stalled" watchdog notices. The stream
+// ends with a final "telemetry" frame when the job reaches a terminal
+// state.
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, &APIError{CodeNotFound, "no such job"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, &APIError{CodeInvalidRequest,
+			"streaming unsupported by this connection"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe before the snapshot so no sample can fall between.
+	events, unsubscribe := j.subscribe()
+	defer unsubscribe()
+
+	snapshot := func() bool {
+		info := j.Info()
+		if info.Telemetry == nil {
+			return false
+		}
+		writeSSE(w, Event{Type: "telemetry", Job: info.ID, Telemetry: info.Telemetry})
+		return true
+	}
+	snapshot()
+	flusher.Flush()
+
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				// Terminal: the final merged view, then end the stream.
+				if snapshot() {
+					flusher.Flush()
+				}
+				return
+			}
+			if ev.Type != "telemetry" && ev.Type != "stalled" {
+				continue
 			}
 			writeSSE(w, ev)
 			flusher.Flush()

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
 	"hornet/internal/core"
 	"hornet/internal/mips"
@@ -37,7 +38,9 @@ type ShardExecOptions struct {
 	Transport ShardTransport
 
 	// Workers, Checkpoints, CheckpointEvery and the callbacks mean
-	// exactly what they do in ExecOptions.
+	// exactly what they do in ExecOptions. OnTelemetry samples cover
+	// only this member's tile span; the coordinator merges the members'
+	// spans into the full-machine view.
 	Workers         int
 	Checkpoints     CheckpointStore
 	CheckpointEvery uint64
@@ -45,6 +48,8 @@ type ShardExecOptions struct {
 	OnResumed       func(key string, cycle uint64)
 	OnCheckpoint    func(key string, cycle uint64)
 	OnEngine        func(s obs.ProbeSnapshot)
+	OnTelemetry     func(s obs.TelemetrySnapshot)
+	TelemetryEvery  time.Duration
 }
 
 // ExecuteShard validates req and runs ONE member of its space-parallel
@@ -102,8 +107,12 @@ func ExecuteShard(ctx context.Context, req SubmitRequest, opts ShardExecOptions)
 	pool := sweep.NewBudget(workers)
 	sink := callbackSink{ExecOptions{
 		OnProgress: opts.OnProgress, OnResumed: opts.OnResumed, OnCheckpoint: opts.OnCheckpoint,
-		OnEngine: opts.OnEngine,
+		OnEngine: opts.OnEngine, OnTelemetry: opts.OnTelemetry,
 	}}
+	if opts.OnTelemetry != nil {
+		env.telemetry = func(s obs.TelemetrySnapshot) { backend.SinkTelemetry(sink, s) }
+		env.telEvery = opts.TelemetryEvery
+	}
 	spec := sc.runs[0]
 	items := []sweep.Item{{
 		Key: spec.key, Weight: spec.weight, Seed: spec.seed,
@@ -279,6 +288,10 @@ func (e *execEnv) runShard(sc *scenario, sink backend.Sink, spec runSpec, shard 
 			}
 
 			err := func() error {
+				// Per attempt: a rollback rebuilds the system, and the new
+				// engine needs its own sampler and pump.
+				stopTel := e.startTelemetry(sys)
+				defer stopTel()
 				cr := &chunkedRun{env: e, sys: sys, sc: sc, sink: sink, meta: &meta, ckptOn: ckptOn, stop: stop}
 				if meta.Phase == "warmup" {
 					if ok, err := cr.advance(c.Context, warmup, false, nil); !ok {

@@ -1,0 +1,81 @@
+package worker
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hornet/internal/obs"
+)
+
+// Engine-probe snapshots arrive from one task's concurrently finishing
+// runs; engineFold serializes them into (prev, cur) pairs so the
+// worker's histograms never double-count a chunk. This hammers the fold
+// + observe path from many goroutines — primarily a race-detector
+// target, but the chain invariants below hold at any schedule.
+func TestEngineFoldConcurrent(t *testing.T) {
+	reg := obs.NewRegistry()
+	w := New(Options{Coordinator: "http://unused.invalid", Capacity: 2, Metrics: reg})
+
+	const goroutines, perG = 8, 200
+	fold := &engineFold{}
+	var clock atomic.Uint64 // shared monotone cycle source
+	var folds atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c := clock.Add(1)
+				snap := obs.ProbeSnapshot{
+					Cycles: c,
+					Partitions: []obs.PartitionSnapshot{
+						{Cycles: c, ComputeMS: float64(c) / 1e3, BarrierMS: float64(c) / 1e6},
+					},
+				}
+				prev, cur := fold.fold(snap)
+				w.metrics.observeEngine(prev, cur)
+				if cur.Cycles != c {
+					t.Errorf("fold returned cur %d for snapshot %d", cur.Cycles, c)
+				}
+				folds.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if folds.Load() != goroutines*perG {
+		t.Fatalf("ran %d folds, want %d", folds.Load(), goroutines*perG)
+	}
+	// The fold chain telescopes: the counter accumulates only the
+	// positive deltas along it, so the total lands in (0, sum of all
+	// increments] at any interleaving.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	total := metricValue(t, buf.String(), "hornet_engine_cycles_total")
+	if total <= 0 || total > float64(goroutines*perG) {
+		t.Errorf("hornet_engine_cycles_total = %v, want in (0, %d]", total, goroutines*perG)
+	}
+	// The exposition the hammer produced must still lint cleanly.
+	if err := obs.LintPrometheusText(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("post-hammer exposition fails lint: %v", err)
+	}
+}
+
+// metricValue extracts one unlabelled series value from an exposition.
+func metricValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range bytes.Split([]byte(exposition), []byte("\n")) {
+		var v float64
+		if n, _ := fmt.Sscanf(string(line), name+" %g", &v); n == 1 {
+			return v
+		}
+	}
+	t.Fatalf("series %s not found in:\n%s", name, exposition)
+	return 0
+}

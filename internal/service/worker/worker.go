@@ -54,6 +54,11 @@ type Options struct {
 	// series in (busy slots, task outcomes, checkpoint uploads, engine
 	// telemetry); the caller mounts it at GET /metrics.
 	Metrics *obs.Registry
+	// TelemetryEvery is the wall-clock cadence at which executing tasks
+	// push machine-telemetry samples (per-tile flit counters, per-link
+	// buffer occupancy) to the coordinator; 0 means 500ms, negative
+	// disables telemetry (the engines keep their nil-sampler fast path).
+	TelemetryEvery time.Duration
 }
 
 // Worker is one fleet member. Create with New, drive with Run.
@@ -445,17 +450,19 @@ func (w *Worker) execute(ctx context.Context, a *backend.Assignment) {
 	}
 	// Engine probe snapshots: pushed upstream (the coordinator surfaces
 	// them per job) and folded into this worker's own engine histograms.
-	// Runs of one task may hit chunk boundaries concurrently, so the
-	// previous-snapshot delta base is mutex-guarded.
-	var engMu sync.Mutex
-	var engPrev obs.ProbeSnapshot
+	fold := &engineFold{}
 	onEngine := func(snap obs.ProbeSnapshot) {
-		engMu.Lock()
-		prev := engPrev
-		engPrev = snap
-		engMu.Unlock()
-		w.metrics.observeEngine(prev, snap)
+		prev, cur := fold.fold(snap)
+		w.metrics.observeEngine(prev, cur)
 		event(backend.TaskEvent{Type: "engine", Engine: &snap})
+	}
+	// Machine-telemetry samples: pushed upstream so the coordinator can
+	// merge the member spans of a sharded job into one live machine view.
+	var onTelemetry func(obs.TelemetrySnapshot)
+	if w.opts.TelemetryEvery >= 0 {
+		onTelemetry = func(snap obs.TelemetrySnapshot) {
+			event(backend.TaskEvent{Type: "telemetry", Telemetry: &snap})
+		}
 	}
 	var res *service.ExecResult
 	var err error
@@ -475,6 +482,8 @@ func (w *Worker) execute(ctx context.Context, a *backend.Assignment) {
 			OnResumed:       onResumed,
 			OnCheckpoint:    onCheckpoint,
 			OnEngine:        onEngine,
+			OnTelemetry:     onTelemetry,
+			TelemetryEvery:  w.opts.TelemetryEvery,
 		})
 	} else {
 		res, err = service.Execute(taskCtx, req, service.ExecOptions{
@@ -486,6 +495,8 @@ func (w *Worker) execute(ctx context.Context, a *backend.Assignment) {
 			OnResumed:       onResumed,
 			OnCheckpoint:    onCheckpoint,
 			OnEngine:        onEngine,
+			OnTelemetry:     onTelemetry,
+			TelemetryEvery:  w.opts.TelemetryEvery,
 		})
 	}
 	switch {
@@ -503,6 +514,26 @@ func (w *Worker) execute(ctx context.Context, a *backend.Assignment) {
 		w.finishTask(a.TaskID, "done", nil)
 		w.pushResult(ctx, a.TaskID, backend.ResultPush{Doc: res.Doc, RunErrs: res.RunErrs})
 	}
+}
+
+// engineFold serializes engine-probe snapshots arriving from one
+// task's concurrently finishing runs into ordered (previous, current)
+// pairs. Runs of one task hit chunk boundaries in parallel, so without
+// the lock two snapshots could read the same delta base and fold one
+// chunk's work into the worker's histograms twice (or, interleaved the
+// other way, fold a negative delta and silently drop it).
+type engineFold struct {
+	mu   sync.Mutex
+	prev obs.ProbeSnapshot
+}
+
+// fold records snap as the newest snapshot and returns the delta pair
+// to observe.
+func (f *engineFold) fold(snap obs.ProbeSnapshot) (prev, cur obs.ProbeSnapshot) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	prev, f.prev = f.prev, snap
+	return prev, snap
 }
 
 // finishTask records one terminal task outcome in the log and metrics.

@@ -95,11 +95,44 @@ type Engine struct {
 	// one predictable branch per phase and zero allocations (guarded by
 	// TestEngineHotPathAllocFree).
 	probe *obs.SimProbe
+
+	// sampler, when non-nil, is invoked by the barrier leader every
+	// sampleEvery cycles (and at the final sync point of each run) while
+	// all workers are parked — the one point where tile state is
+	// quiescent and plain counter reads are race-free. Like the probe,
+	// the nil case is a single predictable branch per sync point.
+	sampler     Sampler
+	sampleEvery uint64
+	sampleNext  uint64
+}
+
+// Sampler receives simulated-machine samples at engine sync points.
+type Sampler interface {
+	// Sample reports that the machine has coherently reached cycle
+	// (exclusive: cycles [0,cycle) are complete) with runSkipped cycles
+	// fast-forwarded so far in the current run. It executes on the
+	// barrier leader with every worker parked, so implementations may
+	// read tile state directly, but must return quickly — the whole
+	// engine is stalled meanwhile.
+	Sample(cycle, runSkipped uint64)
 }
 
 // SetProbe attaches (or, with nil, detaches) an engine probe. Call
 // between runs, not while one is in flight.
 func (e *Engine) SetProbe(p *obs.SimProbe) { e.probe = p }
+
+// SetSampler attaches (or, with nil, detaches) a sync-point sampler
+// firing every `every` cycles (absolute cadence: samples land on
+// multiples of every, so chunked runs keep a stable rhythm). Call
+// between runs, not while one is in flight.
+func (e *Engine) SetSampler(s Sampler, every uint64) {
+	if every < 1 {
+		every = 1
+	}
+	e.sampler = s
+	e.sampleEvery = every
+	e.sampleNext = 0
+}
 
 // NewEngine creates an engine stepping tiles with the given worker count
 // (0 means GOMAXPROCS, capped at the tile count), synchronization period
@@ -265,6 +298,32 @@ func (e *Engine) run(start, maxCycles uint64, stop func(cycle uint64) bool, resu
 
 	barrier := NewBarrier(e.workers)
 
+	// Align the sampling cadence to absolute multiples of sampleEvery
+	// strictly past this chunk's start, so restored/chunked runs sample
+	// at the same cycles the uninterrupted run would have.
+	if e.sampler != nil {
+		for e.sampleNext <= start {
+			e.sampleNext += e.sampleEvery
+		}
+	}
+
+	// sample runs on the barrier leader after the sync decision: at the
+	// cadence, and unconditionally at the final sync point of the run so
+	// the last sample agrees with the run's end state. Fast-forward
+	// jumps that clear one or more sample points collapse into a single
+	// sample at the landing cycle.
+	sample := func(cycleJustFinished uint64) {
+		if e.sampler == nil {
+			return
+		}
+		if cycleJustFinished+1 >= e.sampleNext || e.halted.Load() {
+			e.sampler.Sample(cycleJustFinished+1, e.skipped.Load())
+			for e.sampleNext <= cycleJustFinished+1 {
+				e.sampleNext += e.sampleEvery
+			}
+		}
+	}
+
 	leader := func(cycleJustFinished uint64) {
 		if e.coupler != nil {
 			vote := ShardVote{
@@ -299,6 +358,7 @@ func (e *Engine) run(start, maxCycles uint64, stop func(cycle uint64) bool, resu
 				e.halted.Store(true)
 			}
 			e.nextCycle.Store(dec.Next)
+			sample(cycleJustFinished)
 			return
 		}
 		// The stop predicate is consulted first — exactly once per
@@ -326,6 +386,7 @@ func (e *Engine) run(start, maxCycles uint64, stop func(cycle uint64) bool, resu
 			e.halted.Store(true)
 		}
 		e.nextCycle.Store(next)
+		sample(cycleJustFinished)
 	}
 
 	var wg sync.WaitGroup

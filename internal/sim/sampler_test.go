@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+type recordSampler struct {
+	cycles  []uint64
+	skipped []uint64
+}
+
+func (r *recordSampler) Sample(cycle, runSkipped uint64) {
+	r.cycles = append(r.cycles, cycle)
+	r.skipped = append(r.skipped, runSkipped)
+}
+
+// The sampler cadence is absolute: samples land on multiples of every,
+// plus one unconditional sample at the end of the run, and a run split
+// into chunks (the autosave path) samples at the same cycles the
+// uninterrupted run would have.
+func TestEngineSamplerCadence(t *testing.T) {
+	e := NewEngine(busyTiles(4), 2, 1, false, nil)
+	rec := &recordSampler{}
+	e.SetSampler(rec, 64)
+	if res := e.Run(0, 200, nil); res.Cycles != 200 {
+		t.Fatalf("ran %d cycles", res.Cycles)
+	}
+	want := []uint64{64, 128, 192, 200}
+	if !reflect.DeepEqual(rec.cycles, want) {
+		t.Fatalf("sample cycles = %v, want %v", rec.cycles, want)
+	}
+
+	// Chunked: the same 200 cycles in two runs. The chunk boundary adds
+	// its own final sample at 100; the cadence samples stay put.
+	e2 := NewEngine(busyTiles(4), 2, 1, false, nil)
+	rec2 := &recordSampler{}
+	e2.SetSampler(rec2, 64)
+	e2.Run(0, 100, nil)
+	e2.Run(100, 100, nil)
+	want2 := []uint64{64, 100, 128, 192, 200}
+	if !reflect.DeepEqual(rec2.cycles, want2) {
+		t.Fatalf("chunked sample cycles = %v, want %v", rec2.cycles, want2)
+	}
+
+	// Detach: no further samples.
+	e2.SetSampler(nil, 0)
+	e2.Run(200, 100, nil)
+	if len(rec2.cycles) != len(want2) {
+		t.Fatalf("detached sampler still fired: %v", rec2.cycles)
+	}
+}
+
+// A sync period > 1 must not break the absolute cadence: samples fire at
+// the first sync point at or past each multiple.
+func TestEngineSamplerChunkedSyncPeriod(t *testing.T) {
+	e := NewEngine(busyTiles(4), 2, 8, false, nil)
+	rec := &recordSampler{}
+	e.SetSampler(rec, 50)
+	if res := e.Run(0, 128, nil); res.Cycles != 128 {
+		t.Fatalf("ran %d cycles", res.Cycles)
+	}
+	// Sync points at multiples of 8: cadence points 50 and 100 fire at
+	// the next sync (56, 104), plus the final sample at 128.
+	want := []uint64{56, 104, 128}
+	if !reflect.DeepEqual(rec.cycles, want) {
+		t.Fatalf("sample cycles = %v, want %v", rec.cycles, want)
+	}
+}
+
+// The no-sampler hot path must stay alloc-free, exactly like the
+// no-probe path: running 10x more cycles may not allocate more.
+func TestEngineHotPathAllocFreeNoSampler(t *testing.T) {
+	run := func(cycles uint64) float64 {
+		e := NewEngine(busyTiles(4), 2, 1, false, nil)
+		e.SetSampler(nil, 256)
+		return testing.AllocsPerRun(3, func() {
+			if res := e.Run(0, cycles, nil); res.Cycles != cycles {
+				t.Fatalf("ran %d cycles, want %d", res.Cycles, cycles)
+			}
+		})
+	}
+	short, long := run(50), run(500)
+	if long > short+1 {
+		t.Errorf("hot path allocates per cycle without a sampler: %v allocs @50 cycles vs %v @500",
+			short, long)
+	}
+}

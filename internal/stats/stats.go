@@ -72,6 +72,17 @@ func (t *Tile) Reset() {
 	*t = Tile{Flows: make(map[uint32]*FlowRecord)}
 }
 
+// FlitSample reads the flit counters telemetry samples: injected and
+// delivered totals plus the mean in-network flit latency so far. Must
+// only be called while the tile's worker thread is quiescent (the
+// engine's barrier leader qualifies) — the counters are plain fields.
+func (t *Tile) FlitSample() (injected, delivered uint64, avgLatency float64) {
+	if t.FlitsDelivered > 0 {
+		avgLatency = float64(t.FlitLatencySum) / float64(t.FlitsDelivered)
+	}
+	return t.FlitsInjected, t.FlitsDelivered, avgLatency
+}
+
 // Flow returns (creating if needed) the record for a flow ID.
 func (t *Tile) Flow(id uint32) *FlowRecord {
 	r := t.Flows[id]
