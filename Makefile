@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: build test test-race test-race-rest test-full test-snapshot bench bench-json bench-gate \
 	bench-sharded-json bench-sharded-gate bench-telemetry-json bench-telemetry-gate \
-	e2e-distributed e2e-sharded fuzz-smoke fmt-check serve worker vet vulncheck
+	e2e-distributed e2e-sharded e2e-coordinator-restart fuzz-smoke fmt-check serve worker vet vulncheck
 
 build:
 	$(GO) build ./...
@@ -105,6 +105,15 @@ e2e-distributed:
 # re-dispatch plus a document byte-identical to the single-engine run.
 e2e-sharded:
 	HORNET_E2E=1 $(GO) test -count=1 -timeout 15m -v -run TestShardedFleetE2E ./e2e
+
+# Process-level durable-coordinator drill: journaled coordinator + 3
+# workers, SIGKILL the COORDINATOR mid-run, restart it against the same
+# -journal-dir, and require the in-flight job to reattach and complete
+# (resumed_runs > 0, byte-identical document) — for a plain fleet job
+# and a 2-way sharded one. On failure the replayed journal lands in
+# HORNET_E2E_ARTIFACTS.
+e2e-coordinator-restart:
+	HORNET_E2E=1 $(GO) test -count=1 -timeout 15m -v -run TestCoordinatorRestartE2E ./e2e
 
 # Fuzz smoke over the snapshot container's seed corpora (one target per
 # invocation — `go test -fuzz` accepts a single target).

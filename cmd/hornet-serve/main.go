@@ -20,6 +20,15 @@
 //	                                      # processes register and execute
 //	                                      # jobs; a dead worker's job migrates
 //	                                      # (via checkpoint) to a survivor
+//	hornet-serve -journal-dir wal/        # durable coordinator: every job
+//	                                      # fact appends to a write-ahead
+//	                                      # log; a restarted daemon rebuilds
+//	                                      # its jobs, re-enqueues in-flight
+//	                                      # work from checkpoints and
+//	                                      # re-adopts executions still
+//	                                      # running on the fleet
+//	hornet-serve -queue-depth 256         # bound accepted-but-unstarted
+//	                                      # jobs (beyond it: 429 + Retry-After)
 //	hornet-serve -job-ttl 1h              # expire finished job records
 //	hornet-serve -cache-max-entries 1024 -cache-max-bytes 268435456
 //	                                      # LRU-bound the in-memory result cache
@@ -99,6 +108,10 @@ func main() {
 		"autosave running jobs and cache warmup snapshots under this directory (\"\" = no checkpointing)")
 	ckptEvery := flag.Uint64("checkpoint-every", 100_000,
 		"autosave period in simulated cycles (with -checkpoint-dir)")
+	journalDir := flag.String("journal-dir", "",
+		"write-ahead job journal directory; a restarted daemon replays it, re-enqueues in-flight jobs and re-adopts running fleet work (\"\" = not durable)")
+	queueDepth := flag.Int("queue-depth", 0,
+		"bound on accepted-but-unstarted jobs; beyond it submissions get 429 + Retry-After (0 = 1024)")
 	workerTTL := flag.Duration("worker-ttl", 15*time.Second,
 		"declare a silent hornet-worker dead (and migrate its jobs) after this")
 	jobTTL := flag.Duration("job-ttl", 0,
@@ -128,7 +141,9 @@ func main() {
 		servePprof(*debugAddr, logger)
 	}
 
-	srv := service.New(service.Options{
+	// NewDurable fails hard on an unopenable journal: an operator who
+	// asked for durability must not silently run without it.
+	srv, err := service.NewDurable(service.Options{
 		MaxJobs:         *jobs,
 		Budget:          *budget,
 		CacheDir:        *cacheDir,
@@ -140,9 +155,15 @@ func main() {
 		CacheMaxBytes:   *cacheMaxBytes,
 		TelemetryEvery:  *telemetryEvery,
 		StallAfter:      *stallAfter,
+		JournalDir:      *journalDir,
+		QueueDepth:      *queueDepth,
 		TraceEventCap:   *traceEvents,
 		Logger:          logger,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hornet-serve: %v\n", err)
+		os.Exit(1)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -157,7 +178,7 @@ func main() {
 	logger.Info("listening", slog.String("addr", *addr), slog.Int("jobs", *jobs),
 		slog.Int("budget", *budget), slog.String("cache", *cacheDir),
 		slog.String("checkpoint_dir", *ckptDir), slog.Uint64("checkpoint_every", *ckptEvery),
-		slog.Duration("job_ttl", *jobTTL))
+		slog.String("journal_dir", *journalDir), slog.Duration("job_ttl", *jobTTL))
 
 	select {
 	case <-ctx.Done():

@@ -267,6 +267,32 @@ type ServerStats struct {
 	// Fleet is the worker-fleet registry view (workers, capacity,
 	// dispatch/migration counters).
 	Fleet backend.FleetStats `json:"fleet"`
+
+	// JobsRestored counts jobs rebuilt from the write-ahead journal at
+	// startup (terminal restores and re-enqueued in-flight jobs alike).
+	JobsRestored uint64 `json:"jobs_restored,omitempty"`
+	// JournalErrs counts failed journal appends/compactions: non-zero
+	// means the daemon is serving correctly but its durability is
+	// degraded — like CheckpointWriteErrs, but for the job log.
+	JournalErrs uint64 `json:"journal_errs,omitempty"`
+	// Journal is the write-ahead job journal's view; zero-valued (with
+	// Enabled false) when the daemon runs without -journal-dir.
+	Journal JournalStats `json:"journal"`
+}
+
+// JournalStats is the write-ahead job journal's observability view.
+type JournalStats struct {
+	Enabled     bool   `json:"enabled"`
+	Appended    uint64 `json:"appended"`
+	Compactions uint64 `json:"compactions"`
+	// Replayed is how many records the last Open recovered;
+	// TruncatedTail reports whether it had to cut a torn tail (the
+	// signature of a crash mid-append — expected, not an error).
+	Replayed      int  `json:"replayed"`
+	TruncatedTail bool `json:"truncated_tail,omitempty"`
+	// LiveRecords is the record count appended since the last
+	// compaction — the input to the compaction policy.
+	LiveRecords int `json:"live_records"`
 }
 
 // RunStats is the deterministic result record of one config/batch

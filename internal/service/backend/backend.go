@@ -31,6 +31,16 @@ type Task struct {
 	// ID is assigned by the fleet at dispatch time; empty for tasks that
 	// never leave the coordinator.
 	ID string
+	// JobID is the owning job's public identity, threaded through so
+	// the fleet can journal durable facts (assignment, stable
+	// promotions) against the job a restarted coordinator will rebuild.
+	JobID string
+	// ReattachID, when non-empty, is the fleet task ID this job held
+	// before a coordinator restart: Execute reuses it instead of
+	// minting a fresh one, and if the pre-crash worker has re-claimed
+	// the ID the execution is re-adopted in place instead of being
+	// dispatched again.
+	ReattachID string
 	// Name/Hash/Seed are the job's content address (document identity).
 	Name string
 	Hash string
@@ -118,6 +128,19 @@ func SinkTelemetry(s Sink, snap obs.TelemetrySnapshot) {
 	}
 }
 
+// Journal receives the fleet's durable-coordinator notifications; the
+// server forwards them to its write-ahead log (see service/journal) so
+// a restart can rebuild what the fleet was doing. Implementations must
+// be safe for concurrent use; the fleet calls them outside its lock.
+type Journal interface {
+	// Assigned records that taskID (with a slots-wide grant) now
+	// executes jobID's work — at dispatch, re-dispatch, and adoption.
+	Assigned(jobID, taskID string, slots int)
+	// StablePromoted records a sharded group's newly promoted stable
+	// checkpoint set: the per-member blob keys, all at one cycle.
+	StablePromoted(jobID string, epoch int, cycle uint64, keys []string)
+}
+
 // SinkNote forwards a lifecycle note to s if it implements NoteSink.
 func SinkNote(s Sink, event string, fields map[string]string) {
 	if ns, ok := s.(NoteSink); ok {
@@ -162,6 +185,20 @@ type RegisterRequest struct {
 	// Capacity is the number of CPU slots the worker offers; it bounds
 	// the engine workers of any task assigned to it.
 	Capacity int `json:"capacity"`
+	// Running lists the in-flight executions the worker still carries
+	// when it re-registers (a coordinator restart, or a lease that
+	// expired under a live worker). The coordinator re-adopts the ones
+	// it can — task still queued for re-dispatch, or expected back
+	// after a journal replay — and the worker cancels the rest.
+	Running []RunningTask `json:"running,omitempty"`
+}
+
+// RunningTask is one in-flight execution claimed by a re-registering
+// worker: the assignment it still runs and the newest checkpoint
+// cycle it has uploaded (observability for the resumed-run record).
+type RunningTask struct {
+	TaskID string `json:"task_id"`
+	Cycle  uint64 `json:"cycle,omitempty"`
 }
 
 // RegisterResponse tells the worker its identity and cadences.
@@ -175,6 +212,10 @@ type RegisterResponse struct {
 	// CheckpointEvery is the autosave cadence (simulated cycles) every
 	// worker must use, so migrated runs re-align chunk boundaries.
 	CheckpointEvery uint64 `json:"checkpoint_every"`
+	// Adopted echoes the subset of RegisterRequest.Running the
+	// coordinator re-bound to this registration: those executions
+	// continue untouched; the worker must cancel the rest.
+	Adopted []string `json:"adopted,omitempty"`
 }
 
 // Assignment is one dispatched task (POST .../poll response).
@@ -326,6 +367,10 @@ type FleetStats struct {
 	// shrink raced an assignment).
 	CheckpointBlobs int    `json:"checkpoint_blobs"`
 	LeaseMisses     uint64 `json:"lease_misses"`
+	// TasksAdopted counts in-flight executions re-bound to a
+	// re-registering worker (coordinator restart reattach, or a lease
+	// expiry the worker outlived) instead of being re-dispatched.
+	TasksAdopted uint64 `json:"tasks_adopted"`
 	// ShardRollbacks counts shard-group epoch rollbacks (a member died
 	// and the group restarted from its stable checkpoint).
 	ShardRollbacks uint64 `json:"shard_rollbacks"`

@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +42,19 @@ type FleetOptions struct {
 	Logger *slog.Logger
 }
 
+// reattachClaim is one restored task the coordinator expects its
+// pre-crash worker to still be executing. Journal replay seeds the
+// table (ExpectReattach); a re-registering worker claims entries by
+// task ID, reserving slots until the restored job's Execute binds the
+// claim; the janitor expires entries no one reclaimed.
+type reattachClaim struct {
+	jobID    string
+	weight   int
+	worker   string // claiming worker ID; "" until claimed
+	cycle    uint64 // worker-reported newest checkpoint cycle
+	deadline time.Time
+}
+
 // Fleet is the remote execution backend: a registry of hornet-worker
 // processes, a FIFO queue of dispatched tasks, and the migration
 // machinery that moves a dead worker's task (with its uploaded
@@ -58,6 +72,8 @@ type Fleet struct {
 	mu      sync.Mutex
 	workers map[string]*workerState
 	queue   []*pending // unassigned tasks, FIFO; migrated tasks go first
+	expect  map[string]*reattachClaim
+	journal Journal // nil: no durable coordinator
 	seq     int
 	nextID  int
 	notify  chan struct{} // replaced+closed whenever work may be available
@@ -68,6 +84,7 @@ type Fleet struct {
 	tasksDispatched uint64
 	tasksRequeued   uint64
 	tasksCompleted  uint64
+	tasksAdopted    uint64
 	leaseMisses     uint64
 	shardRollbacks  uint64
 	checkpointBytes uint64
@@ -83,6 +100,10 @@ type workerState struct {
 	free     int
 	lastSeen time.Time
 	tasks    map[string]*pending
+	// reserved holds slots set aside for claimed reattach tasks whose
+	// restored job has not reached Execute yet (task ID → slots). The
+	// slots are already subtracted from free.
+	reserved map[string]int
 }
 
 // pending is one task in flight through the fleet.
@@ -106,6 +127,10 @@ type pending struct {
 	grant     int    // slots granted on the assigned worker
 	lease     *sweep.Lease
 	cancelled bool
+	// holdUntil keeps a restored task out of ordinary dispatch while
+	// the coordinator waits for its pre-crash worker to re-claim it;
+	// past the deadline the task dispatches normally from its blobs.
+	holdUntil time.Time
 
 	done    chan struct{} // closed on terminal transition
 	doc     []byte
@@ -147,6 +172,7 @@ func NewFleet(opts FleetOptions) *Fleet {
 		log:         log,
 		agg:         sweep.NewBudget(1), // resized to 0 below; NewBudget clamps
 		workers:     map[string]*workerState{},
+		expect:      map[string]*reattachClaim{},
 		notify:      make(chan struct{}),
 		janitorStop: make(chan struct{}),
 		janitorDone: make(chan struct{}),
@@ -183,6 +209,7 @@ func (f *Fleet) Close() {
 	// re-registration) rather than parking in successful empty polls
 	// against a dead coordinator forever.
 	f.workers = map[string]*workerState{}
+	f.expect = map[string]*reattachClaim{}
 	f.agg.Resize(0)
 	f.wakeLocked()
 	f.mu.Unlock()
@@ -198,6 +225,91 @@ func (f *Fleet) Live() int {
 	return len(f.workers)
 }
 
+// SetJournal attaches the durable-coordinator hook. The server wires
+// it right after construction, before any worker traffic.
+func (f *Fleet) SetJournal(j Journal) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.journal = j
+}
+
+// journalHook snapshots the hook under the lock for use outside it.
+func (f *Fleet) journalHook() Journal {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.journal
+}
+
+// SetSeqFloor advances the task-ID counter past n, so IDs minted after
+// a journal replay never collide with the replayed ones.
+func (f *Fleet) SetSeqFloor(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n > f.seq {
+		f.seq = n
+	}
+}
+
+// ExpectReattach seeds the reattach table with a task the journal says
+// was executing when the coordinator died: the worker that still runs
+// it may re-claim the ID when it re-registers. Called during restore,
+// before the HTTP surface is up. weight is the task's slot request.
+func (f *Fleet) ExpectReattach(taskID, jobID string, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.expect[taskID] = &reattachClaim{
+		jobID:    jobID,
+		weight:   weight,
+		deadline: time.Now().Add(4 * f.opts.LeaseTTL),
+	}
+}
+
+// AwaitCapacity blocks until the fleet's live total capacity reaches
+// min slots (true) or the bound of two lease TTLs passes / ctx ends
+// (false). Restored jobs use it to give the pre-crash fleet a rejoin
+// window — workers heartbeat at TTL/3, so a surviving fleet reappears
+// well within the bound — instead of instantly falling back to local
+// execution on the restarted coordinator's empty registry.
+func (f *Fleet) AwaitCapacity(ctx context.Context, min int) bool {
+	if min < 1 {
+		min = 1
+	}
+	deadline := time.Now().Add(2 * f.opts.LeaseTTL)
+	for {
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			return false
+		}
+		total := 0
+		for _, w := range f.workers {
+			total += w.capacity
+		}
+		ch := f.notify
+		f.mu.Unlock()
+		if total >= min {
+			return true
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return false
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return false
+		case <-ctx.Done():
+			timer.Stop()
+			return false
+		}
+	}
+}
+
 // Execute implements Backend: queue the task, wait for a worker to run
 // it (surviving migrations), and return the pushed result. It fails
 // fast with ErrNoWorkers when the fleet is empty — the scheduler then
@@ -211,15 +323,59 @@ func (f *Fleet) Execute(ctx context.Context, t *Task, sink Sink) ([]byte, int, e
 		f.mu.Unlock()
 		return nil, 0, ErrNoWorkers
 	}
-	f.seq++
-	t.ID = fmt.Sprintf("task-%06d", f.seq)
 	if t.Checkpoints == nil {
 		t.Checkpoints = map[string]Blob{}
 	}
 	p := &pending{task: t, sink: sink, note: sink, done: make(chan struct{})}
-	f.queue = append(f.queue, p)
-	f.wakeLocked()
+	var adoptedBy string
+	var adoptedCycle uint64
+	if t.ReattachID != "" {
+		// A journal-restored task keeps its pre-crash identity. If the
+		// worker that was executing it has already re-claimed the ID,
+		// bind the execution in place — no dispatch, the run never
+		// stopped; otherwise queue it but hold it out of ordinary
+		// dispatch for one lease TTL so the claim can still arrive.
+		t.ID = t.ReattachID
+		claim := f.expect[t.ID]
+		delete(f.expect, t.ID)
+		if claim != nil && claim.worker != "" {
+			if w, live := f.workers[claim.worker]; live {
+				if slots, held := w.reserved[t.ID]; held {
+					delete(w.reserved, t.ID)
+					w.tasks[t.ID] = p
+					p.worker, p.grant = w.id, slots
+					if p.lease = f.agg.TryLease(slots); p.lease == nil {
+						f.leaseMisses++
+					}
+					adoptedBy, adoptedCycle = w.id, claim.cycle
+					f.tasksAdopted++
+				}
+			}
+		}
+		if adoptedBy == "" {
+			p.holdUntil = time.Now().Add(f.opts.LeaseTTL)
+		}
+	} else {
+		f.seq++
+		t.ID = fmt.Sprintf("task-%06d", f.seq)
+	}
+	if adoptedBy == "" {
+		f.queue = append(f.queue, p)
+		f.wakeLocked()
+	}
 	f.mu.Unlock()
+	if adoptedBy != "" {
+		f.log.Info("task re-adopted by pre-restart executor",
+			append(shardAttrs(p), obs.Worker(adoptedBy), slog.Uint64("cycle", adoptedCycle))...)
+		SinkNote(p.note, "reattached", map[string]string{"worker": adoptedBy, "task": t.ID})
+		// The run is continuing at the worker's checkpointed frontier
+		// across a coordinator restart: that is a resumed run in every
+		// sense the job's resumed_runs counter cares about.
+		p.sink.Resumed(t.ID, adoptedCycle)
+		if j := f.journalHook(); j != nil {
+			j.Assigned(t.JobID, t.ID, p.grant)
+		}
+	}
 
 	select {
 	case <-p.done:
@@ -231,6 +387,21 @@ func (f *Fleet) Execute(ctx context.Context, t *Task, sink Sink) ([]byte, int, e
 		return nil, 0, ctx.Err()
 	}
 	return p.doc, p.runErrs, p.err
+}
+
+// shardMemberIndex parses the member index out of a per-shard
+// checkpoint key's trailing "-s<digits>" suffix ("<name>-<hash>-<run>-s1"
+// → 1); ok=false for keys without one (unsharded checkpoints).
+func shardMemberIndex(key string) (int, bool) {
+	i := strings.LastIndex(key, "-s")
+	if i < 0 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(key[i+2:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // errShardGroupDone is the Cancel reason after a sharded task's root
@@ -272,6 +443,17 @@ func (f *Fleet) executeSharded(ctx context.Context, t *Task, sink Sink) ([]byte,
 	f.seq++
 	base := fmt.Sprintf("task-%06d", f.seq)
 	group := NewShardGroup(n)
+	// A journal-restored task arrives with the pre-crash promoted stable
+	// set in Checkpoints (one "-s<i>" key per member, all at one cycle):
+	// seed it into the fresh group, so the first post-restart member loss
+	// rolls the group back to that consistent cross-shard state instead
+	// of cycle 0. Seeding is a re-statement of already-persisted,
+	// already-journaled facts, so the promotion it completes is ignored.
+	for key, b := range t.Checkpoints {
+		if i, ok := shardMemberIndex(key); ok && i < n {
+			group.Stage(i, key, b.Cycle, b.Data)
+		}
+	}
 	members := make([]*pending, n)
 	for i := 0; i < n; i++ {
 		mt := *t
@@ -380,14 +562,18 @@ func (f *Fleet) finishLocked(p *pending, doc []byte, runErrs int, err error) {
 
 // Register adds (or replaces) a worker. A re-registered ID is treated
 // as a fresh incarnation: the old one's tasks requeue with their
-// checkpoints.
+// checkpoints — except the in-flight executions the request claims in
+// Running, which are re-adopted in place when the coordinator can
+// still account for them (requeued by this very replacement and not
+// yet re-dispatched, or expected back after a journal replay). The
+// worker must cancel every claimed run absent from Adopted.
 func (f *Fleet) Register(req RegisterRequest) (RegisterResponse, error) {
 	if req.Capacity < 1 {
 		return RegisterResponse{}, errors.New("backend: worker capacity must be >= 1")
 	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if f.closed {
+		f.mu.Unlock()
 		return RegisterResponse{}, ErrNoWorkers
 	}
 	id := req.ID
@@ -398,24 +584,112 @@ func (f *Fleet) Register(req RegisterRequest) (RegisterResponse, error) {
 	if old, ok := f.workers[id]; ok {
 		f.evictLocked(old, "replaced by re-registration")
 	}
-	f.workers[id] = &workerState{
+	w := &workerState{
 		id:       id,
 		capacity: req.Capacity,
 		free:     req.Capacity,
 		lastSeen: time.Now(),
 		tasks:    map[string]*pending{},
+		reserved: map[string]int{},
 	}
+	f.workers[id] = w
 	f.workersJoined++
+	var adopted []string
+	type bind struct {
+		p     *pending
+		cycle uint64
+	}
+	var binds []bind
+	for _, claim := range req.Running {
+		p, ok := f.adoptLocked(w, claim)
+		if !ok {
+			continue
+		}
+		adopted = append(adopted, claim.TaskID)
+		if p != nil {
+			binds = append(binds, bind{p, claim.Cycle})
+		}
+	}
 	f.resizeLocked()
 	f.wakeLocked()
 	f.log.Info("worker registered", obs.Worker(id),
-		slog.Int("capacity", req.Capacity), slog.Int("fleet_capacity", f.agg.Cap()))
-	return RegisterResponse{
+		slog.Int("capacity", req.Capacity), slog.Int("fleet_capacity", f.agg.Cap()),
+		slog.Int("claimed", len(req.Running)), slog.Int("adopted", len(adopted)))
+	resp := RegisterResponse{
 		ID:              id,
 		LeaseTTL:        f.opts.LeaseTTL,
 		HeartbeatEvery:  f.opts.LeaseTTL / 3,
 		CheckpointEvery: f.opts.CheckpointEvery,
-	}, nil
+		Adopted:         adopted,
+	}
+	journal := f.journal
+	f.mu.Unlock()
+	// Sink and journal calls happen outside the fleet lock: they take
+	// the job lock and fan out to SSE subscribers.
+	for _, b := range binds {
+		SinkNote(b.p.note, "reattached", map[string]string{"worker": id, "task": b.p.task.ID})
+		b.p.sink.Resumed(b.p.task.ID, b.cycle)
+		if journal != nil {
+			journal.Assigned(b.p.task.JobID, b.p.task.ID, b.p.grant)
+		}
+	}
+	return resp, nil
+}
+
+// adoptLocked tries to re-bind one claimed in-flight execution to the
+// re-registering worker. Two sources: a queued pending with the
+// claimed ID (requeued by this worker's own eviction, or restored by
+// journal replay, and not yet re-dispatched elsewhere), or a restore
+// reservation whose Execute has not arrived yet. Sharded members are
+// never adopted — a lost member already rolled its group back, and
+// the rollback machinery stays authoritative. Returns ok=true when
+// the claim was accepted, with the bound pending when one exists
+// (nil for a reservation: the bind happens at Execute).
+func (f *Fleet) adoptLocked(w *workerState, claim RunningTask) (*pending, bool) {
+	for i, p := range f.queue {
+		if p.task.ID != claim.TaskID || p.group != nil || p.cancelled {
+			continue
+		}
+		weight := p.task.Weight
+		if weight < 1 {
+			weight = 1
+		}
+		if weight > w.capacity {
+			weight = w.capacity
+		}
+		if weight > w.free {
+			return nil, false
+		}
+		f.queue = append(f.queue[:i], f.queue[i+1:]...)
+		w.free -= weight
+		w.tasks[p.task.ID] = p
+		p.worker, p.grant = w.id, weight
+		p.holdUntil = time.Time{}
+		if p.lease = f.agg.TryLease(weight); p.lease == nil {
+			f.leaseMisses++
+		}
+		f.tasksAdopted++
+		f.log.Info("in-flight task re-adopted", append(shardAttrs(p),
+			obs.Worker(w.id), slog.Uint64("cycle", claim.Cycle))...)
+		return p, true
+	}
+	if r, ok := f.expect[claim.TaskID]; ok && r.worker == "" {
+		weight := r.weight
+		if weight > w.capacity {
+			weight = w.capacity
+		}
+		if weight > w.free {
+			return nil, false
+		}
+		r.worker, r.cycle = w.id, claim.Cycle
+		w.free -= weight
+		w.reserved[claim.TaskID] = weight
+		f.tasksAdopted++
+		f.log.Info("reattach claim reserved", obs.Worker(w.id),
+			obs.Task(claim.TaskID), slog.Uint64("cycle", claim.Cycle))
+		return nil, true
+	}
+	return nil, false
 }
 
 // Deregister removes a worker gracefully; its tasks requeue with their
@@ -439,6 +713,15 @@ func (f *Fleet) Deregister(id string) error {
 // reason labels the eviction in logs ("lease expired", ...).
 func (f *Fleet) evictLocked(w *workerState, reason string) {
 	delete(f.workers, w.id)
+	// Unwind reattach reservations: the claim reverts to unclaimed so
+	// the worker's next incarnation (the usual reason for eviction
+	// here: replacement by re-registration) can claim it again.
+	for tid := range w.reserved {
+		if r, ok := f.expect[tid]; ok && r.worker == w.id {
+			r.worker, r.cycle = "", 0
+		}
+	}
+	w.reserved = map[string]int{}
 	var requeue []*pending
 	for _, p := range w.tasks {
 		p.lease.Release()
@@ -542,8 +825,12 @@ func (f *Fleet) Poll(ctx context.Context, id string, wait time.Duration) (*Assig
 			return nil, ErrUnknownWorker
 		}
 		w.lastSeen = time.Now()
-		if a := f.assignLocked(w); a != nil {
+		if a, p := f.assignLocked(w); a != nil {
+			journal := f.journal
 			f.mu.Unlock()
+			if journal != nil {
+				journal.Assigned(p.task.JobID, a.TaskID, a.Workers)
+			}
 			return a, nil
 		}
 		ch := f.notify
@@ -567,9 +854,15 @@ func (f *Fleet) Poll(ctx context.Context, id string, wait time.Duration) (*Assig
 }
 
 // assignLocked dispatches the first queued task that fits the worker's
-// free slots.
-func (f *Fleet) assignLocked(w *workerState) *Assignment {
+// free slots. It also returns the pending for post-unlock journaling.
+func (f *Fleet) assignLocked(w *workerState) (*Assignment, *pending) {
+	now := time.Now()
 	for i, p := range f.queue {
+		if now.Before(p.holdUntil) {
+			// Restored task still waiting for its pre-crash executor's
+			// re-claim; don't hand it to someone else yet.
+			continue
+		}
 		weight := p.task.Weight
 		if weight < 1 {
 			weight = 1
@@ -611,9 +904,9 @@ func (f *Fleet) assignLocked(w *workerState) *Assignment {
 			a.ShardCount = p.group.Members()
 			a.ShardEpoch = p.group.Epoch()
 		}
-		return a
+		return a, p
 	}
-	return nil
+	return nil, nil
 }
 
 // taskFor resolves a worker push to its pending record, refreshing the
@@ -687,11 +980,33 @@ func (f *Fleet) PushCheckpoint(workerID, taskID, key string, cycle uint64, blob 
 		// staged→stable promotion or the group would never advance its
 		// stable point again.
 		p.task.Checkpoints[key] = Blob{Cycle: cycle, Data: blob}
-		p.group.Stage(p.shard, key, cycle, blob)
+		promoted := p.group.Stage(p.shard, key, cycle, blob)
 		persist := f.opts.Persist
+		journal := f.journal
+		group := p.group
+		jobID := p.task.JobID
 		f.mu.Unlock()
-		if persist != nil {
-			_ = persist.Save(key, blob, cycle)
+		if promoted {
+			// Only PROMOTED sets reach the persist tier: a member's
+			// staged upload may be cycles ahead of group-stable, and a
+			// restarted coordinator seeding members from mismatched
+			// cycles would break the lockstep the group depends on. The
+			// promotion is the one moment the full consistent set exists.
+			scycle, set, ok := group.StableSet()
+			if ok {
+				if persist != nil {
+					for _, e := range set {
+						_ = persist.Save(e.Key, e.Data, e.Cycle) // best effort, like below
+					}
+				}
+				if journal != nil {
+					keys := make([]string, len(set))
+					for i, e := range set {
+						keys[i] = e.Key
+					}
+					journal.StablePromoted(jobID, group.Epoch(), scycle, keys)
+				}
+			}
 		}
 		return nil
 	}
@@ -843,7 +1158,10 @@ func (f *Fleet) janitor() {
 	}
 }
 
-// expire evicts workers silent since before cutoff.
+// expire evicts workers silent since before cutoff, retires reattach
+// reservations no Execute ever consumed (job canceled while queued),
+// and wakes parked polls once a restored task's reattach hold lapses
+// so it dispatches without waiting out a long-poll timeout.
 func (f *Fleet) expire(cutoff time.Time) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -854,6 +1172,31 @@ func (f *Fleet) expire(cutoff time.Time) {
 			f.evictLocked(w, "lease expired")
 			f.workersLost++
 		}
+	}
+	now := time.Now()
+	for tid, r := range f.expect {
+		if now.Before(r.deadline) {
+			continue
+		}
+		if r.worker != "" {
+			if w, ok := f.workers[r.worker]; ok {
+				if slots, held := w.reserved[tid]; held {
+					w.free += slots
+					delete(w.reserved, tid)
+				}
+			}
+		}
+		delete(f.expect, tid)
+	}
+	wake := false
+	for _, p := range f.queue {
+		if !p.holdUntil.IsZero() && !now.Before(p.holdUntil) {
+			p.holdUntil = time.Time{}
+			wake = true
+		}
+	}
+	if wake {
+		f.wakeLocked()
 	}
 	f.resizeLocked()
 	f.failQueuedIfEmptyLocked()
@@ -911,6 +1254,7 @@ func (f *Fleet) Stats() FleetStats {
 		TasksDispatched: f.tasksDispatched,
 		TasksRequeued:   f.tasksRequeued,
 		TasksCompleted:  f.tasksCompleted,
+		TasksAdopted:    f.tasksAdopted,
 		CheckpointBlobs: blobs,
 		LeaseMisses:     f.leaseMisses,
 		ShardRollbacks:  f.shardRollbacks,

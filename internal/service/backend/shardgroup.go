@@ -180,15 +180,19 @@ func (g *ShardGroup) Gather(ctx context.Context, epoch int, payload []byte) ([][
 }
 
 // Stage records one member's uploaded checkpoint blob and promotes the
-// cycle to stable once all n members' blobs for it have arrived.
-func (g *ShardGroup) Stage(member int, key string, cycle uint64, data []byte) {
+// cycle to stable once all n members' blobs for it have arrived. It
+// reports whether this upload completed a promotion, so the fleet can
+// persist and journal the consistent set exactly once — staged blobs
+// ahead of the stable cycle must never reach the persist tier, or a
+// restarted coordinator could seed members at mismatched cycles.
+func (g *ShardGroup) Stage(member int, key string, cycle uint64, data []byte) (promoted bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if member < 0 || member >= g.n {
-		return
+		return false
 	}
 	if g.stable != nil && cycle <= g.stableCycle {
-		return // already promoted past this point
+		return false // already promoted past this point
 	}
 	set := g.staged[cycle]
 	if set == nil {
@@ -198,7 +202,7 @@ func (g *ShardGroup) Stage(member int, key string, cycle uint64, data []byte) {
 	set[member] = &stagedBlob{Key: key, Cycle: cycle, Data: data}
 	for _, b := range set {
 		if b == nil {
-			return
+			return false
 		}
 	}
 	g.stable, g.stableCycle = set, cycle
@@ -207,6 +211,32 @@ func (g *ShardGroup) Stage(member int, key string, cycle uint64, data []byte) {
 			delete(g.staged, c)
 		}
 	}
+	return true
+}
+
+// StableEntry is one member's blob inside the group's stable set, in
+// member order.
+type StableEntry struct {
+	Key   string
+	Cycle uint64
+	Data  []byte
+}
+
+// StableSet returns the group's current stable checkpoint set (member
+// order) and its cycle; ok=false when no complete set has been
+// promoted yet. The slice headers are copies; the blob bytes are
+// shared and must be treated as read-only.
+func (g *ShardGroup) StableSet() (cycle uint64, set []StableEntry, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.stable == nil {
+		return 0, nil, false
+	}
+	set = make([]StableEntry, len(g.stable))
+	for i, b := range g.stable {
+		set[i] = StableEntry{Key: b.Key, Cycle: b.Cycle, Data: b.Data}
+	}
+	return g.stableCycle, set, true
 }
 
 // StableBlob returns the stable checkpoint of one member (ok=false when

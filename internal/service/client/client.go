@@ -45,6 +45,49 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// Transport-level retry policy for idempotent requests: a GET that
+// fails before an HTTP response arrives (connection refused or reset —
+// the signature of a coordinator restarting under the client) is
+// retried a bounded number of times with exponential backoff instead
+// of surfacing a transient dial error to the caller. HTTP-level errors
+// (4xx/5xx) are authoritative answers and are never retried here.
+const (
+	retryAttempts  = 5
+	retryBaseDelay = 100 * time.Millisecond
+	retryMaxDelay  = 2 * time.Second
+)
+
+// backoffWait sleeps for attempt's backoff delay, honouring ctx.
+func backoffWait(ctx context.Context, attempt int) error {
+	d := retryBaseDelay << attempt
+	if d > retryMaxDelay || d <= 0 {
+		d = retryMaxDelay
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// send issues the request; idempotent (body-less GET) requests retry
+// transport errors per the policy above. Safe to re-issue only because
+// the request has no body to rewind.
+func (c *Client) send(req *http.Request, idempotent bool) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.http().Do(req)
+		if err == nil || !idempotent || attempt+1 >= retryAttempts {
+			return resp, err
+		}
+		if werr := backoffWait(req.Context(), attempt); werr != nil {
+			return nil, err
+		}
+	}
+}
+
 // do issues a request and decodes either the success body into out or
 // the structured error envelope into an *service.APIError.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
@@ -63,7 +106,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := c.http().Do(req)
+	resp, err := c.send(req, method == http.MethodGet && body == nil)
 	if err != nil {
 		return err
 	}
@@ -142,7 +185,7 @@ func (c *Client) Result(ctx context.Context, id string) (sweep.Document, []byte,
 	if err != nil {
 		return doc, nil, err
 	}
-	resp, err := c.http().Do(req)
+	resp, err := c.send(req, true)
 	if err != nil {
 		return doc, nil, err
 	}
@@ -169,7 +212,7 @@ func (c *Client) Trace(ctx context.Context, id string) (obs.TraceDocument, []byt
 	if err != nil {
 		return doc, nil, err
 	}
-	resp, err := c.http().Do(req)
+	resp, err := c.send(req, true)
 	if err != nil {
 		return doc, nil, err
 	}
@@ -211,59 +254,61 @@ func (c *Client) Workers(ctx context.Context) ([]backend.WorkerInfo, error) {
 
 // Events subscribes to the job's SSE stream and invokes fn for every
 // event until the stream ends (terminal state), ctx is cancelled, or fn
-// returns false.
+// returns false. A stream torn mid-flight (coordinator restart) is
+// re-subscribed with bounded backoff; the server replays a full state
+// snapshot on every connect, so the caller's view re-converges even
+// though intermediate events in the gap are lost.
 func (c *Client) Events(ctx context.Context, id string, fn func(service.Event) bool) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/api/v1/jobs/"+id+"/events", nil)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Accept", "text/event-stream")
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		return decodeError(resp)
-	}
-	scanner := bufio.NewScanner(resp.Body)
-	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for scanner.Scan() {
-		line := scanner.Text()
-		if !strings.HasPrefix(line, "data: ") {
-			continue // event: lines and keep-alive blanks
-		}
-		var ev service.Event
-		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
-			return fmt.Errorf("client: malformed event: %w", err)
-		}
-		if !fn(ev) {
-			return nil
-		}
-	}
-	if err := scanner.Err(); err != nil && ctx.Err() == nil {
-		return err
-	}
-	return nil
+	return c.streamSSE(ctx, "/api/v1/jobs/"+id+"/events", fn)
 }
 
 // Telemetry subscribes to the job's machine-telemetry SSE stream —
 // merged full-machine per-tile/per-link snapshots plus "stalled"
 // watchdog notices — and invokes fn for every event until the stream
-// ends (terminal state), ctx is cancelled, or fn returns false.
+// ends (terminal state), ctx is cancelled, or fn returns false. Torn
+// streams reattach like Events.
 func (c *Client) Telemetry(ctx context.Context, id string, fn func(service.Event) bool) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/api/v1/jobs/"+id+"/telemetry", nil)
+	return c.streamSSE(ctx, "/api/v1/jobs/"+id+"/telemetry", fn)
+}
+
+// streamSSE runs one SSE subscription with reattach: transport errors
+// and torn streams retry with exponential backoff (the retry budget
+// re-arms whenever a connection delivers an event — a long-lived healthy
+// stream does not use up the allowance for the restart that eventually
+// tears it); HTTP-level errors and clean stream ends are final.
+func (c *Client) streamSSE(ctx context.Context, path string, fn func(service.Event) bool) error {
+	for attempt := 0; ; attempt++ {
+		delivered, retriable, err := c.streamOnce(ctx, path, fn)
+		if delivered {
+			attempt = 0
+		}
+		if err == nil || !retriable || ctx.Err() != nil {
+			return err
+		}
+		if attempt+1 >= retryAttempts {
+			return err
+		}
+		if werr := backoffWait(ctx, attempt); werr != nil {
+			return err
+		}
+	}
+}
+
+// streamOnce is one SSE connection: it reports whether any event was
+// delivered to fn and whether a failure is worth a reattach.
+func (c *Client) streamOnce(ctx context.Context, path string, fn func(service.Event) bool) (delivered, retriable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
 	if err != nil {
-		return err
+		return false, false, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return err
+		return false, true, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
-		return decodeError(resp)
+		return false, false, decodeError(resp)
 	}
 	scanner := bufio.NewScanner(resp.Body)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -274,16 +319,20 @@ func (c *Client) Telemetry(ctx context.Context, id string, fn func(service.Event
 		}
 		var ev service.Event
 		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
-			return fmt.Errorf("client: malformed telemetry event: %w", err)
+			return delivered, false, fmt.Errorf("client: malformed event: %w", err)
 		}
+		delivered = true
 		if !fn(ev) {
-			return nil
+			return delivered, false, nil
 		}
 	}
 	if err := scanner.Err(); err != nil && ctx.Err() == nil {
-		return err
+		// A mid-stream tear: the handler never ends a healthy stream
+		// without the terminal snapshot, so this is a dead coordinator
+		// (or broken path), not a finished job.
+		return delivered, true, err
 	}
-	return nil
+	return delivered, false, nil
 }
 
 // SubmitAndWait is the common round trip: submit, wait for terminal,

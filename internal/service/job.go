@@ -48,6 +48,42 @@ type job struct {
 	// observation. Both guarded by mu; read by the server's watchdog.
 	lastActive time.Time
 	stalled    bool
+
+	// onState, when set, receives the client-visible info snapshot after
+	// every state transition (start, finalize), called OUTSIDE the job
+	// lock; the durable server journals transitions through it. Set
+	// before the job is submitted, never mutated after.
+	onState func(JobInfo)
+
+	// restore carries what a journal replay recovered about this job:
+	// the fleet task identity it held before the coordinator died and
+	// the checkpoint blobs the next executor resumes from. Nil for
+	// ordinary submissions. Written before submit, read by the scheduler.
+	restore *restoreState
+
+	// remote mirrors the job's journaled fleet facts (latest assignment,
+	// latest promoted stable set) so journal compaction can rebuild the
+	// live records without replaying the log. Guarded by mu.
+	remote remoteFacts
+}
+
+// restoreState seeds a journal-replayed job: the fleet task ID it held
+// when the coordinator died (Execute reuses it so the still-running
+// worker can be re-adopted), its slot grant, and the persisted
+// checkpoint blobs to hand the next executor.
+type restoreState struct {
+	taskID      string
+	slots       int
+	checkpoints map[string]backend.Blob
+}
+
+// remoteFacts is a job's durable fleet state for journal compaction.
+type remoteFacts struct {
+	taskID      string
+	slots       int
+	stableEpoch int
+	stableCycle uint64
+	stableKeys  []string
 }
 
 func newJob(id string, req SubmitRequest, sc *scenario, parent context.Context, now time.Time) *job {
@@ -81,7 +117,8 @@ func newJob(id string, req SubmitRequest, sc *scenario, parent context.Context, 
 // revalidates and executes.
 func (j *job) task() *backend.Task {
 	reqJSON, _ := json.Marshal(j.req)
-	return &backend.Task{
+	t := &backend.Task{
+		JobID:     j.info.ID,
 		Name:      j.sc.name,
 		Hash:      j.sc.hash,
 		Seed:      j.sc.seed,
@@ -92,6 +129,21 @@ func (j *job) task() *backend.Task {
 		Request:   reqJSON,
 		Compiled:  j.sc,
 	}
+	if r := j.restore; r != nil {
+		if len(r.checkpoints) > 0 {
+			t.Checkpoints = make(map[string]backend.Blob, len(r.checkpoints))
+			for k, b := range r.checkpoints {
+				t.Checkpoints[k] = b
+			}
+		}
+		if j.sc.shards < 2 {
+			// Sharded members are never re-adopted (the rollback
+			// machinery stays authoritative), so only plain tasks keep
+			// their pre-crash identity.
+			t.ReattachID = r.taskID
+		}
+	}
+	return t
 }
 
 // setBackend records which execution backend is running the job.
@@ -122,16 +174,24 @@ func (j *job) Done() <-chan struct{} { return j.done }
 // already cancelled (the scheduler then skips it).
 func (j *job) start(now time.Time) bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.info.Terminal() {
+		j.mu.Unlock()
 		return false
 	}
 	j.info.State = StateRunning
 	j.info.Started = now
 	j.lastActive = now
+	// Re-arm the watchdog: a queued-stall episode ends the moment the
+	// job starts executing.
+	j.stalled = false
 	j.broadcastLocked(Event{Type: "state", Job: j.info.ID, State: StateRunning})
 	j.trace.End("queued", nil)
 	j.trace.Begin("running", map[string]string{"backend": j.info.Backend})
+	info, hook := j.info, j.onState
+	j.mu.Unlock()
+	if hook != nil {
+		hook(info)
+	}
 	return true
 }
 
@@ -269,18 +329,23 @@ func (j *job) setTelemetry(snap obs.TelemetrySnapshot) {
 
 // checkStall is the watchdog probe: it reports true exactly once per
 // stall episode — a running job whose executors have shown no forward
-// progress for at least window. The next progress observation re-arms
-// the episode. The trace instant and subscriber event fire here so the
-// caller only has to log and count.
+// progress, OR a queued job no scheduler worker has picked up, for at
+// least window. The next progress observation (or the start transition,
+// for queued stalls) re-arms the episode. The trace instant and
+// subscriber event fire here so the caller only has to log and count.
 func (j *job) checkStall(now time.Time, window time.Duration) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.info.State != StateRunning || j.stalled {
+	if (j.info.State != StateRunning && j.info.State != StateQueued) || j.stalled {
 		return false
 	}
 	last := j.lastActive
 	if last.IsZero() {
 		last = j.info.Started
+	}
+	if last.IsZero() {
+		// Queued jobs have never run: the stall clock starts at admission.
+		last = j.info.Created
 	}
 	if now.Sub(last) < window {
 		return false
@@ -288,7 +353,8 @@ func (j *job) checkStall(now time.Time, window time.Duration) bool {
 	j.stalled = true
 	j.info.Stalls++
 	j.trace.Instant("stalled", map[string]string{
-		"idle": now.Sub(last).Round(time.Millisecond).String(),
+		"idle":  now.Sub(last).Round(time.Millisecond).String(),
+		"state": j.info.State,
 	})
 	j.broadcastLocked(Event{Type: "stalled", Job: j.info.ID})
 	return true
@@ -328,8 +394,8 @@ func (j *job) markCanceled(now time.Time) {
 
 func (j *job) finalize(state, msg string, now time.Time, fill func()) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.info.Terminal() {
+		j.mu.Unlock()
 		return
 	}
 	j.info.State = state
@@ -350,6 +416,50 @@ func (j *job) finalize(state, msg string, now time.Time, fill func()) {
 		close(ch)
 		delete(j.subs, id)
 	}
+	info, hook := j.info, j.onState
+	j.mu.Unlock()
+	if hook != nil {
+		hook(info)
+	}
+}
+
+// restoreTerminal rebuilds a journal-replayed job that had already
+// reached a terminal state: the replayed info becomes the record
+// wholesale (result bytes included for done jobs) and the terminal
+// channel closes, with no broadcast and no onState journaling — the
+// journal already holds these facts.
+func (j *job) restoreTerminal(info JobInfo, result []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.info = info
+	j.result = result
+	j.trace.End("queued", nil)
+	j.trace.Instant("restored", map[string]string{"state": info.State})
+	close(j.done)
+}
+
+// noteAssigned mirrors a journaled fleet assignment for compaction.
+func (j *job) noteAssigned(taskID string, slots int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.remote.taskID, j.remote.slots = taskID, slots
+}
+
+// noteStable mirrors a journaled stable-set promotion for compaction.
+func (j *job) noteStable(epoch int, cycle uint64, keys []string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.remote.stableEpoch, j.remote.stableCycle = epoch, cycle
+	j.remote.stableKeys = append([]string(nil), keys...)
+}
+
+// remoteFacts snapshots the journal-compaction state.
+func (j *job) remoteFacts() remoteFacts {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rf := j.remote
+	rf.stableKeys = append([]string(nil), j.remote.stableKeys...)
+	return rf
 }
 
 // subscribe registers a progress listener. The channel is closed when the
@@ -404,6 +514,16 @@ func (s *jobStore) nextID() string {
 	defer s.mu.Unlock()
 	s.seq++
 	return fmt.Sprintf("job-%06d", s.seq)
+}
+
+// setSeqFloor advances the ID counter past n, so IDs minted after a
+// journal replay never collide with the replayed jobs'.
+func (s *jobStore) setSeqFloor(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n > s.seq {
+		s.seq = n
+	}
 }
 
 func (s *jobStore) add(j *job) {

@@ -106,6 +106,18 @@ func newServeMetrics(s *Server) *serveMetrics {
 		func() uint64 { return s.fleet.Stats().ShardRollbacks })
 	reg.CounterFunc("hornet_fleet_checkpoint_bytes_total", "Checkpoint blob bytes accepted from workers.",
 		func() uint64 { return s.fleet.Stats().CheckpointBytes })
+	reg.CounterFunc("hornet_fleet_tasks_adopted_total", "Restored tasks re-adopted in place by their pre-restart executor.",
+		func() uint64 { return s.fleet.Stats().TasksAdopted })
+
+	// Write-ahead job journal (all zero without -journal-dir).
+	reg.CounterFunc("hornet_journal_records_total", "Records appended to the job journal.",
+		func() uint64 { return s.journalStats().Appended })
+	reg.CounterFunc("hornet_journal_compactions_total", "Job-journal compactions.",
+		func() uint64 { return s.journalStats().Compactions })
+	reg.GaugeFunc("hornet_journal_live_records", "Journal records appended since the last compaction.",
+		func() float64 { return float64(s.journalStats().LiveRecords) })
+	reg.CounterFunc("hornet_journal_errors_total", "Failed journal appends or compactions (durability degraded).", s.journalErrs.Load)
+	reg.CounterFunc("hornet_jobs_restored_total", "Jobs rebuilt from the journal at startup.", s.jobsRestored.Load)
 
 	// Engine instrumentation (per-chunk deltas from running jobs).
 	m.engineCycles = reg.Counter("hornet_engine_cycles_total", "Simulated cycles executed across all jobs.")
@@ -115,7 +127,7 @@ func newServeMetrics(s *Server) *serveMetrics {
 	m.engineSyncCalls = reg.Counter("hornet_engine_shard_syncs_total", "Shard synchronization exchanges.")
 
 	// Stall watchdog and trace-timeline accounting.
-	reg.CounterFunc("hornet_job_stalls_total", "Stall episodes: running jobs whose executors reported no forward progress for the watchdog window.", s.jobStalls.Load)
+	reg.CounterFunc("hornet_job_stalls_total", "Stall episodes: running jobs with no forward progress, or jobs queued unserved, for the watchdog window.", s.jobStalls.Load)
 	reg.CounterFunc("hornet_trace_dropped_events_total", "Trace-timeline events dropped by the per-job event cap.",
 		func() uint64 {
 			total := s.traceDroppedExpired.Load()

@@ -66,13 +66,17 @@ func (s *scheduler) logger() *slog.Logger {
 	return s.log
 }
 
-// queueDepth bounds accepted-but-unstarted jobs; beyond it submissions
-// are rejected with 503 queue_full rather than growing without bound.
-const queueDepth = 1024
+// defaultQueueDepth bounds accepted-but-unstarted jobs when the server
+// does not configure a bound; beyond it submissions are rejected with
+// 429 queue_full + Retry-After rather than growing without bound.
+const defaultQueueDepth = 1024
 
-func newScheduler(maxJobs, budget int, results *resultStore, env *execEnv, fleet *backend.Fleet) *scheduler {
+func newScheduler(maxJobs, budget, depth int, results *resultStore, env *execEnv, fleet *backend.Fleet) *scheduler {
 	if maxJobs < 1 {
 		maxJobs = 1
+	}
+	if depth < 1 {
+		depth = defaultQueueDepth
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &scheduler{
@@ -81,7 +85,7 @@ func newScheduler(maxJobs, budget int, results *resultStore, env *execEnv, fleet
 		env:        env,
 		fleet:      fleet,
 		sf:         map[string]*job{},
-		queue:      make(chan *job, queueDepth),
+		queue:      make(chan *job, depth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
@@ -111,7 +115,7 @@ func (s *scheduler) submit(j *job) *APIError {
 		return nil
 	default:
 		return &APIError{CodeQueueFull,
-			fmt.Sprintf("job queue is full (%d pending)", queueDepth)}
+			fmt.Sprintf("job queue is full (%d pending)", cap(s.queue))}
 	}
 }
 
@@ -243,6 +247,21 @@ func (s *scheduler) runJob(j *job) {
 func (s *scheduler) run(j *job) ([]byte, int, error) {
 	t := j.task()
 	sink := jobSink{j: j, m: s.metrics}
+	if s.fleet != nil && fleetEligible(j.sc) && j.restore != nil {
+		// A journal-restored job's pre-crash fleet needs a rejoin window:
+		// the restarted coordinator's registry is empty until the workers'
+		// next heartbeat gets worker_unknown and they re-register. Without
+		// this grace the job would instantly fall back to local execution
+		// and the still-running remote work would be cancelled as
+		// unadopted. Sharded jobs need the whole group co-schedulable.
+		min := 1
+		if j.sc.shards >= 2 {
+			min = j.sc.shards
+		}
+		if s.fleet.AwaitCapacity(j.ctx, min) {
+			s.logger().Info("fleet rejoined for restored job", obs.Job(j.Info().ID))
+		}
+	}
 	if s.fleet != nil && fleetEligible(j.sc) && s.fleet.Live() > 0 {
 		j.setBackend(s.fleet.Name())
 		b, runErrs, err := s.fleet.Execute(j.ctx, t, sink)

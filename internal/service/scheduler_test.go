@@ -12,7 +12,7 @@ import (
 // panic reaches the scheduler worker through Figure.Document.
 func TestRunJobSurvivesScenarioPanic(t *testing.T) {
 	results := newResultStore("")
-	s := newScheduler(1, 1, results, newExecEnv("", 0), nil)
+	s := newScheduler(1, 1, 0, results, newExecEnv("", 0), nil)
 	defer s.stop()
 
 	// A zero-value Figure has a nil runner: invoking it panics, standing

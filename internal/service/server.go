@@ -12,6 +12,7 @@ import (
 	"hornet/internal/experiments"
 	"hornet/internal/obs"
 	"hornet/internal/service/backend"
+	"hornet/internal/service/journal"
 )
 
 // Options configures a Server.
@@ -61,10 +62,26 @@ type Options struct {
 	TelemetryEvery time.Duration
 
 	// StallAfter arms the stall watchdog: a running job whose executors
-	// report no forward progress for this long is flagged (Warn log,
-	// hornet_job_stalls_total, a "stalled" trace instant and SSE event).
-	// 0 disables the watchdog.
+	// report no forward progress — or a job stuck in the queue no
+	// scheduler worker ever picked up — for this long is flagged (Warn
+	// log, hornet_job_stalls_total, a "stalled" trace instant and SSE
+	// event). 0 disables the watchdog.
 	StallAfter time.Duration
+
+	// JournalDir, if non-empty, makes the coordinator durable: every
+	// submit, state transition, fleet assignment, sharded stable-set
+	// promotion and result key appends to a write-ahead log
+	// (journal.wal) in this directory. On startup the journal is
+	// replayed: finished jobs are rebuilt from the result cache,
+	// in-flight ones re-enqueue from their persisted checkpoints, and
+	// their still-running fleet executions are re-adopted when the
+	// workers re-register. Pair it with CheckpointDir (checkpoint blobs
+	// are what restored jobs resume from).
+	JournalDir string
+
+	// QueueDepth bounds accepted-but-unstarted jobs; submissions beyond
+	// it get 429 queue_full with a Retry-After. 0 means 1024.
+	QueueDepth int
 
 	// TraceEventCap bounds each job's trace timeline; 0 means the
 	// obs.Timeline default (512 events). Events beyond the cap are
@@ -88,6 +105,13 @@ type Server struct {
 	log     *slog.Logger
 	metrics *serveMetrics
 
+	// jrnl is the write-ahead job journal (nil without Options.JournalDir).
+	// Appends happen outside job.mu — see restore.go for the ordering rule.
+	jrnl         *journal.Journal
+	jobsRestored atomic.Uint64
+	journalErrs  atomic.Uint64
+	compacting   atomic.Bool
+
 	jobsExpired atomic.Uint64
 	// traceCap is the per-job timeline bound (Options.TraceEventCap);
 	// traceDroppedExpired banks the dropped-event counts of expired jobs
@@ -102,7 +126,31 @@ type Server struct {
 }
 
 // New builds a serving stack: job store, result cache, scheduler workers.
+// A journal that fails to open is logged and disabled rather than fatal;
+// callers that need durability guaranteed should use NewDurable.
 func New(opts Options) *Server {
+	s, err := build(opts)
+	if err != nil {
+		log := opts.Logger
+		if log == nil {
+			log = obs.Nop()
+		}
+		log.Error("job journal disabled", slog.String(obs.KeyComponent, "journal"),
+			slog.String("dir", opts.JournalDir), obs.Err(err))
+		opts.JournalDir = ""
+		s, _ = build(opts)
+	}
+	return s
+}
+
+// NewDurable is New for deployments where the journal is load-bearing:
+// a journal that cannot be opened or replayed is a hard error instead of
+// a silently non-durable coordinator.
+func NewDurable(opts Options) (*Server, error) {
+	return build(opts)
+}
+
+func build(opts Options) (*Server, error) {
 	maxJobs := opts.MaxJobs
 	if maxJobs < 1 {
 		maxJobs = 2
@@ -137,7 +185,7 @@ func New(opts Options) *Server {
 		fleet:        fleet,
 		log:          log,
 		traceCap:     opts.TraceEventCap,
-		sched:        newScheduler(maxJobs, opts.Budget, results, env, fleet),
+		sched:        newScheduler(maxJobs, opts.Budget, opts.QueueDepth, results, env, fleet),
 		janitorStop:  make(chan struct{}),
 		janitorDone:  make(chan struct{}),
 		watchdogDone: make(chan struct{}),
@@ -145,6 +193,20 @@ func New(opts Options) *Server {
 	s.metrics = newServeMetrics(s)
 	s.sched.log = obs.Component(log, "scheduler")
 	s.sched.metrics = s.metrics
+	if opts.JournalDir != "" {
+		jrnl, recs, err := journal.Open(opts.JournalDir)
+		if err != nil {
+			s.fleet.Close()
+			s.sched.stop()
+			close(s.janitorStop)
+			return nil, fmt.Errorf("open job journal: %w", err)
+		}
+		s.jrnl = jrnl
+		// The fleet journals assignments and stable-set promotions itself
+		// (it is the component that learns about them first).
+		fleet.SetJournal(serverJournal{s})
+		s.restore(recs)
+	}
 	go s.janitor(opts.JobTTL)
 	go s.watchdog(opts.StallAfter)
 	s.mux.Handle("GET /metrics", s.metrics.reg.Handler())
@@ -177,7 +239,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /api/v1/workers/{id}/tasks/{task}/shardsync", s.handleWorkerShardSync)
 	s.mux.HandleFunc("POST /api/v1/workers/{id}/tasks/{task}/shardgather", s.handleWorkerShardGather)
 	s.mux.HandleFunc("GET /api/v1/workers/{id}/tasks/{task}/shardcheckpoint", s.handleWorkerShardCheckpoint)
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler. It resolves the route through the
@@ -204,6 +266,13 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.janitorStop) })
 	<-s.janitorDone
 	<-s.watchdogDone
+	// Close the journal before cancelling anything: graceful-shutdown
+	// cancellations must NOT be journaled, so that still-queued and
+	// in-flight jobs replay as live work on the next start instead of
+	// restoring as canceled.
+	if s.jrnl != nil {
+		s.jrnl.Close()
+	}
 	// Cancel jobs before closing the fleet: remote tasks the closing
 	// fleet hands back then see their cancelled context and terminate,
 	// instead of failing over into a doomed local re-execution. The
@@ -282,6 +351,7 @@ func (s *Server) watchdog(window time.Duration) {
 					info := j.Info()
 					s.log.Warn("job stalled: no forward progress",
 						slog.String(obs.KeyComponent, "watchdog"), obs.Job(info.ID),
+						slog.String("state", string(info.State)),
 						slog.String("backend", info.Backend),
 						slog.Duration("window", window))
 				}
@@ -324,6 +394,26 @@ func (s *Server) Stats() ServerStats {
 		RemoteJobs:   s.sched.remoteJobs.Load(),
 		FallbackJobs: s.sched.fallbackJobs.Load(),
 		Fleet:        s.fleet.Stats(),
+
+		JobsRestored: s.jobsRestored.Load(),
+		JournalErrs:  s.journalErrs.Load(),
+		Journal:      s.journalStats(),
+	}
+}
+
+// journalStats snapshots the WAL counters; zero value without a journal.
+func (s *Server) journalStats() JournalStats {
+	if s.jrnl == nil {
+		return JournalStats{}
+	}
+	appended, compactions, replayed, truncated := s.jrnl.Stats()
+	return JournalStats{
+		Enabled:       true,
+		Appended:      appended,
+		Compactions:   compactions,
+		Replayed:      replayed,
+		TruncatedTail: truncated,
+		LiveRecords:   s.jrnl.Since(),
 	}
 }
 
@@ -359,11 +449,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j := newJob(s.jobs.nextID(), req, sc, s.sched.baseCtx, time.Now())
 	j.trace.SetCap(s.traceCap)
+	if s.jrnl != nil {
+		j.onState = s.journalState
+	}
 	s.jobs.add(j)
+	// Journal the submit before enqueueing: once the scheduler has the
+	// job it can transition (and journal) states at any moment, and a
+	// state record without its submit record is unreplayable.
+	s.journalSubmit(j)
 	if apiErr := s.sched.submit(j); apiErr != nil {
 		j.fail(apiErr.Message, time.Now())
 		j.cancel() // never enqueued: release its context registration
 		status := http.StatusServiceUnavailable
+		if apiErr.Code == CodeQueueFull {
+			// Backpressure, not an outage: tell well-behaved clients when
+			// to come back instead of letting them hammer the queue.
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+		}
 		writeError(w, status, apiErr)
 		return
 	}

@@ -82,7 +82,16 @@ type Worker struct {
 	// heartbeat-delivered cancellation (or a 410 push response) aborts
 	// the right run.
 	running map[string]context.CancelFunc
-	wg      sync.WaitGroup
+	// ckptCycle tracks the newest checkpoint cycle uploaded per
+	// in-flight task; re-registration claims carry it so the
+	// coordinator can record what an adopted run resumes from.
+	ckptCycle map[string]uint64
+	// rejoinDone is non-nil while a re-registration is in flight;
+	// concurrent rejoin callers wait on it instead of racing a second
+	// registration (which would evict the first and requeue its
+	// freshly adopted tasks).
+	rejoinDone chan struct{}
+	wg         sync.WaitGroup
 
 	// warm is the process-wide warmup snapshot cache: tasks sharing a
 	// warmup prefix fork from one snapshot instead of each
@@ -95,7 +104,8 @@ func New(opts Options) *Worker {
 	if opts.Capacity < 1 {
 		opts.Capacity = runtime.GOMAXPROCS(0)
 	}
-	w := &Worker{opts: opts, id: opts.ID, running: map[string]context.CancelFunc{}}
+	w := &Worker{opts: opts, id: opts.ID,
+		running: map[string]context.CancelFunc{}, ckptCycle: map[string]uint64{}}
 	w.log = opts.Logger
 	if w.log == nil {
 		w.log = obs.Nop()
@@ -219,13 +229,14 @@ func (w *Worker) Run(ctx context.Context) error {
 		case err == nil && a == nil:
 			continue // long-poll timeout: poll again
 		case errors.Is(err, errUnknown):
-			// Lease expired (long pause, coordinator restart). Abandon
-			// every in-flight run BEFORE rejoining: the expiry already
-			// migrated those tasks, and re-registering first would let a
-			// stale execution's pushes authenticate again under the new
-			// incarnation — two executors interleaving on one task.
-			w.cancelAll("lease expired")
-			if err := w.register(ctx); err != nil {
+			// Lease expired, or the coordinator restarted. Re-register
+			// claiming the in-flight runs: the coordinator re-adopts the
+			// ones it can still account for (restart reattach, or a
+			// requeue not yet re-dispatched) and the registration
+			// response tells us to cancel the rest — so a stale
+			// execution can never interleave with a new executor.
+			w.rejoin(ctx)
+			if err := ctx.Err(); err != nil {
 				return err
 			}
 			continue
@@ -267,10 +278,15 @@ func (w *Worker) Run(ctx context.Context) error {
 }
 
 // register joins the fleet, retrying while the coordinator is
-// unreachable.
+// unreachable. The request claims every in-flight execution (with its
+// newest uploaded checkpoint cycle); runs the coordinator does not
+// re-adopt are cancelled here — they were migrated elsewhere, or the
+// coordinator that knew them is gone, and keeping them running would
+// risk two executors interleaving on one task.
 func (w *Worker) register(ctx context.Context) error {
-	req := backend.RegisterRequest{ID: w.ID(), Capacity: w.opts.Capacity}
 	for {
+		claims := w.runningClaims()
+		req := backend.RegisterRequest{ID: w.ID(), Capacity: w.opts.Capacity, Running: claims}
 		var resp backend.RegisterResponse
 		err := w.doJSON(ctx, http.MethodPost, "/api/v1/workers", req, &resp)
 		if err == nil {
@@ -282,7 +298,11 @@ func (w *Worker) register(ctx context.Context) error {
 			w.metrics.registered()
 			w.log.Info("registered with coordinator", obs.Worker(resp.ID),
 				slog.Int("capacity", w.opts.Capacity),
-				slog.Uint64("checkpoint_every", resp.CheckpointEvery))
+				slog.Uint64("checkpoint_every", resp.CheckpointEvery),
+				slog.Int("claimed", len(claims)), slog.Int("adopted", len(resp.Adopted)))
+			if len(claims) > 0 {
+				w.cancelUnadopted(claims, resp.Adopted)
+			}
 			return nil
 		}
 		if ctx.Err() != nil {
@@ -294,6 +314,76 @@ func (w *Worker) register(ctx context.Context) error {
 		case <-ctx.Done():
 			return ctx.Err()
 		}
+	}
+}
+
+// runningClaims snapshots the in-flight executions for a registration
+// request.
+func (w *Worker) runningClaims() []backend.RunningTask {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	claims := make([]backend.RunningTask, 0, len(w.running))
+	for tid := range w.running {
+		claims = append(claims, backend.RunningTask{TaskID: tid, Cycle: w.ckptCycle[tid]})
+	}
+	return claims
+}
+
+// cancelUnadopted aborts every claimed run the coordinator did not
+// re-bind to this registration.
+func (w *Worker) cancelUnadopted(claims []backend.RunningTask, adopted []string) {
+	kept := make(map[string]bool, len(adopted))
+	for _, tid := range adopted {
+		kept[tid] = true
+	}
+	w.mu.Lock()
+	var cancels []context.CancelFunc
+	var dropped []string
+	for _, c := range claims {
+		if kept[c.TaskID] {
+			continue
+		}
+		if cancel, ok := w.running[c.TaskID]; ok {
+			cancels = append(cancels, cancel)
+			dropped = append(dropped, c.TaskID)
+		}
+	}
+	w.mu.Unlock()
+	if len(dropped) > 0 {
+		w.log.Warn("abandoning in-flight tasks not re-adopted by coordinator",
+			obs.Worker(w.ID()), slog.Any("tasks", dropped))
+	}
+	for _, c := range cancels {
+		c()
+	}
+}
+
+// rejoin re-registers after a worker_unknown, single-flighted: the
+// first caller performs the registration, concurrent callers wait for
+// it. A second full registration right after the first would evict
+// the fresh incarnation and requeue its just-adopted tasks, so the
+// single-flight is load-bearing, not an optimization.
+func (w *Worker) rejoin(ctx context.Context) {
+	w.mu.Lock()
+	if ch := w.rejoinDone; ch != nil {
+		w.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+		return
+	}
+	ch := make(chan struct{})
+	w.rejoinDone = ch
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.rejoinDone = nil
+		w.mu.Unlock()
+		close(ch)
+	}()
+	if err := w.register(ctx); err != nil && ctx.Err() == nil {
+		w.log.Warn("re-registration failed", obs.Worker(w.ID()), obs.Err(err))
 	}
 }
 
@@ -331,10 +421,11 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 				"/api/v1/workers/"+url.PathEscape(w.ID())+"/heartbeat", struct{}{}, &resp)
 			switch {
 			case errors.Is(err, errUnknown):
-				// The lease expired: any task this worker still runs has
-				// been migrated away — stop burning CPU on it. The poll
-				// loop re-registers once the execution drains.
-				w.cancelAll("lease expired")
+				// The lease expired or the coordinator restarted:
+				// re-register right away, claiming the in-flight runs so
+				// the coordinator can re-adopt them instead of
+				// re-dispatching from checkpoints.
+				w.rejoin(ctx)
 			case err == nil:
 				for _, tid := range resp.CancelTasks {
 					w.cancelTask(tid)
@@ -354,24 +445,6 @@ func (w *Worker) cancelTask(taskID string) {
 	if cancel != nil {
 		w.log.Info("coordinator cancelled task", obs.Worker(w.ID()), obs.Task(taskID))
 		cancel()
-	}
-}
-
-// cancelAll aborts every in-flight execution (coordinator no longer
-// recognizes this worker: the tasks are not ours anymore).
-func (w *Worker) cancelAll(why string) {
-	w.mu.Lock()
-	cancels := make([]context.CancelFunc, 0, len(w.running))
-	for _, c := range w.running {
-		cancels = append(cancels, c)
-	}
-	w.mu.Unlock()
-	if len(cancels) > 0 {
-		w.log.Warn("abandoning in-flight tasks", obs.Worker(w.ID()),
-			slog.Int("count", len(cancels)), slog.String("reason", why))
-	}
-	for _, c := range cancels {
-		c()
 	}
 }
 
@@ -415,6 +488,7 @@ func (w *Worker) execute(ctx context.Context, a *backend.Assignment) {
 		cancel()
 		w.mu.Lock()
 		delete(w.running, a.TaskID)
+		delete(w.ckptCycle, a.TaskID)
 		w.mu.Unlock()
 	}()
 
@@ -433,10 +507,18 @@ func (w *Worker) execute(ctx context.Context, a *backend.Assignment) {
 		err := w.doJSON(taskCtx, http.MethodPost,
 			"/api/v1/workers/"+url.PathEscape(w.ID())+"/tasks/"+url.PathEscape(a.TaskID)+"/events",
 			ev, nil)
-		if errors.Is(err, errGone) || errors.Is(err, errUnknown) {
-			// Cancelled, migrated away, or this worker was expired from
-			// the fleet: either way the task is not ours — stop simulating.
+		switch {
+		case errors.Is(err, errGone):
+			// Cancelled or migrated away: the task is not ours — stop
+			// simulating.
 			cancel()
+		case errors.Is(err, errUnknown):
+			// The coordinator no longer knows this WORKER — a restart,
+			// or a lease expiry we outlived. Re-register claiming the
+			// in-flight runs; if this one is not re-adopted, rejoin's
+			// registration response cancels it. The event itself is
+			// dropped (progress pushes are best-effort anyway).
+			w.rejoin(taskCtx)
 		}
 	}
 	onProgress := func(done, total int, key string) {
@@ -551,6 +633,17 @@ func (w *Worker) pushResult(ctx context.Context, taskID string, res backend.Resu
 	err := w.doJSON(ctx, http.MethodPost,
 		"/api/v1/workers/"+url.PathEscape(w.ID())+"/tasks/"+url.PathEscape(taskID)+"/result",
 		res, nil)
+	if errors.Is(err, errUnknown) && ctx.Err() == nil {
+		// The coordinator restarted just as the run finished. Rejoin —
+		// the registration claims this task (it is still in w.running
+		// until our caller's defer) — and push once more: if the claim
+		// was adopted the result completes the job; if not, the retry
+		// gets task_gone and the coordinator re-runs from checkpoints.
+		w.rejoin(ctx)
+		err = w.doJSON(ctx, http.MethodPost,
+			"/api/v1/workers/"+url.PathEscape(w.ID())+"/tasks/"+url.PathEscape(taskID)+"/result",
+			res, nil)
+	}
 	if err != nil && ctx.Err() == nil {
 		w.log.Warn("result push failed", obs.Worker(w.ID()), obs.Task(taskID), obs.Err(err))
 	}
@@ -654,14 +747,32 @@ func (r *remoteStore) Save(key string, blob []byte, cycle uint64) error {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
 		err := decodeError(resp)
-		if errors.Is(err, errGone) || errors.Is(err, errUnknown) {
+		switch {
+		case errors.Is(err, errGone):
 			r.cancelRun() // the task is no longer ours: stop simulating
+		case errors.Is(err, errUnknown):
+			// Worker unknown: the coordinator restarted (or expired our
+			// lease). Rejoin with claims; a non-adopted run is cancelled
+			// by the registration response, an adopted one re-uploads at
+			// its next cadence.
+			r.w.rejoin(r.ctx)
 		}
 		return err
 	}
 	io.Copy(io.Discard, resp.Body)
+	r.w.noteCheckpoint(r.taskID, cycle)
 	r.w.metrics.uploadDone(len(blob), time.Since(start))
 	return nil
+}
+
+// noteCheckpoint records the newest uploaded cycle for re-registration
+// claims.
+func (w *Worker) noteCheckpoint(taskID string, cycle uint64) {
+	w.mu.Lock()
+	if cycle > w.ckptCycle[taskID] {
+		w.ckptCycle[taskID] = cycle
+	}
+	w.mu.Unlock()
 }
 
 func (r *remoteStore) Load(key string) ([]byte, bool) { return r.mem.Load(key) }

@@ -219,14 +219,16 @@ func (e *Engine) partition(w int) (lo, hi int) {
 	return lo, hi
 }
 
-// Run simulates up to maxCycles cycles starting at cycle start. If stop is
+// Run simulates the half-open cycle window [start, start+cycleCount):
+// the second argument is a cycle COUNT, never an absolute end cycle —
+// Run(100, 50) advances the clock from 100 to at most 150. If stop is
 // non-nil it is evaluated exactly once at every synchronization point (by
 // the barrier leader, so it needs no internal locking) — including the
 // final one — and ends the run early when it returns true. The stop check
 // happens before fast-forward target election, so a stopping run never
 // jumps past its stop point. Run returns once all workers have finished.
-func (e *Engine) Run(start, maxCycles uint64, stop func(cycle uint64) bool) RunResult {
-	return e.run(start, maxCycles, stop, false)
+func (e *Engine) Run(start, cycleCount uint64, stop func(cycle uint64) bool) RunResult {
+	return e.run(start, cycleCount, stop, false)
 }
 
 // RunResumed is Run for the continuation of an earlier chunk of the same
@@ -235,12 +237,12 @@ func (e *Engine) Run(start, maxCycles uint64, stop func(cycle uint64) bool) RunR
 // leading cycles before executing anything, exactly as the uninterrupted
 // run would have jumped from within its previous chunk. This is what makes
 // chunked execution byte-identical to unchunked execution.
-func (e *Engine) RunResumed(start, maxCycles uint64, stop func(cycle uint64) bool) RunResult {
-	return e.run(start, maxCycles, stop, true)
+func (e *Engine) RunResumed(start, cycleCount uint64, stop func(cycle uint64) bool) RunResult {
+	return e.run(start, cycleCount, stop, true)
 }
 
-func (e *Engine) run(start, maxCycles uint64, stop func(cycle uint64) bool, resume bool) RunResult {
-	end := start + maxCycles
+func (e *Engine) run(start, cycleCount uint64, stop func(cycle uint64) bool, resume bool) RunResult {
+	end := start + cycleCount
 	e.nextCycle.Store(start)
 	e.halted.Store(false)
 	e.stopped.Store(false)

@@ -254,6 +254,46 @@ func TestEngineStopFunction(t *testing.T) {
 	}
 }
 
+// Regression: Run's second argument is a cycle COUNT, never an absolute
+// end cycle. Run(100, 50) must execute the half-open window [100, 150) —
+// it must not read 50 as "end at cycle 50" and run nothing (or, worse,
+// wrap). Callers that start mid-simulation (checkpoint resume, chunked
+// autosave) depend on this.
+func TestEngineRunSecondArgIsCycleCount(t *testing.T) {
+	tiles := []Tile{&countTile{}, &countTile{}}
+	e := NewEngine(tiles, 2, 1, false, nil)
+	res := e.Run(100, 50, nil)
+	if res.Cycles != 50 {
+		t.Fatalf("Run(100, 50) executed %d cycles, want 50 (count, not end cycle)", res.Cycles)
+	}
+	for i, tl := range tiles {
+		ct := tl.(*countTile)
+		if len(ct.transfers) != 50 {
+			t.Fatalf("tile %d saw %d cycles, want 50", i, len(ct.transfers))
+		}
+		if first, last := ct.transfers[0], ct.transfers[49]; first != 100 || last != 149 {
+			t.Fatalf("tile %d ran window [%d, %d], want [100, 149]", i, first, last)
+		}
+	}
+
+	// The stop predicate observes clock values from the same window: a
+	// caller stopping "50 cycles from now" sees start+k, not k.
+	var seen []uint64
+	e2 := NewEngine([]Tile{&countTile{}}, 1, 1, false, nil)
+	e2.Run(1000, 5, func(cycle uint64) bool {
+		seen = append(seen, cycle)
+		return false
+	})
+	if len(seen) == 0 {
+		t.Fatal("stop predicate never evaluated")
+	}
+	for _, c := range seen {
+		if c < 1000 || c > 1005 {
+			t.Fatalf("stop predicate saw cycle %d, outside window [1000, 1005]", c)
+		}
+	}
+}
+
 func TestEnginePartitionCoversAllTiles(t *testing.T) {
 	for tiles := 1; tiles <= 20; tiles++ {
 		for workers := 1; workers <= tiles; workers++ {
