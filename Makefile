@@ -2,7 +2,8 @@ GO ?= go
 
 .PHONY: build test test-race test-race-rest test-full test-snapshot bench bench-json bench-gate \
 	bench-sharded-json bench-sharded-gate bench-telemetry-json bench-telemetry-gate \
-	e2e-distributed e2e-sharded e2e-coordinator-restart fuzz-smoke fmt-check serve worker vet vulncheck
+	e2e-distributed e2e-sharded e2e-coordinator-restart fuzz-smoke fmt-check serve worker vet vulncheck \
+	validate-examples scenario-golden
 
 build:
 	$(GO) build ./...
@@ -115,13 +116,31 @@ e2e-sharded:
 e2e-coordinator-restart:
 	HORNET_E2E=1 $(GO) test -count=1 -timeout 15m -v -run TestCoordinatorRestartE2E ./e2e
 
-# Fuzz smoke over the snapshot container's seed corpora (one target per
+# Fuzz smoke over the snapshot container's seed corpora plus the
+# scenario schema's decode→normalize→encode pipeline (one target per
 # invocation — `go test -fuzz` accepts a single target).
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeBytes$$' -fuzztime $(FUZZTIME) ./internal/snapshot
 	$(GO) test -run '^$$' -fuzz '^FuzzReaderPayload$$' -fuzztime $(FUZZTIME) ./internal/snapshot
 	$(GO) test -run '^$$' -fuzz '^FuzzVerify$$' -fuzztime $(FUZZTIME) ./internal/snapshot
+	$(GO) test -run '^$$' -fuzz '^FuzzScenario$$' -fuzztime $(FUZZTIME) ./internal/scenario
+
+# Scenario-schema golden gate: the examples/scenarios gallery matches
+# the preset registry byte for byte and every normalized form is a
+# stable fixed point. Regenerate the gallery after editing presets with:
+#   go test ./internal/scenario -run TestExamplesMatchPresets -update
+scenario-golden:
+	$(GO) test -count=1 -run 'TestExamples|TestNormalizeIdempotent|TestPresetsAllCompile' ./internal/scenario
+
+# Dry-run every example scenario through the real validation path
+# (hornet-exp -validate = the daemon's POST /api/v1/validate): the
+# gallery must always be submittable as-is.
+validate-examples:
+	@set -e; for f in examples/scenarios/*.json; do \
+		echo "validate $$f"; \
+		$(GO) run ./cmd/hornet-exp -scenario $$f -validate >/dev/null; \
+	done
 
 # Formatting gate: fails listing any file gofmt would rewrite.
 fmt-check:

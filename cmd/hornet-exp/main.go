@@ -21,6 +21,16 @@
 //	                                    # persist warmup snapshots: later
 //	                                    # invocations skip shared warmups
 //	hornet-exp snapshot ckpt/FILE.snap  # inspect a snapshot file
+//
+// Declarative scenarios (the same documents hornet-serve accepts as
+// {"scenario": ...}; see internal/scenario) run locally too:
+//
+//	hornet-exp -scenario examples/scenarios/uniform-load-8x8.json
+//	hornet-exp -scenario preset:reduction-tree-4x4
+//	hornet-exp -scenario preset:list    # list the named presets
+//	hornet-exp -scenario file.json -validate
+//	                                    # dry-run: normalize, print the
+//	                                    # content address, run nothing
 package main
 
 import (
@@ -60,7 +70,17 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "persist warmup snapshots under this directory so repeated invocations skip shared warmups (\"\" = per-process memory cache)")
 	noReuse := flag.Bool("no-warmup-reuse", false, "simulate every warmup instead of restoring shared snapshots (byte-identical output; for benchmarking the reuse win)")
 	quiet := flag.Bool("q", false, "suppress per-run progress on stderr")
+	scenarioArg := flag.String("scenario", "", "run a declarative scenario: a JSON file path or preset:NAME (preset:list to enumerate)")
+	validate := flag.Bool("validate", false, "with -scenario: dry-run only — validate, normalize, print the content address")
 	flag.Parse()
+
+	if *scenarioArg != "" {
+		os.Exit(runScenario(*scenarioArg, *validate, *seed, *parallel, *ckptDir, *quiet))
+	}
+	if *validate {
+		fmt.Fprintln(os.Stderr, "hornet-exp: -validate requires -scenario")
+		os.Exit(2)
+	}
 
 	sel := *only
 	if sel == "" {

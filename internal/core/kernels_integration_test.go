@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"hornet/internal/mips"
+	"hornet/internal/noc"
+	"hornet/internal/workloads"
+)
+
+// The registry kernels (reduction, matmul-blocked) are verified the same
+// way cannon is: run the generated assembly on an integrated core+NoC
+// system and compare the printed total with the Go-side recomputation.
+
+func runKernelOnMesh(t *testing.T, src string, w, h int, budget uint64) []*mips.Core {
+	t.Helper()
+	img, err := mips.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallCfg()
+	cfg.Topology.Width, cfg.Topology.Height = w, h
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]noc.NodeID, w*h)
+	for i := range nodes {
+		nodes[i] = noc.NodeID(i)
+	}
+	cores := sys.AttachMIPS(nodes, img)
+	sys.RunUntil(budget, sys.CoresHalted(cores))
+	for i, c := range cores {
+		if !c.Halted() {
+			t.Fatalf("core %d did not halt (pc=%#x)", i, c.PC)
+		}
+	}
+	return cores
+}
+
+func TestReductionTreeTotal(t *testing.T) {
+	for _, c := range []struct{ w, h, elems int }{{2, 2, 8}, {4, 2, 64}, {4, 4, 16}} {
+		t.Run(fmt.Sprintf("%dx%d_e%d", c.w, c.h, c.elems), func(t *testing.T) {
+			cores := runKernelOnMesh(t, workloads.ReductionSource(c.elems), c.w, c.h, 5_000_000)
+			want := fmt.Sprint(workloads.ReductionChecksum(c.w*c.h, c.elems))
+			if got := cores[0].Console(); got != want {
+				t.Fatalf("core 0 printed %q, want %s", got, want)
+			}
+		})
+	}
+}
+
+func TestMatmulBlockedTotal(t *testing.T) {
+	for _, c := range []struct{ w, h, n, b int }{{2, 2, 8, 4}, {3, 2, 4, 2}} {
+		t.Run(fmt.Sprintf("%dx%d_n%d_b%d", c.w, c.h, c.n, c.b), func(t *testing.T) {
+			cores := runKernelOnMesh(t, workloads.MatmulBlockedSource(c.n, c.b), c.w, c.h, 10_000_000)
+			want := fmt.Sprint(workloads.MatmulTotal(c.w*c.h, c.n))
+			if got := cores[0].Console(); got != want {
+				t.Fatalf("core 0 printed %q, want %s", got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,27 @@
+package scenario
+
+import "fmt"
+
+// FieldError is a validation error anchored to one location in the
+// scenario document. Path is a JSON pointer ("/machine/topology/width",
+// "/sweep/0/path", ...), empty when the error concerns the document as a
+// whole. The service layer prefixes it with the request-body location of
+// the scenario ("/scenario") so API clients see one coherent pointer
+// space.
+type FieldError struct {
+	Path string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *FieldError) Error() string {
+	if e.Path == "" {
+		return e.Msg
+	}
+	return e.Path + ": " + e.Msg
+}
+
+// errf builds a FieldError at path.
+func errf(path, format string, args ...any) *FieldError {
+	return &FieldError{Path: path, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite examples/scenarios/ from the preset registry")
+
+const examplesDir = "../../examples/scenarios"
+
+// TestExamplesMatchPresets pins the gallery in examples/scenarios/ to
+// the preset registry: every preset has a file, every file is a preset,
+// and each file holds the preset's exact Encode()d bytes. Regenerate
+// with `go test ./internal/scenario -run TestExamplesMatchPresets -update`.
+func TestExamplesMatchPresets(t *testing.T) {
+	if *update {
+		if err := os.MkdirAll(examplesDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range PresetNames() {
+		s, _ := Preset(name)
+		want, err := Encode(s)
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		path := filepath.Join(examplesDir, name+".json")
+		if *update {
+			if err := os.WriteFile(path, want, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to regenerate the gallery)", name, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: example file diverges from the preset (run with -update)", name)
+		}
+	}
+	if *update {
+		return
+	}
+	entries, err := os.ReadDir(examplesDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), ".json")
+		if _, ok := Preset(name); !ok {
+			t.Errorf("examples/scenarios/%s has no matching preset", e.Name())
+		}
+	}
+}
+
+// TestExamplesRoundTrip: every example file decodes, normalizes, and —
+// once normalized — encodes to a stable fixed point. This is the
+// property that makes scenario documents content-addressable.
+func TestExamplesRoundTrip(t *testing.T) {
+	for _, name := range PresetNames() {
+		s, _ := Preset(name)
+		b, err := Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, ferr := Decode(b)
+		if ferr != nil {
+			t.Fatalf("%s: Decode: %v", name, ferr)
+		}
+		n1, ferr := d1.Normalize()
+		if ferr != nil {
+			t.Fatalf("%s: Normalize: %v", name, ferr)
+		}
+		e1, err := Encode(n1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, ferr := Decode(e1)
+		if ferr != nil {
+			t.Fatalf("%s: re-Decode: %v", name, ferr)
+		}
+		n2, ferr := d2.Normalize()
+		if ferr != nil {
+			t.Fatalf("%s: re-Normalize: %v", name, ferr)
+		}
+		e2, err := Encode(n2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(e1) != string(e2) {
+			t.Fatalf("%s: normalized form is not a fixed point:\n%s\n---\n%s", name, e1, e2)
+		}
+	}
+}

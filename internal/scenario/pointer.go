@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"strconv"
+	"strings"
+)
+
+// splitPointer parses an RFC 6901 JSON pointer into unescaped segments.
+func splitPointer(path string) ([]string, *FieldError) {
+	if path == "" || path[0] != '/' {
+		return nil, errf("", "JSON pointer must start with '/', got %q", path)
+	}
+	parts := strings.Split(path[1:], "/")
+	for i, p := range parts {
+		p = strings.ReplaceAll(p, "~1", "/")
+		p = strings.ReplaceAll(p, "~0", "~")
+		parts[i] = p
+	}
+	return parts, nil
+}
+
+// escapePointer escapes one pointer segment.
+func escapePointer(seg string) string {
+	seg = strings.ReplaceAll(seg, "~", "~0")
+	return strings.ReplaceAll(seg, "/", "~1")
+}
+
+// pointerIndex appends an array index to a pointer prefix.
+func pointerIndex(prefix string, i int) string {
+	return prefix + "/" + strconv.Itoa(i)
+}
+
+// setPointer replaces the value at path inside a decoded JSON document
+// (maps and slices as produced by encoding/json). The parent container
+// must exist; a map key may be new (the strict re-decode of the mutated
+// document rejects keys the schema does not know), but an array index
+// must address an existing element.
+func setPointer(doc any, path string, val any) *FieldError {
+	segs, ferr := splitPointer(path)
+	if ferr != nil {
+		return ferr
+	}
+	cur := doc
+	for _, seg := range segs[:len(segs)-1] {
+		next, ferr := descend(cur, seg, path)
+		if ferr != nil {
+			return ferr
+		}
+		cur = next
+	}
+	last := segs[len(segs)-1]
+	switch c := cur.(type) {
+	case map[string]any:
+		c[last] = val
+	case []any:
+		i, err := strconv.Atoi(last)
+		if err != nil || i < 0 || i >= len(c) {
+			return errf("", "%s: no element %q in array of %d", path, last, len(c))
+		}
+		c[i] = val
+	default:
+		return errf("", "%s: parent is not an object or array", path)
+	}
+	return nil
+}
+
+func descend(cur any, seg, path string) (any, *FieldError) {
+	switch c := cur.(type) {
+	case map[string]any:
+		next, ok := c[seg]
+		if !ok {
+			return nil, errf("", "%s: no field %q along the path", path, seg)
+		}
+		return next, nil
+	case []any:
+		i, err := strconv.Atoi(seg)
+		if err != nil || i < 0 || i >= len(c) {
+			return nil, errf("", "%s: no element %q in array of %d", path, seg, len(c))
+		}
+		return c[i], nil
+	default:
+		return nil, errf("", "%s: %q is not an object or array", path, seg)
+	}
+}

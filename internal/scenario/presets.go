@@ -1,0 +1,137 @@
+package scenario
+
+import (
+	"encoding/json"
+	"sort"
+
+	"hornet/internal/config"
+	"hornet/internal/workloads"
+)
+
+// Presets are named, ready-to-submit scenarios: a worked example per
+// schema feature. hornet-exp runs them via -scenario preset:NAME, and
+// the files in examples/scenarios/ are their Encode()d form (the golden
+// test keeps the two in lockstep).
+var presets = map[string]func() *Scenario{
+	// The legacy service's default MIPS job, now as a scenario: byte-for-
+	// byte the same document and cache key as {"mips": {"workload":
+	// "pingpong"}} on the baseline machine.
+	"pingpong-8x8": func() *Scenario {
+		return &Scenario{
+			Version: Version,
+			Name:    "pingpong-8x8",
+			Machine: Machine{Topology: mesh(8, 8)},
+			Workload: &Workload{
+				Kernel: "pingpong",
+				Params: workloads.Params{"rounds": 100},
+			},
+		}
+	},
+	// A many-to-one communication shape the pre-scenario service could
+	// not express: binary-tree reduction on a 4x4 mesh.
+	"reduction-tree-4x4": func() *Scenario {
+		return &Scenario{
+			Version: Version,
+			Name:    "reduction-tree-4x4",
+			Machine: Machine{Topology: mesh(4, 4)},
+			Workload: &Workload{
+				Kernel: "reduction",
+				Params: workloads.Params{"elems": 256},
+			},
+			Run: &Plan{FastForward: true},
+		}
+	},
+	// New workload x new topology: per-core blocked matmul with a
+	// checksum gather, on a ring.
+	"matmul-ring-8": func() *Scenario {
+		return &Scenario{
+			Version: Version,
+			Name:    "matmul-ring-8",
+			Machine: Machine{Topology: config.TopologyConfig{Kind: config.TopoRing, Width: 8, Height: 1}},
+			Workload: &Workload{
+				Kernel: "matmul-blocked",
+				Params: workloads.Params{"n": 8, "b": 4},
+			},
+			Run: &Plan{FastForward: true},
+		}
+	},
+	// A load sweep: one axis over the injection rate, three runs in one
+	// document.
+	"uniform-load-8x8": func() *Scenario {
+		w := 20_000
+		return &Scenario{
+			Version: Version,
+			Name:    "uniform-load-8x8",
+			Machine: Machine{Topology: mesh(8, 8)},
+			Traffic: []config.TrafficConfig{{Pattern: config.PatternUniform, InjectionRate: 0.05}},
+			Run:     &Plan{WarmupCycles: &w, AnalyzedCycles: 200_000},
+			Sweep: []Axis{{
+				Name:   "rate",
+				Path:   "/traffic/0/injection_rate",
+				Values: rawValues("0.02", "0.05", "0.1"),
+			}},
+		}
+	},
+	// A machine sweep: routing algorithm x VC count under transpose
+	// traffic, the Fig 5/6-style comparison as a four-point product.
+	"routing-vcs-8x8": func() *Scenario {
+		w := 20_000
+		return &Scenario{
+			Version: Version,
+			Name:    "routing-vcs-8x8",
+			Machine: Machine{Topology: mesh(8, 8)},
+			Traffic: []config.TrafficConfig{{Pattern: config.PatternTranspose, InjectionRate: 0.08}},
+			Run:     &Plan{WarmupCycles: &w, AnalyzedCycles: 200_000},
+			Sweep: []Axis{
+				{Name: "alg", Path: "/machine/routing/algorithm", Values: rawValues(`"xy"`, `"o1turn"`)},
+				{Name: "vcs", Path: "/machine/router/vcs_per_port", Values: rawValues("2", "8")},
+			},
+		}
+	},
+	// The coherent-memory fabric: shared-memory ping-pong through MSI.
+	"shared-pingpong-msi": func() *Scenario {
+		return &Scenario{
+			Version: Version,
+			Name:    "shared-pingpong-msi",
+			Machine: Machine{
+				Topology: mesh(4, 4),
+				Memory:   &config.MemoryConfig{Protocol: "msi"},
+			},
+			Workload: &Workload{
+				Kernel: "shared-pingpong",
+				Params: workloads.Params{"rounds": 50},
+			},
+		}
+	},
+}
+
+// Preset returns a named preset scenario.
+func Preset(name string) (*Scenario, bool) {
+	f, ok := presets[name]
+	if !ok {
+		return nil, false
+	}
+	return f(), true
+}
+
+// PresetNames lists the presets, sorted.
+func PresetNames() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mesh(w, h int) config.TopologyConfig {
+	return config.TopologyConfig{Kind: config.TopoMesh, Width: w, Height: h}
+}
+
+func rawValues(vals ...string) []json.RawMessage {
+	out := make([]json.RawMessage, len(vals))
+	for i, v := range vals {
+		out[i] = json.RawMessage(v)
+	}
+	return out
+}

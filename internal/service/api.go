@@ -24,20 +24,23 @@
 package service
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
 	"hornet/internal/config"
 	"hornet/internal/obs"
 	"hornet/internal/service/backend"
+	"hornet/internal/workloads"
 )
 
 // Job kinds.
 const (
-	KindConfig = "config" // one full config.Config simulation
-	KindFigure = "figure" // a named experiment from internal/experiments
-	KindBatch  = "batch"  // several configurations as one sweep
-	KindMips   = "mips"   // an application workload on MIPS cores
+	KindConfig   = "config"   // one full config.Config simulation
+	KindFigure   = "figure"   // a named experiment from internal/experiments
+	KindBatch    = "batch"    // several configurations as one sweep
+	KindMips     = "mips"     // an application workload on MIPS cores
+	KindScenario = "scenario" // a declarative internal/scenario document
 )
 
 // Job states. Terminal states are StateDone, StateFailed, StateCanceled.
@@ -75,6 +78,14 @@ type SubmitRequest struct {
 	// workloads, the coherent-memory fabric). Cycle-level simulation of
 	// real programs — the paper's Figs 8-12 mode — as a service.
 	Mips *MipsSpec `json:"mips,omitempty"`
+
+	// Scenario submits a declarative scenario document (see
+	// internal/scenario): a versioned machine + frontend + sweep
+	// description that the daemon compiles into the same internal
+	// representation the legacy kinds use. Scenario documents carry their
+	// own name, seed, sharding and warmup plan, so the request-level
+	// Name/Seed/Shards/ShareWarmup knobs must be left unset.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
 
 	// Seed is the job's master seed; per-run seeds derive from it.
 	// 0 means the default experiment seed.
@@ -138,6 +149,13 @@ type MipsSpec struct {
 	// MaxCycles caps the simulation in case the workload never halts
 	// (default 10,000,000).
 	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	// Params parameterizes registry kernels ("reduction",
+	// "matmul-blocked", ...): missing keys take the kernel's defaults,
+	// unknown keys are rejected. The pre-registry kernels above use the
+	// dedicated Rounds/Q/B fields instead and must leave Params unset —
+	// that keeps their normalized identity, and therefore their cache
+	// hashes, byte-identical to what earlier daemons computed.
+	Params workloads.Params `json:"params,omitempty"`
 	// Config is the platform: topology, router, routing, engine, and —
 	// for shared-memory workloads — the memory hierarchy. Synthetic
 	// traffic sources are rejected: the workload is the traffic.
@@ -316,28 +334,63 @@ type RunStats struct {
 
 // Error codes carried in the JSON error envelope.
 const (
-	CodeInvalidRequest = "invalid_request"
-	CodeInvalidConfig  = "invalid_config"
-	CodeUnknownFigure  = "unknown_figure"
-	CodeNotFound       = "not_found"
-	CodeNotFinished    = "not_finished"
-	CodeQueueFull      = "queue_full"
-	CodeShuttingDown   = "shutting_down"
+	CodeInvalidRequest  = "invalid_request"
+	CodeInvalidConfig   = "invalid_config"
+	CodeInvalidScenario = "invalid_scenario"
+	CodeUnknownFigure   = "unknown_figure"
+	CodeNotFound        = "not_found"
+	CodeNotFinished     = "not_finished"
+	CodeQueueFull       = "queue_full"
+	CodeShuttingDown    = "shutting_down"
 )
 
 // APIError is the structured error envelope every non-2xx response
-// carries: {"error": {"code": "...", "message": "..."}}.
+// carries: {"error": {"code": "...", "message": "...", "field": "..."}}.
 type APIError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Field is a JSON-pointer-style path into the request body naming
+	// the input the error is about ("/mips/rounds",
+	// "/scenario/machine/topology", "/batch/3/config", ...). Empty when
+	// the error is not about one specific field.
+	Field string `json:"field,omitempty"`
 }
 
 // Error implements the error interface (used by the Go client).
 func (e *APIError) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("%s: %s (field %s)", e.Code, e.Message, e.Field)
+	}
 	return fmt.Sprintf("%s: %s", e.Code, e.Message)
 }
 
 // errorBody is the wire envelope around APIError.
 type errorBody struct {
 	Err APIError `json:"error"`
+}
+
+// ValidateResponse is the body of a successful POST /api/v1/validate: the
+// dry-run view of a submission — what it would compile to, what it would
+// be cached under — without running anything.
+type ValidateResponse struct {
+	// Kind is the submission surface ("config", "figure", "batch",
+	// "mips", "scenario").
+	Kind string `json:"kind"`
+	// Name and ConfigHash are the content address the result document
+	// would carry; CacheKey is the result-cache key ("name-hash").
+	Name       string `json:"name"`
+	ConfigHash string `json:"config_hash"`
+	CacheKey   string `json:"cache_key"`
+	Seed       uint64 `json:"seed"`
+	// Cacheable is false for wall-clock experiments whose documents are
+	// never byte-stable.
+	Cacheable   bool     `json:"cacheable"`
+	RunsTotal   int      `json:"runs_total"`
+	RunKeys     []string `json:"run_keys,omitempty"`
+	Shards      int      `json:"shards,omitempty"`
+	ShareWarmup bool     `json:"share_warmup,omitempty"`
+	// Normalized is the canonical form of a scenario submission — every
+	// default materialized — so clients can see exactly which machine
+	// the schema compiled to. Omitted for legacy kinds.
+	Normalized json.RawMessage `json:"normalized,omitempty"`
 }

@@ -484,7 +484,7 @@ func (e *execEnv) runMips(sc *scenario, sink backend.Sink, spec runSpec) func(sw
 			for i := range nodes {
 				nodes[i] = noc.NodeID(i)
 			}
-			if m.Workload == "shared-pingpong" {
+			if mipsShared(m) {
 				fab, err := sys.AttachMemory(*rc.Memory)
 				if err != nil {
 					return nil, err

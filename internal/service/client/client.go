@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -137,6 +138,35 @@ func (c *Client) Submit(ctx context.Context, req service.SubmitRequest) (service
 	var info service.JobInfo
 	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", req, &info)
 	return info, err
+}
+
+// Validate dry-runs a submission: the daemon compiles and normalizes it
+// exactly as Submit would — returning the content address, run keys,
+// and (for scenario documents) the canonical normalized form — without
+// enqueueing anything.
+func (c *Client) Validate(ctx context.Context, req service.SubmitRequest) (service.ValidateResponse, error) {
+	var resp service.ValidateResponse
+	err := c.do(ctx, http.MethodPost, "/api/v1/validate", req, &resp)
+	return resp, err
+}
+
+// IsCode reports whether err is a structured daemon rejection carrying
+// the given error code (service.CodeInvalidScenario etc.), so callers
+// can branch on the machine-readable code instead of message text.
+func IsCode(err error, code string) bool {
+	var apiErr *service.APIError
+	return errors.As(err, &apiErr) && apiErr.Code == code
+}
+
+// ErrorField extracts the JSON-pointer field path from a structured
+// daemon rejection ("" when err carries none): the location in the
+// submitted request body the daemon rejected.
+func ErrorField(err error) string {
+	var apiErr *service.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Field
+	}
+	return ""
 }
 
 // Job fetches the job's current state.

@@ -93,7 +93,7 @@ func newJob(id string, req SubmitRequest, sc *scenario, parent context.Context, 
 		info: JobInfo{
 			ID:         id,
 			Name:       sc.name,
-			Kind:       sc.kind,
+			Kind:       sc.surfaceKind(),
 			State:      StateQueued,
 			ConfigHash: sc.hash,
 			Seed:       sc.seed,

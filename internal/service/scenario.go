@@ -5,11 +5,13 @@ import (
 	"context"
 	"fmt"
 	"regexp"
+	"strings"
 
 	"hornet/internal/config"
 	"hornet/internal/core"
 	"hornet/internal/experiments"
 	"hornet/internal/mips"
+	scen "hornet/internal/scenario"
 	"hornet/internal/sim"
 	"hornet/internal/stats"
 	"hornet/internal/sweep"
@@ -24,12 +26,23 @@ var nameRE = regexp.MustCompile(`^[a-zA-Z0-9._-]{1,64}$`)
 
 // scenario is a validated, normalized submission: everything the
 // scheduler needs to execute the job, plus the content-address (name,
-// hash) of its result document.
+// hash) of its result document. It is the ONE internal representation
+// every submission surface compiles into — the legacy config/figure/
+// batch/mips kinds directly, and declarative scenario documents via
+// internal/scenario — so there is exactly one execution path
+// (executeScenario) no matter how a job was described.
 type scenario struct {
 	kind string
 	name string // document name (also the cache key prefix)
 	hash string // sweep.ConfigHash over the identity
 	seed uint64
+
+	// surface is the submission surface the client used ("scenario" for
+	// declarative documents); kind stays the execution/identity kind the
+	// submission lowered to, so cache hashes, sharding rules and fleet
+	// dispatch are oblivious to how the job was written. Empty means
+	// surface == kind.
+	surface string
 
 	// cacheable is false for wall-clock experiments (Serial figures):
 	// their documents carry timing fields and are never byte-stable.
@@ -51,6 +64,14 @@ type scenario struct {
 	// figure scenarios: the registry entry and its scale options.
 	fig     experiments.Figure
 	figOpts experiments.Options
+}
+
+// surfaceKind is the kind reported to clients (JobInfo, validate).
+func (sc *scenario) surfaceKind() string {
+	if sc.surface != "" {
+		return sc.surface
+	}
+	return sc.kind
 }
 
 // runSpec is one config/batch/mips simulation: a stable key, the
@@ -93,16 +114,20 @@ func buildScenario(req SubmitRequest) (*scenario, *APIError) {
 	if req.Mips != nil {
 		set++
 	}
+	if len(req.Scenario) > 0 {
+		set++
+	}
 	if set != 1 {
-		return nil, &APIError{CodeInvalidRequest,
-			"exactly one of config, figure, batch, mips must be set"}
+		return nil, &APIError{Code: CodeInvalidRequest,
+			Message: "exactly one of config, figure, batch, mips, scenario must be set"}
 	}
 	if req.Name != "" && !nameRE.MatchString(req.Name) {
-		return nil, &APIError{CodeInvalidRequest,
-			"name must match [a-zA-Z0-9._-]{1,64}"}
+		return nil, &APIError{Code: CodeInvalidRequest, Field: "/name",
+			Message: "name must match [a-zA-Z0-9._-]{1,64}"}
 	}
 	if req.Workers < 0 {
-		return nil, &APIError{CodeInvalidRequest, "workers must be >= 0"}
+		return nil, &APIError{Code: CodeInvalidRequest, Field: "/workers",
+			Message: "workers must be >= 0"}
 	}
 	seed := req.Seed
 	if seed == 0 {
@@ -119,13 +144,21 @@ func buildScenario(req SubmitRequest) (*scenario, *APIError) {
 		sc, apiErr = buildFigureScenario(req, seed)
 	case req.Mips != nil:
 		sc, apiErr = buildMipsScenario(req, seed)
+	case len(req.Scenario) > 0:
+		sc, apiErr = buildScenarioScenario(req)
 	default:
 		sc, apiErr = buildBatchScenario(req, seed)
 	}
 	if apiErr != nil {
 		return nil, apiErr
 	}
-	if apiErr := applyShards(sc, req.Shards); apiErr != nil {
+	shards := req.Shards
+	if sc.shards != 0 {
+		// Declarative scenarios carry sharding in their run plan; the
+		// builder stashed it for this validation pass.
+		shards, sc.shards = sc.shards, 0
+	}
+	if apiErr := applyShards(sc, shards); apiErr != nil {
 		return nil, apiErr
 	}
 	return sc, nil
@@ -142,121 +175,172 @@ func applyShards(sc *scenario, shards int) *APIError {
 		return nil
 	}
 	if shards < 2 {
-		return &APIError{CodeInvalidRequest, "shards must be 0 (off) or >= 2"}
+		return &APIError{Code: CodeInvalidRequest, Message: "shards must be 0 (off) or >= 2"}
 	}
 	if sc.kind != KindConfig && sc.kind != KindMips {
-		return &APIError{CodeInvalidRequest,
-			"shards applies to config and mips jobs (one simulation split across members)"}
+		return &APIError{Code: CodeInvalidRequest,
+			Message: "shards applies to config and mips jobs (one simulation split across members)"}
 	}
 	if sc.shareWarmup {
-		return &APIError{CodeInvalidRequest,
-			"shards and share_warmup are mutually exclusive"}
+		return &APIError{Code: CodeInvalidRequest,
+			Message: "shards and share_warmup are mutually exclusive"}
 	}
 	cfg := sc.runs[0].cfg
 	if cfg.Engine.SyncPeriod > 1 {
-		return &APIError{CodeInvalidRequest,
-			"shards requires sync_period 1 (boundary traffic is exchanged every cycle)"}
+		return &APIError{Code: CodeInvalidRequest,
+			Message: "shards requires sync_period 1 (boundary traffic is exchanged every cycle)"}
 	}
 	if nodes := cfg.Topology.Nodes(); shards > nodes {
-		return &APIError{CodeInvalidRequest, fmt.Sprintf(
+		return &APIError{Code: CodeInvalidRequest, Message: fmt.Sprintf(
 			"shards (%d) must not exceed the topology's %d nodes", shards, nodes)}
 	}
 	sc.shards = shards
 	return nil
 }
 
+// legacyMipsKernel marks the pre-registry kernels whose MipsSpec wire
+// format (dedicated rounds/q/b fields, params empty) is frozen: their
+// normalized identity — and therefore their cache hashes — must stay
+// byte-identical to what earlier daemons computed.
+func legacyMipsKernel(name string) bool {
+	switch name {
+	case "pingpong", "shared-pingpong", "cannon":
+		return true
+	}
+	return false
+}
+
+// mipsParams projects a normalized spec onto the registry's parameter
+// space: legacy kernels from their dedicated fields, registry kernels
+// from Params directly.
+func mipsParams(m *MipsSpec) workloads.Params {
+	if legacyMipsKernel(m.Workload) {
+		return workloads.Params{"rounds": int64(m.Rounds), "q": int64(m.Q), "b": int64(m.B)}
+	}
+	return m.Params
+}
+
 // mipsWorkloadSource generates the assembly for a validated spec.
 // nodes is the topology's node count (the shared ping-pong partner is
 // the last node).
 func mipsWorkloadSource(m *MipsSpec, nodes int) string {
-	switch m.Workload {
-	case "pingpong":
-		return workloads.PingPongSource(m.Rounds)
-	case "shared-pingpong":
-		return workloads.SharedPingPongSource(m.Rounds, nodes-1)
-	case "cannon":
-		return workloads.CannonSource(m.Q, m.B)
+	k, ok := workloads.Lookup(m.Workload)
+	if !ok {
+		panic("service: unvalidated mips workload " + m.Workload)
 	}
-	panic("service: unvalidated mips workload " + m.Workload)
+	return k.Source(mipsParams(m), nodes)
 }
 
-// buildMipsScenario validates an application-workload submission. The
-// normalized spec (defaults applied) is the cache identity, so
-// {"rounds": 0} and {"rounds": 100} hash identically.
-func buildMipsScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) {
-	m := *req.Mips
-	if m.Rounds <= 0 {
-		m.Rounds = 100
+// mipsShared reports whether a validated spec runs on the coherent-
+// memory fabric (AttachMIPSShared) rather than private per-core memory.
+func mipsShared(m *MipsSpec) bool {
+	k, ok := workloads.Lookup(m.Workload)
+	return ok && k.Shared
+}
+
+// normalizeMips validates an application-workload spec and folds in its
+// defaults. The normalized spec is the cache identity, so {"rounds": 0}
+// and {"rounds": 100} hash identically. It is shared by the legacy mips
+// kind and the declarative scenario path — one set of rules, one
+// identity, which is what makes a scenario expressing a legacy workload
+// cache under the legacy key.
+func normalizeMips(m MipsSpec) (MipsSpec, *APIError) {
+	k, ok := workloads.Lookup(m.Workload)
+	if !ok {
+		return m, &APIError{Code: CodeInvalidRequest, Field: "/mips/workload", Message: fmt.Sprintf(
+			"mips: unknown workload %q (%s)", m.Workload, strings.Join(workloads.Names(), ", "))}
 	}
-	if m.Q <= 0 {
-		m.Q = 2
-	}
-	if m.B <= 0 {
-		m.B = 4
+	if legacyMipsKernel(m.Workload) {
+		if len(m.Params) > 0 {
+			return m, &APIError{Code: CodeInvalidRequest, Field: "/mips/params", Message: fmt.Sprintf(
+				"mips: %s predates the parameter registry; use the rounds/q/b fields, not params", m.Workload)}
+		}
+		if m.Rounds <= 0 {
+			m.Rounds = 100
+		}
+		if m.Q <= 0 {
+			m.Q = 2
+		}
+		if m.B <= 0 {
+			m.B = 4
+		}
+		// Bound the workload parameters: they size in-memory structures
+		// (cannon blocks are 4*b*b bytes each) and run length, so an
+		// unbounded submission could exhaust the daemon at validation time.
+		if m.Rounds > 1_000_000 {
+			return m, &APIError{Code: CodeInvalidRequest, Field: "/mips/rounds",
+				Message: "mips: rounds must be <= 1000000"}
+		}
+		if m.Q > 64 || m.B > 64 {
+			return m, &APIError{Code: CodeInvalidRequest, Field: "/mips/q",
+				Message: "mips: cannon q and b must be <= 64"}
+		}
+	} else {
+		if m.Rounds != 0 || m.Q != 0 || m.B != 0 {
+			return m, &APIError{Code: CodeInvalidRequest, Field: "/mips/params", Message: fmt.Sprintf(
+				"mips: %s is parameterized via params, not the rounds/q/b fields", m.Workload)}
+		}
+		p, err := k.Normalize(m.Params)
+		if err != nil {
+			return m, &APIError{Code: CodeInvalidRequest, Field: "/mips/params",
+				Message: "mips: " + err.Error()}
+		}
+		m.Params = p
 	}
 	if m.MaxCycles == 0 {
 		m.MaxCycles = 10_000_000
 	}
-	// Bound the workload parameters: they size in-memory structures
-	// (cannon blocks are 4*b*b bytes each) and run length, so an
-	// unbounded submission could exhaust the daemon at validation time.
-	if m.Rounds > 1_000_000 {
-		return nil, &APIError{CodeInvalidRequest, "mips: rounds must be <= 1000000"}
-	}
-	if m.Q > 64 || m.B > 64 {
-		return nil, &APIError{CodeInvalidRequest, "mips: cannon q and b must be <= 64"}
-	}
 	if m.MaxCycles > 1_000_000_000 {
-		return nil, &APIError{CodeInvalidRequest, "mips: max_cycles must be <= 1000000000"}
+		return m, &APIError{Code: CodeInvalidRequest, Field: "/mips/max_cycles",
+			Message: "mips: max_cycles must be <= 1000000000"}
 	}
 	if err := m.Config.Validate(); err != nil {
-		return nil, &APIError{CodeInvalidConfig, "mips: " + err.Error()}
+		return m, &APIError{Code: CodeInvalidConfig, Field: "/mips/config",
+			Message: "mips: " + err.Error()}
 	}
 	if len(m.Config.Traffic) > 0 {
-		return nil, &APIError{CodeInvalidConfig,
-			"mips: scenario takes no synthetic traffic (the workload is the traffic)"}
+		return m, &APIError{Code: CodeInvalidConfig, Field: "/mips/config/traffic",
+			Message: "mips: scenario takes no synthetic traffic (the workload is the traffic)"}
 	}
 	nodes := m.Config.Topology.Nodes()
-	switch m.Workload {
-	case "pingpong", "shared-pingpong":
-		if nodes < 2 {
-			return nil, &APIError{CodeInvalidConfig,
-				"mips: ping-pong workloads need at least 2 nodes"}
-		}
-	case "cannon":
-		if nodes != m.Q*m.Q {
-			return nil, &APIError{CodeInvalidConfig, fmt.Sprintf(
-				"mips: cannon on a %dx%d grid needs exactly %d nodes, topology has %d",
-				m.Q, m.Q, m.Q*m.Q, nodes)}
-		}
-	default:
-		return nil, &APIError{CodeInvalidRequest, fmt.Sprintf(
-			"mips: unknown workload %q (pingpong, shared-pingpong, cannon)", m.Workload)}
+	if err := k.Validate(mipsParams(&m), nodes); err != nil {
+		return m, &APIError{Code: CodeInvalidConfig, Field: "/mips/config",
+			Message: "mips: " + err.Error()}
 	}
-	if m.Workload == "shared-pingpong" && m.Config.Memory == nil {
-		return nil, &APIError{CodeInvalidConfig,
-			"mips: shared-pingpong needs config.memory (the coherent fabric it runs on)"}
+	if k.Shared && m.Config.Memory == nil {
+		return m, &APIError{Code: CodeInvalidConfig, Field: "/mips/config/memory", Message: fmt.Sprintf(
+			"mips: %s needs config.memory (the coherent fabric it runs on)", m.Workload)}
 	}
-	if m.Workload != "shared-pingpong" && m.Config.Memory != nil {
-		return nil, &APIError{CodeInvalidConfig,
-			"mips: " + m.Workload + " uses private per-core memory; omit config.memory"}
+	if !k.Shared && m.Config.Memory != nil {
+		return m, &APIError{Code: CodeInvalidConfig, Field: "/mips/config/memory",
+			Message: "mips: " + m.Workload + " uses private per-core memory; omit config.memory"}
 	}
 	// Catch assembly errors at submission time (4xx), not mid-job.
 	if _, err := mips.Assemble(mipsWorkloadSource(&m, nodes)); err != nil {
-		return nil, &APIError{CodeInvalidConfig, "mips: workload does not assemble: " + err.Error()}
-	}
-	name := req.Name
-	if name == "" {
-		name = "mips-" + m.Workload
-	}
-	if req.ShareWarmup {
-		return nil, &APIError{CodeInvalidRequest,
-			"share_warmup applies to config/batch jobs; mips runs have no warmup prefix"}
+		return m, &APIError{Code: CodeInvalidConfig,
+			Message: "mips: workload does not assemble: " + err.Error()}
 	}
 	m.Config = normalize(m.Config)
 	// The driver-level cycle windows do not apply to application runs:
 	// the workload defines its own span (halt or max_cycles).
 	m.Config.WarmupCycles, m.Config.AnalyzedCycles = 0, 0
+	return m, nil
+}
+
+// buildMipsScenario validates an application-workload submission.
+func buildMipsScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) {
+	if req.ShareWarmup {
+		return nil, &APIError{Code: CodeInvalidRequest, Field: "/share_warmup",
+			Message: "share_warmup applies to config/batch jobs; mips runs have no warmup prefix"}
+	}
+	m, apiErr := normalizeMips(*req.Mips)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	name := req.Name
+	if name == "" {
+		name = "mips-" + m.Workload
+	}
 	return &scenario{
 		kind:      KindMips,
 		name:      name,
@@ -267,24 +351,154 @@ func buildMipsScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) {
 	}, nil
 }
 
+// mipsBatchItem is the identity record of one workload run in a
+// multi-run scenario: the workload analogue of BatchItem, hashed under
+// the "scenario" label (no legacy kind ever produced this shape).
+type mipsBatchItem struct {
+	Key  string   `json:"key"`
+	Mips MipsSpec `json:"mips"`
+}
+
+// scenarioMips lowers one compiled scenario run onto the mips wire
+// spec. Legacy kernels map onto the frozen rounds/q/b fields (params
+// stays empty), so the normalized identity — and therefore the cache
+// hash — is byte-identical to the legacy mips kind's.
+func scenarioMips(r scen.Run) MipsSpec {
+	m := MipsSpec{Workload: r.Workload.Kernel, MaxCycles: r.Workload.MaxCycles, Config: r.Config}
+	if legacyMipsKernel(m.Workload) {
+		m.Rounds = int(r.Workload.Params.Get("rounds", 0))
+		m.Q = int(r.Workload.Params.Get("q", 0))
+		m.B = int(r.Workload.Params.Get("b", 0))
+	} else {
+		m.Params = r.Workload.Params
+	}
+	return m
+}
+
+// buildScenarioScenario compiles a declarative scenario document
+// (internal/scenario) into the shared internal representation. For the
+// shapes a legacy kind can express, the lowering reproduces that kind's
+// cache identity exactly — a scenario describing the pingpong machine
+// hashes (and hits the cache) as the equivalent mips submission — while
+// shapes the legacy API could not express (workload sweeps) hash under
+// the "scenario" label.
+func buildScenarioScenario(req SubmitRequest) (*scenario, *APIError) {
+	reject := func(field, what string) *APIError {
+		return &APIError{Code: CodeInvalidRequest, Field: field, Message: fmt.Sprintf(
+			"scenario documents carry their own %s; omit the request-level field", what)}
+	}
+	if req.Name != "" {
+		return nil, reject("/name", "name")
+	}
+	if req.Seed != 0 {
+		return nil, reject("/seed", "seed (run.seed)")
+	}
+	if req.Shards != 0 {
+		return nil, reject("/shards", "sharding (run.shards)")
+	}
+	if req.ShareWarmup {
+		return nil, reject("/share_warmup", "warmup sharing (run.share_warmup)")
+	}
+	doc, ferr := scen.Decode(req.Scenario)
+	if ferr != nil {
+		return nil, &APIError{Code: CodeInvalidScenario, Field: "/scenario" + ferr.Path, Message: ferr.Msg}
+	}
+	comp, ferr := scen.Compile(doc)
+	if ferr != nil {
+		return nil, &APIError{Code: CodeInvalidScenario, Field: "/scenario" + ferr.Path, Message: ferr.Msg}
+	}
+	seed := comp.Seed
+	workload := comp.Normalized.Workload != nil
+	runs := make([]runSpec, 0, len(comp.Runs))
+	for _, r := range comp.Runs {
+		if r.Workload != nil {
+			m, apiErr := normalizeMips(scenarioMips(r))
+			if apiErr != nil {
+				// The compile step already validated the kernel against the
+				// machine; anything surfacing here (e.g. an assembly failure)
+				// is still the workload's fault, so point there.
+				apiErr.Field = "/scenario/workload"
+				return nil, apiErr
+			}
+			runs = append(runs, runSpec{key: r.Key, weight: req.Workers, cfg: m.Config, mips: &m})
+			continue
+		}
+		cfg := normalize(r.Config)
+		spec := runSpec{key: r.Key, weight: req.Workers, cfg: cfg}
+		if comp.ShareWarmup {
+			spec.seed = groupSeed(seed, cfg)
+		}
+		runs = append(runs, spec)
+	}
+	name := comp.Name
+	sc := &scenario{
+		surface:     KindScenario,
+		seed:        seed,
+		cacheable:   true,
+		shareWarmup: comp.ShareWarmup,
+		shards:      comp.Shards,
+		runs:        runs,
+	}
+	switch {
+	case workload && len(runs) == 1:
+		if name == "" {
+			name = "mips-" + runs[0].mips.Workload
+		}
+		sc.kind, sc.name = KindMips, name
+		sc.hash = scenarioHash("mips", name, *runs[0].mips, seed, false)
+	case !workload && len(runs) == 1:
+		if name == "" {
+			name = KindConfig
+		}
+		sc.kind, sc.name = KindConfig, name
+		sc.hash = scenarioHash("config", name, runs[0].cfg, seed, comp.ShareWarmup)
+	case !workload:
+		if name == "" {
+			name = KindBatch
+		}
+		identity := make([]BatchItem, len(runs))
+		for i, r := range runs {
+			identity[i] = BatchItem{Key: r.key, Config: r.cfg}
+		}
+		sc.kind, sc.name = KindBatch, name
+		sc.hash = scenarioHash("batch", name, identity, seed, comp.ShareWarmup)
+	default: // workload sweep: no legacy kind to match, own identity
+		if name == "" {
+			name = KindScenario
+		}
+		identity := make([]mipsBatchItem, len(runs))
+		for i, r := range runs {
+			identity[i] = mipsBatchItem{Key: r.key, Mips: *r.mips}
+		}
+		sc.kind, sc.name = KindBatch, name
+		sc.hash = scenarioHash("scenario", name, identity, seed, false)
+	}
+	if len(runs) == 1 {
+		// Single-run scenarios label their one run by the job name, the
+		// same convention the legacy kinds use.
+		runs[0].key = name
+	}
+	return sc, nil
+}
+
 // checkRunnable validates one submitted simulation configuration beyond
 // config.Validate: the service runs synthetic-traffic simulations with a
 // bounded measured window, so both must be present.
 func checkRunnable(c *config.Config, where string) *APIError {
 	if err := c.Validate(); err != nil {
-		return &APIError{CodeInvalidConfig, where + err.Error()}
+		return &APIError{Code: CodeInvalidConfig, Message: where + err.Error()}
 	}
 	if len(c.Traffic) == 0 {
-		return &APIError{CodeInvalidConfig,
-			where + "config: scenario needs at least one synthetic traffic source"}
+		return &APIError{Code: CodeInvalidConfig,
+			Message: where + "config: scenario needs at least one synthetic traffic source"}
 	}
 	if c.AnalyzedCycles < 1 {
-		return &APIError{CodeInvalidConfig,
-			where + "config: analyzed_cycles must be >= 1"}
+		return &APIError{Code: CodeInvalidConfig,
+			Message: where + "config: analyzed_cycles must be >= 1"}
 	}
 	if c.WarmupCycles < 0 {
-		return &APIError{CodeInvalidConfig,
-			where + "config: warmup_cycles must be >= 0"}
+		return &APIError{Code: CodeInvalidConfig,
+			Message: where + "config: warmup_cycles must be >= 0"}
 	}
 	return nil
 }
@@ -346,12 +560,12 @@ func buildBatchScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) {
 	for i := range req.Batch {
 		it := &req.Batch[i]
 		if !nameRE.MatchString(it.Key) {
-			return nil, &APIError{CodeInvalidRequest,
-				fmt.Sprintf("batch[%d]: key must match [a-zA-Z0-9._-]{1,64}", i)}
+			return nil, &APIError{Code: CodeInvalidRequest,
+				Message: fmt.Sprintf("batch[%d]: key must match [a-zA-Z0-9._-]{1,64}", i)}
 		}
 		if seen[it.Key] {
-			return nil, &APIError{CodeInvalidRequest,
-				fmt.Sprintf("batch[%d]: duplicate key %q", i, it.Key)}
+			return nil, &APIError{Code: CodeInvalidRequest,
+				Message: fmt.Sprintf("batch[%d]: duplicate key %q", i, it.Key)}
 		}
 		seen[it.Key] = true
 		if apiErr := checkRunnable(&it.Config, fmt.Sprintf("batch[%d] (%s): ", i, it.Key)); apiErr != nil {
@@ -379,11 +593,11 @@ func buildBatchScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) {
 func buildFigureScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) {
 	fig, ok := experiments.FigureByName(req.Figure)
 	if !ok {
-		return nil, &APIError{CodeUnknownFigure,
-			fmt.Sprintf("unknown figure %q", req.Figure)}
+		return nil, &APIError{Code: CodeUnknownFigure,
+			Message: fmt.Sprintf("unknown figure %q", req.Figure)}
 	}
 	if req.Tiny && req.Full {
-		return nil, &APIError{CodeInvalidRequest, "tiny and full are mutually exclusive"}
+		return nil, &APIError{Code: CodeInvalidRequest, Message: "tiny and full are mutually exclusive"}
 	}
 	o := experiments.Options{
 		Tiny:     req.Tiny,
@@ -397,12 +611,12 @@ func buildFigureScenario(req SubmitRequest, seed uint64) (*scenario, *APIError) 
 	// hornet-exp's exact name-hash.json entries. A custom Name is
 	// rejected rather than silently diverging from the document.
 	if req.Name != "" {
-		return nil, &APIError{CodeInvalidRequest,
-			"figure jobs are named by the figure itself; omit name"}
+		return nil, &APIError{Code: CodeInvalidRequest,
+			Message: "figure jobs are named by the figure itself; omit name"}
 	}
 	if req.ShareWarmup {
-		return nil, &APIError{CodeInvalidRequest,
-			"share_warmup applies to config/batch jobs; figures manage their own warmup sharing"}
+		return nil, &APIError{Code: CodeInvalidRequest,
+			Message: "share_warmup applies to config/batch jobs; figures manage their own warmup sharing"}
 	}
 	return &scenario{
 		kind:      KindFigure,

@@ -1,0 +1,357 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"hornet/internal/config"
+)
+
+// frozenValidConfig reproduces the exact submission the legacy hashes
+// below were captured from (pre-refactor daemon): config.Default() on a
+// 4x4 mesh, one uniform source, short windows.
+func frozenValidConfig() *config.Config {
+	cfg := config.Default()
+	cfg.Topology.Width, cfg.Topology.Height = 4, 4
+	cfg.Traffic = []config.TrafficConfig{{Pattern: config.PatternUniform, InjectionRate: 0.05}}
+	cfg.WarmupCycles = 100
+	cfg.AnalyzedCycles = 1000
+	return &cfg
+}
+
+func frozenMipsConfig() config.Config {
+	cfg := config.Default()
+	cfg.Topology.Width, cfg.Topology.Height = 4, 4
+	cfg.Engine.FastForward = true
+	return cfg
+}
+
+// TestFrozenLegacyHashes pins the cache identity of every legacy kind
+// to hashes captured before the scenario refactor: the legacy kinds are
+// now thin shims over the shared compile path, and these hashes prove
+// the shims preserve the exact identities earlier daemons computed —
+// cached documents on disk stay addressable.
+func TestFrozenLegacyHashes(t *testing.T) {
+	sharedCfg := frozenMipsConfig()
+	sharedCfg.Memory = config.DefaultMemory()
+	cases := []struct {
+		label            string
+		req              SubmitRequest
+		kind, name, hash string
+	}{
+		{"config-default", SubmitRequest{Config: frozenValidConfig()},
+			KindConfig, "config", "793ef57694940806"},
+		{"config-named-seed", SubmitRequest{Name: "frozen", Config: frozenValidConfig(), Seed: 7, ShareWarmup: true},
+			KindConfig, "frozen", "c3a771b377e89cd9"},
+		{"batch", SubmitRequest{Batch: []BatchItem{
+			{Key: "a", Config: *frozenValidConfig()}, {Key: "b", Config: *frozenValidConfig()}}},
+			KindBatch, "batch", "ff634772cdb31a04"},
+		{"mips-pingpong", SubmitRequest{Seed: 9, Mips: &MipsSpec{Workload: "pingpong", Rounds: 40, Config: frozenMipsConfig()}},
+			KindMips, "mips-pingpong", "6f2fc0815c282820"},
+		{"mips-cannon", SubmitRequest{Mips: &MipsSpec{Workload: "cannon", Q: 4, Config: frozenMipsConfig()}},
+			KindMips, "mips-cannon", "8606f584f7d4fc7a"},
+		{"mips-shared", SubmitRequest{Mips: &MipsSpec{Workload: "shared-pingpong", Rounds: 10, Config: sharedCfg}},
+			KindMips, "mips-shared-pingpong", "deedba87e0d6d9da"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			sc, apiErr := buildScenario(tc.req)
+			if apiErr != nil {
+				t.Fatalf("buildScenario: %v", apiErr)
+			}
+			if sc.kind != tc.kind || sc.name != tc.name || sc.hash != tc.hash {
+				t.Fatalf("got %s/%s/%s, want %s/%s/%s",
+					sc.kind, sc.name, sc.hash, tc.kind, tc.name, tc.hash)
+			}
+		})
+	}
+}
+
+// scenarioJSON marshals a scenario-request body for tests.
+func scenarioJSON(t *testing.T, doc string) SubmitRequest {
+	t.Helper()
+	var raw json.RawMessage = []byte(doc)
+	return SubmitRequest{Scenario: raw}
+}
+
+// TestScenarioMipsLegacyIdentity is the tentpole acceptance check: a
+// declarative scenario expressing the legacy mips ping-pong job must
+// compile to the SAME cache identity — the frozen pre-refactor hash —
+// and produce a byte-identical result document, while reporting kind
+// "scenario" to clients.
+func TestScenarioMipsLegacyIdentity(t *testing.T) {
+	legacy := SubmitRequest{Seed: 9, Mips: &MipsSpec{Workload: "pingpong", Rounds: 40, Config: frozenMipsConfig()}}
+	scReq := scenarioJSON(t, `{
+		"version": 1,
+		"machine": {"topology": {"kind": "mesh", "width": 4, "height": 4}},
+		"workload": {"kernel": "pingpong", "params": {"rounds": 40}},
+		"run": {"fast_forward": true, "seed": 9}
+	}`)
+
+	scLegacy, apiErr := buildScenario(legacy)
+	if apiErr != nil {
+		t.Fatalf("legacy buildScenario: %v", apiErr)
+	}
+	scScen, apiErr := buildScenario(scReq)
+	if apiErr != nil {
+		t.Fatalf("scenario buildScenario: %v", apiErr)
+	}
+	if scScen.hash != scLegacy.hash || scScen.name != scLegacy.name {
+		t.Fatalf("scenario identity %s/%s != legacy %s/%s",
+			scScen.name, scScen.hash, scLegacy.name, scLegacy.hash)
+	}
+	if scScen.hash != "6f2fc0815c282820" {
+		t.Fatalf("hash %s is not the frozen pre-refactor identity", scScen.hash)
+	}
+	if scScen.kind != KindMips || scScen.surfaceKind() != KindScenario {
+		t.Fatalf("kind/surface = %s/%s, want %s/%s", scScen.kind, scScen.surfaceKind(), KindMips, KindScenario)
+	}
+
+	docLegacy, hashLegacy := runToDoc(t, Options{MaxJobs: 1, Budget: 2}, legacy)
+	docScen, hashScen := runToDoc(t, Options{MaxJobs: 1, Budget: 2}, scReq)
+	if hashScen != hashLegacy {
+		t.Fatalf("job hashes diverge: %s vs %s", hashScen, hashLegacy)
+	}
+	if !bytes.Equal(docScen, docLegacy) {
+		t.Fatalf("scenario document differs from legacy document:\n legacy: %s\n scenario: %s", docLegacy, docScen)
+	}
+}
+
+// TestScenarioCoalescesWithLegacy: because the identities match, a
+// scenario submission must hit the result cache a legacy submission
+// populated (one daemon, two surfaces, one cached document).
+func TestScenarioCoalescesWithLegacy(t *testing.T) {
+	srv := New(Options{MaxJobs: 1, Budget: 2})
+	defer srv.Close()
+	legacy := SubmitRequest{Seed: 9, Mips: &MipsSpec{Workload: "pingpong", Rounds: 40, Config: frozenMipsConfig()}}
+	j1 := submitDirect(t, srv, legacy)
+	info1 := waitDone(t, j1, 120*time.Second)
+	if info1.State != StateDone {
+		t.Fatalf("legacy job: %s (%s)", info1.State, info1.Error)
+	}
+	misses := srv.results.Misses()
+
+	scReq := scenarioJSON(t, `{
+		"version": 1,
+		"machine": {"topology": {"kind": "mesh", "width": 4, "height": 4}},
+		"workload": {"kernel": "pingpong", "params": {"rounds": 40}},
+		"run": {"fast_forward": true, "seed": 9}
+	}`)
+	j2 := submitDirect(t, srv, scReq)
+	info2 := waitDone(t, j2, 120*time.Second)
+	if info2.State != StateDone {
+		t.Fatalf("scenario job: %s (%s)", info2.State, info2.Error)
+	}
+	if srv.results.Misses() != misses {
+		t.Fatalf("scenario submission missed the cache (misses %d -> %d); identities must coalesce",
+			misses, srv.results.Misses())
+	}
+	b1, _ := j1.Result()
+	b2, _ := j2.Result()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("cached scenario document differs from legacy document")
+	}
+}
+
+// newKernelScenario is the second acceptance shape: a registry kernel
+// the legacy API never had (matmul-blocked), on a topology no legacy
+// mips job used (a ring), parameterized to run long enough to
+// checkpoint. run.shards is set by the callers that shard it.
+func newKernelScenario(shards int) string {
+	doc := `{
+		"version": 1,
+		"name": "matmul-ring",
+		"machine": {"topology": {"kind": "ring", "width": 8, "height": 1}},
+		"workload": {"kernel": "matmul-blocked", "params": {"n": 16, "b": 4}},
+		"run": {"fast_forward": true%s}
+	}`
+	extra := ""
+	if shards > 0 {
+		extra = fmt.Sprintf(`, "shards": %d`, shards)
+	}
+	return fmt.Sprintf(doc, extra)
+}
+
+// TestScenarioNewKernelShardedByteIdentity: the new-workload scenario
+// runs end-to-end unsharded and with run.shards 2, hashing identically
+// (sharding is an execution knob) and emitting identical bytes.
+func TestScenarioNewKernelShardedByteIdentity(t *testing.T) {
+	single, hash1 := runToDoc(t, Options{MaxJobs: 1, Budget: 2}, scenarioJSON(t, newKernelScenario(0)))
+	sharded, hash2 := runToDoc(t, Options{MaxJobs: 1, Budget: 2}, scenarioJSON(t, newKernelScenario(2)))
+	if hash1 != hash2 {
+		t.Fatalf("sharded scenario hashed differently: %s vs %s", hash2, hash1)
+	}
+	if !bytes.Equal(single, sharded) {
+		t.Fatalf("2-way sharded scenario document differs from single-engine run")
+	}
+}
+
+// TestScenarioCheckpointResume is the killed-daemon drill for a
+// declarative scenario: daemon A autosaves the matmul run and dies
+// mid-flight; daemon B with the same checkpoint directory receives the
+// identical scenario, resumes from the snapshot instead of cycle 0,
+// and still produces the clean run's exact bytes.
+func TestScenarioCheckpointResume(t *testing.T) {
+	clean, _ := runToDoc(t, Options{MaxJobs: 1, Budget: 2}, scenarioJSON(t, newKernelScenario(0)))
+
+	ckptDir := t.TempDir()
+	srvA := New(Options{MaxJobs: 1, Budget: 2, CheckpointDir: ckptDir, CheckpointEvery: 500})
+	jA := submitDirect(t, srvA, scenarioJSON(t, newKernelScenario(0)))
+	deadline := time.Now().Add(60 * time.Second)
+	for jA.Info().Checkpoints < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint written; job state %+v", jA.Info())
+		}
+		if jA.Info().Terminal() {
+			t.Skip("job finished before a checkpoint could be observed; workload too fast on this machine")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	srvA.Close()
+
+	srvB := New(Options{MaxJobs: 1, Budget: 2, CheckpointDir: ckptDir, CheckpointEvery: 500})
+	defer srvB.Close()
+	jB := submitDirect(t, srvB, scenarioJSON(t, newKernelScenario(0)))
+	info := waitDone(t, jB, 120*time.Second)
+	if info.State != StateDone {
+		t.Fatalf("resumed job: %s (%s)", info.State, info.Error)
+	}
+	if srvB.env.counters.runsResumed.Load() == 0 {
+		t.Fatal("daemon B never resumed from the checkpoint")
+	}
+	b, _ := jB.Result()
+	if !bytes.Equal(b, clean) {
+		t.Fatalf("resumed scenario document differs from clean run:\n clean: %s\n resumed: %s", clean, b)
+	}
+}
+
+// TestScenarioRequestLevelKnobsRejected: scenario documents carry their
+// own name/seed/shards/share_warmup; the request-level fields must be
+// rejected with the field path that names the offender.
+func TestScenarioRequestLevelKnobsRejected(t *testing.T) {
+	doc := `{"version":1,"machine":{"topology":{"kind":"mesh","width":4,"height":4}},"traffic":[{"pattern":"uniform","injection_rate":0.05}]}`
+	cases := []struct {
+		label, field string
+		mut          func(*SubmitRequest)
+	}{
+		{"name", "/name", func(r *SubmitRequest) { r.Name = "x" }},
+		{"seed", "/seed", func(r *SubmitRequest) { r.Seed = 5 }},
+		{"shards", "/shards", func(r *SubmitRequest) { r.Shards = 2 }},
+		{"share-warmup", "/share_warmup", func(r *SubmitRequest) { r.ShareWarmup = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			req := scenarioJSON(t, doc)
+			tc.mut(&req)
+			_, apiErr := buildScenario(req)
+			if apiErr == nil {
+				t.Fatal("request-level knob accepted alongside a scenario document")
+			}
+			if apiErr.Field != tc.field {
+				t.Fatalf("error field = %q, want %q (%s)", apiErr.Field, tc.field, apiErr.Message)
+			}
+		})
+	}
+}
+
+// TestScenarioErrorFieldPaths: structured rejections point into the
+// scenario document with a /scenario-prefixed JSON pointer and the
+// invalid_scenario code.
+func TestScenarioErrorFieldPaths(t *testing.T) {
+	cases := []struct {
+		label, doc, field string
+	}{
+		{"bad-version", `{"version": 9}`, "/scenario/version"},
+		{"unknown-field", `{"version":1,"figure":"t1"}`, "/scenario/figure"},
+		{"no-topology", `{"version":1,"workload":{"kernel":"pingpong"}}`, "/scenario/machine/topology"},
+		{"unknown-kernel", `{"version":1,"machine":{"topology":{"kind":"mesh","width":4,"height":4}},"workload":{"kernel":"doom"}}`, "/scenario/workload/kernel"},
+		{"bad-shards", `{"version":1,"machine":{"topology":{"kind":"mesh","width":4,"height":4}},"traffic":[{"pattern":"uniform","injection_rate":0.05}],"run":{"shards":1}}`, "/scenario/run/shards"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			_, apiErr := buildScenario(scenarioJSON(t, tc.doc))
+			if apiErr == nil {
+				t.Fatal("invalid scenario accepted")
+			}
+			if apiErr.Code != CodeInvalidScenario {
+				t.Fatalf("code = %s, want %s (%s)", apiErr.Code, CodeInvalidScenario, apiErr.Message)
+			}
+			if apiErr.Field != tc.field {
+				t.Fatalf("field = %q, want %q (%s)", apiErr.Field, tc.field, apiErr.Message)
+			}
+		})
+	}
+}
+
+// TestScenarioWorkloadSweep: a sweep over kernel parameters — a shape
+// no legacy kind could express — expands to one run per point and
+// executes through the shared batch machinery.
+func TestScenarioWorkloadSweep(t *testing.T) {
+	req := scenarioJSON(t, `{
+		"version": 1,
+		"name": "reduce-sweep",
+		"machine": {"topology": {"kind": "mesh", "width": 2, "height": 2}},
+		"workload": {"kernel": "reduction"},
+		"run": {"fast_forward": true},
+		"sweep": [{"name": "elems", "path": "/workload/params/elems", "values": [8, 64]}]
+	}`)
+	sc, apiErr := buildScenario(req)
+	if apiErr != nil {
+		t.Fatalf("buildScenario: %v", apiErr)
+	}
+	if sc.kind != KindBatch || sc.surfaceKind() != KindScenario || len(sc.runs) != 2 {
+		t.Fatalf("kind/surface/runs = %s/%s/%d", sc.kind, sc.surfaceKind(), len(sc.runs))
+	}
+	doc, hash := runToDoc(t, Options{MaxJobs: 1, Budget: 2}, req)
+	if hash != sc.hash {
+		t.Fatalf("executed hash %s != compiled hash %s", hash, sc.hash)
+	}
+	var parsed struct {
+		Runs []struct {
+			Key string `json:"key"`
+			Err string `json:"err,omitempty"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		t.Fatalf("document: %v", err)
+	}
+	if len(parsed.Runs) != 2 {
+		t.Fatalf("document has %d runs, want 2", len(parsed.Runs))
+	}
+	wantKeys := []string{"elems-8", "elems-64"}
+	for i, r := range parsed.Runs {
+		if r.Key != wantKeys[i] {
+			t.Fatalf("run %d key = %q, want %q", i, r.Key, wantKeys[i])
+		}
+		if r.Err != "" {
+			t.Fatalf("run %s errored: %s", r.Key, r.Err)
+		}
+	}
+}
+
+// TestDryRunMatchesSubmit: the validate path reports exactly the
+// identity a real submission acquires.
+func TestDryRunMatchesSubmit(t *testing.T) {
+	req := scenarioJSON(t, newKernelScenario(2))
+	resp, apiErr := DryRun(req)
+	if apiErr != nil {
+		t.Fatalf("DryRun: %v", apiErr)
+	}
+	sc, apiErr := buildScenario(req)
+	if apiErr != nil {
+		t.Fatalf("buildScenario: %v", apiErr)
+	}
+	if resp.Kind != KindScenario || resp.Name != sc.name || resp.ConfigHash != sc.hash ||
+		resp.CacheKey != sc.name+"-"+sc.hash || resp.Shards != 2 {
+		t.Fatalf("DryRun response diverges from compiled scenario: %+v vs %s/%s", resp, sc.name, sc.hash)
+	}
+	if len(resp.Normalized) == 0 {
+		t.Fatal("DryRun of a scenario must include the normalized document")
+	}
+	if resp.RunsTotal != 1 || resp.RunKeys[0] != "matmul-ring" {
+		t.Fatalf("runs = %d %v", resp.RunsTotal, resp.RunKeys)
+	}
+}

@@ -108,14 +108,14 @@ func (s *scheduler) submit(j *job) *APIError {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.stopped {
-		return &APIError{CodeShuttingDown, "server is shutting down"}
+		return &APIError{Code: CodeShuttingDown, Message: "server is shutting down"}
 	}
 	select {
 	case s.queue <- j:
 		return nil
 	default:
-		return &APIError{CodeQueueFull,
-			fmt.Sprintf("job queue is full (%d pending)", cap(s.queue))}
+		return &APIError{Code: CodeQueueFull,
+			Message: fmt.Sprintf("job queue is full (%d pending)", cap(s.queue))}
 	}
 }
 

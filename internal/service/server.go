@@ -214,6 +214,7 @@ func build(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /api/v1/figures", s.handleFigures)
 	s.mux.HandleFunc("GET /api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /api/v1/validate", s.handleValidate)
 	s.mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
@@ -438,8 +439,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, &APIError{CodeInvalidRequest,
-			"malformed request body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest,
+			Message: "malformed request body: " + err.Error()})
 		return
 	}
 	sc, apiErr := buildScenario(req)
@@ -483,14 +484,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, &APIError{CodeNotFound, "no such job"})
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound, Message: "no such job"})
 		return
 	}
 	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
 		wait, err := time.ParseDuration(waitStr)
 		if err != nil || wait < 0 {
-			writeError(w, http.StatusBadRequest, &APIError{CodeInvalidRequest,
-				fmt.Sprintf("bad wait duration %q", waitStr)})
+			writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest,
+				Message: fmt.Sprintf("bad wait duration %q", waitStr)})
 			return
 		}
 		const maxWait = 5 * time.Minute
@@ -511,7 +512,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, &APIError{CodeNotFound, "no such job"})
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound, Message: "no such job"})
 		return
 	}
 	j.cancel()
@@ -529,7 +530,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, &APIError{CodeNotFound, "no such job"})
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound, Message: "no such job"})
 		return
 	}
 	info := j.Info()
@@ -540,7 +541,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		if info.State == StateFailed {
 			msg = "job failed: " + info.Error
 		}
-		writeError(w, code, &APIError{CodeNotFinished, msg})
+		writeError(w, code, &APIError{Code: CodeNotFinished, Message: msg})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -556,13 +557,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, &APIError{CodeNotFound, "no such job"})
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound, Message: "no such job"})
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, &APIError{CodeInvalidRequest,
-			"streaming unsupported by this connection"})
+		writeError(w, http.StatusInternalServerError, &APIError{Code: CodeInvalidRequest,
+			Message: "streaming unsupported by this connection"})
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -607,13 +608,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, &APIError{CodeNotFound, "no such job"})
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound, Message: "no such job"})
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, &APIError{CodeInvalidRequest,
-			"streaming unsupported by this connection"})
+		writeError(w, http.StatusInternalServerError, &APIError{Code: CodeInvalidRequest,
+			Message: "streaming unsupported by this connection"})
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -663,7 +664,7 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, &APIError{CodeNotFound, "no such job"})
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeNotFound, Message: "no such job"})
 		return
 	}
 	writeJSON(w, http.StatusOK, j.trace.Document())

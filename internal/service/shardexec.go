@@ -222,7 +222,7 @@ func (e *execEnv) runShard(sc *scenario, sink backend.Sink, spec runSpec, shard 
 				for i := range nodes {
 					nodes[i] = noc.NodeID(i)
 				}
-				if m.Workload == "shared-pingpong" {
+				if mipsShared(m) {
 					fab, err := sys.AttachMemory(*rc.Memory)
 					if err != nil {
 						return nil, err

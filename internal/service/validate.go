@@ -1,0 +1,67 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+
+	scen "hornet/internal/scenario"
+)
+
+// DryRun compiles a submission exactly as POST /api/v1/jobs would —
+// same validation, same normalization, same content address — without
+// enqueueing anything. It backs POST /api/v1/validate and hornet-exp's
+// -validate flag: clients can confirm a document is well-formed, see
+// the machine it normalizes to, and learn the cache key it would hit,
+// all before spending simulation time.
+func DryRun(req SubmitRequest) (*ValidateResponse, *APIError) {
+	sc, apiErr := buildScenario(req)
+	if apiErr != nil {
+		return nil, apiErr
+	}
+	resp := &ValidateResponse{
+		Kind:        sc.surfaceKind(),
+		Name:        sc.name,
+		ConfigHash:  sc.hash,
+		CacheKey:    sc.name + "-" + sc.hash,
+		Seed:        sc.seed,
+		Cacheable:   sc.cacheable,
+		RunsTotal:   len(sc.runs),
+		Shards:      sc.shards,
+		ShareWarmup: sc.shareWarmup,
+	}
+	for _, r := range sc.runs {
+		resp.RunKeys = append(resp.RunKeys, r.key)
+	}
+	if len(req.Scenario) > 0 {
+		// buildScenario accepted it, so Decode/Compile cannot fail here;
+		// recompiling is cheaper than threading the normalized document
+		// through the scenario struct every legacy submission also builds.
+		if doc, ferr := scen.Decode(req.Scenario); ferr == nil {
+			if comp, ferr := scen.Compile(doc); ferr == nil {
+				if b, err := scen.Encode(comp.Normalized); err == nil {
+					resp.Normalized = b
+				}
+			}
+		}
+	}
+	return resp, nil
+}
+
+// handleValidate is POST /api/v1/validate: DryRun over the same request
+// body POST /api/v1/jobs takes.
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest,
+			Message: "malformed request body: " + err.Error()})
+		return
+	}
+	resp, apiErr := DryRun(req)
+	if apiErr != nil {
+		writeError(w, http.StatusBadRequest, apiErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -34,13 +34,13 @@ const maxCheckpointBlob = 256 << 20
 func (s *Server) writeFleetError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, backend.ErrUnknownWorker):
-		writeError(w, http.StatusNotFound, &APIError{CodeWorkerUnknown, err.Error()})
+		writeError(w, http.StatusNotFound, &APIError{Code: CodeWorkerUnknown, Message: err.Error()})
 	case errors.Is(err, backend.ErrGone):
-		writeError(w, http.StatusGone, &APIError{CodeTaskGone, err.Error()})
+		writeError(w, http.StatusGone, &APIError{Code: CodeTaskGone, Message: err.Error()})
 	case errors.Is(err, backend.ErrNoWorkers):
-		writeError(w, http.StatusServiceUnavailable, &APIError{CodeShuttingDown, err.Error()})
+		writeError(w, http.StatusServiceUnavailable, &APIError{Code: CodeShuttingDown, Message: err.Error()})
 	default:
-		writeError(w, http.StatusBadRequest, &APIError{CodeInvalidRequest, err.Error()})
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest, Message: err.Error()})
 	}
 }
 
@@ -53,13 +53,13 @@ func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, &APIError{CodeInvalidRequest,
-			"malformed register body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest,
+			Message: "malformed register body: " + err.Error()})
 		return
 	}
 	if req.ID != "" && !nameRE.MatchString(req.ID) {
-		writeError(w, http.StatusBadRequest, &APIError{CodeInvalidRequest,
-			"worker id must match [a-zA-Z0-9._-]{1,64}"})
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest,
+			Message: "worker id must match [a-zA-Z0-9._-]{1,64}"})
 		return
 	}
 	resp, err := s.fleet.Register(req)
@@ -95,8 +95,8 @@ func (s *Server) handleWorkerPoll(w http.ResponseWriter, r *http.Request) {
 	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
 		d, err := time.ParseDuration(waitStr)
 		if err != nil || d < 0 {
-			writeError(w, http.StatusBadRequest, &APIError{CodeInvalidRequest,
-				fmt.Sprintf("bad wait duration %q", waitStr)})
+			writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest,
+				Message: fmt.Sprintf("bad wait duration %q", waitStr)})
 			return
 		}
 		if d > 5*time.Minute {
@@ -123,8 +123,8 @@ func (s *Server) handleWorkerEvent(w http.ResponseWriter, r *http.Request) {
 	var ev backend.TaskEvent
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&ev); err != nil {
-		writeError(w, http.StatusBadRequest, &APIError{CodeInvalidRequest,
-			"malformed event body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest,
+			Message: "malformed event body: " + err.Error()})
 		return
 	}
 	if err := s.fleet.PushEvent(r.PathValue("id"), r.PathValue("task"), ev); err != nil {
@@ -140,16 +140,16 @@ func (s *Server) handleWorkerCheckpoint(w http.ResponseWriter, r *http.Request) 
 	cycle, _ := strconv.ParseUint(r.URL.Query().Get("cycle"), 10, 64)
 	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCheckpointBlob))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, &APIError{CodeInvalidRequest,
-			"reading checkpoint blob: " + err.Error()})
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest,
+			Message: "reading checkpoint blob: " + err.Error()})
 		return
 	}
 	// Admission check: a blob that fails the container envelope (magic,
 	// version, CRC) can never resume anything — reject it here so a
 	// corrupting transport is visible at upload time, not mid-migration.
 	if err := snapshot.Verify(blob); err != nil {
-		writeError(w, http.StatusBadRequest, &APIError{CodeInvalidRequest,
-			"checkpoint blob rejected: " + err.Error()})
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest,
+			Message: "checkpoint blob rejected: " + err.Error()})
 		return
 	}
 	if err := s.fleet.PushCheckpoint(r.PathValue("id"), r.PathValue("task"),
@@ -178,8 +178,8 @@ func (s *Server) handleWorkerShardSync(w http.ResponseWriter, r *http.Request) {
 	var req backend.ShardSyncRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCheckpointBlob))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, &APIError{CodeInvalidRequest,
-			"malformed shard sync body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest,
+			Message: "malformed shard sync body: " + err.Error()})
 		return
 	}
 	resp, err := s.fleet.ShardSync(r.Context(), r.PathValue("id"), r.PathValue("task"), req)
@@ -199,8 +199,8 @@ func (s *Server) handleWorkerShardGather(w http.ResponseWriter, r *http.Request)
 	var req backend.ShardGatherRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCheckpointBlob))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, &APIError{CodeInvalidRequest,
-			"malformed shard gather body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest,
+			Message: "malformed shard gather body: " + err.Error()})
 		return
 	}
 	resp, err := s.fleet.ShardGather(r.Context(), r.PathValue("id"), r.PathValue("task"), req)
@@ -234,8 +234,8 @@ func (s *Server) handleWorkerResult(w http.ResponseWriter, r *http.Request) {
 	var res backend.ResultPush
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCheckpointBlob))
 	if err := dec.Decode(&res); err != nil {
-		writeError(w, http.StatusBadRequest, &APIError{CodeInvalidRequest,
-			"malformed result body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, &APIError{Code: CodeInvalidRequest,
+			Message: "malformed result body: " + err.Error()})
 		return
 	}
 	if err := s.fleet.PushResult(r.PathValue("id"), r.PathValue("task"), res); err != nil {

@@ -1,0 +1,131 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"hornet/internal/mips"
+)
+
+func TestRegistryNamesAndLookup(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"reduction", "matmul-blocked"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("Names() = %v, missing %q", names, want)
+		}
+		if _, ok := Lookup(want); !ok {
+			t.Fatalf("Lookup(%q) failed", want)
+		}
+	}
+	if _, ok := Lookup("no-such-kernel"); ok {
+		t.Fatal("Lookup of unknown kernel succeeded")
+	}
+}
+
+func TestKernelNormalize(t *testing.T) {
+	k, _ := Lookup("matmul-blocked")
+
+	// nil params fold to the full default set.
+	p, err := k.Normalize(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Get("n", 0) != 8 || p.Get("b", 0) != 4 {
+		t.Fatalf("defaults not folded: %v", p)
+	}
+
+	// Partial params keep the explicit value, default the rest.
+	p, err = k.Normalize(Params{"b": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Get("n", 0) != 8 || p.Get("b", 0) != 2 {
+		t.Fatalf("partial normalize wrong: %v", p)
+	}
+
+	// Unknown parameters are rejected with the accepted set named.
+	if _, err = k.Normalize(Params{"q": 3}); err == nil {
+		t.Fatal("unknown param accepted")
+	} else if !strings.Contains(err.Error(), `"q"`) || !strings.Contains(err.Error(), "b, n") {
+		t.Fatalf("unhelpful unknown-param error: %v", err)
+	}
+}
+
+func TestKernelValidateBounds(t *testing.T) {
+	red, _ := Lookup("reduction")
+	mm, _ := Lookup("matmul-blocked")
+	cases := []struct {
+		kernel Kernel
+		params Params
+		nodes  int
+		ok     bool
+	}{
+		{red, Params{"elems": 64}, 4, true},
+		{red, Params{"elems": 1}, 2, true},
+		{red, Params{"elems": 64}, 3, false},  // not a power of two
+		{red, Params{"elems": 64}, 1, false},  // too few nodes
+		{red, Params{"elems": 0}, 4, false},   // elems out of range
+		{mm, Params{"n": 8, "b": 4}, 5, true}, // any node count
+		{mm, Params{"n": 8, "b": 3}, 4, false},
+		{mm, Params{"n": 0, "b": 1}, 4, false},
+		{mm, Params{"n": 8, "b": 16}, 4, false},
+	}
+	for i, c := range cases {
+		err := c.kernel.Validate(c.params, c.nodes)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: kernel %s params %v nodes %d: err=%v, want ok=%v",
+				i, c.kernel.Name, c.params, c.nodes, err, c.ok)
+		}
+	}
+}
+
+func TestReductionSourceAssembles(t *testing.T) {
+	for _, elems := range []int{1, 16, 64, 1000} {
+		if _, err := mips.Assemble(ReductionSource(elems)); err != nil {
+			t.Fatalf("elems=%d: %v", elems, err)
+		}
+	}
+}
+
+func TestMatmulBlockedSourceAssembles(t *testing.T) {
+	for _, c := range []struct{ n, b int }{{4, 1}, {4, 4}, {8, 4}, {8, 8}, {16, 4}} {
+		if _, err := mips.Assemble(MatmulBlockedSource(c.n, c.b)); err != nil {
+			t.Fatalf("n=%d b=%d: %v", c.n, c.b, err)
+		}
+	}
+}
+
+func TestReductionChecksumMatchesDirectSum(t *testing.T) {
+	// Recompute the 4-core, 8-element total by hand from the element
+	// formula and compare with the helper.
+	var want int32
+	for id := 0; id < 4; id++ {
+		for k := 0; k < 8; k++ {
+			want += int32((id*31 + k*7 + 1) & 0xFF)
+		}
+	}
+	if got := ReductionChecksum(4, 8); got != want {
+		t.Fatalf("ReductionChecksum(4, 8) = %d, want %d", got, want)
+	}
+}
+
+func TestMatmulChecksumBlockInvariant(t *testing.T) {
+	// The checksum is defined on the full product, so it cannot depend
+	// on the block size; MatmulTotal is the per-core sum.
+	if MatmulChecksum(0, 8) == 0 && MatmulChecksum(1, 8) == 0 {
+		t.Fatal("degenerate checksums")
+	}
+	var want int32
+	for id := 0; id < 6; id++ {
+		want += MatmulChecksum(id, 8)
+	}
+	if got := MatmulTotal(6, 8); got != want {
+		t.Fatalf("MatmulTotal(6, 8) = %d, want %d", got, want)
+	}
+}
